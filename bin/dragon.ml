@@ -1,0 +1,208 @@
+(* dragon: the viewer-side tool (steps 3-4 of the paper's usage: load the
+   .dgn project, then browse the array-analysis table, the call graph, the
+   CFGs, the sources, and the advisor's findings). *)
+
+open Cmdliner
+
+let load dir project =
+  match Dragon.Project.load ~dir ~project with
+  | Ok p -> p
+  | Error e ->
+    Printf.eprintf "dragon: %s\n" e;
+    exit 1
+
+let dir_arg =
+  Arg.(
+    value & opt dir "." & info [ "d"; "dir" ] ~docv:"DIR" ~doc:"Project directory.")
+
+let project_arg =
+  Arg.(
+    value & opt string "project"
+    & info [ "p"; "project" ] ~docv:"NAME" ~doc:"Project name (.dgn base).")
+
+let table_cmd =
+  let scope =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "scope" ] ~docv:"PROC" ~doc:"Restrict to one procedure (or @).")
+  in
+  let find =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "find" ] ~docv:"ARRAY" ~doc:"Highlight rows of this array.")
+  in
+  let color = Arg.(value & flag & info [ "color" ] ~doc:"ANSI colors.") in
+  let sort =
+    Arg.(
+      value & opt string "source"
+      & info [ "sort" ] ~docv:"KEY"
+          ~doc:"Row order: source, density, refs, size, array.")
+  in
+  let modes =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "mode" ] ~docv:"MODES"
+          ~doc:"Comma-separated mode filter (e.g. USE,DEF).")
+  in
+  let run dir project scope find color sort modes =
+    let p = load dir project in
+    let sort =
+      match Dragon.Table.sort_key_of_string sort with
+      | Some k -> k
+      | None ->
+        Printf.eprintf "dragon: unknown sort key %S\n" sort;
+        exit 1
+    in
+    let modes = Option.map (String.split_on_char ',') modes in
+    let options = { Dragon.Table.default_options with color; sort; modes } in
+    print_string (Dragon.Table.render ~options ?scope ?find p)
+  in
+  Cmd.v
+    (Cmd.info "table" ~doc:"Show the array analysis graph (tabular view).")
+    Term.(const run $ dir_arg $ project_arg $ scope $ find $ color $ sort $ modes)
+
+let callgraph_cmd =
+  let dot = Arg.(value & flag & info [ "dot" ] ~doc:"Emit Graphviz DOT.") in
+  let run dir project dot =
+    let p = load dir project in
+    print_string
+      (if dot then Dragon.Graphs.callgraph_dot p
+       else Dragon.Graphs.callgraph_ascii p)
+  in
+  Cmd.v
+    (Cmd.info "callgraph" ~doc:"Show the call graph (Fig 11).")
+    Term.(const run $ dir_arg $ project_arg $ dot)
+
+let cfg_cmd =
+  let proc = Arg.(required & pos 0 (some string) None & info [] ~docv:"PROC") in
+  let dot = Arg.(value & flag & info [ "dot" ] ~doc:"Emit Graphviz DOT.") in
+  let run dir project proc dot =
+    let p = load dir project in
+    let view = if dot then Dragon.Graphs.cfg_dot else Dragon.Graphs.cfg_ascii in
+    match view p ~proc with
+    | Some s -> print_string s
+    | None ->
+      Printf.eprintf "dragon: no CFG for %s\n" proc;
+      exit 1
+  in
+  Cmd.v
+    (Cmd.info "cfg" ~doc:"Show a procedure's control-flow graph.")
+    Term.(const run $ dir_arg $ project_arg $ proc $ dot)
+
+let grep_cmd =
+  let needle = Arg.(required & pos 0 (some string) None & info [] ~docv:"TEXT") in
+  let word =
+    Arg.(value & flag & info [ "w"; "word" ] ~doc:"Whole-word (array) match.")
+  in
+  let run dir project needle word =
+    let p = load dir project in
+    let hits =
+      if word then Dragon.Browse.grep_array p needle
+      else Dragon.Browse.grep p needle
+    in
+    List.iter
+      (fun h ->
+        Printf.printf "%s:%d: %s\n" h.Dragon.Browse.h_file
+          h.Dragon.Browse.h_line h.Dragon.Browse.h_text)
+      hits;
+    Printf.printf "%d hit(s)\n" (List.length hits)
+  in
+  Cmd.v
+    (Cmd.info "grep" ~doc:"Search the project sources (the GUI's grep box).")
+    Term.(const run $ dir_arg $ project_arg $ needle $ word)
+
+let locate_cmd =
+  let array = Arg.(required & pos 0 (some string) None & info [] ~docv:"ARRAY") in
+  let run dir project array =
+    let p = load dir project in
+    let rows = Dragon.Table.find_rows p array in
+    if rows = [] then begin
+      Printf.eprintf "dragon: no rows for array %s\n" array;
+      exit 1
+    end;
+    List.iter
+      (fun (r : Rgnfile.Row.t) ->
+        Printf.printf "%s %s [%s:%s:%s] at %s line %d\n" r.Rgnfile.Row.array
+          r.Rgnfile.Row.mode r.Rgnfile.Row.lb r.Rgnfile.Row.ub
+          r.Rgnfile.Row.stride r.Rgnfile.Row.file r.Rgnfile.Row.line;
+        match Dragon.Browse.locate_row p r with
+        | Some excerpt -> print_string excerpt
+        | None -> ())
+      rows
+  in
+  Cmd.v
+    (Cmd.info "locate" ~doc:"Show each access of an array in the source.")
+    Term.(const run $ dir_arg $ project_arg $ array)
+
+let diff_cmd =
+  let before =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"BEFORE.rgn")
+  in
+  let after =
+    Arg.(required & pos 1 (some file) None & info [] ~docv:"AFTER.rgn")
+  in
+  let run before after =
+    let load_rows path =
+      match Rgnfile.Files.parse_rgn (Rgnfile.Files.load ~path) with
+      | Ok rows -> rows
+      | Error e ->
+        Printf.eprintf "dragon: %s: %s\n" path e;
+        exit 1
+    in
+    let d = Dragon.Diff.diff (load_rows before) (load_rows after) in
+    print_string (Dragon.Diff.render d);
+    if Dragon.Diff.is_empty d then exit 0 else exit 1
+  in
+  Cmd.v
+    (Cmd.info "diff"
+       ~doc:"Compare two .rgn files (e.g. before/after a transformation).")
+    Term.(const run $ before $ after)
+
+let browse_cmd =
+  let run dir project =
+    let p = load dir project in
+    Dragon.Repl.run p
+  in
+  Cmd.v
+    (Cmd.info "browse"
+       ~doc:"Interactive browser: table/find/grep/locate/callgraph/cfg/advise \
+             commands over the loaded project.")
+    Term.(const run $ dir_arg $ project_arg)
+
+let html_cmd =
+  let out =
+    Arg.(
+      value & opt string "dragon.html"
+      & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Output HTML file.")
+  in
+  let run dir project out =
+    let p = load dir project in
+    Dragon.Html.save p ~path:out;
+    Printf.printf "wrote %s\n" out
+  in
+  Cmd.v
+    (Cmd.info "html"
+       ~doc:"Write a self-contained HTML report (table with live find, call \
+             graph, sources, advisor).")
+    Term.(const run $ dir_arg $ project_arg $ out)
+
+let advise_cmd =
+  let run dir project =
+    let p = load dir project in
+    print_string (Dragon.Advisor.render p)
+  in
+  Cmd.v
+    (Cmd.info "advise" ~doc:"Print optimization guidance derived from the table.")
+    Term.(const run $ dir_arg $ project_arg)
+
+let main =
+  let doc = "interactive array-region analysis viewer (Dragon)" in
+  Cmd.group
+    (Cmd.info "dragon" ~doc)
+    [ table_cmd; callgraph_cmd; cfg_cmd; grep_cmd; locate_cmd; advise_cmd; html_cmd;
+      browse_cmd; diff_cmd ]
+
+let () = exit (Cmd.eval main)

@@ -1,0 +1,4 @@
+(* The main module re-exports the single-level simulator and the two-level
+   hierarchy, so users write Cache.create / Cache.Hierarchy.create. *)
+include Level
+module Hierarchy = Hierarchy

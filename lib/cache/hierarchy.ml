@@ -1,0 +1,39 @@
+type t = {
+  c1 : Level.t;
+  c2 : Level.t;
+}
+
+type levels = {
+  l1 : Level.stats;
+  l2 : Level.stats;
+}
+
+let create ~l1 ~l2 = { c1 = Level.create l1; c2 = Level.create l2 }
+
+let access t ~write ~addr ~bytes =
+  let before = Level.misses (Level.stats t.c1) in
+  Level.access t.c1 ~write ~addr ~bytes;
+  let after = Level.misses (Level.stats t.c1) in
+  (* every L1 line miss goes to L2; the line granularity difference is
+     handled by issuing the same byte range *)
+  if after > before then Level.access t.c2 ~write ~addr ~bytes
+
+let stats t = { l1 = Level.stats t.c1; l2 = Level.stats t.c2 }
+
+let reset t =
+  Level.reset t.c1;
+  Level.reset t.c2
+
+let amat ?(l1_hit = 1.0) ?(l2_hit = 10.0) ?(memory = 100.0) levels =
+  let accesses = levels.l1.Level.reads + levels.l1.Level.writes in
+  if accesses = 0 then 0.0
+  else begin
+    let l1_misses = float_of_int (Level.misses levels.l1) in
+    let l2_misses = float_of_int (Level.misses levels.l2) in
+    let total = float_of_int accesses in
+    l1_hit +. (l1_misses /. total *. l2_hit) +. (l2_misses /. total *. memory)
+  end
+
+let pp ppf levels =
+  Format.fprintf ppf "L1[%a]@ L2[%a]@ amat=%.2f" Level.pp_stats levels.l1
+    Level.pp_stats levels.l2 (amat levels)

@@ -1,0 +1,22 @@
+(** Two-level cache hierarchy: misses at L1 are looked up in L2 (inclusive,
+    both write-allocate).  The paper's motivation speaks of "hierarchical
+    memory machines"; the benches use this to report where the fusion/layout
+    transformations move misses to. *)
+
+type t
+
+type levels = {
+  l1 : Level.stats;
+  l2 : Level.stats;
+}
+
+val create : l1:Level.config -> l2:Level.config -> t
+val access : t -> write:bool -> addr:int -> bytes:int -> unit
+val stats : t -> levels
+val reset : t -> unit
+
+val amat : ?l1_hit:float -> ?l2_hit:float -> ?memory:float -> levels -> float
+(** Average memory access time in cycles per access, from hit counts and
+    the given level latencies (defaults 1 / 10 / 100 cycles). *)
+
+val pp : Format.formatter -> levels -> unit

@@ -1,0 +1,122 @@
+type config = {
+  line_bytes : int;
+  sets : int;
+  ways : int;
+}
+
+let direct_mapped ~line_bytes ~lines = { line_bytes; sets = lines; ways = 1 }
+
+let two_way ~line_bytes ~lines =
+  { line_bytes; sets = lines / 2; ways = 2 }
+
+type stats = {
+  reads : int;
+  writes : int;
+  read_misses : int;
+  write_misses : int;
+  evictions : int;
+}
+
+let hits s = s.reads + s.writes - s.read_misses - s.write_misses
+let misses s = s.read_misses + s.write_misses
+
+let miss_rate s =
+  let total = s.reads + s.writes in
+  if total = 0 then 0.0 else float_of_int (misses s) /. float_of_int total
+
+(* one slot per way: tag (-1 = invalid) and LRU timestamp *)
+type t = {
+  cfg : config;
+  tags : int array;      (* sets * ways *)
+  stamps : int array;
+  mutable clock : int;
+  mutable reads : int;
+  mutable writes : int;
+  mutable read_misses : int;
+  mutable write_misses : int;
+  mutable evictions : int;
+}
+
+let is_pow2 n = n > 0 && n land (n - 1) = 0
+
+let create cfg =
+  if not (is_pow2 cfg.line_bytes) then
+    invalid_arg "Cache.create: line_bytes must be a power of two";
+  if not (is_pow2 cfg.sets) then
+    invalid_arg "Cache.create: sets must be a power of two";
+  if cfg.ways < 1 then invalid_arg "Cache.create: ways must be >= 1";
+  {
+    cfg;
+    tags = Array.make (cfg.sets * cfg.ways) (-1);
+    stamps = Array.make (cfg.sets * cfg.ways) 0;
+    clock = 0;
+    reads = 0;
+    writes = 0;
+    read_misses = 0;
+    write_misses = 0;
+    evictions = 0;
+  }
+
+let touch_line t ~write line =
+  let set = line land (t.cfg.sets - 1) in
+  let tag = line lsr 0 in
+  let base = set * t.cfg.ways in
+  t.clock <- t.clock + 1;
+  if write then t.writes <- t.writes + 1 else t.reads <- t.reads + 1;
+  (* hit? *)
+  let hit = ref false in
+  for w = 0 to t.cfg.ways - 1 do
+    if t.tags.(base + w) = tag then begin
+      hit := true;
+      t.stamps.(base + w) <- t.clock
+    end
+  done;
+  if not !hit then begin
+    if write then t.write_misses <- t.write_misses + 1
+    else t.read_misses <- t.read_misses + 1;
+    (* LRU victim *)
+    let victim = ref 0 in
+    for w = 1 to t.cfg.ways - 1 do
+      if t.stamps.(base + w) < t.stamps.(base + !victim) then victim := w
+    done;
+    if t.tags.(base + !victim) >= 0 then t.evictions <- t.evictions + 1;
+    t.tags.(base + !victim) <- tag;
+    t.stamps.(base + !victim) <- t.clock
+  end
+
+let access t ~write ~addr ~bytes =
+  if bytes <= 0 then invalid_arg "Cache.access: bytes must be positive";
+  let first = addr / t.cfg.line_bytes in
+  let last = (addr + bytes - 1) / t.cfg.line_bytes in
+  for line = first to last do
+    touch_line t ~write line
+  done
+
+let stats t =
+  {
+    reads = t.reads;
+    writes = t.writes;
+    read_misses = t.read_misses;
+    write_misses = t.write_misses;
+    evictions = t.evictions;
+  }
+
+let reset t =
+  Array.fill t.tags 0 (Array.length t.tags) (-1);
+  Array.fill t.stamps 0 (Array.length t.stamps) 0;
+  t.clock <- 0;
+  t.reads <- 0;
+  t.writes <- 0;
+  t.read_misses <- 0;
+  t.write_misses <- 0;
+  t.evictions <- 0
+
+let config t = t.cfg
+
+let capacity_bytes cfg = cfg.line_bytes * cfg.sets * cfg.ways
+
+let pp_stats ppf (s : stats) =
+  Format.fprintf ppf
+    "reads=%d writes=%d misses=%d (r%d/w%d) evictions=%d miss-rate=%.4f"
+    s.reads s.writes (misses s) s.read_misses s.write_misses s.evictions
+    (miss_rate s)

@@ -1,0 +1,46 @@
+(** Set-associative LRU cache simulator.
+
+    The paper motivates the tool with "compile time optimizations for cache
+    behavior in hierarchical memory machines" and Case 1 claims the guided
+    loop fusion "could optimize cache utilization ... by avoiding the delay
+    resulting from fetching XCR from memory again"; this simulator, driven
+    by the {!Interp} interpreter's memory trace, is what lets the benchmark
+    suite measure that claim instead of asserting it. *)
+
+type config = {
+  line_bytes : int;  (** power of two *)
+  sets : int;        (** power of two *)
+  ways : int;
+}
+
+val direct_mapped : line_bytes:int -> lines:int -> config
+val two_way : line_bytes:int -> lines:int -> config
+
+type stats = {
+  reads : int;
+  writes : int;
+  read_misses : int;
+  write_misses : int;
+  evictions : int;
+}
+
+val hits : stats -> int
+val misses : stats -> int
+val miss_rate : stats -> float
+
+type t
+
+val create : config -> t
+(** @raise Invalid_argument unless line_bytes and sets are powers of two
+    and ways >= 1. *)
+
+val access : t -> write:bool -> addr:int -> bytes:int -> unit
+(** Touches every line the [bytes]-wide access overlaps.  LRU replacement,
+    write-allocate. *)
+
+val stats : t -> stats
+val reset : t -> unit
+val config : t -> config
+
+val capacity_bytes : config -> int
+val pp_stats : Format.formatter -> stats -> unit

@@ -1,0 +1,163 @@
+(* Additional HPC workloads ("Our tool has been tested on many HPC
+   applications", Section VII): a 2-D Jacobi relaxation, a blocked matrix
+   multiply, and a 3-D heat stencil.  Each is small enough to interpret yet
+   exhibits the access patterns the tool is about: disjoint read/write
+   arrays, strided and shifted subscripts, interprocedural side effects. *)
+
+let jacobi2d =
+  ( "jacobi2d.f",
+    {|      program jacobi2d
+      parameter (n = 34)
+      double precision grid(1:n, 1:n), next(1:n, 1:n)
+      double precision diff
+      common /jac/ grid, next
+      integer step
+      call jinit
+      do step = 1, 10
+        call sweep
+        call jcopy(diff)
+      end do
+      print *, diff
+      end
+
+      subroutine jinit
+      parameter (n = 34)
+      double precision grid(1:n, 1:n), next(1:n, 1:n)
+      common /jac/ grid, next
+      integer i, j
+      do j = 1, n
+        do i = 1, n
+          grid(i, j) = 0.0d0
+          next(i, j) = 0.0d0
+        end do
+      end do
+      do j = 1, n
+        grid(1, j) = 1.0d0
+        grid(n, j) = 1.0d0
+      end do
+      end
+
+      subroutine sweep
+      parameter (n = 34)
+      double precision grid(1:n, 1:n), next(1:n, 1:n)
+      common /jac/ grid, next
+      integer i, j
+      do j = 2, n - 1
+        do i = 2, n - 1
+          next(i, j) = 0.25d0 * (grid(i - 1, j) + grid(i + 1, j)   &
+            + grid(i, j - 1) + grid(i, j + 1))
+        end do
+      end do
+      end
+
+      subroutine jcopy(diff)
+      parameter (n = 34)
+      double precision grid(1:n, 1:n), next(1:n, 1:n)
+      common /jac/ grid, next
+      double precision diff
+      integer i, j
+      diff = 0.0d0
+      do j = 2, n - 1
+        do i = 2, n - 1
+          diff = diff + abs(next(i, j) - grid(i, j))
+          grid(i, j) = next(i, j)
+        end do
+      end do
+      end
+|} )
+
+let matmul =
+  ( "matmul.f",
+    {|      program matmul
+      parameter (n = 24)
+      double precision a(1:n, 1:n), b(1:n, 1:n), c(1:n, 1:n)
+      integer i, j
+      do j = 1, n
+        do i = 1, n
+          a(i, j) = 1.0d0 / (i + j)
+          b(i, j) = i - j
+          c(i, j) = 0.0d0
+        end do
+      end do
+      call dgemm(a, b, c, n)
+      print *, c(1, 1), c(n, n)
+      end
+
+      subroutine dgemm(a, b, c, n)
+      double precision a(1:24, 1:24), b(1:24, 1:24), c(1:24, 1:24)
+      integer n, i, j, k
+      do j = 1, n
+        do k = 1, n
+          do i = 1, n
+            c(i, j) = c(i, j) + a(i, k) * b(k, j)
+          end do
+        end do
+      end do
+      end
+|} )
+
+let heat3d =
+  ( "heat3d.f",
+    {|      program heat3d
+      parameter (n = 10)
+      double precision t0(1:n, 1:n, 1:n), t1(1:n, 1:n, 1:n)
+      common /heat/ t0, t1
+      integer step
+      call hinit
+      do step = 1, 4
+        call hstep
+        call hswap
+      end do
+      print *, t0(2, 2, 2)
+      end
+
+      subroutine hinit
+      parameter (n = 10)
+      double precision t0(1:n, 1:n, 1:n), t1(1:n, 1:n, 1:n)
+      common /heat/ t0, t1
+      integer i, j, k
+      do k = 1, n
+        do j = 1, n
+          do i = 1, n
+            t0(i, j, k) = 0.0d0
+            t1(i, j, k) = 0.0d0
+          end do
+        end do
+      end do
+      t0(n / 2, n / 2, n / 2) = 100.0d0
+      end
+
+      subroutine hstep
+      parameter (n = 10)
+      double precision t0(1:n, 1:n, 1:n), t1(1:n, 1:n, 1:n)
+      common /heat/ t0, t1
+      integer i, j, k
+      do k = 2, n - 1
+        do j = 2, n - 1
+          do i = 2, n - 1
+            t1(i, j, k) = t0(i, j, k) + 0.1d0 *   &
+              (t0(i - 1, j, k) + t0(i + 1, j, k)   &
+               + t0(i, j - 1, k) + t0(i, j + 1, k)   &
+               + t0(i, j, k - 1) + t0(i, j, k + 1)   &
+               - 6.0d0 * t0(i, j, k))
+          end do
+        end do
+      end do
+      end
+
+      subroutine hswap
+      parameter (n = 10)
+      double precision t0(1:n, 1:n, 1:n), t1(1:n, 1:n, 1:n)
+      common /heat/ t0, t1
+      integer i, j, k
+      do k = 2, n - 1
+        do j = 2, n - 1
+          do i = 2, n - 1
+            t0(i, j, k) = t1(i, j, k)
+          end do
+        end do
+      end do
+      end
+|} )
+
+let all = [ ("jacobi2d", [ jacobi2d ]); ("matmul", [ matmul ]); ("heat3d", [ heat3d ]) ]

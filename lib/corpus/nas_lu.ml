@@ -1,0 +1,711 @@
+(* A NAS-LU-shaped MiniF program: the workload behind the paper's Figs
+   11-14 and Tables II-III.  The solver arithmetic is simplified, but the
+   paper-relevant facts are faithful:
+
+   - 24 procedures with the call structure of NPB 3.3 LU (serial);
+   - u/rsd/frct are COMMON double arrays u(5,ny,nz,nx) -> row-major
+     [nx|nz|ny|5], class A = [64|65|65|5], 1352000 elements, 10816000 bytes;
+   - verify has formal double arrays xcr(5)/xce(5) with exactly 4 USE
+     references each (one loop with 1, a second loop with 3 -> Table II,
+     access density 10) and exactly 9 DEFs of the global CLASS char;
+   - rhs contains exactly 110 USE references to u (Table III / Fig 14),
+     including the corner loop that touches u(1:4, 1:10, 1:5, 1:3) with the
+     first subscript accessed separately -> regions
+     (1:3, 1:5, 1:10, m:m) in row-major display, whose union drives the
+     copyin(u(1:3,1:5,1:10,1:4)) advice of Case 2. *)
+
+type grid = { nx : int; ny : int; nz : int }
+
+let grid_of_class = function
+  | 'S' -> { nx = 12; ny = 13; nz = 13 }
+  | 'W' -> { nx = 33; ny = 34; nz = 34 }
+  | 'A' -> { nx = 64; ny = 65; nz = 65 }
+  | 'B' -> { nx = 102; ny = 103; nz = 103 }
+  | 'C' -> { nx = 162; ny = 163; nz = 163 }
+  | c -> invalid_arg (Printf.sprintf "Nas_lu.grid_of_class: unknown class %c" c)
+
+let classes = [ 'S'; 'W'; 'A'; 'B'; 'C' ]
+
+(* the COMMON header repeated in each program unit (NPB uses include files
+   the same way) *)
+let header g =
+  Printf.sprintf
+    {|      parameter (nx = %d, ny = %d, nz = %d)
+      double precision u(5, ny, nz, nx)
+      double precision rsd(5, ny, nz, nx)
+      double precision frct(5, ny, nz, nx)
+      double precision flux(5, ny)
+      double precision rsdnm(5), errnm(5)
+      character class(1)
+      double precision c1, c2, tx2, ty2, tz2, dssp, dt, omega, frc
+      integer itmax
+      double precision tstart(64), telapsed(64)
+      integer ticks
+      common /cvar/ u, rsd, frct, flux, class
+      common /cnorm/ rsdnm, errnm
+      common /coef/ c1, c2, tx2, ty2, tz2, dssp, dt, omega, frc
+      common /cprm/ itmax
+      common /ctim/ tstart, telapsed, ticks
+|}
+    g.nx g.ny g.nz
+
+let applu_f g =
+  ( "applu.f",
+    Printf.sprintf
+      {|      program applu
+%s      logical verified
+      double precision maxtime
+      call read_input
+      call domain
+      call setcoeff
+      call setbv
+      call setiv
+      call erhs
+      call ssor
+      call error
+      call pintgr
+      call verify(rsdnm, errnm, frc, verified)
+      call timer_read(1, maxtime)
+      call print_results(maxtime, verified)
+      end
+|}
+      (header g) )
+
+let init_f g =
+  ( "init.f",
+    Printf.sprintf
+      {|      subroutine read_input
+%s      itmax = 250
+      dt = 2.0d0
+      omega = 1.2d0
+      print *, itmax, dt, omega
+      end
+
+      subroutine domain
+%s      if (nx .lt. 4) then
+        print *, 'domain too small'
+        stop
+      end if
+      if (nx .gt. 1020) then
+        print *, 'domain too large'
+        stop
+      end if
+      end
+
+      subroutine setcoeff
+%s      c1 = 1.40d0
+      c2 = 0.40d0
+      tx2 = 1.0d0 / (2.0d0 * dt)
+      ty2 = tx2
+      tz2 = tx2
+      dssp = 1.0d0 / 4.0d0
+      end
+
+      subroutine setbv
+%s      integer i, j, k, m
+      double precision utmp(5)
+      do j = 1, nz
+        do i = 1, ny
+          call exact(i, j, 1, utmp)
+          do m = 1, 5
+            u(m, i, j, 1) = utmp(m)
+          end do
+          call exact(i, j, nx, utmp)
+          do m = 1, 5
+            u(m, i, j, nx) = utmp(m)
+          end do
+        end do
+      end do
+      do k = 1, nx
+        do i = 1, ny
+          call exact(i, 1, k, utmp)
+          do m = 1, 5
+            u(m, i, 1, k) = utmp(m)
+          end do
+          call exact(i, nz, k, utmp)
+          do m = 1, 5
+            u(m, i, nz, k) = utmp(m)
+          end do
+        end do
+      end do
+      do k = 1, nx
+        do j = 1, nz
+          call exact(1, j, k, utmp)
+          do m = 1, 5
+            u(m, 1, j, k) = utmp(m)
+          end do
+          call exact(ny, j, k, utmp)
+          do m = 1, 5
+            u(m, ny, j, k) = utmp(m)
+          end do
+        end do
+      end do
+      end
+
+      subroutine setiv
+%s      integer i, j, k, m
+      double precision utmp(5)
+      do k = 2, nx - 1
+        do j = 2, nz - 1
+          do i = 2, ny - 1
+            call exact(i, j, k, utmp)
+            do m = 1, 5
+              u(m, i, j, k) = utmp(m)
+            end do
+          end do
+        end do
+      end do
+      end
+
+      subroutine erhs
+%s      integer i, j, k, m
+      do k = 1, nx
+        do j = 1, nz
+          do i = 1, ny
+            do m = 1, 5
+              frct(m, i, j, k) = 0.0d0
+            end do
+          end do
+        end do
+      end do
+      do k = 2, nx - 1
+        do j = 2, nz - 1
+          do i = 2, ny - 1
+            do m = 1, 5
+              frct(m, i, j, k) = frct(m, i, j, k)   &
+                + dssp * (u(m, i - 1, j, k) - 2.0d0 * u(m, i, j, k)   &
+                + u(m, i + 1, j, k))
+            end do
+          end do
+        end do
+      end do
+      end
+|}
+      (header g) (header g) (header g) (header g) (header g) (header g) )
+
+let exact_f g =
+  ( "exact.f",
+    Printf.sprintf
+      {|      subroutine exact(i, j, k, utmp)
+%s      integer i, j, k, m
+      double precision utmp(5)
+      do m = 1, 5
+        utmp(m) = 1.0d0 + 0.01d0 * i + 0.02d0 * j + 0.03d0 * k + m
+      end do
+      end
+|}
+      (header g) )
+
+(* exactly 110 USE references to u (see the module comment) *)
+let rhs_f g =
+  ( "rhs.f",
+    Printf.sprintf
+      {|      subroutine rhs
+%s      integer i, j, k, m
+      double precision u21, q, tmp, u21i, u31i, u41i, sum1
+c     initialize the residual from the forcing term (no u references)
+      do k = 1, nx
+        do j = 1, nz
+          do i = 1, ny
+            do m = 1, 5
+              rsd(m, i, j, k) = - frct(m, i, j, k)
+            end do
+          end do
+        end do
+      end do
+c     xi-direction flux (15 u refs)
+      do k = 2, nx - 1
+        do j = 2, nz - 1
+          do i = 1, ny
+            flux(1, i) = u(2, i, j, k)
+            u21 = u(2, i, j, k) / u(1, i, j, k)
+            q = 0.50d0 * (u(2, i, j, k) * u(2, i, j, k)   &
+              + u(3, i, j, k) * u(3, i, j, k)   &
+              + u(4, i, j, k) * u(4, i, j, k)) / u(1, i, j, k)
+            flux(2, i) = u(2, i, j, k) * u21 + c2 * (u(5, i, j, k) - q)
+            flux(3, i) = u(3, i, j, k) * u21
+            flux(4, i) = u(4, i, j, k) * u21
+            flux(5, i) = (c1 * u(5, i, j, k) - c2 * q) * u21
+          end do
+          do i = 2, ny - 1
+            do m = 1, 5
+              rsd(m, i, j, k) = rsd(m, i, j, k)   &
+                - tx2 * (flux(m, i + 1) - flux(m, i - 1))
+            end do
+          end do
+c     xi-direction viscous contributions (4 u refs)
+          do i = 2, ny
+            tmp = 1.0d0 / u(1, i, j, k)
+            u21i = tmp * u(2, i, j, k)
+            u31i = tmp * u(3, i, j, k)
+            u41i = tmp * u(4, i, j, k)
+            flux(2, i) = flux(2, i) + u21i
+            flux(3, i) = flux(3, i) + u31i
+            flux(4, i) = flux(4, i) + u41i
+          end do
+c     xi-direction fourth-order dissipation (19 u refs)
+          do m = 1, 5
+            rsd(m, 2, j, k) = rsd(m, 2, j, k) - dssp *   &
+              (5.0d0 * u(m, 2, j, k) - 4.0d0 * u(m, 3, j, k)   &
+               + u(m, 4, j, k))
+            rsd(m, 3, j, k) = rsd(m, 3, j, k) - dssp *   &
+              (-4.0d0 * u(m, 2, j, k) + 6.0d0 * u(m, 3, j, k)   &
+               - 4.0d0 * u(m, 4, j, k) + u(m, 5, j, k))
+          end do
+          do i = 4, ny - 3
+            do m = 1, 5
+              rsd(m, i, j, k) = rsd(m, i, j, k) - dssp *   &
+                (u(m, i - 2, j, k) - 4.0d0 * u(m, i - 1, j, k)   &
+                 + 6.0d0 * u(m, i, j, k) - 4.0d0 * u(m, i + 1, j, k)   &
+                 + u(m, i + 2, j, k))
+            end do
+          end do
+          do m = 1, 5
+            rsd(m, ny - 2, j, k) = rsd(m, ny - 2, j, k) - dssp *   &
+              (u(m, ny - 4, j, k) - 4.0d0 * u(m, ny - 3, j, k)   &
+               + 6.0d0 * u(m, ny - 2, j, k) - 4.0d0 * u(m, ny - 1, j, k))
+            rsd(m, ny - 1, j, k) = rsd(m, ny - 1, j, k) - dssp *   &
+              (u(m, ny - 3, j, k) - 4.0d0 * u(m, ny - 2, j, k)   &
+               + 5.0d0 * u(m, ny - 1, j, k))
+          end do
+        end do
+      end do
+c     eta-direction flux (15 u refs) and dissipation (19 u refs)
+      do k = 2, nx - 1
+        do i = 2, ny - 1
+          do j = 1, nz
+            flux(1, j) = u(3, i, j, k)
+            u21 = u(3, i, j, k) / u(1, i, j, k)
+            q = 0.50d0 * (u(2, i, j, k) * u(2, i, j, k)   &
+              + u(3, i, j, k) * u(3, i, j, k)   &
+              + u(4, i, j, k) * u(4, i, j, k)) / u(1, i, j, k)
+            flux(2, j) = u(2, i, j, k) * u21
+            flux(3, j) = u(3, i, j, k) * u21 + c2 * (u(5, i, j, k) - q)
+            flux(4, j) = u(4, i, j, k) * u21
+            flux(5, j) = (c1 * u(5, i, j, k) - c2 * q) * u21
+          end do
+          do j = 2, nz - 1
+            do m = 1, 5
+              rsd(m, i, j, k) = rsd(m, i, j, k)   &
+                - ty2 * (flux(m, j + 1) - flux(m, j - 1))
+            end do
+          end do
+          do m = 1, 5
+            rsd(m, i, 2, k) = rsd(m, i, 2, k) - dssp *   &
+              (5.0d0 * u(m, i, 2, k) - 4.0d0 * u(m, i, 3, k)   &
+               + u(m, i, 4, k))
+            rsd(m, i, 3, k) = rsd(m, i, 3, k) - dssp *   &
+              (-4.0d0 * u(m, i, 2, k) + 6.0d0 * u(m, i, 3, k)   &
+               - 4.0d0 * u(m, i, 4, k) + u(m, i, 5, k))
+          end do
+          do j = 4, nz - 3
+            do m = 1, 5
+              rsd(m, i, j, k) = rsd(m, i, j, k) - dssp *   &
+                (u(m, i, j - 2, k) - 4.0d0 * u(m, i, j - 1, k)   &
+                 + 6.0d0 * u(m, i, j, k) - 4.0d0 * u(m, i, j + 1, k)   &
+                 + u(m, i, j + 2, k))
+            end do
+          end do
+          do m = 1, 5
+            rsd(m, i, nz - 2, k) = rsd(m, i, nz - 2, k) - dssp *   &
+              (u(m, i, nz - 4, k) - 4.0d0 * u(m, i, nz - 3, k)   &
+               + 6.0d0 * u(m, i, nz - 2, k) - 4.0d0 * u(m, i, nz - 1, k))
+            rsd(m, i, nz - 1, k) = rsd(m, i, nz - 1, k) - dssp *   &
+              (u(m, i, nz - 3, k) - 4.0d0 * u(m, i, nz - 2, k)   &
+               + 5.0d0 * u(m, i, nz - 1, k))
+          end do
+        end do
+      end do
+c     zeta-direction flux (15 u refs) and dissipation (19 u refs)
+      do j = 2, nz - 1
+        do i = 2, ny - 1
+          do k = 1, nx
+            flux(1, k) = u(4, i, j, k)
+            u21 = u(4, i, j, k) / u(1, i, j, k)
+            q = 0.50d0 * (u(2, i, j, k) * u(2, i, j, k)   &
+              + u(3, i, j, k) * u(3, i, j, k)   &
+              + u(4, i, j, k) * u(4, i, j, k)) / u(1, i, j, k)
+            flux(2, k) = u(2, i, j, k) * u21
+            flux(3, k) = u(3, i, j, k) * u21
+            flux(4, k) = u(4, i, j, k) * u21 + c2 * (u(5, i, j, k) - q)
+            flux(5, k) = (c1 * u(5, i, j, k) - c2 * q) * u21
+          end do
+          do k = 2, nx - 1
+            do m = 1, 5
+              rsd(m, i, j, k) = rsd(m, i, j, k)   &
+                - tz2 * (flux(m, k + 1) - flux(m, k - 1))
+            end do
+          end do
+          do m = 1, 5
+            rsd(m, i, j, 2) = rsd(m, i, j, 2) - dssp *   &
+              (5.0d0 * u(m, i, j, 2) - 4.0d0 * u(m, i, j, 3)   &
+               + u(m, i, j, 4))
+            rsd(m, i, j, 3) = rsd(m, i, j, 3) - dssp *   &
+              (-4.0d0 * u(m, i, j, 2) + 6.0d0 * u(m, i, j, 3)   &
+               - 4.0d0 * u(m, i, j, 4) + u(m, i, j, 5))
+          end do
+          do k = 4, nx - 3
+            do m = 1, 5
+              rsd(m, i, j, k) = rsd(m, i, j, k) - dssp *   &
+                (u(m, i, j, k - 2) - 4.0d0 * u(m, i, j, k - 1)   &
+                 + 6.0d0 * u(m, i, j, k) - 4.0d0 * u(m, i, j, k + 1)   &
+                 + u(m, i, j, k + 2))
+            end do
+          end do
+          do m = 1, 5
+            rsd(m, i, j, nx - 2) = rsd(m, i, j, nx - 2) - dssp *   &
+              (u(m, i, j, nx - 4) - 4.0d0 * u(m, i, j, nx - 3)   &
+               + 6.0d0 * u(m, i, j, nx - 2) - 4.0d0 * u(m, i, j, nx - 1))
+            rsd(m, i, j, nx - 1) = rsd(m, i, j, nx - 1) - dssp *   &
+              (u(m, i, j, nx - 3) - 4.0d0 * u(m, i, j, nx - 2)   &
+               + 5.0d0 * u(m, i, j, nx - 1))
+          end do
+        end do
+      end do
+c     inflow-corner checksum: the Case 2 loop (4 u refs, first subscript
+c     accessed separately -> copyin(u(1:3,1:5,1:10,1:4)) advice)
+      sum1 = 0.0d0
+      do k = 1, 3
+        do j = 1, 5
+          do i = 1, 10
+            sum1 = sum1 + u(1, i, j, k) + u(2, i, j, k)   &
+              + u(3, i, j, k) + u(4, i, j, k)
+          end do
+        end do
+      end do
+      frc = frc + 0.0d0 * sum1
+      end
+|}
+      (header g) )
+
+let jac_f g =
+  ( "jac.f",
+    Printf.sprintf
+      {|      subroutine jacld(kst)
+%s      integer kst, i, j, m
+      double precision d(5, 5)
+      double precision tmp1
+      do j = 2, nz - 1
+        do i = 2, ny - 1
+          tmp1 = 1.0d0 / u(1, i, j, kst)
+          do m = 1, 5
+            d(m, 1) = tmp1 * u(m, i, j, kst)
+            d(m, 2) = tmp1 * u(m, i - 1, j, kst)
+            d(m, 3) = tmp1 * u(m, i, j - 1, kst)
+          end do
+          rsd(1, i, j, kst) = rsd(1, i, j, kst) + d(1, 1) * omega
+        end do
+      end do
+      end
+
+      subroutine blts(kst)
+%s      integer kst, i, j, m
+      do j = 2, nz - 1
+        do i = 2, ny - 1
+          do m = 1, 5
+            rsd(m, i, j, kst) = rsd(m, i, j, kst)   &
+              - omega * (rsd(m, i - 1, j, kst) + rsd(m, i, j - 1, kst))
+          end do
+        end do
+      end do
+      end
+
+      subroutine jacu(kst)
+%s      integer kst, i, j, m
+      double precision d(5, 5)
+      double precision tmp1
+      do j = nz - 1, 2, -1
+        do i = ny - 1, 2, -1
+          tmp1 = 1.0d0 / u(1, i, j, kst)
+          do m = 1, 5
+            d(m, 1) = tmp1 * u(m, i, j, kst)
+            d(m, 2) = tmp1 * u(m, i + 1, j, kst)
+            d(m, 3) = tmp1 * u(m, i, j + 1, kst)
+          end do
+          rsd(1, i, j, kst) = rsd(1, i, j, kst) + d(1, 1) * omega
+        end do
+      end do
+      end
+
+      subroutine buts(kst)
+%s      integer kst, i, j, m
+      do j = nz - 1, 2, -1
+        do i = ny - 1, 2, -1
+          do m = 1, 5
+            rsd(m, i, j, kst) = rsd(m, i, j, kst)   &
+              - omega * (rsd(m, i + 1, j, kst) + rsd(m, i, j + 1, kst))
+          end do
+        end do
+      end do
+      end
+|}
+      (header g) (header g) (header g) (header g) )
+
+let ssor_f g =
+  ( "ssor.f",
+    Printf.sprintf
+      {|      subroutine ssor
+%s      integer i, j, k, m, istep
+      double precision tmp
+      double precision delunm(5)
+      tmp = 1.0d0 / (omega * (2.0d0 - omega))
+      call timer_clear(1)
+      call rhs
+      call l2norm(rsd, rsdnm)
+      call timer_start(1)
+      do istep = 1, itmax
+        do k = 2, nx - 1
+          call jacld(k)
+          call blts(k)
+        end do
+        do k = nx - 1, 2, -1
+          call jacu(k)
+          call buts(k)
+        end do
+        do k = 2, nx - 1
+          do j = 2, nz - 1
+            do i = 2, ny - 1
+              do m = 1, 5
+                u(m, i, j, k) = u(m, i, j, k) + tmp * rsd(m, i, j, k)
+              end do
+            end do
+          end do
+        end do
+        if (mod(istep, 10) .eq. 0) then
+          call l2norm(rsd, delunm)
+        end if
+        call rhs
+      end do
+      call timer_stop(1)
+      end
+|}
+      (header g) )
+
+let l2norm_f g =
+  ( "l2norm.f",
+    Printf.sprintf
+      {|      subroutine l2norm(v, sum)
+%s      double precision v(5, ny, nz, nx)
+      double precision sum(5)
+      integer i, j, k, m
+      do m = 1, 5
+        sum(m) = 0.0d0
+      end do
+      do k = 2, nx - 1
+        do j = 2, nz - 1
+          do i = 2, ny - 1
+            do m = 1, 5
+              sum(m) = sum(m) + v(m, i, j, k) * v(m, i, j, k)
+            end do
+          end do
+        end do
+      end do
+      do m = 1, 5
+        sum(m) = sqrt(sum(m) / ((nx - 2) * (ny - 2) * (nz - 2)))
+      end do
+      end
+|}
+      (header g) )
+
+let error_f g =
+  ( "error.f",
+    Printf.sprintf
+      {|      subroutine error
+%s      integer i, j, k, m
+      double precision utmp(5)
+      do m = 1, 5
+        errnm(m) = 0.0d0
+      end do
+      do k = 2, nx - 1
+        do j = 2, nz - 1
+          do i = 2, ny - 1
+            call exact(i, j, k, utmp)
+            do m = 1, 5
+              errnm(m) = errnm(m)   &
+                + (utmp(m) - u(m, i, j, k)) * (utmp(m) - u(m, i, j, k))
+            end do
+          end do
+        end do
+      end do
+      do m = 1, 5
+        errnm(m) = sqrt(errnm(m) / ((nx - 2) * (ny - 2) * (nz - 2)))
+      end do
+      end
+|}
+      (header g) )
+
+let pintgr_f g =
+  ( "pintgr.f",
+    Printf.sprintf
+      {|      subroutine pintgr
+%s      integer i, j
+      double precision phi1(1:ny, 1:nz), phi2(1:ny, 1:nz)
+      do j = 1, nz
+        do i = 1, ny
+          phi1(i, j) = c2 * (u(5, i, j, 1) - 0.5d0 * u(2, i, j, 1))
+          phi2(i, j) = c2 * (u(5, i, j, 2) - 0.5d0 * u(2, i, j, 2))
+        end do
+      end do
+      frc = 0.0d0
+      do j = 1, nz - 1
+        do i = 1, ny - 1
+          frc = frc + phi1(i, j) + phi1(i + 1, j)   &
+            + phi1(i, j + 1) + phi1(i + 1, j + 1)   &
+            + phi2(i, j) + phi2(i + 1, j)   &
+            + phi2(i, j + 1) + phi2(i + 1, j + 1)
+        end do
+      end do
+      frc = frc * 0.25d0
+      end
+|}
+      (header g) )
+
+(* Table II: xcr/xce used once in the first loop and three times in the
+   second -> 4 USE references each.  Exactly 9 DEFs of the global CLASS. *)
+let verify_f g =
+  ( "verify.f",
+    Printf.sprintf
+      {|      subroutine verify(xcr, xce, xci, verified)
+%s      double precision xcr(5), xce(5), xci
+      logical verified
+      double precision xcrref(5), xceref(5), xciref
+      double precision xcrdif(5), xcedif(5), xcidif
+      double precision epsilon, dtref
+      integer m
+      epsilon = 1.0d-08
+      class(1) = 'U'
+      verified = .true.
+      do m = 1, 5
+        xcrref(m) = 1.0d0
+        xceref(m) = 1.0d0
+      end do
+      xciref = 1.0d0
+      if (nx .eq. 12) then
+        class(1) = 'S'
+        dtref = 5.0d-1
+      end if
+      if (nx .eq. 33) then
+        class(1) = 'W'
+        dtref = 1.5d-3
+      end if
+      if (nx .eq. 64) then
+        class(1) = 'A'
+        dtref = 2.0d0
+      end if
+      if (nx .eq. 102) then
+        class(1) = 'B'
+        dtref = 2.0d0
+      end if
+      if (nx .eq. 162) then
+        class(1) = 'C'
+        dtref = 2.0d0
+      end if
+      if (nx .eq. 408) then
+        class(1) = 'D'
+        dtref = 1.0d0
+      end if
+      if (nx .eq. 1020) then
+        class(1) = 'E'
+        dtref = 0.5d0
+      end if
+      if (dt .ne. dtref) then
+        class(1) = 'U'
+      end if
+      do m = 1, 5
+        xcrdif(m) = abs((xcr(m) - xcrref(m)) / xcrref(m))
+        xcedif(m) = abs((xce(m) - xceref(m)) / xceref(m))
+      end do
+      xcidif = abs((xci - xciref) / xciref)
+      do m = 1, 5
+        if (xcrdif(m) .gt. epsilon) then
+          verified = .false.
+        end if
+        print *, xcr(m), xcrref(m), xcrdif(m)
+        if (xcr(m) .lt. 0.0d0) then
+          print *, xcr(m)
+        end if
+        print *, xce(m), xceref(m), xcedif(m)
+        if (xce(m) .lt. 0.0d0) then
+          print *, xce(m)
+        end if
+      end do
+      print *, xcidif
+      end
+|}
+      (header g) )
+
+let print_results_f g =
+  ( "print_results.f",
+    Printf.sprintf
+      {|      subroutine print_results(maxtime, verified)
+%s      double precision maxtime
+      logical verified
+      double precision mflops
+      mflops = 1.0d-6 * itmax * (nx * ny * nz) / maxtime
+      print *, nx, ny, nz
+      print *, itmax, maxtime, mflops
+      print *, verified
+      end
+|}
+      (header g) )
+
+let timers_f g =
+  ( "timers.f",
+    Printf.sprintf
+      {|      subroutine timer_clear(n)
+%s      integer n
+      telapsed(n) = 0.0d0
+      end
+
+      subroutine timer_start(n)
+%s      integer n
+      double precision t
+      call elapsed_time(t)
+      tstart(n) = t
+      end
+
+      subroutine timer_stop(n)
+%s      integer n
+      double precision t
+      call elapsed_time(t)
+      telapsed(n) = telapsed(n) + (t - tstart(n))
+      end
+
+      subroutine timer_read(n, t)
+%s      integer n
+      double precision t
+      t = telapsed(n)
+      end
+
+      subroutine elapsed_time(t)
+%s      double precision t
+      ticks = ticks + 1
+      t = 1.0d-3 * ticks
+      end
+|}
+      (header g) (header g) (header g) (header g) (header g) )
+
+let files ?(cls = 'A') () =
+  let g = grid_of_class cls in
+  [
+    applu_f g;
+    init_f g;
+    exact_f g;
+    rhs_f g;
+    jac_f g;
+    ssor_f g;
+    l2norm_f g;
+    error_f g;
+    pintgr_f g;
+    verify_f g;
+    print_results_f g;
+    timers_f g;
+  ]
+
+let proc_names =
+  [
+    "applu"; "read_input"; "domain"; "setcoeff"; "setbv"; "setiv"; "erhs";
+    "ssor"; "rhs"; "jacld"; "blts"; "jacu"; "buts"; "l2norm"; "error";
+    "exact"; "pintgr"; "verify"; "print_results"; "timer_clear";
+    "timer_start"; "timer_stop"; "timer_read"; "elapsed_time";
+  ]

@@ -1,0 +1,346 @@
+type resize = {
+  rs_array : string;
+  rs_scope : string;
+  rs_declared : int list;
+  rs_accessed : (int * int) list;
+  rs_saving_bytes : int;
+}
+
+type copyin = {
+  ci_array : string;
+  ci_scope : string;
+  ci_directive : string;
+  ci_bytes_full : int;
+  ci_bytes_region : int;
+}
+
+type fusion = {
+  fu_array : string;
+  fu_scope : string;
+  fu_region : string;
+  fu_lines : int list;
+}
+
+type hotspot = {
+  hs_array : string;
+  hs_scope : string;
+  hs_mode : string;
+  hs_density : int;
+  hs_references : int;
+}
+
+(* "1|2|3" -> Some [1;2;3]; None if any field is symbolic *)
+let parse_dims s =
+  let parts = String.split_on_char '|' s in
+  let ints = List.map int_of_string_opt parts in
+  if List.for_all Option.is_some ints then Some (List.map Option.get ints)
+  else None
+
+let language_of (p : Project.t) (r : Rgnfile.Row.t) =
+  let base = Filename.remove_extension r.Rgnfile.Row.file in
+  let lang =
+    List.find_map
+      (fun (src, lang) ->
+        if Filename.remove_extension (Filename.basename src) = base then
+          Some lang
+        else None)
+      p.Project.dgn.Rgnfile.Files.dgn_sources
+  in
+  Option.value lang ~default:"fortran"
+
+let group_by key rows =
+  let tbl = Hashtbl.create 16 in
+  let order = ref [] in
+  List.iter
+    (fun r ->
+      let k = key r in
+      (match Hashtbl.find_opt tbl k with
+      | None ->
+        order := k :: !order;
+        Hashtbl.add tbl k [ r ]
+      | Some rs -> Hashtbl.replace tbl k (r :: rs)))
+    rows;
+  List.rev_map (fun k -> (k, List.rev (Hashtbl.find tbl k))) !order
+
+(* ------------------------------------------------------------------ *)
+
+let span_of_rows rows =
+  (* per-dim [min lb, max ub] over rows with fully constant bounds *)
+  let boxes =
+    List.filter_map
+      (fun (r : Rgnfile.Row.t) ->
+        match parse_dims r.Rgnfile.Row.lb, parse_dims r.Rgnfile.Row.ub with
+        | Some lbs, Some ubs when List.length lbs = List.length ubs ->
+          Some (List.combine lbs ubs)
+        | _ -> None)
+      rows
+  in
+  if List.length boxes <> List.length rows then None
+  else
+    match boxes with
+    | [] -> None
+    | first :: rest ->
+      Some
+        (List.fold_left
+           (fun acc box ->
+             List.map2 (fun (l1, u1) (l2, u2) -> (min l1 l2, max u1 u2)) acc box)
+           first rest)
+
+let resize_suggestions (p : Project.t) =
+  group_by
+    (fun (r : Rgnfile.Row.t) -> (r.Rgnfile.Row.scope, r.Rgnfile.Row.array))
+    p.Project.rows
+  |> List.filter_map (fun ((scope, array), rows) ->
+         let accesses =
+           List.filter
+             (fun (r : Rgnfile.Row.t) ->
+               r.Rgnfile.Row.mode = "USE" || r.Rgnfile.Row.mode = "DEF")
+             rows
+         in
+         match accesses, span_of_rows accesses with
+         | [], _ | _, None -> None
+         | (r0 : Rgnfile.Row.t) :: _, Some span ->
+           (match parse_dims r0.Rgnfile.Row.dim_size with
+           | None -> None
+           | Some declared ->
+             if List.length declared <> List.length span then None
+             else begin
+               let accessed_elems =
+                 List.fold_left (fun a (l, u) -> a * (u - l + 1)) 1 span
+               in
+               let declared_elems = List.fold_left ( * ) 1 declared in
+               if declared_elems > accessed_elems && declared_elems > 0 then
+                 Some
+                   {
+                     rs_array = array;
+                     rs_scope = scope;
+                     rs_declared = declared;
+                     rs_accessed = span;
+                     rs_saving_bytes =
+                       (declared_elems - accessed_elems)
+                       * r0.Rgnfile.Row.element_size;
+                   }
+               else None
+             end))
+
+let copyin_of_rows p scope array rows =
+  match rows, span_of_rows rows with
+  | [], _ | _, None -> None
+  | (r0 : Rgnfile.Row.t) :: _, Some span ->
+    let lang = language_of p r0 in
+    (* bounds are printed in the table's row-major order: the paper writes
+       the directive as copyin(U(1:3,1:5,1:10,1:4)), matching Fig 14's rows
+       rather than Fortran declaration order *)
+    let bounds =
+      List.map (fun (l, u) -> Printf.sprintf "%d:%d" l u) span
+    in
+    let directive =
+      if lang = "fortran" then
+        Printf.sprintf "!$acc region copyin(%s(%s))" array
+          (String.concat ", " bounds)
+      else
+        Printf.sprintf "#pragma acc region for copyin(%s[%s])" array
+          (String.concat "][" bounds)
+    in
+    let region_elems =
+      List.fold_left (fun a (l, u) -> a * (u - l + 1)) 1 span
+    in
+    Some
+      {
+        ci_array = array;
+        ci_scope = scope;
+        ci_directive = directive;
+        ci_bytes_full = r0.Rgnfile.Row.size_bytes;
+        ci_bytes_region = region_elems * r0.Rgnfile.Row.element_size;
+      }
+
+let copyin_for_lines (p : Project.t) ~array ~first_line ~last_line =
+  let rows =
+    List.filter
+      (fun (r : Rgnfile.Row.t) ->
+        r.Rgnfile.Row.array = array
+        && r.Rgnfile.Row.mode = "USE"
+        && r.Rgnfile.Row.line >= first_line
+        && r.Rgnfile.Row.line <= last_line)
+      p.Project.rows
+  in
+  match rows with
+  | [] -> None
+  | (r0 : Rgnfile.Row.t) :: _ -> copyin_of_rows p r0.Rgnfile.Row.scope array rows
+
+let copyin_suggestions (p : Project.t) =
+  group_by
+    (fun (r : Rgnfile.Row.t) -> (r.Rgnfile.Row.scope, r.Rgnfile.Row.array))
+    p.Project.rows
+  |> List.filter_map (fun ((scope, array), rows) ->
+         let uses =
+           List.filter (fun (r : Rgnfile.Row.t) -> r.Rgnfile.Row.mode = "USE") rows
+         in
+         copyin_of_rows p scope array uses)
+
+let fusion_suggestions (p : Project.t) =
+  group_by
+    (fun (r : Rgnfile.Row.t) ->
+      ( r.Rgnfile.Row.scope,
+        r.Rgnfile.Row.array,
+        r.Rgnfile.Row.lb,
+        r.Rgnfile.Row.ub,
+        r.Rgnfile.Row.stride ))
+    (List.filter (fun (r : Rgnfile.Row.t) -> r.Rgnfile.Row.mode = "USE") p.Project.rows)
+  |> List.filter_map (fun ((scope, array, lb, ub, stride), rows) ->
+         let lines =
+           List.map (fun (r : Rgnfile.Row.t) -> r.Rgnfile.Row.line) rows
+           |> List.sort_uniq compare
+         in
+         if List.length lines >= 2 then
+           Some
+             {
+               fu_array = array;
+               fu_scope = scope;
+               fu_region = Printf.sprintf "%s:%s:%s" lb ub stride;
+               fu_lines = lines;
+             }
+         else None)
+
+type coverage = {
+  cv_array : string;
+  cv_scope : string;
+  cv_declared : int;
+  cv_accessed : int;
+  cv_percent : int;
+}
+
+(* exact union size of 1-D integer intervals *)
+let union_size intervals =
+  let sorted = List.sort compare intervals in
+  let rec go acc cur = function
+    | [] -> (match cur with None -> acc | Some (l, u) -> acc + (u - l + 1))
+    | (l, u) :: rest -> (
+      match cur with
+      | None -> go acc (Some (l, u)) rest
+      | Some (cl, cu) ->
+        if l <= cu + 1 then go acc (Some (cl, max cu u)) rest
+        else go (acc + (cu - cl + 1)) (Some (l, u)) rest)
+  in
+  go 0 None sorted
+
+let coverage (p : Project.t) =
+  group_by
+    (fun (r : Rgnfile.Row.t) -> (r.Rgnfile.Row.scope, r.Rgnfile.Row.array))
+    p.Project.rows
+  |> List.filter_map (fun ((scope, array), rows) ->
+         let accesses =
+           List.filter
+             (fun (r : Rgnfile.Row.t) ->
+               r.Rgnfile.Row.mode = "USE" || r.Rgnfile.Row.mode = "DEF")
+             rows
+         in
+         match accesses with
+         | [] -> None
+         | (r0 : Rgnfile.Row.t) :: _ ->
+           let declared = r0.Rgnfile.Row.tot_size in
+           if declared <= 0 then None
+           else begin
+             let boxes =
+               List.filter_map
+                 (fun (r : Rgnfile.Row.t) ->
+                   match
+                     parse_dims r.Rgnfile.Row.lb, parse_dims r.Rgnfile.Row.ub
+                   with
+                   | Some lbs, Some ubs when List.length lbs = List.length ubs
+                     ->
+                     Some (List.combine lbs ubs)
+                   | _ -> None)
+                 accesses
+             in
+             if List.length boxes <> List.length accesses || boxes = [] then
+               None
+             else begin
+               let accessed =
+                 match List.hd boxes with
+                 | [ _ ] ->
+                   (* 1-D: exact interval union *)
+                   union_size (List.map List.hd boxes)
+                 | _ ->
+                   (* n-D: bounding box of all accesses *)
+                   (match span_of_rows accesses with
+                   | Some span ->
+                     List.fold_left (fun a (l, u) -> a * (u - l + 1)) 1 span
+                   | None -> 0)
+               in
+               let accessed = min accessed declared in
+               Some
+                 {
+                   cv_array = array;
+                   cv_scope = scope;
+                   cv_declared = declared;
+                   cv_accessed = accessed;
+                   cv_percent = accessed * 100 / declared;
+                 }
+             end
+           end)
+
+let hotspots ?(top = 10) (p : Project.t) =
+  group_by
+    (fun (r : Rgnfile.Row.t) ->
+      (r.Rgnfile.Row.scope, r.Rgnfile.Row.array, r.Rgnfile.Row.mode))
+    p.Project.rows
+  |> List.filter_map (fun ((scope, array, mode), rows) ->
+         match rows with
+         | (r : Rgnfile.Row.t) :: _ when mode = "USE" || mode = "DEF" ->
+           Some
+             {
+               hs_array = array;
+               hs_scope = scope;
+               hs_mode = mode;
+               hs_density = r.Rgnfile.Row.acc_density;
+               hs_references = r.Rgnfile.Row.references;
+             }
+         | _ -> None)
+  |> List.sort (fun a b -> compare b.hs_density a.hs_density)
+  |> List.filteri (fun i _ -> i < top)
+
+let render p =
+  let buf = Buffer.create 1024 in
+  let section title = Buffer.add_string buf (Printf.sprintf "--- %s ---\n" title) in
+  section "Hotspot arrays (by access density)";
+  List.iter
+    (fun h ->
+      Buffer.add_string buf
+        (Printf.sprintf "  %-12s %-4s in %-10s density=%-5d refs=%d\n" h.hs_array
+           h.hs_mode h.hs_scope h.hs_density h.hs_references))
+    (hotspots p);
+  section "Element coverage (accessed / declared)";
+  List.iter
+    (fun c ->
+      Buffer.add_string buf
+        (Printf.sprintf "  %-12s in %-10s %d/%d elements (%d%%)\n" c.cv_array
+           c.cv_scope c.cv_accessed c.cv_declared c.cv_percent))
+    (coverage p);
+  section "Arrays defined larger than used (resize candidates)";
+  List.iter
+    (fun r ->
+      Buffer.add_string buf
+        (Printf.sprintf "  %-12s in %-10s declared [%s], accessed [%s]: save %d bytes\n"
+           r.rs_array r.rs_scope
+           (String.concat "|" (List.map string_of_int r.rs_declared))
+           (String.concat "|"
+              (List.map (fun (l, u) -> Printf.sprintf "%d:%d" l u) r.rs_accessed))
+           r.rs_saving_bytes))
+    (resize_suggestions p);
+  section "Sub-array offload directives (reduce host/device transfers)";
+  List.iter
+    (fun c ->
+      Buffer.add_string buf
+        (Printf.sprintf "  %-12s in %-10s %s (%d B instead of %d B)\n" c.ci_array
+           c.ci_scope c.ci_directive c.ci_bytes_region c.ci_bytes_full))
+    (copyin_suggestions p);
+  section "Mergeable loops (same USE region at several lines)";
+  List.iter
+    (fun f ->
+      Buffer.add_string buf
+        (Printf.sprintf "  %-12s in %-10s region [%s] at lines %s\n" f.fu_array
+           f.fu_scope f.fu_region
+           (String.concat ", " (List.map string_of_int f.fu_lines))))
+    (fusion_suggestions p);
+  Buffer.contents buf

@@ -1,0 +1,74 @@
+(** The optimization advisor: turns table rows into the three kinds of
+    guidance the paper derives from them (Section I's three aspects).
+
+    - {!resize_suggestions}: "the user can redefine array aarr to be
+      (int aarr[9]) instead of (int aarr[20]) since the remaining elements
+      have not been used anywhere in the program";
+    - {!copyin_suggestions}: "#pragma acc region for copyin(aarr[2:7])" /
+      "!$acc region copyin(u(1:3,1:5,1:10,1:4))" — the union of the USE
+      regions, printed in source dimension order;
+    - {!fusion_suggestions}: repeated identical USE regions of one array at
+      different lines — Case 1's mergeable loops;
+    - {!hotspots}: arrays ranked by access density ("identify the hotspot
+      arrays in the program"). *)
+
+type resize = {
+  rs_array : string;
+  rs_scope : string;
+  rs_declared : int list;   (** extents, row-major *)
+  rs_accessed : (int * int) list;  (** [lo, hi] per dim actually touched *)
+  rs_saving_bytes : int;
+}
+
+type copyin = {
+  ci_array : string;
+  ci_scope : string;
+  ci_directive : string;
+  ci_bytes_full : int;
+  ci_bytes_region : int;
+}
+
+type fusion = {
+  fu_array : string;
+  fu_scope : string;
+  fu_region : string;  (** "lb:ub:stride" *)
+  fu_lines : int list;
+}
+
+type hotspot = {
+  hs_array : string;
+  hs_scope : string;
+  hs_mode : string;
+  hs_density : int;
+  hs_references : int;
+}
+
+val resize_suggestions : Project.t -> resize list
+
+val copyin_for_lines :
+  Project.t -> array:string -> first_line:int -> last_line:int -> copyin option
+(** Union of the USE regions of [array] whose references fall in the given
+    source-line range — the per-loop directive of Case 2, where only the
+    corner loop's regions of [u] feed the copyin, not the whole
+    procedure's. *)
+
+val copyin_suggestions : Project.t -> copyin list
+val fusion_suggestions : Project.t -> fusion list
+type coverage = {
+  cv_array : string;
+  cv_scope : string;
+  cv_declared : int;   (** elements *)
+  cv_accessed : int;   (** elements in the union of access regions;
+                           exact interval union for 1-D arrays, bounding
+                           box for higher ranks *)
+  cv_percent : int;
+}
+
+val coverage : Project.t -> coverage list
+(** The paper's "arrays which have portions that are not being accessed
+    through the whole program" view: how much of each array is touched. *)
+
+val hotspots : ?top:int -> Project.t -> hotspot list
+
+val render : Project.t -> string
+(** All four reports, human-readable. *)

@@ -1,0 +1,90 @@
+type hit = {
+  h_file : string;
+  h_line : int;
+  h_text : string;
+}
+
+let lines_of s = String.split_on_char '\n' s
+
+let contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  if nn = 0 then false
+  else
+    let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+    go 0
+
+let grep (p : Project.t) needle =
+  List.concat_map
+    (fun (file, contents) ->
+      List.mapi
+        (fun i line ->
+          if contains line needle then
+            Some { h_file = file; h_line = i + 1; h_text = line }
+          else None)
+        (lines_of contents)
+      |> List.filter_map Fun.id)
+    p.Project.sources
+
+let is_word_char c =
+  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9')
+  || c = '_'
+
+let word_occurs line word =
+  let nl = String.length line and nw = String.length word in
+  let rec go i =
+    if i + nw > nl then false
+    else if
+      String.sub line i nw = word
+      && (i = 0 || not (is_word_char line.[i - 1]))
+      && (i + nw = nl || not (is_word_char line.[i + nw]))
+    then true
+    else go (i + 1)
+  in
+  nw > 0 && go 0
+
+let grep_array (p : Project.t) name =
+  List.concat_map
+    (fun (file, contents) ->
+      List.mapi
+        (fun i line ->
+          if word_occurs line name then
+            Some { h_file = file; h_line = i + 1; h_text = line }
+          else None)
+        (lines_of contents)
+      |> List.filter_map Fun.id)
+    p.Project.sources
+
+let show (p : Project.t) ?(context = 2) ~file line =
+  match Project.source p file with
+  | None -> None
+  | Some contents ->
+    let all = Array.of_list (lines_of contents) in
+    let n = Array.length all in
+    if line < 1 || line > n then None
+    else begin
+      let lo = max 1 (line - context) and hi = min n (line + context) in
+      let buf = Buffer.create 256 in
+      for i = lo to hi do
+        Buffer.add_string buf
+          (Printf.sprintf "%c%4d | %s\n"
+             (if i = line then '>' else ' ')
+             i
+             all.(i - 1))
+      done;
+      Some (Buffer.contents buf)
+    end
+
+let locate_row p (r : Rgnfile.Row.t) =
+  (* the File column names the object; recover the source by basename *)
+  let base = Filename.remove_extension r.Rgnfile.Row.file in
+  let candidate =
+    List.find_map
+      (fun (path, _) ->
+        if Filename.remove_extension (Filename.basename path) = base then
+          Some path
+        else None)
+      p.Project.sources
+  in
+  match candidate with
+  | None -> None
+  | Some file -> show p ~file r.Rgnfile.Row.line

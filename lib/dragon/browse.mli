@@ -1,0 +1,23 @@
+(** Source browsing: the "distinctly visualize the source code" and
+    "find / UNIX-like grep" features of the Array Analysis GUI (Fig 7), and
+    the row-to-source locate feature. *)
+
+type hit = {
+  h_file : string;
+  h_line : int;
+  h_text : string;
+}
+
+val grep : Project.t -> string -> hit list
+(** Substring search over every source file, like the GUI's grep box. *)
+
+val grep_array : Project.t -> string -> hit list
+(** Word-boundary occurrences of an array name (so [u] does not match
+    [utmp]). *)
+
+val show : Project.t -> ?context:int -> file:string -> int -> string option
+(** A numbered excerpt around [line], with a [>] marker — what clicking a
+    table row displays. *)
+
+val locate_row : Project.t -> Rgnfile.Row.t -> string option
+(** Excerpt at the row's recorded source line. *)

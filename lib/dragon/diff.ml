@@ -1,0 +1,68 @@
+type change = {
+  ch_key : string;
+  ch_before : Rgnfile.Row.t option;
+  ch_after : Rgnfile.Row.t option;
+}
+
+type t = {
+  added : Rgnfile.Row.t list;
+  removed : Rgnfile.Row.t list;
+  recounted : change list;
+}
+
+(* identity of a row: everything except the counters and the source line
+   (transformations move lines around) *)
+let key (r : Rgnfile.Row.t) =
+  Printf.sprintf "%s %s %s %s [%s:%s:%s]" r.Rgnfile.Row.scope
+    r.Rgnfile.Row.array r.Rgnfile.Row.file r.Rgnfile.Row.mode
+    r.Rgnfile.Row.lb r.Rgnfile.Row.ub r.Rgnfile.Row.stride
+
+let counters (r : Rgnfile.Row.t) =
+  (r.Rgnfile.Row.references, r.Rgnfile.Row.acc_density)
+
+(* set diff by key; rows present on both sides but with different counters
+   are reported as recounted *)
+let diff before after =
+  let b_keys = Hashtbl.create 64 and a_keys = Hashtbl.create 64 in
+  List.iter (fun r -> Hashtbl.replace b_keys (key r) r) before;
+  List.iter (fun r -> Hashtbl.replace a_keys (key r) r) after;
+  let added = List.filter (fun r -> not (Hashtbl.mem b_keys (key r))) after in
+  let removed =
+    List.filter (fun r -> not (Hashtbl.mem a_keys (key r))) before
+  in
+  let recounted =
+    List.filter_map
+      (fun r ->
+        match Hashtbl.find_opt a_keys (key r) with
+        | Some r' when counters r <> counters r' ->
+          Some { ch_key = key r; ch_before = Some r; ch_after = Some r' }
+        | _ -> None)
+      before
+    |> List.sort_uniq (fun a b -> compare a.ch_key b.ch_key)
+  in
+  { added; removed; recounted }
+
+let is_empty t = t.added = [] && t.removed = [] && t.recounted = []
+
+let render t =
+  if is_empty t then "no differences\n"
+  else begin
+    let buf = Buffer.create 512 in
+    List.iter
+      (fun r -> Buffer.add_string buf (Printf.sprintf "+ %s\n" (key r)))
+      t.added;
+    List.iter
+      (fun r -> Buffer.add_string buf (Printf.sprintf "- %s\n" (key r)))
+      t.removed;
+    List.iter
+      (fun c ->
+        match c.ch_before, c.ch_after with
+        | Some b, Some a ->
+          Buffer.add_string buf
+            (Printf.sprintf "~ %s refs %d -> %d, density %d -> %d\n" c.ch_key
+               b.Rgnfile.Row.references a.Rgnfile.Row.references
+               b.Rgnfile.Row.acc_density a.Rgnfile.Row.acc_density)
+        | _ -> ())
+      t.recounted;
+    Buffer.contents buf
+  end

@@ -1,0 +1,22 @@
+(** Compare two analysis results (e.g. before and after [uhc --fuse] or a
+    hand transformation): which table rows appeared, disappeared, or changed
+    their reference counts/regions.  This is how a user verifies that a
+    transformation did what the advisor promised. *)
+
+type change = {
+  ch_key : string;  (** "scope array mode [lb:ub:stride]" *)
+  ch_before : Rgnfile.Row.t option;
+  ch_after : Rgnfile.Row.t option;
+}
+
+type t = {
+  added : Rgnfile.Row.t list;
+  removed : Rgnfile.Row.t list;
+  recounted : change list;  (** same region, different References/density *)
+}
+
+val diff : Rgnfile.Row.t list -> Rgnfile.Row.t list -> t
+
+val is_empty : t -> bool
+
+val render : t -> string

@@ -1,0 +1,99 @@
+let edges (p : Project.t) =
+  List.map (fun (a, b, _) -> (a, b)) p.Project.dgn.Rgnfile.Files.dgn_edges
+
+let procs (p : Project.t) = Project.procedures p
+
+let callees p name =
+  edges p
+  |> List.filter_map (fun (a, b) -> if a = name then Some b else None)
+  |> List.fold_left (fun acc b -> if List.mem b acc then acc else acc @ [ b ]) []
+
+let roots p =
+  let called = List.map snd (edges p) in
+  List.filter (fun n -> not (List.mem n called)) (procs p)
+
+let callgraph_ascii ?(feedback = []) p =
+  let buf = Buffer.create 512 in
+  let visited = Hashtbl.create 16 in
+  let rec walk depth parent name =
+    let note =
+      match parent with
+      | None -> ""
+      | Some caller -> (
+        match List.assoc_opt (caller, name) feedback with
+        | Some n -> Printf.sprintf "  x%d" n
+        | None -> if feedback = [] then "" else "  (never called)")
+    in
+    Buffer.add_string buf
+      (Printf.sprintf "%s- %s%s\n" (String.make (2 * depth) ' ') name note);
+    if not (Hashtbl.mem visited name) then begin
+      Hashtbl.add visited name ();
+      List.iter (walk (depth + 1) (Some name)) (callees p name)
+    end
+  in
+  List.iter (walk 0 None) (roots p);
+  List.iter
+    (fun n -> if not (Hashtbl.mem visited n) then walk 0 None n)
+    (procs p);
+  Buffer.add_string buf
+    (Printf.sprintf "%d procedures\n" (List.length (procs p)));
+  Buffer.contents buf
+
+let callgraph_dot p =
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf "digraph callgraph {\n  node [shape=ellipse];\n";
+  List.iter
+    (fun n -> Buffer.add_string buf (Printf.sprintf "  \"%s\";\n" n))
+    (procs p);
+  List.iter
+    (fun (a, b) ->
+      Buffer.add_string buf (Printf.sprintf "  \"%s\" -> \"%s\";\n" a b))
+    (edges p);
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf
+
+let blocks_of p proc =
+  List.filter
+    (fun (b : Rgnfile.Files.cfg_block) -> b.Rgnfile.Files.cb_proc = proc)
+    p.Project.cfg
+
+let cfg_procs (p : Project.t) =
+  p.Project.cfg
+  |> List.map (fun (b : Rgnfile.Files.cfg_block) -> b.Rgnfile.Files.cb_proc)
+  |> List.sort_uniq String.compare
+
+let cfg_ascii p ~proc =
+  match blocks_of p proc with
+  | [] -> None
+  | blocks ->
+    let buf = Buffer.create 256 in
+    Buffer.add_string buf (Printf.sprintf "CFG of %s\n" proc);
+    List.iter
+      (fun (b : Rgnfile.Files.cfg_block) ->
+        Buffer.add_string buf
+          (Printf.sprintf "  B%-3d %-12s -> [%s]\n" b.Rgnfile.Files.cb_id
+             b.Rgnfile.Files.cb_label
+             (String.concat ", "
+                (List.map (Printf.sprintf "B%d") b.Rgnfile.Files.cb_succs))))
+      blocks;
+    Some (Buffer.contents buf)
+
+let cfg_dot p ~proc =
+  match blocks_of p proc with
+  | [] -> None
+  | blocks ->
+    let buf = Buffer.create 256 in
+    Buffer.add_string buf (Printf.sprintf "digraph \"%s\" {\n  node [shape=box];\n" proc);
+    List.iter
+      (fun (b : Rgnfile.Files.cfg_block) ->
+        Buffer.add_string buf
+          (Printf.sprintf "  b%d [label=\"B%d %s\"];\n" b.Rgnfile.Files.cb_id
+             b.Rgnfile.Files.cb_id b.Rgnfile.Files.cb_label);
+        List.iter
+          (fun s ->
+            Buffer.add_string buf
+              (Printf.sprintf "  b%d -> b%d;\n" b.Rgnfile.Files.cb_id s))
+          b.Rgnfile.Files.cb_succs)
+      blocks;
+    Buffer.add_string buf "}\n";
+    Some (Buffer.contents buf)

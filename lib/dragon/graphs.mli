@@ -1,0 +1,15 @@
+(** Call-graph and CFG views rendered from the plain files (Fig 11's
+    browseable call graph; the control-flow-graph feature of Fig 5). *)
+
+val callgraph_ascii : ?feedback:((string * string) * int) list -> Project.t -> string
+(** Indented tree from the roots, with the "N procedures" footer shown at
+    the bottom of Fig 11.  With [feedback] (dynamic call counts from the
+    interpreter), each edge is annotated "xN" — the dynamic call graph with
+    feedback information of Fig 5. *)
+
+val callgraph_dot : Project.t -> string
+
+val cfg_ascii : Project.t -> proc:string -> string option
+val cfg_dot : Project.t -> proc:string -> string option
+
+val cfg_procs : Project.t -> string list

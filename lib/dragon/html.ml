@@ -1,0 +1,174 @@
+let escape s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '<' -> Buffer.add_string buf "&lt;"
+      | '>' -> Buffer.add_string buf "&gt;"
+      | '&' -> Buffer.add_string buf "&amp;"
+      | '"' -> Buffer.add_string buf "&quot;"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let style =
+  {|<style>
+body { font-family: sans-serif; margin: 1.5em; color: #222; }
+h1 { font-size: 1.4em; } h2 { font-size: 1.1em; margin-top: 1.4em; }
+table { border-collapse: collapse; font-size: 0.85em; }
+th, td { border: 1px solid #ccc; padding: 2px 7px; text-align: left;
+         font-family: monospace; }
+th { background: #eee; position: sticky; top: 0; }
+tr.hit { background: #c8f7c5; }
+tr.mode-DEF td.mode, tr.mode-RDEF td.mode { color: #a40000; font-weight: bold; }
+tr.mode-USE td.mode, tr.mode-RUSE td.mode { color: #204a87; }
+tr.mode-FORMAL td.mode, tr.mode-PASSED td.mode { color: #5c3566; }
+pre { background: #f7f7f7; border: 1px solid #ddd; padding: 0.6em;
+      overflow-x: auto; font-size: 0.85em; }
+details { margin: 0.4em 0; }
+summary { cursor: pointer; font-weight: bold; }
+#find { font-size: 1em; padding: 2px 6px; margin-bottom: 0.8em; }
+.kw { color: #204a87; font-weight: bold; }
+.comment { color: #4e9a06; font-style: italic; }
+</style>|}
+
+let script =
+  {|<script>
+function doFind() {
+  var needle = document.getElementById('find').value.trim();
+  var rows = document.querySelectorAll('tr[data-array]');
+  var hits = 0;
+  rows.forEach(function (tr) {
+    var match = needle !== '' && tr.dataset.array === needle;
+    tr.classList.toggle('hit', match);
+    if (match) hits++;
+  });
+  document.getElementById('findcount').textContent =
+    needle === '' ? '' : hits + ' row(s)';
+}
+</script>|}
+
+(* MiniF/MiniC-aware highlighting-lite: keywords and comments only *)
+let keywords =
+  [ "program"; "subroutine"; "function"; "end"; "do"; "while"; "if"; "then";
+    "else"; "call"; "return"; "print"; "common"; "parameter"; "integer";
+    "double"; "precision"; "real"; "character"; "logical"; "dimension";
+    "for"; "int"; "void"; "printf" ]
+
+let highlight_line line =
+  let trimmed = String.trim line in
+  if
+    String.length trimmed > 0
+    && (trimmed.[0] = '!'
+       || (String.length line > 0 && (line.[0] = 'c' || line.[0] = 'C')))
+  then Printf.sprintf "<span class=\"comment\">%s</span>" (escape line)
+  else begin
+    (* word-wise keyword wrap on the escaped text *)
+    let words = String.split_on_char ' ' (escape line) in
+    String.concat " "
+      (List.map
+         (fun w ->
+           if List.mem (String.lowercase_ascii w) keywords then
+             Printf.sprintf "<span class=\"kw\">%s</span>" w
+           else w)
+         words)
+  end
+
+let table_section buf (p : Project.t) =
+  Buffer.add_string buf
+    "<h2>Array analysis graph</h2>\n\
+     <input id=\"find\" placeholder=\"find array...\" oninput=\"doFind()\">\n\
+     <span id=\"findcount\"></span>\n";
+  List.iter
+    (fun scope ->
+      let rows = Project.rows_in_scope p scope in
+      if rows <> [] then begin
+        Buffer.add_string buf
+          (Printf.sprintf "<details open><summary>%s</summary>\n<table>\n"
+             (if scope = "@" then "@ (global arrays)" else escape scope));
+        Buffer.add_string buf
+          "<tr><th>Array</th><th>File</th><th>Mode</th><th>Refs</th>\
+           <th>Dim</th><th>LB</th><th>UB</th><th>Stride</th><th>Esz</th>\
+           <th>Type</th><th>Dim_size</th><th>Tot_size</th><th>Size_bytes</th>\
+           <th>Mem_Loc</th><th>Dens</th><th>Line</th></tr>\n";
+        List.iter
+          (fun (r : Rgnfile.Row.t) ->
+            Buffer.add_string buf
+              (Printf.sprintf
+                 "<tr class=\"mode-%s\" data-array=\"%s\"><td>%s</td><td>%s</td>\
+                  <td class=\"mode\">%s</td><td>%d</td><td>%d</td><td>%s</td>\
+                  <td>%s</td><td>%s</td><td>%d</td><td>%s</td><td>%s</td>\
+                  <td>%d</td><td>%d</td><td>%s</td><td>%d</td>\
+                  <td><a href=\"#%s-%d\">%d</a></td></tr>\n"
+                 r.Rgnfile.Row.mode
+                 (escape r.Rgnfile.Row.array)
+                 (escape r.Rgnfile.Row.array)
+                 (escape r.Rgnfile.Row.file)
+                 r.Rgnfile.Row.mode r.Rgnfile.Row.references
+                 r.Rgnfile.Row.dimensions
+                 (escape r.Rgnfile.Row.lb)
+                 (escape r.Rgnfile.Row.ub)
+                 (escape r.Rgnfile.Row.stride)
+                 r.Rgnfile.Row.element_size
+                 (escape r.Rgnfile.Row.data_type)
+                 (escape r.Rgnfile.Row.dim_size)
+                 r.Rgnfile.Row.tot_size r.Rgnfile.Row.size_bytes
+                 (escape r.Rgnfile.Row.mem_loc)
+                 r.Rgnfile.Row.acc_density
+                 (escape (Filename.remove_extension r.Rgnfile.Row.file))
+                 r.Rgnfile.Row.line r.Rgnfile.Row.line))
+          rows;
+        Buffer.add_string buf "</table></details>\n"
+      end)
+    (Project.scopes p)
+
+let callgraph_section buf p =
+  Buffer.add_string buf "<h2>Call graph</h2>\n<pre>";
+  Buffer.add_string buf (escape (Graphs.callgraph_ascii p));
+  Buffer.add_string buf "</pre>\n<details><summary>Graphviz DOT</summary><pre>";
+  Buffer.add_string buf (escape (Graphs.callgraph_dot p));
+  Buffer.add_string buf "</pre></details>\n"
+
+let sources_section buf (p : Project.t) =
+  Buffer.add_string buf "<h2>Sources</h2>\n";
+  List.iter
+    (fun (path, contents) ->
+      let base = Filename.remove_extension (Filename.basename path) in
+      Buffer.add_string buf
+        (Printf.sprintf "<details><summary>%s</summary>\n<pre>" (escape path));
+      List.iteri
+        (fun i line ->
+          Buffer.add_string buf
+            (Printf.sprintf "<span id=\"%s-%d\">%4d | %s</span>\n" (escape base)
+               (i + 1) (i + 1) (highlight_line line)))
+        (String.split_on_char '\n' contents);
+      Buffer.add_string buf "</pre></details>\n")
+    p.Project.sources
+
+let advisor_section buf p =
+  Buffer.add_string buf "<h2>Optimization advisor</h2>\n<pre>";
+  Buffer.add_string buf (escape (Advisor.render p));
+  Buffer.add_string buf "</pre>\n"
+
+let render (p : Project.t) =
+  let buf = Buffer.create 16384 in
+  Buffer.add_string buf "<!DOCTYPE html>\n<html><head><meta charset=\"utf-8\">\n";
+  Buffer.add_string buf
+    (Printf.sprintf "<title>Dragon: %s</title>\n" (escape p.Project.name));
+  Buffer.add_string buf style;
+  Buffer.add_string buf script;
+  Buffer.add_string buf "</head><body>\n";
+  Buffer.add_string buf
+    (Printf.sprintf "<h1>Dragon array region analysis &mdash; %s</h1>\n"
+       (escape p.Project.name));
+  table_section buf p;
+  callgraph_section buf p;
+  advisor_section buf p;
+  sources_section buf p;
+  Buffer.add_string buf "</body></html>\n";
+  Buffer.contents buf
+
+let save p ~path =
+  let oc = open_out_bin path in
+  output_string oc (render p);
+  close_out oc

@@ -1,0 +1,11 @@
+(** Self-contained HTML report: the closest a batch tool gets to the Qt
+    GUI's claims — "support for multiple platforms", "syntax highlighting",
+    "scalable layout of graphical items and real-time search functionality"
+    (paper, Section V).  One file, no external assets; the find box filters
+    table rows live, scopes fold, sources are browsable with line anchors,
+    and the advisor's guidance is embedded. *)
+
+val render : Project.t -> string
+(** The complete page. *)
+
+val save : Project.t -> path:string -> unit

@@ -1,0 +1,108 @@
+type state = {
+  project : Project.t;
+  mutable options : Table.options;
+}
+
+let start project = { project; options = Table.default_options }
+
+let help_text =
+  "commands:\n\
+  \  scopes            list procedures with rows (and @ for globals)\n\
+  \  table [scope]     show the array analysis table\n\
+  \  find <array>      highlight an array's rows everywhere\n\
+  \  grep <text>       search the sources\n\
+  \  locate <array>    show each access of an array in the source\n\
+  \  callgraph         show the call graph\n\
+  \  cfg <proc>        show a procedure's control-flow graph\n\
+  \  advise            optimization guidance\n\
+  \  sort <key>        source | density | refs | size | array\n\
+  \  help              this text\n\
+  \  quit              leave\n"
+
+let split_command line =
+  match String.index_opt line ' ' with
+  | None -> (String.trim line, "")
+  | Some i ->
+    ( String.trim (String.sub line 0 i),
+      String.trim (String.sub line i (String.length line - i)) )
+
+let eval st line =
+  let cmd, arg = split_command line in
+  match cmd with
+  | "" -> `Output ""
+  | "quit" | "exit" | "q" -> `Quit
+  | "help" -> `Output help_text
+  | "scopes" ->
+    `Output (String.concat "\n" (Project.scopes st.project) ^ "\n")
+  | "table" ->
+    let scope = if arg = "" then None else Some arg in
+    `Output (Table.render ~options:st.options ?scope st.project)
+  | "find" ->
+    if arg = "" then `Output "usage: find <array>\n"
+    else `Output (Table.render ~options:st.options ~find:arg st.project)
+  | "grep" ->
+    if arg = "" then `Output "usage: grep <text>\n"
+    else begin
+      let hits = Browse.grep st.project arg in
+      let lines =
+        List.map
+          (fun h ->
+            Printf.sprintf "%s:%d: %s" h.Browse.h_file h.Browse.h_line
+              h.Browse.h_text)
+          hits
+      in
+      `Output
+        (String.concat "\n" lines
+        ^ Printf.sprintf "\n%d hit(s)\n" (List.length hits))
+    end
+  | "locate" ->
+    if arg = "" then `Output "usage: locate <array>\n"
+    else begin
+      let rows = Table.find_rows st.project arg in
+      if rows = [] then `Output (Printf.sprintf "no rows for %s\n" arg)
+      else begin
+        let buf = Buffer.create 256 in
+        List.iter
+          (fun (r : Rgnfile.Row.t) ->
+            Buffer.add_string buf
+              (Printf.sprintf "%s %s [%s:%s:%s] at %s line %d\n"
+                 r.Rgnfile.Row.array r.Rgnfile.Row.mode r.Rgnfile.Row.lb
+                 r.Rgnfile.Row.ub r.Rgnfile.Row.stride r.Rgnfile.Row.file
+                 r.Rgnfile.Row.line);
+            match Browse.locate_row st.project r with
+            | Some excerpt -> Buffer.add_string buf excerpt
+            | None -> ())
+          rows;
+        `Output (Buffer.contents buf)
+      end
+    end
+  | "callgraph" -> `Output (Graphs.callgraph_ascii st.project)
+  | "cfg" -> (
+    match Graphs.cfg_ascii st.project ~proc:arg with
+    | Some s -> `Output s
+    | None -> `Output (Printf.sprintf "no CFG for %S\n" arg))
+  | "advise" -> `Output (Advisor.render st.project)
+  | "sort" -> (
+    match Table.sort_key_of_string arg with
+    | Some key ->
+      st.options <- { st.options with Table.sort = key };
+      `Output (Printf.sprintf "sorting by %s\n" arg)
+    | None -> `Output "usage: sort source|density|refs|size|array\n")
+  | other -> `Output (Printf.sprintf "unknown command %S (try help)\n" other)
+
+let run ?(input = stdin) ?(output = stdout) project =
+  let st = start project in
+  let rec loop () =
+    output_string output "dragon> ";
+    flush output;
+    match input_line input with
+    | exception End_of_file -> ()
+    | line -> (
+      match eval st line with
+      | `Quit -> ()
+      | `Output s ->
+        output_string output s;
+        flush output;
+        loop ())
+  in
+  loop ()

@@ -1,0 +1,24 @@
+(** A line-oriented interactive browser over a loaded project — the batch
+    equivalent of "an interactive system with a powerful GUI ... helps the
+    user to efficiently navigate through these structures" (paper, Section
+    V).  Commands mirror the GUI actions:
+
+    - [scopes] — the procedure list (Fig 6's left column);
+    - [table <scope>] — the array-analysis rows of one scope;
+    - [find <array>] — highlight matches across scopes, with the count;
+    - [grep <text>] / [locate <array>] — source browsing (Fig 7/13);
+    - [callgraph] / [cfg <proc>] — the graph views;
+    - [advise] — the optimization guidance;
+    - [sort <key>] — reorder subsequent tables;
+    - [help], [quit].
+
+    {!eval} processes one command and returns the output, so the loop is
+    trivially testable; {!run} wires it to stdin/stdout. *)
+
+type state
+
+val start : Project.t -> state
+
+val eval : state -> string -> [ `Output of string | `Quit ]
+
+val run : ?input:in_channel -> ?output:out_channel -> Project.t -> unit

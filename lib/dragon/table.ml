@@ -1,0 +1,135 @@
+type sort_key = By_source | By_density | By_references | By_size | By_array
+
+type options = {
+  color : bool;
+  max_width : int;
+  sort : sort_key;
+  modes : string list option;
+}
+
+let default_options =
+  { color = false; max_width = 200; sort = By_source; modes = None }
+
+let sort_key_of_string = function
+  | "source" -> Some By_source
+  | "density" -> Some By_density
+  | "refs" -> Some By_references
+  | "size" -> Some By_size
+  | "array" -> Some By_array
+  | _ -> None
+
+let apply_options options rows =
+  let rows =
+    match options.modes with
+    | None -> rows
+    | Some ms ->
+      List.filter (fun (r : Rgnfile.Row.t) -> List.mem r.Rgnfile.Row.mode ms) rows
+  in
+  match options.sort with
+  | By_source -> rows
+  | By_density ->
+    List.stable_sort
+      (fun (a : Rgnfile.Row.t) (b : Rgnfile.Row.t) ->
+        compare b.Rgnfile.Row.acc_density a.Rgnfile.Row.acc_density)
+      rows
+  | By_references ->
+    List.stable_sort
+      (fun (a : Rgnfile.Row.t) (b : Rgnfile.Row.t) ->
+        compare b.Rgnfile.Row.references a.Rgnfile.Row.references)
+      rows
+  | By_size ->
+    List.stable_sort
+      (fun (a : Rgnfile.Row.t) (b : Rgnfile.Row.t) ->
+        compare b.Rgnfile.Row.size_bytes a.Rgnfile.Row.size_bytes)
+      rows
+  | By_array ->
+    List.stable_sort
+      (fun (a : Rgnfile.Row.t) (b : Rgnfile.Row.t) ->
+        String.compare a.Rgnfile.Row.array b.Rgnfile.Row.array)
+      rows
+
+let headers =
+  [ "Array"; "File"; "Mode"; "Refs"; "Dim"; "LB"; "UB"; "Stride"; "Esz";
+    "Type"; "Dim_size"; "Tot_size"; "Size_bytes"; "Mem_Loc"; "Dens"; "Line" ]
+
+let row_cells (r : Rgnfile.Row.t) =
+  [
+    r.Rgnfile.Row.array;
+    r.Rgnfile.Row.file;
+    r.Rgnfile.Row.mode;
+    string_of_int r.Rgnfile.Row.references;
+    string_of_int r.Rgnfile.Row.dimensions;
+    r.Rgnfile.Row.lb;
+    r.Rgnfile.Row.ub;
+    r.Rgnfile.Row.stride;
+    string_of_int r.Rgnfile.Row.element_size;
+    r.Rgnfile.Row.data_type;
+    r.Rgnfile.Row.dim_size;
+    string_of_int r.Rgnfile.Row.tot_size;
+    string_of_int r.Rgnfile.Row.size_bytes;
+    r.Rgnfile.Row.mem_loc;
+    string_of_int r.Rgnfile.Row.acc_density;
+    string_of_int r.Rgnfile.Row.line;
+  ]
+
+let green s = "\027[32m" ^ s ^ "\027[0m"
+
+let render_rows ~options ~find buf rows =
+  let cells = List.map row_cells rows in
+  let widths =
+    List.fold_left
+      (fun acc row -> List.map2 (fun w c -> max w (String.length c)) acc row)
+      (List.map String.length headers)
+      cells
+  in
+  let pad w s = s ^ String.make (max 0 (w - String.length s)) ' ' in
+  let emit_line mark row =
+    let line =
+      String.concat "  " (List.map2 pad widths row) |> String.trim
+      |> fun s -> mark ^ s
+    in
+    let line =
+      if String.length line > options.max_width then
+        String.sub line 0 options.max_width
+      else line
+    in
+    Buffer.add_string buf line;
+    Buffer.add_char buf '\n'
+  in
+  emit_line "  " headers;
+  List.iter2
+    (fun (r : Rgnfile.Row.t) row ->
+      let matched =
+        match find with Some f -> String.equal f r.Rgnfile.Row.array | None -> false
+      in
+      if matched && options.color then
+        emit_line "  " (List.map green row)
+      else emit_line (if matched then "* " else "  ") row)
+    rows cells
+
+let find_rows (p : Project.t) needle =
+  List.filter
+    (fun (r : Rgnfile.Row.t) -> String.equal r.Rgnfile.Row.array needle)
+    p.Project.rows
+
+let render ?(options = default_options) ?scope ?find p =
+  let buf = Buffer.create 1024 in
+  let scopes =
+    match scope with Some s -> [ s ] | None -> Project.scopes p
+  in
+  List.iter
+    (fun s ->
+      let rows = apply_options options (Project.rows_in_scope p s) in
+      if rows <> [] then begin
+        Buffer.add_string buf
+          (if s = "@" then "== @ (global arrays) ==\n"
+           else Printf.sprintf "== %s ==\n" s);
+        render_rows ~options ~find buf rows
+      end)
+    scopes;
+  (match find with
+  | Some f ->
+    Buffer.add_string buf
+      (Printf.sprintf "find %S: %d row(s)\n" f (List.length (find_rows p f)))
+  | None -> ());
+  Buffer.contents buf

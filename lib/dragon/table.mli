@@ -1,0 +1,33 @@
+(** The array-analysis graph: the tabular view of Figs 6, 9, 12 and 14,
+    with the find functionality ("All accesses to Array aarr will be
+    highlighted in green").  ANSI colors are optional so output stays
+    testable. *)
+
+type sort_key = By_source | By_density | By_references | By_size | By_array
+
+type options = {
+  color : bool;       (** emit ANSI escapes for find-highlighting *)
+  max_width : int;    (** columns are truncated to keep rows on one line *)
+  sort : sort_key;    (** row order within a scope; {!By_source} keeps the
+                          reference order the compiler emitted *)
+  modes : string list option;  (** restrict to these Mode values *)
+}
+
+val default_options : options
+
+val sort_key_of_string : string -> sort_key option
+(** "source" | "density" | "refs" | "size" | "array" *)
+
+val render :
+  ?options:options ->
+  ?scope:string ->
+  ?find:string ->
+  Project.t ->
+  string
+(** Without [scope], every scope is shown, each under its own heading (the
+    procedure list of Fig 6's left column).  [find] highlights (or, without
+    color, marks with [*]) the rows whose Array column equals the needle,
+    and reports the match count at the bottom like the find button. *)
+
+val find_rows : Project.t -> string -> Rgnfile.Row.t list
+(** Exact array-name matches across all scopes. *)

@@ -1,0 +1,16 @@
+type t = {
+  fork_join_s : float;
+  per_thread_s : float;
+}
+
+let default_2012 = { fork_join_s = 5e-6; per_thread_s = 0.4e-6 }
+
+let region_overhead t ~threads =
+  t.fork_join_s +. (t.per_thread_s *. float_of_int threads)
+
+let total_overhead t ~threads ~regions =
+  float_of_int regions *. region_overhead t ~threads
+
+let fusion_saving t ~threads ~regions_before ~regions_after =
+  total_overhead t ~threads ~regions:regions_before
+  -. total_overhead t ~threads ~regions:regions_after

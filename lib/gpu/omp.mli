@@ -1,0 +1,21 @@
+(** OpenMP fork-join overhead model for Case 1.
+
+    The paper's first case study claims: "We were also able to avoid omp
+    parallel region startup overheads by having one parallel do construct
+    instead of two."  The effect is linear in the number of parallel-region
+    launches, with per-launch cost growing with the team size (EPCC-style
+    numbers). *)
+
+type t = {
+  fork_join_s : float;     (** base fork+join cost *)
+  per_thread_s : float;    (** additional cost per team member *)
+}
+
+val default_2012 : t
+(** 24-core node of the paper's era: 5 us base + 0.4 us per thread. *)
+
+val region_overhead : t -> threads:int -> float
+
+val total_overhead : t -> threads:int -> regions:int -> float
+
+val fusion_saving : t -> threads:int -> regions_before:int -> regions_after:int -> float

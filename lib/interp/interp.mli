@@ -1,0 +1,57 @@
+(** A direct interpreter of high-level WHIRL.
+
+    Two roles in the reproduction:
+
+    - it drives the {!Cache} simulator through the [observer] hook (every
+      array element access reports the virtual address computed with the
+      WHIRL address formula [base + z * sum_i (y_i * prod_{j>i} h_j)] over
+      the {!Whirl.Layout} addresses), which is how the Case 1 fusion claim
+      is measured;
+    - it implements the paper's future-work item "dynamic array region
+      information": each run records, per (scope, array, mode), the regular
+      section actually touched, which the tests compare against the static
+      regions (static must cover dynamic). *)
+
+type value = Vint of int | Vreal of float | Vstr of string
+
+type event = {
+  ev_write : bool;
+  ev_addr : int;   (** byte address from the layout pass *)
+  ev_bytes : int;  (** element size *)
+  ev_scope : string;  (** "@" for globals, else the procedure name *)
+  ev_array : string;
+  ev_coords : int list;  (** zero-based row-major element coordinates *)
+}
+
+exception Runtime_error of string * Lang.Loc.t
+exception Out_of_fuel
+
+type dynamic_region = {
+  dr_scope : string;
+  dr_array : string;
+  dr_mode : Regions.Mode.t;  (** USE or DEF *)
+  dr_section : Regions.Methods.Section.t;
+  dr_count : int;  (** dynamic access count *)
+}
+
+type outcome = {
+  out_text : string;   (** everything PRINT produced *)
+  out_steps : int;
+  out_regions : dynamic_region list;
+  out_calls : ((string * string) * int) list;
+      (** dynamic call-graph feedback: (caller, callee) -> invocation count
+          (Dragon's "static/dynamic call graphs with feedback information",
+          Fig 5) *)
+}
+
+val run :
+  ?fuel:int ->
+  ?observer:(event -> unit) ->
+  ?entry:string ->
+  Whirl.Ir.module_ ->
+  outcome
+(** Runs the main program (or [entry]).  [fuel] bounds the number of
+    statements executed (default 50 million).
+    @raise Runtime_error on out-of-bounds accesses, bad argument counts,
+    unallocatable (variable-length) local arrays, and type confusion.
+    @raise Out_of_fuel when the budget is exhausted. *)

@@ -1,0 +1,53 @@
+(** The analysis driver: runs IPL collection, propagates summaries bottom-up
+    over the call graph, and renders the array-analysis rows — Algorithm 1
+    end to end, producing the [.rgn]/[.dgn]/[.cfg] contents.
+
+    Row conventions match the paper's screenshots:
+
+    - per-dimension columns (LB/UB/Stride/Dim_size) are printed in the
+      internal row-major order, but bounds are re-based to the source
+      language's lower bounds (Fig 14 shows [u(5,65,65,64)] as dim sizes
+      [64|65|65|5] with one-based bounds; Fig 9 shows C arrays zero-based);
+    - [References] counts direct reference sites of that (scope, array,
+      mode);
+    - global arrays appear under scope ["@"], with the File column naming
+      the object file whose code performs the access;
+    - access density is [floor(100 * references / size_bytes)]. *)
+
+type proc_table = {
+  t_proc : string;
+  t_accesses : Collect.access list;
+      (** direct accesses plus call-propagated ones ([ac_via] set) *)
+}
+
+type result = {
+  r_module : Whirl.Ir.module_;
+  r_callgraph : Callgraph.t;
+  r_infos : (string * Collect.pu_info) list;
+  r_tables : proc_table list;
+  r_summaries : (string * Summary.t) list;
+  r_rows : Rgnfile.Row.t list;
+  r_dgn : Rgnfile.Files.dgn;
+  r_cfgs : (string * Cfg.t) list;
+}
+
+val analyze : Whirl.Ir.module_ -> result
+(** Also assigns the memory layout (Mem_Loc) if not yet done. *)
+
+val analyze_sources : (string * string) list -> result
+(** Front end + lowering + analysis over [(filename, contents)] pairs. *)
+
+val display_bounds :
+  Whirl.Ir.module_ ->
+  Whirl.Ir.pu ->
+  int ->
+  Regions.Region.t ->
+  string * string * string
+(** [(lb, ub, stride)] column strings for an access to array [st]. *)
+
+val summary_of : result -> string -> Summary.t
+(** @raise Not_found for unknown procedures. *)
+
+val write_outputs : result -> dir:string -> project:string -> string list
+(** Writes [<project>.rgn], [<project>.dgn], [<project>.cfg] plus copies of
+    the sources; returns the paths written. *)

@@ -1,0 +1,45 @@
+(** Auto-parallelization — the paper's third functionality ("We provide an
+    approach to detect and exploit parallelism in Fortran 77/90, C, and C++
+    programs ... Compiler inter-procedural analysis of side effects; visual
+    feedback on procedures that can be executed in parallel"), playing the
+    role of the MIPSpro APO module the paper describes, including the case
+    APO cannot handle: "function calls inside loops can not be handled by
+    this module.  Our tool can assist as a continuation and broadening to
+    this module" — calls inside loops are summarized through the
+    interprocedural region summaries.
+
+    For every outermost DO loop of every procedure, {!plan} runs the
+    {!Parallel.loop_parallel} test; parallelizable loops get a synthesized
+    OpenMP directive (private clause from the scalars written in the body),
+    and {!annotate} splices the directives into the source text the way the
+    paper's user would after reading the table. *)
+
+type suggestion = {
+  sg_proc : string;
+  sg_line : int;           (** source line of the DO statement *)
+  sg_file : string;
+  sg_directive : string;   (** e.g. "!$omp parallel do private(j, tmp)" *)
+  sg_ivar : string;
+}
+
+type rejection = {
+  rj_proc : string;
+  rj_line : int;
+  rj_arrays : string list;  (** conflicting arrays *)
+}
+
+type report = {
+  rp_suggestions : suggestion list;
+  rp_rejections : rejection list;
+}
+
+val plan :
+  Whirl.Ir.module_ -> (string * Summary.t) list -> report
+(** Outermost loops only (nested parallelism is not suggested). *)
+
+val annotate : report -> file:string -> string -> string
+(** Inserts each suggestion's directive line (with matching indentation)
+    before the DO statement in the given source text; returns the annotated
+    text.  C files get "#pragma omp parallel for" spelling. *)
+
+val render : report -> string

@@ -1,0 +1,169 @@
+open Whirl
+
+type callsite = {
+  cs_caller : string;
+  cs_callee : string;
+  cs_loc : Lang.Loc.t;
+  cs_wn : Wn.t;
+}
+
+type t = {
+  order : string list;
+  sites : callsite list;
+  callee_map : (string, string list) Hashtbl.t;
+  caller_map : (string, string list) Hashtbl.t;
+  site_map : (string, callsite list) Hashtbl.t;
+}
+
+let build (m : Ir.module_) =
+  let order = List.map (fun pu -> pu.Ir.pu_name) m.Ir.m_pus in
+  let sites = ref [] in
+  List.iter
+    (fun pu ->
+      Wn.preorder
+        (fun w ->
+          if w.Wn.operator = Wn.OPR_CALL then begin
+            let callee = Ir.st_name m pu w.Wn.st_idx in
+            sites :=
+              {
+                cs_caller = pu.Ir.pu_name;
+                cs_callee = callee;
+                cs_loc = w.Wn.linenum;
+                cs_wn = w;
+              }
+              :: !sites
+          end)
+        pu.Ir.pu_body)
+    m.Ir.m_pus;
+  let sites = List.rev !sites in
+  let callee_map = Hashtbl.create 16 in
+  let caller_map = Hashtbl.create 16 in
+  let site_map = Hashtbl.create 16 in
+  List.iter
+    (fun name ->
+      Hashtbl.replace callee_map name [];
+      Hashtbl.replace caller_map name [];
+      Hashtbl.replace site_map name [])
+    order;
+  let push tbl key v =
+    let cur = try Hashtbl.find tbl key with Not_found -> [] in
+    if not (List.mem v cur) then Hashtbl.replace tbl key (cur @ [ v ])
+  in
+  List.iter
+    (fun cs ->
+      push callee_map cs.cs_caller cs.cs_callee;
+      push caller_map cs.cs_callee cs.cs_caller;
+      let cur = try Hashtbl.find site_map cs.cs_caller with Not_found -> [] in
+      Hashtbl.replace site_map cs.cs_caller (cur @ [ cs ]))
+    sites;
+  { order; sites; callee_map; caller_map; site_map }
+
+let procs t = t.order
+let callsites t = t.sites
+
+let callees t name = try Hashtbl.find t.callee_map name with Not_found -> []
+let callers t name = try Hashtbl.find t.caller_map name with Not_found -> []
+let callsites_in t name = try Hashtbl.find t.site_map name with Not_found -> []
+
+let node_count t = List.length t.order
+
+let edge_count t =
+  List.fold_left (fun acc p -> acc + List.length (callees t p)) 0 t.order
+
+let roots t = List.filter (fun p -> callers t p = []) t.order
+
+let preorder t =
+  let seen = Hashtbl.create 16 in
+  let out = ref [] in
+  let rec dfs p =
+    if not (Hashtbl.mem seen p) then begin
+      Hashtbl.add seen p ();
+      out := p :: !out;
+      List.iter dfs (callees t p)
+    end
+  in
+  List.iter dfs (roots t);
+  (* disconnected procedures still get visited *)
+  List.iter dfs t.order;
+  List.rev !out
+
+(* Tarjan SCC; result in reverse topological order (callees first). *)
+let sccs t =
+  let index = Hashtbl.create 16 in
+  let lowlink = Hashtbl.create 16 in
+  let on_stack = Hashtbl.create 16 in
+  let stack = ref [] in
+  let counter = ref 0 in
+  let components = ref [] in
+  let rec strongconnect v =
+    Hashtbl.replace index v !counter;
+    Hashtbl.replace lowlink v !counter;
+    incr counter;
+    stack := v :: !stack;
+    Hashtbl.replace on_stack v ();
+    List.iter
+      (fun w ->
+        if not (Hashtbl.mem index w) then begin
+          strongconnect w;
+          Hashtbl.replace lowlink v
+            (min (Hashtbl.find lowlink v) (Hashtbl.find lowlink w))
+        end
+        else if Hashtbl.mem on_stack w then
+          Hashtbl.replace lowlink v
+            (min (Hashtbl.find lowlink v) (Hashtbl.find index w)))
+      (callees t v);
+    if Hashtbl.find lowlink v = Hashtbl.find index v then begin
+      let rec pop acc =
+        match !stack with
+        | [] -> acc
+        | w :: rest ->
+          stack := rest;
+          Hashtbl.remove on_stack w;
+          if String.equal w v then w :: acc else pop (w :: acc)
+      in
+      components := pop [] :: !components
+    end
+  in
+  List.iter (fun v -> if not (Hashtbl.mem index v) then strongconnect v) t.order;
+  (* Tarjan emits components in reverse topological order already *)
+  List.rev !components
+
+let bottom_up t = List.concat (sccs t)
+
+let is_recursive t name =
+  List.mem name (callees t name)
+  || List.exists (fun c -> List.length c > 1 && List.mem name c) (sccs t)
+
+let to_dot t =
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf "digraph callgraph {\n  node [shape=ellipse];\n";
+  List.iter
+    (fun p -> Buffer.add_string buf (Printf.sprintf "  \"%s\";\n" p))
+    t.order;
+  List.iter
+    (fun p ->
+      List.iter
+        (fun c -> Buffer.add_string buf (Printf.sprintf "  \"%s\" -> \"%s\";\n" p c))
+        (callees t p))
+    t.order;
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf
+
+let to_ascii_tree t =
+  let buf = Buffer.create 512 in
+  let visited = Hashtbl.create 16 in
+  let rec walk depth p =
+    Buffer.add_string buf
+      (Printf.sprintf "%s- %s\n" (String.make (2 * depth) ' ') p);
+    if not (Hashtbl.mem visited p) then begin
+      Hashtbl.add visited p ();
+      List.iter (walk (depth + 1)) (callees t p)
+    end
+  in
+  List.iter (walk 0) (roots t);
+  List.iter
+    (fun p -> if not (Hashtbl.mem visited p) then walk 0 p)
+    t.order;
+  Buffer.add_string buf
+    (Printf.sprintf "%d procedures, %d edges\n" (node_count t) (edge_count t));
+  Buffer.contents buf

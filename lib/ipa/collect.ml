@@ -1,0 +1,338 @@
+open Whirl
+open Regions
+
+type access = {
+  ac_st : int;
+  ac_mode : Mode.t;
+  ac_region : Region.t;
+  ac_loc : Lang.Loc.t;
+  ac_via : string option;
+}
+
+type callsite_arg =
+  | Arg_array_whole of int
+  | Arg_array_elem of int * Affine.result list
+  | Arg_scalar_ref of int
+  | Arg_value of Affine.result
+
+type site = {
+  s_callee : string;
+  s_args : callsite_arg list;
+  s_loops : (int * Region.loop_ctx) list;
+  s_loc : Lang.Loc.t;
+}
+
+type pu_info = {
+  p_pu : Ir.pu;
+  p_accesses : access list;
+  p_sites : site list;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Stable symbolic variables for scalars *)
+
+let sym_registry : (int * string * int, Linear.Var.t) Hashtbl.t =
+  Hashtbl.create 64
+
+let sym_reverse : (int, string * int) Hashtbl.t = Hashtbl.create 64
+
+let sym_var ~m ~pu ~st ~name =
+  let key =
+    if Ir.is_global_idx st then (m.Ir.m_id, "", st) else (m.Ir.m_id, pu, st)
+  in
+  match Hashtbl.find_opt sym_registry key with
+  | Some v -> v
+  | None ->
+    let v = Linear.Var.fresh ~name Linear.Var.Sym in
+    Hashtbl.add sym_registry key v;
+    let _, owner, code = key in
+    Hashtbl.replace sym_reverse (Linear.Var.id v) (owner, code);
+    v
+
+let sym_info v = Hashtbl.find_opt sym_reverse (Linear.Var.id v)
+
+(* ------------------------------------------------------------------ *)
+
+let extents_of m pu st =
+  match Ir.ty_of m pu st with
+  | Symtab.Ty_array { dims; _ } ->
+    let ext =
+      List.map
+        (fun (lo, hi) ->
+          match lo, hi with
+          | Some l, Some h when h >= l -> Some (h - l + 1)
+          | _ -> None)
+        dims
+    in
+    (match pu.Ir.pu_lang with
+    | Lang.Ast.Fortran -> List.rev ext
+    | Lang.Ast.C -> ext)
+  | Symtab.Ty_scalar _ -> []
+
+let is_array m pu st =
+  match Ir.ty_of m pu st with
+  | Symtab.Ty_array _ -> true
+  | Symtab.Ty_scalar _ -> false
+
+type state = {
+  m : Ir.module_;
+  pu : Ir.pu;
+  mutable loops : (int * Region.loop_ctx) list;  (* innermost first *)
+  mutable accesses : access list;
+  mutable sites : site list;
+}
+
+let affine_env s =
+  {
+    Affine.var_of_st =
+      (fun st ->
+        match List.assoc_opt st s.loops with
+        | Some lc -> Some lc.Region.lc_var
+        | None ->
+          let name = Ir.st_name s.m s.pu st in
+          Some (sym_var ~m:s.m ~pu:s.pu.Ir.pu_name ~st ~name));
+    const_of_st = (fun _ -> None);
+  }
+
+let loop_ctxs s = List.map snd s.loops
+
+let record s st mode region loc =
+  s.accesses <-
+    { ac_st = st; ac_mode = mode; ac_region = region; ac_loc = loc; ac_via = None }
+    :: s.accesses
+
+let region_of_array_node s (w : Wn.t) =
+  let n = Wn.num_dim w in
+  let env = affine_env s in
+  let subs = List.init n (fun k -> Affine.of_wn env (Wn.array_index w k)) in
+  let st = (Wn.array_base w).Wn.st_idx in
+  let extents = extents_of s.m s.pu st in
+  (st, Region.of_subscripts ~extents ~loops:(loop_ctxs s) subs)
+
+let whole_region s st = Region.whole ~extents:(extents_of s.m s.pu st)
+
+(* ------------------------------------------------------------------ *)
+
+let rec walk_expr s (w : Wn.t) =
+  match w.Wn.operator with
+  | Wn.OPR_ILOAD ->
+    let addr = Wn.kid w 0 in
+    if addr.Wn.operator = Wn.OPR_ARRAY then begin
+      let st, region = region_of_array_node s addr in
+      record s st Mode.USE region w.Wn.linenum;
+      let n = Wn.num_dim addr in
+      for k = 0 to n - 1 do
+        walk_expr s (Wn.array_index addr k)
+      done
+    end
+    else if addr.Wn.operator = Wn.OPR_COIDX then begin
+      (* remote coarray read: x(i)[p] *)
+      let arr = Wn.kid addr 0 in
+      let st, region = region_of_array_node s arr in
+      record s st Mode.RUSE region w.Wn.linenum;
+      let n = Wn.num_dim arr in
+      for k = 0 to n - 1 do
+        walk_expr s (Wn.array_index arr k)
+      done;
+      walk_expr s (Wn.kid addr 1)
+    end
+    else walk_expr s addr
+  | Wn.OPR_LDA ->
+    if is_array s.m s.pu w.Wn.st_idx then
+      record s w.Wn.st_idx Mode.USE (whole_region s w.Wn.st_idx) w.Wn.linenum
+  | Wn.OPR_ARRAY ->
+    let n = Wn.num_dim w in
+    for k = 0 to n - 1 do
+      walk_expr s (Wn.array_index w k)
+    done
+  | Wn.OPR_CALL -> walk_call s w
+  | _ -> Array.iter (walk_expr s) w.Wn.kids
+
+and walk_call s (w : Wn.t) =
+  let callee = Ir.st_name s.m s.pu w.Wn.st_idx in
+  let env = affine_env s in
+  let args =
+    Array.to_list w.Wn.kids
+    |> List.map (fun parm ->
+           let a = Wn.kid parm 0 in
+           match a.Wn.operator with
+           | Wn.OPR_LDA when is_array s.m s.pu a.Wn.st_idx ->
+             (* PASSED: the whole array is handed to the callee *)
+             record s a.Wn.st_idx Mode.PASSED (whole_region s a.Wn.st_idx)
+               w.Wn.linenum;
+             Arg_array_whole a.Wn.st_idx
+           | Wn.OPR_LDA -> Arg_scalar_ref a.Wn.st_idx
+           | Wn.OPR_ARRAY ->
+             let st = (Wn.array_base a).Wn.st_idx in
+             let n = Wn.num_dim a in
+             let coords =
+               List.init n (fun k -> Affine.of_wn env (Wn.array_index a k))
+             in
+             for k = 0 to n - 1 do
+               walk_expr s (Wn.array_index a k)
+             done;
+             let extents = extents_of s.m s.pu st in
+             let region =
+               Region.of_subscripts ~extents ~loops:(loop_ctxs s) coords
+             in
+             record s st Mode.PASSED region w.Wn.linenum;
+             Arg_array_elem (st, coords)
+           | _ ->
+             walk_expr s a;
+             Arg_value (Affine.of_wn env a))
+  in
+  s.sites <-
+    { s_callee = callee; s_args = args; s_loops = s.loops; s_loc = w.Wn.linenum }
+    :: s.sites
+
+let rec walk_stmt s (w : Wn.t) =
+  match w.Wn.operator with
+  | Wn.OPR_BLOCK | Wn.OPR_FUNC_ENTRY -> Array.iter (walk_stmt s) w.Wn.kids
+  | Wn.OPR_STID -> walk_expr s (Wn.kid w 0)
+  | Wn.OPR_ISTORE ->
+    walk_expr s (Wn.kid w 0);
+    let addr = Wn.kid w 1 in
+    if addr.Wn.operator = Wn.OPR_ARRAY then begin
+      let st, region = region_of_array_node s addr in
+      record s st Mode.DEF region w.Wn.linenum;
+      let n = Wn.num_dim addr in
+      for k = 0 to n - 1 do
+        walk_expr s (Wn.array_index addr k)
+      done
+    end
+    else if addr.Wn.operator = Wn.OPR_COIDX then begin
+      (* remote coarray write: x(i)[p] = ... *)
+      let arr = Wn.kid addr 0 in
+      let st, region = region_of_array_node s arr in
+      record s st Mode.RDEF region w.Wn.linenum;
+      let n = Wn.num_dim arr in
+      for k = 0 to n - 1 do
+        walk_expr s (Wn.array_index arr k)
+      done;
+      walk_expr s (Wn.kid addr 1)
+    end
+    else walk_expr s addr
+  | Wn.OPR_DO_LOOP ->
+    let ivar_st = (Wn.kid w 0).Wn.st_idx in
+    (* loop bound expressions run in the enclosing context *)
+    walk_expr s (Wn.kid w 1);
+    walk_expr s (Wn.kid w 2);
+    walk_expr s (Wn.kid w 3);
+    let env = affine_env s in
+    let lo = Affine.of_wn env (Wn.kid w 1) in
+    let hi = Affine.of_wn env (Wn.kid w 2) in
+    let step =
+      match Affine.of_wn env (Wn.kid w 3) with
+      | Affine.Affine e when Linear.Expr.is_const e ->
+        let c = Linear.Expr.constant e in
+        if Numeric.Rat.is_integer c then Some (Numeric.Rat.to_int c) else None
+      | _ -> None
+    in
+    let name = Ir.st_name s.m s.pu ivar_st in
+    let lc =
+      {
+        Region.lc_var = Linear.Var.fresh ~name Linear.Var.Ivar;
+        lc_lo = lo;
+        lc_hi = hi;
+        lc_step = step;
+      }
+    in
+    s.loops <- (ivar_st, lc) :: s.loops;
+    walk_stmt s (Wn.kid w 4);
+    s.loops <- List.tl s.loops
+  | Wn.OPR_WHILE_DO ->
+    walk_expr s (Wn.kid w 0);
+    walk_stmt s (Wn.kid w 1)
+  | Wn.OPR_IF ->
+    walk_expr s (Wn.kid w 0);
+    walk_stmt s (Wn.kid w 1);
+    walk_stmt s (Wn.kid w 2)
+  | Wn.OPR_CALL -> walk_call s w
+  | Wn.OPR_IO | Wn.OPR_INTRINSIC_OP ->
+    Array.iter
+      (fun parm ->
+        let a = if parm.Wn.operator = Wn.OPR_PARM then Wn.kid parm 0 else parm in
+        walk_expr s a)
+      w.Wn.kids
+  | Wn.OPR_RETURN -> Array.iter (walk_expr s) w.Wn.kids
+  | Wn.OPR_NOP -> ()
+  | _ -> Array.iter (walk_expr s) w.Wn.kids
+
+let formals_records s =
+  List.iter
+    (fun idx ->
+      let entry = Symtab.st s.pu.Ir.pu_symtab idx in
+      match Symtab.ty s.pu.Ir.pu_symtab entry.Symtab.st_ty with
+      | Symtab.Ty_array _ ->
+        record s idx Mode.FORMAL (whole_region s idx) entry.Symtab.st_loc
+      | Symtab.Ty_scalar _ -> ())
+    s.pu.Ir.pu_formals
+
+let run_body m pu wn =
+  let s = { m; pu; loops = []; accesses = []; sites = [] } in
+  walk_stmt s wn;
+  {
+    p_pu = pu;
+    p_accesses = List.rev s.accesses;
+    p_sites = List.rev s.sites;
+  }
+
+let scalar_defs m pu wn =
+  let defs = ref [] in
+  Wn.preorder
+    (fun w ->
+      if w.Wn.operator = Wn.OPR_STID && not (is_array m pu w.Wn.st_idx) then
+        if not (List.mem w.Wn.st_idx !defs) then defs := w.Wn.st_idx :: !defs)
+    wn;
+  List.rev !defs
+
+let loop_bounds_for m pu (loop : Wn.t) var =
+  let env =
+    {
+      Affine.var_of_st =
+        (fun st ->
+          Some (sym_var ~m ~pu:pu.Ir.pu_name ~st ~name:(Ir.st_name m pu st)));
+      const_of_st = (fun _ -> None);
+    }
+  in
+  let lo = Affine.of_wn env (Wn.kid loop 1) in
+  let hi = Affine.of_wn env (Wn.kid loop 2) in
+  let step =
+    match Affine.of_wn env (Wn.kid loop 3) with
+    | Affine.Affine e when Linear.Expr.is_const e
+                           && Numeric.Rat.is_integer (Linear.Expr.constant e) ->
+      Some (Numeric.Rat.to_int (Linear.Expr.constant e))
+    | _ -> None
+  in
+  let v = Linear.Expr.var var in
+  match lo, hi, step with
+  | Affine.Affine lo, Affine.Affine hi, Some s when s > 0 ->
+    [ Linear.Constr.ge v lo; Linear.Constr.le v hi ]
+  | Affine.Affine lo, Affine.Affine hi, Some s when s < 0 ->
+    [ Linear.Constr.ge v hi; Linear.Constr.le v lo ]
+  | Affine.Affine lo, Affine.Affine hi, _
+    when Linear.Expr.is_const lo && Linear.Expr.is_const hi ->
+    (* unknown step sign but constant bounds: the iteration space is within
+       [min, max] either way *)
+    let a = Linear.Expr.constant lo and b = Linear.Expr.constant hi in
+    let mn = Numeric.Rat.min a b and mx = Numeric.Rat.max a b in
+    [
+      Linear.Constr.ge v (Linear.Expr.const mn);
+      Linear.Constr.le v (Linear.Expr.const mx);
+    ]
+  | _ ->
+    (* direction unknowable: leave the variable unconstrained (sound) *)
+    []
+
+let run (m : Ir.module_) =
+  List.map
+    (fun pu ->
+      let s = { m; pu; loops = []; accesses = []; sites = [] } in
+      formals_records s;
+      walk_stmt s pu.Ir.pu_body;
+      {
+        p_pu = pu;
+        p_accesses = List.rev s.accesses;
+        p_sites = List.rev s.sites;
+      })
+    m.Ir.m_pus

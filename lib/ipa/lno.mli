@@ -1,0 +1,69 @@
+(** A small Loop Nest Optimizer: the consumer phase the paper places right
+    after IPA ("The compiler starts with the Loop Nest Optimizer (LNO)
+    where several code transformations and optimizations are occured,
+    depending on the analysis gathered at the IPA phase", Section IV-A).
+
+    Two region-analysis-driven transformations are provided, each with its
+    legality test from {!Deps}:
+
+    - {!fuse_pu}: merge adjacent DO loops with identical headers when no
+      fusion-preventing dependence exists — the transformation the paper's
+      Case 1 performs by hand on verify's XCR loops;
+    - {!interchange}: swap a perfect 2-nest when no (<, >) dependence
+      exists — the classic locality transformation the tool's feedback
+      ("Identify transformations ... to improve locality") suggests. *)
+
+val headers_compatible : Whirl.Wn.t -> Whirl.Wn.t -> bool
+(** Same induction variable and structurally equal bounds and step. *)
+
+val fuse : Whirl.Wn.t -> Whirl.Wn.t -> Whirl.Wn.t
+(** Merge the bodies under the first loop's header (no legality check).
+    @raise Invalid_argument when headers are incompatible. *)
+
+val fuse_pu :
+  Whirl.Ir.module_ ->
+  (string * Summary.t) list ->
+  Whirl.Ir.pu ->
+  Whirl.Ir.pu * int
+(** Repeatedly fuses adjacent compatible, dependence-legal loop pairs in
+    every block; returns the transformed PU and the number of fusions. *)
+
+val is_perfect_nest : Whirl.Wn.t -> Whirl.Wn.t option
+(** [Some inner] when the DO loop's body consists of exactly one DO loop. *)
+
+val interchange : Whirl.Wn.t -> Whirl.Wn.t
+(** Swap the two loops of a perfect 2-nest (no legality check).
+    @raise Invalid_argument when the argument is not a perfect nest. *)
+
+type locality_suggestion = {
+  loc_proc : string;
+  loc_line : int;
+  loc_outer : string;
+  loc_inner : string;
+  loc_bad_refs : int;   (** references whose fastest-varying subscript is the
+                            outer loop variable *)
+  loc_good_refs : int;
+  loc_legal : bool;     (** interchange passes the dependence test *)
+}
+
+val locality_suggestions :
+  Whirl.Ir.module_ ->
+  (string * Summary.t) list ->
+  Whirl.Ir.pu ->
+  locality_suggestion list
+(** Perfect 2-nests whose references mostly vary their {e last} (fastest,
+    contiguous) internal dimension with the outer induction variable —
+    i.e. the nest walks the arrays with a large stride.  Interchanging such
+    a nest is the locality transformation of the paper's first use case
+    ("Identify transformations based on Dragon feedback to improve locality
+    and reduce cache misses"). *)
+
+val interchange_pu :
+  Whirl.Ir.module_ ->
+  (string * Summary.t) list ->
+  Whirl.Ir.pu ->
+  want:(outer_ivar:string -> inner_ivar:string -> bool) ->
+  Whirl.Ir.pu * int
+(** Interchanges every legal perfect 2-nest for which [want] says yes
+    (callers typically decide from the subscript order, e.g. to make the
+    fastest-varying subscript the inner loop). *)

@@ -1,0 +1,16 @@
+(** Front-end diagnostics. *)
+
+type severity = Error | Warning
+
+type t = { severity : severity; loc : Loc.t; message : string }
+
+exception Frontend_error of t
+
+val error : Loc.t -> ('a, Format.formatter, unit, 'b) format4 -> 'a
+(** Formats the message and raises {!Frontend_error}. *)
+
+val warning : Loc.t -> ('a, Format.formatter, unit, t) format4 -> 'a
+(** Formats the message into a warning value (not raised). *)
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

@@ -1,0 +1,20 @@
+let parse_string ~file src =
+  match String.lowercase_ascii (Filename.extension file) with
+  | ".f" | ".f77" | ".f90" | ".for" -> Parser_f.parse ~file src
+  | ".c" -> Parser_c.parse ~file src
+  | ext ->
+    Diag.error
+      (Loc.make ~file ~line:1 ~col:1)
+      "unknown source extension %S (expected .f/.f90/.c)" ext
+
+let parse_file path =
+  let ic = open_in_bin path in
+  let len = in_channel_length ic in
+  let src = really_input_string ic len in
+  close_in ic;
+  parse_string ~file:path src
+
+let load ~files =
+  Sema.analyze (List.map (fun (file, src) -> parse_string ~file src) files)
+
+let load_paths paths = Sema.analyze (List.map parse_file paths)

@@ -1,0 +1,152 @@
+let is_digit c = c >= '0' && c <= '9'
+let is_alpha c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+let is_alnum c = is_alpha c || is_digit c
+
+let two_char_puncts =
+  [ "=="; "!="; "<="; ">="; "&&"; "||"; "++"; "--"; "+="; "-="; "*="; "/="; "%=" ]
+
+let one_char_puncts = "+-*/%<>=!(){}[];,&|#?:."
+
+let tokenize ~file src =
+  let n = String.length src in
+  let tokens = ref [] in
+  let line = ref 1 and bol = ref 0 in
+  let loc_at i = Loc.make ~file ~line:!line ~col:(i - !bol + 1) in
+  let emit tok loc = tokens := { Token.tok; loc } :: !tokens in
+  let i = ref 0 in
+  let in_directive = ref false in
+  while !i < n do
+    let c = src.[!i] in
+    match c with
+    | ' ' | '\t' | '\r' -> incr i
+    | '\n' ->
+      if !in_directive then begin
+        emit Token.Newline (loc_at !i);
+        in_directive := false
+      end;
+      incr i;
+      incr line;
+      bol := !i
+    | '/' when !i + 1 < n && src.[!i + 1] = '/' ->
+      while !i < n && src.[!i] <> '\n' do incr i done
+    | '/' when !i + 1 < n && src.[!i + 1] = '*' ->
+      let start = !i in
+      i := !i + 2;
+      let rec scan () =
+        if !i + 1 >= n then Diag.error (loc_at start) "unterminated comment"
+        else if src.[!i] = '*' && src.[!i + 1] = '/' then i := !i + 2
+        else begin
+          if src.[!i] = '\n' then begin
+            incr line;
+            bol := !i + 1
+          end;
+          incr i;
+          scan ()
+        end
+      in
+      scan ()
+    | '"' ->
+      let start = !i in
+      let buf = Buffer.create 16 in
+      incr i;
+      let rec scan () =
+        if !i >= n then Diag.error (loc_at start) "unterminated string"
+        else if src.[!i] = '\\' && !i + 1 < n then begin
+          (let c =
+             match src.[!i + 1] with
+             | 'n' -> '\n'
+             | 't' -> '\t'
+             | 'r' -> '\r'
+             | '0' -> '\000'
+             | c -> c
+           in
+           Buffer.add_char buf c);
+          i := !i + 2;
+          scan ()
+        end
+        else if src.[!i] = '"' then incr i
+        else begin
+          Buffer.add_char buf src.[!i];
+          incr i;
+          scan ()
+        end
+      in
+      scan ();
+      emit (Token.String (Buffer.contents buf)) (loc_at start)
+    | '\'' ->
+      let start = !i in
+      incr i;
+      if !i >= n then Diag.error (loc_at start) "unterminated character literal";
+      let ch =
+        if src.[!i] = '\\' && !i + 1 < n then begin
+          i := !i + 2;
+          match src.[!i - 1] with
+          | 'n' -> '\n'
+          | 't' -> '\t'
+          | '0' -> '\000'
+          | c -> c
+        end
+        else begin
+          incr i;
+          src.[!i - 1]
+        end
+      in
+      if !i >= n || src.[!i] <> '\'' then
+        Diag.error (loc_at start) "unterminated character literal";
+      incr i;
+      emit (Token.String (String.make 1 ch)) (loc_at start)
+    | c when is_digit c ->
+      let start = !i in
+      while !i < n && is_digit src.[!i] do incr i done;
+      let is_float = ref false in
+      if !i < n && src.[!i] = '.' then begin
+        is_float := true;
+        incr i;
+        while !i < n && is_digit src.[!i] do incr i done
+      end;
+      if !i < n && (src.[!i] = 'e' || src.[!i] = 'E') then begin
+        is_float := true;
+        incr i;
+        if !i < n && (src.[!i] = '+' || src.[!i] = '-') then incr i;
+        while !i < n && is_digit src.[!i] do incr i done
+      end;
+      (* suffixes f, l, u *)
+      while
+        !i < n
+        && (match src.[!i] with 'f' | 'F' | 'l' | 'L' | 'u' | 'U' -> true | _ -> false)
+      do
+        incr i
+      done;
+      let text =
+        String.sub src start (!i - start)
+        |> String.to_seq
+        |> Seq.filter (fun c ->
+               not (List.mem c [ 'f'; 'F'; 'l'; 'L'; 'u'; 'U' ]))
+        |> String.of_seq
+      in
+      if !is_float then emit (Token.Float (float_of_string text)) (loc_at start)
+      else emit (Token.Int (int_of_string text)) (loc_at start)
+    | c when is_alpha c ->
+      let start = !i in
+      while !i < n && is_alnum src.[!i] do incr i done;
+      emit (Token.Ident (String.sub src start (!i - start))) (loc_at start)
+    | '#' ->
+      in_directive := true;
+      emit (Token.Punct "#") (loc_at !i);
+      incr i
+    | _ ->
+      let start = !i in
+      let two = if !i + 1 < n then String.sub src !i 2 else "" in
+      if List.mem two two_char_puncts then begin
+        i := !i + 2;
+        emit (Token.Punct two) (loc_at start)
+      end
+      else if String.contains one_char_puncts c then begin
+        incr i;
+        emit (Token.Punct (String.make 1 c)) (loc_at start)
+      end
+      else Diag.error (loc_at start) "unexpected character %C" c
+  done;
+  if !in_directive then emit Token.Newline (loc_at !i);
+  emit Token.Eof (loc_at !i);
+  List.rev !tokens

@@ -1,0 +1,7 @@
+(** Lexer for the MiniC subset: C89-style tokens, [//] and [/* */] comments,
+    [#define]/[#include] preprocessor lines are tokenized as a ["#"] punct
+    followed by the directive tokens up to end of line, terminated by a
+    {!Token.Newline} (the only place MiniC emits one). *)
+
+val tokenize : file:string -> string -> Token.spanned list
+(** @raise Diag.Frontend_error on an unrecognized character. *)

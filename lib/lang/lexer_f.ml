@@ -1,0 +1,161 @@
+let is_digit c = c >= '0' && c <= '9'
+let is_alpha c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+let is_alnum c = is_alpha c || is_digit c
+
+(* Dotted operator spellings and their canonical punctuation. *)
+let dotted_ops =
+  [
+    ("lt", "<"); ("le", "<="); ("gt", ">"); ("ge", ">=");
+    ("eq", "=="); ("ne", "/=:"); ("and", "&&"); ("or", "||"); ("not", "!");
+  ]
+
+let tokenize ~file src =
+  let n = String.length src in
+  let tokens = ref [] in
+  let line = ref 1 and bol = ref 0 in
+  let loc_at i = Loc.make ~file ~line:!line ~col:(i - !bol + 1) in
+  let emit tok loc = tokens := { Token.tok; loc } :: !tokens in
+  let last_significant () =
+    match !tokens with { Token.tok; _ } :: _ -> Some tok | [] -> None
+  in
+  let i = ref 0 in
+  (* comment line: 'c', 'C' or '*' in column 1 followed by blank/EOL *)
+  let at_comment_line () =
+    !i = !bol
+    && !i < n
+    && (match src.[!i] with
+       | 'c' | 'C' | '*' ->
+         !i + 1 >= n || src.[!i + 1] = ' ' || src.[!i + 1] = '\n'
+           || src.[!i + 1] = '\t' || src.[!i + 1] = '\r'
+       | _ -> false)
+  in
+  let skip_to_eol () =
+    while !i < n && src.[!i] <> '\n' do incr i done
+  in
+  while !i < n do
+    let c = src.[!i] in
+    if at_comment_line () then skip_to_eol ()
+    else
+      match c with
+      | ' ' | '\t' | '\r' -> incr i
+      | '\n' ->
+        (* collapse consecutive newlines; suppress newline after '&' *)
+        (match last_significant () with
+        | Some Token.Newline | None -> ()
+        | Some _ -> emit Token.Newline (loc_at !i));
+        incr i;
+        incr line;
+        bol := !i
+      | '&' ->
+        (* continuation: swallow to end of line including the newline *)
+        incr i;
+        skip_to_eol ();
+        if !i < n then begin
+          incr i;
+          incr line;
+          bol := !i
+        end
+      | '!' -> skip_to_eol ()
+      | '\'' | '"' ->
+        let quote = c in
+        let start = !i in
+        let buf = Buffer.create 16 in
+        incr i;
+        let rec scan () =
+          if !i >= n then Diag.error (loc_at start) "unterminated string"
+          else if src.[!i] = quote then
+            if !i + 1 < n && src.[!i + 1] = quote then begin
+              Buffer.add_char buf quote;
+              i := !i + 2;
+              scan ()
+            end
+            else incr i
+          else begin
+            Buffer.add_char buf src.[!i];
+            incr i;
+            scan ()
+          end
+        in
+        scan ();
+        emit (Token.String (Buffer.contents buf)) (loc_at start)
+      | '.' when !i + 1 < n && is_alpha src.[!i + 1] ->
+        (* dotted operator or logical literal *)
+        let start = !i in
+        let j = ref (!i + 1) in
+        while !j < n && is_alpha src.[!j] do incr j done;
+        if !j < n && src.[!j] = '.' then begin
+          let word = String.lowercase_ascii (String.sub src (!i + 1) (!j - !i - 1)) in
+          i := !j + 1;
+          match word with
+          | "true" -> emit (Token.Logic true) (loc_at start)
+          | "false" -> emit (Token.Logic false) (loc_at start)
+          | _ -> (
+            match List.assoc_opt word dotted_ops with
+            | Some p ->
+              let p = if p = "/=:" then "!=" else p in
+              emit (Token.Punct p) (loc_at start)
+            | None -> Diag.error (loc_at start) "unknown operator .%s." word)
+        end
+        else Diag.error (loc_at start) "stray '.'"
+      | c when is_digit c || (c = '.' && !i + 1 < n && is_digit src.[!i + 1]) ->
+        let start = !i in
+        while !i < n && is_digit src.[!i] do incr i done;
+        let is_float = ref false in
+        if
+          !i < n && src.[!i] = '.'
+          && not (!i + 1 < n && is_alpha src.[!i + 1])
+          (* 1.lt.2 must not eat the dot *)
+        then begin
+          is_float := true;
+          incr i;
+          while !i < n && is_digit src.[!i] do incr i done
+        end;
+        (* exponent: e, d (double), with optional sign *)
+        if
+          !i < n
+          && (match src.[!i] with 'e' | 'E' | 'd' | 'D' -> true | _ -> false)
+          && (!i + 1 < n
+             && (is_digit src.[!i + 1]
+                || ((src.[!i + 1] = '+' || src.[!i + 1] = '-')
+                   && !i + 2 < n && is_digit src.[!i + 2])))
+        then begin
+          is_float := true;
+          incr i;
+          if !i < n && (src.[!i] = '+' || src.[!i] = '-') then incr i;
+          while !i < n && is_digit src.[!i] do incr i done
+        end;
+        let text = String.sub src start (!i - start) in
+        if !is_float then
+          let text =
+            String.map (function 'd' | 'D' -> 'e' | c -> c) text
+          in
+          emit (Token.Float (float_of_string text)) (loc_at start)
+        else emit (Token.Int (int_of_string text)) (loc_at start)
+      | c when is_alpha c ->
+        let start = !i in
+        while !i < n && is_alnum src.[!i] do incr i done;
+        let word = String.lowercase_ascii (String.sub src start (!i - start)) in
+        emit (Token.Ident word) (loc_at start)
+      | _ ->
+        let start = !i in
+        let two =
+          if !i + 1 < n then String.sub src !i 2 else ""
+        in
+        let punct, len =
+          match two with
+          | "**" | "==" | "/=" | "<=" | ">=" | "::" -> (two, 2)
+          | _ -> (String.make 1 c, 1)
+        in
+        let punct = if punct = "/=" then "!=" else punct in
+        (match punct with
+        | "+" | "-" | "*" | "/" | "(" | ")" | "," | "=" | ":" | "<" | ">"
+        | "[" | "]" | "**" | "==" | "!=" | "<=" | ">=" | "::" ->
+          i := !i + len;
+          emit (Token.Punct punct) (loc_at start)
+        | _ -> Diag.error (loc_at start) "unexpected character %C" c)
+  done;
+  (match last_significant () with
+  | Some Token.Newline | None -> ()
+  | Some _ -> emit Token.Newline (loc_at !i));
+  emit Token.Eof (loc_at !i);
+  List.rev !tokens

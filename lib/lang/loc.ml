@@ -1,0 +1,18 @@
+type t = { file : string; line : int; col : int }
+
+let make ~file ~line ~col = { file; line; col }
+let dummy = { file = "<none>"; line = 0; col = 0 }
+let file t = t.file
+let line t = t.line
+let col t = t.col
+let equal a b = a.file = b.file && a.line = b.line && a.col = b.col
+
+let compare a b =
+  let c = String.compare a.file b.file in
+  if c <> 0 then c
+  else
+    let c = Int.compare a.line b.line in
+    if c <> 0 then c else Int.compare a.col b.col
+
+let pp ppf t = Format.fprintf ppf "%s:%d:%d" t.file t.line t.col
+let to_string t = Format.asprintf "%a" pp t

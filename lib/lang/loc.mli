@@ -1,0 +1,15 @@
+(** Source positions.  Dragon's "locate the array in the source" feature and
+    the [.rgn] file's line numbers both rely on every AST and WHIRL node
+    carrying one of these. *)
+
+type t = { file : string; line : int; col : int }
+
+val make : file:string -> line:int -> col:int -> t
+val dummy : t
+val file : t -> string
+val line : t -> int
+val col : t -> int
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

@@ -1,0 +1,13 @@
+(** Recursive-descent parser for the MiniC subset.
+
+    Supported: file-scope declarations (become globals), [#define] constants,
+    [#include] (ignored), function definitions, block-local declarations with
+    optional initializers, [if]/[else], [while], [for] (canonical
+    [for (i = e1; i <op> e2; i++/i--/i+=c)] loops are normalized to
+    {!Ast.Do}; anything else becomes {!Ast.While}), [return], assignment
+    (including [+=]-family and [++]/[--]), calls, and [printf] (mapped to
+    {!Ast.Print}).  Array indexing [a[i][j]] parses to {!Ast.Array_ref} with
+    the declared 0-based bounds preserved. *)
+
+val parse : file:string -> string -> Ast.unit_
+(** @raise Diag.Frontend_error on syntax errors. *)

@@ -1,0 +1,39 @@
+type t = { tokens : Token.spanned array; mutable pos : int }
+
+let make tokens = { tokens = Array.of_list tokens; pos = 0 }
+
+let nth t k =
+  if t.pos + k < Array.length t.tokens then t.tokens.(t.pos + k)
+  else { Token.tok = Token.Eof; loc = Loc.dummy }
+
+let peek t = (nth t 0).Token.tok
+let peek2 t = (nth t 1).Token.tok
+let loc t = (nth t 0).Token.loc
+
+let next t =
+  let tok = peek t in
+  if t.pos < Array.length t.tokens then t.pos <- t.pos + 1;
+  tok
+
+let skip t = ignore (next t)
+
+let accept t tok =
+  if Token.equal (peek t) tok then begin
+    skip t;
+    true
+  end
+  else false
+
+let error t fmt = Diag.error (loc t) fmt
+
+let expect t tok =
+  if not (accept t tok) then
+    error t "expected %s but found %s" (Token.to_string tok)
+      (Token.to_string (peek t))
+
+let expect_ident t =
+  match peek t with
+  | Token.Ident s ->
+    skip t;
+    s
+  | other -> error t "expected identifier but found %s" (Token.to_string other)

@@ -1,0 +1,28 @@
+(** Token-stream cursor shared by both recursive-descent parsers. *)
+
+type t
+
+val make : Token.spanned list -> t
+
+val peek : t -> Token.t
+val peek2 : t -> Token.t
+(** Token after the next one ({!Token.Eof} when exhausted). *)
+
+val loc : t -> Loc.t
+(** Location of the next token. *)
+
+val next : t -> Token.t
+(** Consumes and returns the next token. *)
+
+val skip : t -> unit
+
+val accept : t -> Token.t -> bool
+(** Consumes the next token iff it equals the given one. *)
+
+val expect : t -> Token.t -> unit
+(** @raise Diag.Frontend_error when the next token differs. *)
+
+val expect_ident : t -> string
+(** Consumes an identifier and returns its text. *)
+
+val error : t -> ('a, Format.formatter, unit, 'b) format4 -> 'a

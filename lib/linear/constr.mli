@@ -1,0 +1,35 @@
+(** Affine constraints [e <= 0] or [e = 0]. *)
+
+open Numeric
+
+type op = Le | Eq
+
+type t = private { expr : Expr.t; op : op }
+
+val make : Expr.t -> op -> t
+(** Normalizes coefficients: scaled to coprime integers, and for [Eq] the
+    leading coefficient is made positive. *)
+
+val le : Expr.t -> Expr.t -> t
+(** [le a b] is [a - b <= 0], i.e. [a <= b]. *)
+
+val ge : Expr.t -> Expr.t -> t
+val eq : Expr.t -> Expr.t -> t
+
+val expr : t -> Expr.t
+val op : t -> op
+
+val is_trivial : t -> bool option
+(** For a constant constraint, [Some true] if always satisfied, [Some false]
+    if unsatisfiable; [None] if the constraint mentions variables. *)
+
+val subst : Var.t -> Expr.t -> t -> t
+
+val holds : (Var.t -> Rat.t) -> t -> bool
+
+val vars : t -> Var.t list
+val mem : Var.t -> t -> bool
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,103 @@
+open Numeric
+
+type t = { terms : Rat.t Var.Map.t; constant : Rat.t }
+
+let zero = { terms = Var.Map.empty; constant = Rat.zero }
+
+let const c = { terms = Var.Map.empty; constant = c }
+
+let of_int n = const (Rat.of_int n)
+
+let norm_coeff c = if Rat.equal c Rat.zero then None else Some c
+
+let monom c v =
+  match norm_coeff c with
+  | None -> zero
+  | Some c -> { terms = Var.Map.singleton v c; constant = Rat.zero }
+
+let var v = monom Rat.one v
+
+let add a b =
+  let terms =
+    Var.Map.union (fun _ ca cb -> norm_coeff (Rat.add ca cb)) a.terms b.terms
+  in
+  { terms; constant = Rat.add a.constant b.constant }
+
+let scale k t =
+  if Rat.equal k Rat.zero then zero
+  else
+    { terms = Var.Map.map (Rat.mul k) t.terms; constant = Rat.mul k t.constant }
+
+let neg t = scale Rat.minus_one t
+
+let sub a b = add a (neg b)
+
+let add_const c t = { t with constant = Rat.add c t.constant }
+
+let coeff v t =
+  match Var.Map.find_opt v t.terms with Some c -> c | None -> Rat.zero
+
+let constant t = t.constant
+
+let vars t = Var.Map.bindings t.terms |> List.map fst
+
+let mem v t = Var.Map.mem v t.terms
+
+let is_const t = Var.Map.is_empty t.terms
+
+let subst v e t =
+  let c = coeff v t in
+  if Rat.equal c Rat.zero then t
+  else
+    let without = { t with terms = Var.Map.remove v t.terms } in
+    add without (scale c e)
+
+let eval valuation t =
+  Var.Map.fold
+    (fun v c acc -> Rat.add acc (Rat.mul c (valuation v)))
+    t.terms t.constant
+
+let partial_eval valuation t =
+  Var.Map.fold
+    (fun v c acc ->
+      match valuation v with
+      | Some r -> add_const (Rat.mul c r) acc
+      | None -> add acc (monom c v))
+    t.terms (const t.constant)
+
+let fold f t init = Var.Map.fold f t.terms init
+
+let denominator_lcm t =
+  Var.Map.fold
+    (fun _ c acc -> Rat.lcm acc (Rat.den c))
+    t.terms (Rat.den t.constant)
+
+let equal a b =
+  Rat.equal a.constant b.constant && Var.Map.equal Rat.equal a.terms b.terms
+
+let compare a b =
+  let c = Rat.compare a.constant b.constant in
+  if c <> 0 then c else Var.Map.compare Rat.compare a.terms b.terms
+
+let pp ppf t =
+  let first = ref true in
+  let sep sign =
+    if !first then begin
+      first := false;
+      if sign < 0 then Format.pp_print_string ppf "-"
+    end
+    else Format.pp_print_string ppf (if sign < 0 then " - " else " + ")
+  in
+  Var.Map.iter
+    (fun v c ->
+      sep (Rat.sign c);
+      let a = Rat.abs c in
+      if Rat.equal a Rat.one then Var.pp ppf v
+      else Format.fprintf ppf "%a*%a" Rat.pp a Var.pp v)
+    t.terms;
+  if not (Rat.equal t.constant Rat.zero) || !first then begin
+    sep (Rat.sign t.constant);
+    Rat.pp ppf (Rat.abs t.constant)
+  end
+
+let to_string t = Format.asprintf "%a" pp t

@@ -1,0 +1,47 @@
+(** Affine expressions [sum_i c_i * v_i + c0] with exact rational
+    coefficients. *)
+
+open Numeric
+
+type t
+(** Immutable; variables with zero coefficient are never stored. *)
+
+val zero : t
+val const : Rat.t -> t
+val of_int : int -> t
+val var : Var.t -> t
+val monom : Rat.t -> Var.t -> t
+
+val add : t -> t -> t
+val sub : t -> t -> t
+val neg : t -> t
+val scale : Rat.t -> t -> t
+val add_const : Rat.t -> t -> t
+
+val coeff : Var.t -> t -> Rat.t
+val constant : t -> Rat.t
+
+val vars : t -> Var.t list
+(** In increasing variable order. *)
+
+val mem : Var.t -> t -> bool
+val is_const : t -> bool
+
+val subst : Var.t -> t -> t -> t
+(** [subst v e t] replaces [v] by [e] in [t]. *)
+
+val eval : (Var.t -> Rat.t) -> t -> Rat.t
+(** @raise Not_found if the valuation lacks a variable of [t]. *)
+
+val partial_eval : (Var.t -> Rat.t option) -> t -> t
+(** Substitutes the variables the valuation knows, keeps the rest. *)
+
+val fold : (Var.t -> Rat.t -> 'a -> 'a) -> t -> 'a -> 'a
+
+val denominator_lcm : t -> int
+(** Positive lcm of all coefficient denominators (including the constant). *)
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

@@ -1,0 +1,178 @@
+open Numeric
+
+type t = Constr.t list
+(* sorted by Constr.compare, deduplicated, no trivially-true members *)
+
+let false_constraint = Constr.make (Expr.of_int 1) Constr.Le
+
+let normalize cs =
+  let cs = List.filter (fun c -> Constr.is_trivial c <> Some true) cs in
+  if List.exists (fun c -> Constr.is_trivial c = Some false) cs then
+    [ false_constraint ]
+  else List.sort_uniq Constr.compare cs
+
+let top = []
+let bottom = [ false_constraint ]
+
+let of_list cs = normalize cs
+let to_list t = t
+let add c t = normalize (c :: t)
+let meet a b = normalize (List.rev_append a b)
+let size t = List.length t
+
+let vars t =
+  List.fold_left
+    (fun acc c -> List.fold_left (fun s v -> Var.Set.add v s) acc (Constr.vars c))
+    Var.Set.empty t
+
+let subst v e t = normalize (List.map (Constr.subst v e) t)
+
+(* Fourier-Motzkin step.  An equality mentioning [v] gives an exact
+   substitution; otherwise lower bounds (coeff < 0) pair with upper bounds
+   (coeff > 0). *)
+let eliminate v t =
+  let mentions, free = List.partition (Constr.mem v) t in
+  match
+    List.find_opt (fun c -> Constr.op c = Constr.Eq) mentions
+  with
+  | Some e ->
+    let c = Expr.coeff v (Constr.expr e) in
+    (* v = -(rest)/c *)
+    let rest = Expr.subst v Expr.zero (Constr.expr e) in
+    let solution = Expr.scale (Rat.div Rat.minus_one c) rest in
+    let others = List.filter (fun c -> not (Constr.equal c e)) mentions in
+    normalize (free @ List.map (Constr.subst v solution) others)
+  | None ->
+    let uppers, lowers =
+      List.partition (fun c -> Rat.sign (Expr.coeff v (Constr.expr c)) > 0) mentions
+    in
+    let combined =
+      List.concat_map
+        (fun lo ->
+          let cl = Expr.coeff v (Constr.expr lo) in
+          List.map
+            (fun up ->
+              let cu = Expr.coeff v (Constr.expr up) in
+              (* cl < 0 < cu: cu*lo_expr - cl*up_expr removes v *)
+              let e =
+                Expr.sub
+                  (Expr.scale cu (Constr.expr lo))
+                  (Expr.scale cl (Constr.expr up))
+              in
+              Constr.make e Constr.Le)
+            uppers)
+        lowers
+    in
+    normalize (free @ combined)
+
+let eliminate_all vs t = List.fold_left (fun t v -> eliminate v t) t vs
+
+let project_onto keep t =
+  let doomed = Var.Set.diff (vars t) keep in
+  eliminate_all (Var.Set.elements doomed) t
+
+let feasible t =
+  let t = eliminate_all (Var.Set.elements (vars t)) t in
+  not (List.exists (fun c -> Constr.is_trivial c = Some false) t)
+
+(* Constant bounds on [v] once every constraint mentions only [v]. *)
+let local_bounds v t =
+  List.fold_left
+    (fun (lo, hi) c ->
+      let e = Constr.expr c in
+      let cv = Expr.coeff v e in
+      if Rat.sign cv = 0 then (lo, hi)
+      else
+        let b = Rat.div (Rat.neg (Expr.constant e)) cv in
+        let tighten_lo lo = match lo with
+          | None -> Some b
+          | Some l -> Some (Rat.max l b)
+        and tighten_hi hi = match hi with
+          | None -> Some b
+          | Some h -> Some (Rat.min h b)
+        in
+        match Constr.op c with
+        | Constr.Eq -> (tighten_lo lo, tighten_hi hi)
+        | Constr.Le ->
+          if Rat.sign cv > 0 then (lo, tighten_hi hi) else (tighten_lo lo, hi))
+    (None, None) t
+
+let bounds v t =
+  let t = project_onto (Var.Set.singleton v) t in
+  if List.exists (fun c -> Constr.is_trivial c = Some false) t then
+    (* infeasible system: conventionally empty bounds *)
+    (Some Rat.one, Some Rat.zero)
+  else local_bounds v t
+
+(* Negation of [e <= 0] over integer points (integer coefficients assured by
+   Constr normalization) is [1 - e <= 0]. *)
+let negations c =
+  let e = Constr.expr c in
+  match Constr.op c with
+  | Constr.Le -> [ Constr.make (Expr.add_const Rat.one (Expr.neg e)) Constr.Le ]
+  | Constr.Eq ->
+    [ Constr.make (Expr.add_const Rat.one (Expr.neg e)) Constr.Le;
+      Constr.make (Expr.add_const Rat.one e) Constr.Le ]
+
+let implies t c =
+  List.for_all (fun n -> not (feasible (add n t))) (negations c)
+
+let includes a b = List.for_all (fun c -> implies b c) a
+
+let disjoint a b = not (feasible (meet a b))
+
+let equal_semantic a b = includes a b && includes b a
+
+let simplify t =
+  (* keep a constraint only if the others do not already entail it *)
+  let rec go kept = function
+    | [] -> kept
+    | c :: rest ->
+      let others = List.rev_append kept rest in
+      if others <> [] && implies others c then go kept rest
+      else go (c :: kept) rest
+  in
+  normalize (go [] t)
+
+let pick_in_range lo hi =
+  match lo, hi with
+  | None, None -> Rat.zero
+  | Some l, None ->
+    let c = Rat.of_int (Rat.ceil l) in
+    if Rat.( >= ) c l then c else l
+  | None, Some h ->
+    let f = Rat.of_int (Rat.floor h) in
+    if Rat.( <= ) f h then f else h
+  | Some l, Some h ->
+    let cl = Rat.ceil l and fh = Rat.floor h in
+    if cl <= fh then Rat.of_int cl
+    else Rat.div (Rat.add l h) (Rat.of_int 2)
+
+let sample t =
+  let rec solve sys = function
+    | [] ->
+      if List.exists (fun c -> Constr.is_trivial c = Some false) sys then None
+      else Some Var.Map.empty
+    | v :: rest -> (
+      let sys' = eliminate v sys in
+      match solve sys' rest with
+      | None -> None
+      | Some m ->
+        let sysv =
+          Var.Map.fold (fun u r s -> subst u (Expr.const r) s) m sys
+        in
+        let lo, hi = local_bounds v sysv in
+        Some (Var.Map.add v (pick_in_range lo hi) m))
+  in
+  match solve t (Var.Set.elements (vars t)) with
+  | None -> None
+  | Some m -> Some (fun v -> Var.Map.find v m)
+
+let pp ppf t =
+  if t = [] then Format.pp_print_string ppf "{true}"
+  else
+    Format.fprintf ppf "{@[%a@]}"
+      (Format.pp_print_list
+         ~pp_sep:(fun ppf () -> Format.fprintf ppf ",@ ")
+         Constr.pp)
+      t

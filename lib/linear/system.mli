@@ -1,0 +1,76 @@
+(** Conjunctions of affine constraints, with Fourier-Motzkin elimination.
+
+    This is the solver the paper's Regions method relies on (Section III:
+    "Fourier-Motzkin linear system solver, which has worst case exponential
+    time, is needed to compare Regions").  All decisions are exact over the
+    rationals; see the individual functions for how that relates to the
+    integer index sets regions denote. *)
+
+open Numeric
+
+type t
+(** A set of constraints, kept deduplicated and free of trivially-true
+    members.  An unsatisfiable constant constraint is retained so that
+    infeasibility is observable. *)
+
+val top : t
+(** The unconstrained system (whole space). *)
+
+val bottom : t
+(** A canonical infeasible system. *)
+
+val of_list : Constr.t list -> t
+val to_list : t -> Constr.t list
+val add : Constr.t -> t -> t
+val meet : t -> t -> t
+(** Conjunction. *)
+
+val size : t -> int
+val vars : t -> Var.Set.t
+
+val eliminate : Var.t -> t -> t
+(** Fourier-Motzkin projection of one variable: the result's rational
+    solution set is exactly the shadow of the input's.  Equalities involving
+    the variable are used as exact substitutions. *)
+
+val eliminate_all : Var.t list -> t -> t
+
+val project_onto : Var.Set.t -> t -> t
+(** Eliminates every variable not in the given set. *)
+
+val feasible : t -> bool
+(** Rational feasibility.  [false] guarantees the system has no integer
+    points either, which is the direction the dependence/disjointness tests
+    need for soundness. *)
+
+val subst : Var.t -> Expr.t -> t -> t
+
+val bounds : Var.t -> t -> Rat.t option * Rat.t option
+(** [(lo, hi)] — the tightest constant bounds on the variable implied by the
+    system (other variables are projected away first).  [None] means
+    unbounded in that direction. *)
+
+val implies : t -> Constr.t -> bool
+(** Entailment over integer points (constraints have integer coefficients, so
+    the negation of [e <= 0] is [e >= 1]).  Sound and complete for integer
+    solution sets whenever FM is (no integrality gaps are introduced by the
+    negation). *)
+
+val includes : t -> t -> bool
+(** [includes a b] — the solution set of [a] contains that of [b]. *)
+
+val disjoint : t -> t -> bool
+(** No common rational point; implies no common integer point. *)
+
+val equal_semantic : t -> t -> bool
+(** Mutual inclusion. *)
+
+val simplify : t -> t
+(** Removes constraints entailed by the rest (quadratic in the system size;
+    used to keep interprocedural summaries small after unions). *)
+
+val sample : t -> (Var.t -> Rat.t) option
+(** A rational point satisfying the system, if feasible: found by
+    back-substitution through the elimination order. *)
+
+val pp : Format.formatter -> t -> unit

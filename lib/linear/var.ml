@@ -1,0 +1,46 @@
+type kind =
+  | Subscript of int
+  | Ivar
+  | Sym
+
+type t = { id : int; name : string; kind : kind }
+
+let counter = ref 0
+
+let fresh ~name kind =
+  incr counter;
+  { id = !counter; name; kind }
+
+(* Canonical subscript variables: dimension k of every region description is
+   the same variable, so regions over the same array compose directly.
+   Their ids are negative to stay disjoint from [fresh] ids. *)
+let subscript_table : (int, t) Hashtbl.t = Hashtbl.create 16
+
+let subscript k =
+  match Hashtbl.find_opt subscript_table k with
+  | Some v -> v
+  | None ->
+    let v = { id = -(k + 1); name = Printf.sprintf "d%d" k; kind = Subscript k } in
+    Hashtbl.add subscript_table k v;
+    v
+
+let id t = t.id
+let name t = t.name
+let kind t = t.kind
+
+let is_subscript t = match t.kind with Subscript _ -> true | Ivar | Sym -> false
+let is_ivar t = match t.kind with Ivar -> true | Subscript _ | Sym -> false
+let is_sym t = match t.kind with Sym -> true | Subscript _ | Ivar -> false
+
+let compare a b = Int.compare a.id b.id
+let equal a b = a.id = b.id
+
+let pp ppf t = Format.pp_print_string ppf t.name
+
+module Ord = struct
+  type nonrec t = t
+  let compare = compare
+end
+
+module Map = Map.Make (Ord)
+module Set = Set.Make (Ord)

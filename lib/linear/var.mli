@@ -1,0 +1,39 @@
+(** Variables of the linear constraint language.
+
+    The region analysis distinguishes the roles the paper's ARA module gives
+    to bound terms (CONST / IVAR / LINDEX / SUBSCR):
+
+    - {!Subscript}[ k] — the canonical variable standing for dimension [k] of
+      the array region being described (the paper's SUBSCR / LINDEX);
+    - {!Ivar} — a loop induction variable, eliminated by projection;
+    - {!Sym} — a symbolic program value (formal scalar, COMMON scalar, ...)
+      that survives projection and renders symbolically. *)
+
+type kind =
+  | Subscript of int  (** region dimension, 0-based *)
+  | Ivar              (** loop induction variable *)
+  | Sym               (** symbolic program constant *)
+
+type t = private { id : int; name : string; kind : kind }
+
+val fresh : name:string -> kind -> t
+(** Allocates a globally unique variable. *)
+
+val subscript : int -> t
+(** [subscript k] is the canonical (interned) variable for dimension [k];
+    repeated calls return the identical variable. *)
+
+val id : t -> int
+val name : t -> string
+val kind : t -> kind
+
+val is_subscript : t -> bool
+val is_ivar : t -> bool
+val is_sym : t -> bool
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit
+
+module Map : Map.S with type key = t
+module Set : Set.S with type elt = t

@@ -1,0 +1,115 @@
+exception Overflow
+
+type t = { num : int; den : int }
+
+let rec gcd a b =
+  let a = Stdlib.abs a and b = Stdlib.abs b in
+  if b = 0 then a else gcd b (a mod b)
+
+(* Overflow-checked primitives.  [max_int / |b|] bounds the admissible |a|
+   for a checked product; additions are checked by sign analysis. *)
+
+let checked_mul a b =
+  if a = 0 || b = 0 then 0
+  else begin
+    let p = a * b in
+    if p / b <> a then raise Overflow;
+    p
+  end
+
+let checked_add a b =
+  let s = a + b in
+  if (a >= 0 && b >= 0 && s < 0) || (a < 0 && b < 0 && s >= 0) then
+    raise Overflow;
+  s
+
+let checked_neg a = if a = min_int then raise Overflow else -a
+
+let lcm a b = if a = 0 || b = 0 then 0 else checked_mul (a / gcd a b) b
+
+let make num den =
+  if den = 0 then raise Division_by_zero;
+  let num, den = if den < 0 then (checked_neg num, checked_neg den) else (num, den) in
+  let g = gcd num den in
+  if g = 0 then { num = 0; den = 1 } else { num = num / g; den = den / g }
+
+let of_int n = { num = n; den = 1 }
+
+let zero = of_int 0
+let one = of_int 1
+let minus_one = of_int (-1)
+
+let num t = t.num
+let den t = t.den
+
+let is_integer t = t.den = 1
+
+let to_int t =
+  if t.den <> 1 then invalid_arg "Rat.to_int: not an integer";
+  t.num
+
+let to_float t = float_of_int t.num /. float_of_int t.den
+
+(* a/b + c/d computed over the lcm of denominators to delay overflow. *)
+let add a b =
+  let g = gcd a.den b.den in
+  let bd = b.den / g in
+  let num = checked_add (checked_mul a.num bd) (checked_mul b.num (a.den / g)) in
+  make num (checked_mul a.den bd)
+
+let neg t = { t with num = checked_neg t.num }
+
+let sub a b = add a (neg b)
+
+(* Cross-reduce before multiplying to keep intermediates small. *)
+let mul a b =
+  let g1 = gcd a.num b.den and g2 = gcd b.num a.den in
+  let g1 = if g1 = 0 then 1 else g1 and g2 = if g2 = 0 then 1 else g2 in
+  make
+    (checked_mul (a.num / g1) (b.num / g2))
+    (checked_mul (a.den / g2) (b.den / g1))
+
+let inv t =
+  if t.num = 0 then raise Division_by_zero;
+  if t.num < 0 then { num = checked_neg t.den; den = checked_neg t.num }
+  else { num = t.den; den = t.num }
+
+let div a b = mul a (inv b)
+
+let sign t = compare t.num 0
+
+let compare a b =
+  (* Avoid overflow in the general case by comparing via subtraction only
+     when needed; the common cases share a denominator. *)
+  if a.den = b.den then Stdlib.compare a.num b.num
+  else sign (sub a b)
+
+let equal a b = a.num = b.num && a.den = b.den
+
+let min a b = if compare a b <= 0 then a else b
+let max a b = if compare a b >= 0 then a else b
+
+let abs t = if t.num < 0 then neg t else t
+
+let ( + ) = add
+let ( - ) = sub
+let ( * ) = mul
+let ( / ) = div
+let ( = ) = equal
+let ( < ) a b = Stdlib.( < ) (compare a b) 0
+let ( <= ) a b = Stdlib.( <= ) (compare a b) 0
+let ( > ) a b = Stdlib.( > ) (compare a b) 0
+let ( >= ) a b = Stdlib.( >= ) (compare a b) 0
+
+let floor t =
+  let open Stdlib in
+  if t.num >= 0 then t.num / t.den
+  else (t.num / t.den) - (if t.num mod t.den = 0 then 0 else 1)
+
+let ceil t = Stdlib.( ~- ) (floor (neg t))
+
+let pp ppf t =
+  if Stdlib.( = ) t.den 1 then Format.fprintf ppf "%d" t.num
+  else Format.fprintf ppf "%d/%d" t.num t.den
+
+let to_string t = Format.asprintf "%a" pp t

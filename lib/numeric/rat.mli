@@ -1,0 +1,74 @@
+(** Exact rational arithmetic over OCaml's native integers.
+
+    The Fourier-Motzkin solver in {!Linear} needs exact arithmetic: floating
+    point would silently turn empty systems into feasible ones.  Arbitrary
+    precision is not available in this environment, so rationals are built on
+    63-bit integers with overflow-checked multiplication; any overflow raises
+    {!Overflow} rather than wrapping, which keeps the analysis sound (callers
+    mark the offending bound as MESSY instead of reporting a wrong region). *)
+
+exception Overflow
+
+type t = private { num : int; den : int }
+(** Invariant: [den > 0] and [gcd (abs num) den = 1]. *)
+
+val make : int -> int -> t
+(** [make num den] is the normalized rational [num/den].
+    @raise Division_by_zero if [den = 0]. *)
+
+val of_int : int -> t
+
+val zero : t
+val one : t
+val minus_one : t
+
+val num : t -> int
+val den : t -> int
+
+val is_integer : t -> bool
+
+val to_int : t -> int
+(** @raise Invalid_argument if the value is not an integer. *)
+
+val to_float : t -> float
+
+val add : t -> t -> t
+val sub : t -> t -> t
+val mul : t -> t -> t
+val div : t -> t -> t
+(** @raise Division_by_zero on division by {!zero}. *)
+
+val neg : t -> t
+val abs : t -> t
+val inv : t -> t
+
+val min : t -> t -> t
+val max : t -> t -> t
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val sign : t -> int
+
+val ( + ) : t -> t -> t
+val ( - ) : t -> t -> t
+val ( * ) : t -> t -> t
+val ( / ) : t -> t -> t
+val ( = ) : t -> t -> bool
+val ( < ) : t -> t -> bool
+val ( <= ) : t -> t -> bool
+val ( > ) : t -> t -> bool
+val ( >= ) : t -> t -> bool
+
+val floor : t -> int
+(** Greatest integer [<= t]. *)
+
+val ceil : t -> int
+(** Least integer [>= t]. *)
+
+val gcd : int -> int -> int
+(** Non-negative gcd; [gcd 0 0 = 0]. *)
+
+val lcm : int -> int -> int
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

@@ -1,0 +1,54 @@
+open Numeric
+open Whirl
+
+type env = {
+  var_of_st : int -> Linear.Var.t option;
+  const_of_st : int -> int option;
+}
+
+type result = Affine of Linear.Expr.t | Messy
+
+let rec of_wn env (w : Wn.t) : result =
+  match w.Wn.operator with
+  | Wn.OPR_INTCONST -> Affine (Linear.Expr.of_int w.Wn.const_val)
+  | Wn.OPR_LDID -> (
+    match env.const_of_st w.Wn.st_idx with
+    | Some v -> Affine (Linear.Expr.of_int v)
+    | None -> (
+      match env.var_of_st w.Wn.st_idx with
+      | Some v -> Affine (Linear.Expr.var v)
+      | None -> Messy))
+  | Wn.OPR_NEG -> (
+    match of_wn env (Wn.kid w 0) with
+    | Affine e -> Affine (Linear.Expr.neg e)
+    | Messy -> Messy)
+  | Wn.OPR_ADD -> combine env w Linear.Expr.add
+  | Wn.OPR_SUB -> combine env w Linear.Expr.sub
+  | Wn.OPR_MPY -> (
+    match of_wn env (Wn.kid w 0), of_wn env (Wn.kid w 1) with
+    | Affine a, Affine b ->
+      if Linear.Expr.is_const a then
+        Affine (Linear.Expr.scale (Linear.Expr.constant a) b)
+      else if Linear.Expr.is_const b then
+        Affine (Linear.Expr.scale (Linear.Expr.constant b) a)
+      else Messy
+    | _, _ -> Messy)
+  | Wn.OPR_DIV -> (
+    (* exact constant division only *)
+    match of_wn env (Wn.kid w 0), of_wn env (Wn.kid w 1) with
+    | Affine a, Affine b when Linear.Expr.is_const a && Linear.Expr.is_const b
+      ->
+      let d = Linear.Expr.constant b in
+      if Rat.equal d Rat.zero then Messy
+      else Affine (Linear.Expr.const (Rat.div (Linear.Expr.constant a) d))
+    | _, _ -> Messy)
+  | _ -> Messy
+
+and combine env w f =
+  match of_wn env (Wn.kid w 0), of_wn env (Wn.kid w 1) with
+  | Affine a, Affine b -> Affine (f a b)
+  | _, _ -> Messy
+
+let pp_result ppf = function
+  | Affine e -> Linear.Expr.pp ppf e
+  | Messy -> Format.pp_print_string ppf "MESSY"

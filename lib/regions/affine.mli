@@ -1,0 +1,22 @@
+(** Bridge from WHIRL expressions to affine expressions.
+
+    The region analysis only understands affine subscripts.  Whatever cannot
+    be linearized — products of variables, loads through arrays, calls — is
+    reported as {!Messy}, which the paper's ARA module marks MESSY on the
+    corresponding bound. *)
+
+type env = {
+  var_of_st : int -> Linear.Var.t option;
+      (** maps a WN [st_idx] to the linear variable standing for it (loop
+          induction variables and symbolic scalars); [None] = not trackable *)
+  const_of_st : int -> int option;
+      (** scalars with a known constant value at this point, if any *)
+}
+
+type result = Affine of Linear.Expr.t | Messy
+
+val of_wn : env -> Whirl.Wn.t -> result
+(** Understands INTCONST, LDID, NEG, ADD, SUB, and MPY-by-constant.
+    Anything else is {!Messy}. *)
+
+val pp_result : Format.formatter -> result -> unit

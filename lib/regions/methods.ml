@@ -1,0 +1,105 @@
+module Classic = struct
+  type t = { ndims : int; use : bool; def : bool; other : bool }
+
+  let empty ndims = { ndims; use = false; def = false; other = false }
+
+  let add mode t =
+    match mode with
+    | Mode.USE | Mode.RUSE -> { t with use = true }
+    | Mode.DEF | Mode.RDEF -> { t with def = true }
+    | Mode.FORMAL | Mode.PASSED -> { t with other = true }
+
+  let accessed mode t =
+    match mode with
+    | Mode.USE | Mode.RUSE -> t.use
+    | Mode.DEF | Mode.RDEF -> t.def
+    | Mode.FORMAL | Mode.PASSED -> t.other
+
+  let storage_bytes _ = 1
+
+  let contains t _ = t.use || t.def || t.other
+
+  let pp ppf t =
+    Format.fprintf ppf "classic{use=%b; def=%b}" t.use t.def
+end
+
+module Tuple = struct
+  type t = int list
+  let compare = Stdlib.compare
+end
+
+module Tuple_set = Set.Make (Tuple)
+
+module Reflist = struct
+  type t = { ndims : int; refs : Tuple_set.t }
+
+  let empty ndims = { ndims; refs = Tuple_set.empty }
+
+  let add point t =
+    if List.length point <> t.ndims then
+      invalid_arg "Reflist.add: wrong arity";
+    { t with refs = Tuple_set.add point t.refs }
+
+  let cardinal t = Tuple_set.cardinal t.refs
+  let contains t point = Tuple_set.mem point t.refs
+  let storage_bytes t = cardinal t * t.ndims * 8
+  let to_list t = Tuple_set.elements t.refs
+
+  let pp ppf t =
+    Format.fprintf ppf "reflist{%d refs}" (cardinal t)
+end
+
+module Section = struct
+  type dim = { lo : int; hi : int; stride : int }
+
+  type t = { ndims : int; dims : dim list option }
+
+  let empty ndims = { ndims; dims = None }
+
+  (* stride 0 means "single coordinate so far" (lattice undetermined); the
+     first distinct coordinate fixes it, later ones widen it by gcd *)
+  let join_dim d x =
+    let lo = min d.lo x and hi = max d.hi x in
+    let stride = Numeric.Rat.gcd d.stride (abs (x - d.lo)) in
+    { lo; hi; stride }
+
+  let add point t =
+    if List.length point <> t.ndims then invalid_arg "Section.add: wrong arity";
+    match t.dims with
+    | None ->
+      { t with dims = Some (List.map (fun x -> { lo = x; hi = x; stride = 0 }) point) }
+    | Some dims -> { t with dims = Some (List.map2 join_dim dims point) }
+
+  let dims t = t.dims
+
+  let contains t point =
+    match t.dims with
+    | None -> false
+    | Some dims ->
+      List.for_all2
+        (fun d x ->
+          x >= d.lo && x <= d.hi
+          && (if d.stride = 0 then x = d.lo else (x - d.lo) mod d.stride = 0))
+        dims point
+
+  let storage_bytes t = 3 * t.ndims * 8
+
+  let cardinal t =
+    match t.dims with
+    | None -> 0
+    | Some dims ->
+      List.fold_left
+        (fun acc d ->
+          if d.stride = 0 then acc else acc * (((d.hi - d.lo) / d.stride) + 1))
+        1 dims
+
+  let pp ppf t =
+    match t.dims with
+    | None -> Format.pp_print_string ppf "section{}"
+    | Some dims ->
+      Format.fprintf ppf "section{%a}"
+        (Format.pp_print_list
+           ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+           (fun ppf d -> Format.fprintf ppf "%d:%d:%d" d.lo d.hi d.stride))
+        dims
+end

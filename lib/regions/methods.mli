@@ -1,0 +1,65 @@
+(** The three non-convex summarization methods of the paper's Figure 2
+    taxonomy, implemented over enumerated reference tuples so the
+    efficiency/accuracy trade-off can be measured (bench [fig2]):
+
+    - {!Classic}: two bits per array (DEF/USE), whole-array granularity;
+    - {!Reflist}: reference-list-based (Linearization / Atom-Images style) —
+      exact, storage proportional to the number of references;
+    - {!Section}: bounded regular sections (Havlak-Kennedy) — triplet per
+      dimension.
+
+    The convex method is {!Region} itself. *)
+
+module Classic : sig
+  type t
+
+  val empty : int -> t
+  (** [empty ndims] *)
+
+  val add : Mode.t -> t -> t
+  val accessed : Mode.t -> t -> bool
+
+  val storage_bytes : t -> int
+  (** Constant: 2 bits rounded up to 1 byte. *)
+
+  val contains : t -> int list -> bool
+  (** Whole-array: [true] whenever any access of any mode was recorded. *)
+
+  val pp : Format.formatter -> t -> unit
+end
+
+module Reflist : sig
+  type t
+
+  val empty : int -> t
+  val add : int list -> t -> t
+  val cardinal : t -> int
+  val contains : t -> int list -> bool
+  val storage_bytes : t -> int
+  (** [ndims * 8] bytes per stored reference (dedup applies). *)
+
+  val to_list : t -> int list list
+  val pp : Format.formatter -> t -> unit
+end
+
+module Section : sig
+  type dim = { lo : int; hi : int; stride : int }
+  type t
+
+  val empty : int -> t
+  val add : int list -> t -> t
+  (** Triplet join: bounds widen, strides combine by gcd with the phase
+      difference of the lower bounds. *)
+
+  val dims : t -> dim list option
+  (** [None] until the first point is added. *)
+
+  val contains : t -> int list -> bool
+  val storage_bytes : t -> int
+  (** [3 * ndims * 8] bytes: lo/hi/stride per dimension. *)
+
+  val cardinal : t -> int
+  (** Number of tuples the section describes (0 when empty). *)
+
+  val pp : Format.formatter -> t -> unit
+end

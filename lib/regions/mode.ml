@@ -1,0 +1,27 @@
+type t = USE | DEF | FORMAL | PASSED | RUSE | RDEF
+
+let to_string = function
+  | USE -> "USE"
+  | DEF -> "DEF"
+  | FORMAL -> "FORMAL"
+  | PASSED -> "PASSED"
+  | RUSE -> "RUSE"
+  | RDEF -> "RDEF"
+
+let of_string = function
+  | "USE" -> Some USE
+  | "DEF" -> Some DEF
+  | "FORMAL" -> Some FORMAL
+  | "PASSED" -> Some PASSED
+  | "RUSE" -> Some RUSE
+  | "RDEF" -> Some RDEF
+  | _ -> None
+
+let all = [ USE; DEF; FORMAL; PASSED; RUSE; RDEF ]
+
+let rank = function
+  | USE -> 0 | DEF -> 1 | FORMAL -> 2 | PASSED -> 3 | RUSE -> 4 | RDEF -> 5
+
+let compare a b = Int.compare (rank a) (rank b)
+let equal a b = rank a = rank b
+let pp ppf t = Format.pp_print_string ppf (to_string t)

@@ -1,0 +1,22 @@
+(** The four access modes the paper's ARA module distinguishes.
+
+    "A statement S is a definition of v iff S is an assignment statement
+    with left-hand side v.  S is a use of v iff during execution of S,
+    right-hand side v is read.  FORMAL refers to the array as found in the
+    function definition (parameter), while PASSED refers to the actual value
+    passed (argument)." *)
+
+type t =
+  | USE
+  | DEF
+  | FORMAL
+  | PASSED
+  | RUSE  (** remote coarray read, [x(i)[p]] — the PGAS extension *)
+  | RDEF  (** remote coarray write *)
+
+val to_string : t -> string
+val of_string : string -> t option
+val all : t list
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,112 @@
+(** Convex array regions (the paper's "Regions" method, Triolet/Creusillet
+    lineage) together with their triplet-notation projection
+    [LB:UB:Stride].
+
+    A region over an [n]-dimensional array constrains the canonical
+    subscript variables [Linear.Var.subscript 0 .. n-1] (internal row-major,
+    zero-based coordinates — the WHIRL ARRAY convention).  Symbolic program
+    values may appear free in the constraints; loop induction variables are
+    eliminated by Fourier-Motzkin projection at construction time.
+
+    Strides are not expressible in a convex system, so they are carried
+    alongside, computed from the linearized subscripts and loop steps
+    (gcd of |coefficient * step| over the induction variables involved) —
+    this is what lets the tool report exact strides where the earlier Dragon
+    normalized them away. *)
+
+type bound =
+  | Bconst of int
+  | Bsym of Linear.Expr.t  (** bound depends on symbolic program values *)
+  | Bunknown               (** the paper's MESSY / UNPROJECTED *)
+
+type stride = Sconst of int | Sunknown
+
+type dim = { lb : bound; ub : bound; stride : stride }
+
+type t = private {
+  ndims : int;
+  sys : Linear.System.t;
+  dims : dim list;  (** internal (row-major) order, length [ndims] *)
+  exact : bool;     (** false once any approximation was taken *)
+}
+
+(** Description of one enclosing loop for {!of_subscripts}. *)
+type loop_ctx = {
+  lc_var : Linear.Var.t;        (** the induction variable *)
+  lc_lo : Affine.result;
+  lc_hi : Affine.result;
+  lc_step : int option;         (** [None] = unknown (non-constant) step *)
+}
+
+val of_subscripts :
+  extents:int option list ->
+  loops:loop_ctx list ->
+  Affine.result list ->
+  t
+(** Region of a single reference.  [extents] are the (row-major) declared
+    dimension extents used to clamp MESSY subscripts; the subscript list
+    gives one affine result per dimension. *)
+
+val make :
+  ndims:int -> sys:Linear.System.t -> strides:stride list -> exact:bool -> t
+(** Rebuild a region from an arbitrary system (used by the interprocedural
+    translation); triplets are recomputed by projection. *)
+
+val whole : extents:int option list -> t
+(** The entire array: what a whole-array argument or an unanalyzable
+    reference summarizes to. *)
+
+val point : int list -> t
+(** Single concrete element. *)
+
+val union_approx : t -> t -> t
+(** Convex over-approximation of the union: keeps the constraints of each
+    operand the other one entails (the paper: "the union of regions is
+    approximated since in some cases it does not form a convex hull").
+    Strides combine by gcd, including the lower-bound phase difference. *)
+
+val includes : t -> t -> bool
+(** Convex inclusion (ignores strides, hence conservative: [includes a b]
+    guarantees every element of [b] is inside [a]'s convex hull). *)
+
+val disjoint : t -> t -> bool
+(** No shared element even ignoring strides — the sound direction for the
+    parallelization test. *)
+
+val intersects : t -> t -> bool
+
+val point_count : t -> int option
+(** Number of elements described by the triplet view when fully constant. *)
+
+val contains_point : t -> int list -> bool
+(** Membership in the convex system {e and} the per-dimension stride
+    lattice (for constant triplet dims). *)
+
+val subst_sym : (Linear.Var.t * Linear.Expr.t) list -> t -> t
+(** Substitute symbolic variables (formal-to-actual translation). *)
+
+val close_under_loops : loop_ctx list -> t -> t
+(** After a formal-to-actual substitution a region may mention the caller's
+    induction variables; this conjoins the given loop constraints and
+    projects those variables away — the last step of translating a callee
+    summary at a call site that sits inside loops. *)
+
+val shift_dim : int -> int -> t -> t
+(** [shift_dim k off r]: translate dimension [k] by [off] elements
+    (element-argument passing re-bases the callee's region). *)
+
+val approximate : t -> t
+(** Same region, with the exact flag cleared — used when a translation step
+    had to over-approximate (element-argument passing, rank mismatch). *)
+
+val dim_list : t -> dim list
+val is_exact : t -> bool
+
+val equal_display : t -> t -> bool
+(** Same triplet view (used to merge duplicate rows). *)
+
+val pp_bound : Format.formatter -> bound -> unit
+val pp_stride : Format.formatter -> stride -> unit
+val pp_dim : Format.formatter -> dim -> unit
+val pp : Format.formatter -> t -> unit
+(** Triplet notation: [(lb:ub:stride, ...)]. *)

@@ -1,0 +1,206 @@
+type dgn = {
+  dgn_sources : (string * string) list;
+  dgn_procs : (string * string * int) list;
+  dgn_edges : (string * string * int) list;
+}
+
+type cfg_block = {
+  cb_proc : string;
+  cb_id : int;
+  cb_label : string;
+  cb_succs : int list;
+}
+
+(* minimal CSV with double-quote escaping *)
+
+let needs_quoting s =
+  String.exists (fun c -> c = ',' || c = '"' || c = '\n') s
+
+let quote s =
+  let buf = Buffer.create (String.length s + 2) in
+  Buffer.add_char buf '"';
+  String.iter
+    (fun c ->
+      if c = '"' then Buffer.add_string buf "\"\"" else Buffer.add_char buf c)
+    s;
+  Buffer.add_char buf '"';
+  Buffer.contents buf
+
+let join_csv fields =
+  String.concat ","
+    (List.map (fun f -> if needs_quoting f then quote f else f) fields)
+
+let split_csv line =
+  let fields = ref [] in
+  let buf = Buffer.create 16 in
+  let n = String.length line in
+  let i = ref 0 in
+  let in_quotes = ref false in
+  while !i < n do
+    let c = line.[!i] in
+    if !in_quotes then
+      if c = '"' then
+        if !i + 1 < n && line.[!i + 1] = '"' then begin
+          Buffer.add_char buf '"';
+          i := !i + 2
+        end
+        else begin
+          in_quotes := false;
+          incr i
+        end
+      else begin
+        Buffer.add_char buf c;
+        incr i
+      end
+    else if c = '"' then begin
+      in_quotes := true;
+      incr i
+    end
+    else if c = ',' then begin
+      fields := Buffer.contents buf :: !fields;
+      Buffer.clear buf;
+      incr i
+    end
+    else begin
+      Buffer.add_char buf c;
+      incr i
+    end
+  done;
+  fields := Buffer.contents buf :: !fields;
+  List.rev !fields
+
+let lines_of s =
+  String.split_on_char '\n' s
+  |> List.filter (fun l -> String.trim l <> "")
+
+(* ------------------------------------------------------------------ *)
+(* .rgn *)
+
+let write_rgn rows =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf (join_csv Row.header);
+  Buffer.add_char buf '\n';
+  List.iter
+    (fun r ->
+      Buffer.add_string buf (join_csv (Row.to_fields r));
+      Buffer.add_char buf '\n')
+    rows;
+  Buffer.contents buf
+
+let parse_rgn s =
+  match lines_of s with
+  | [] -> Error "empty .rgn file"
+  | header :: rows ->
+    if split_csv header <> Row.header then Error "bad .rgn header"
+    else
+      let rec go acc = function
+        | [] -> Ok (List.rev acc)
+        | line :: rest -> (
+          match Row.of_fields (split_csv line) with
+          | Ok r -> go (r :: acc) rest
+          | Error e -> Error (Printf.sprintf "%s (line: %s)" e line))
+      in
+      go [] rows
+
+(* ------------------------------------------------------------------ *)
+(* .dgn *)
+
+let write_dgn d =
+  let buf = Buffer.create 512 in
+  List.iter
+    (fun (path, lang) ->
+      Buffer.add_string buf (join_csv [ "source"; path; lang ]);
+      Buffer.add_char buf '\n')
+    d.dgn_sources;
+  List.iter
+    (fun (name, file, line) ->
+      Buffer.add_string buf (join_csv [ "proc"; name; file; string_of_int line ]);
+      Buffer.add_char buf '\n')
+    d.dgn_procs;
+  List.iter
+    (fun (caller, callee, line) ->
+      Buffer.add_string buf
+        (join_csv [ "edge"; caller; callee; string_of_int line ]);
+      Buffer.add_char buf '\n')
+    d.dgn_edges;
+  Buffer.contents buf
+
+let parse_dgn s =
+  let sources = ref [] and procs = ref [] and edges = ref [] in
+  let err = ref None in
+  List.iter
+    (fun line ->
+      if !err = None then
+        match split_csv line with
+        | [ "source"; path; lang ] -> sources := (path, lang) :: !sources
+        | [ "proc"; name; file; ln ] -> (
+          match int_of_string_opt ln with
+          | Some ln -> procs := (name, file, ln) :: !procs
+          | None -> err := Some ("bad proc line: " ^ line))
+        | [ "edge"; caller; callee; ln ] -> (
+          match int_of_string_opt ln with
+          | Some ln -> edges := (caller, callee, ln) :: !edges
+          | None -> err := Some ("bad edge line: " ^ line))
+        | _ -> err := Some ("unrecognized .dgn line: " ^ line))
+    (lines_of s);
+  match !err with
+  | Some e -> Error e
+  | None ->
+    Ok
+      {
+        dgn_sources = List.rev !sources;
+        dgn_procs = List.rev !procs;
+        dgn_edges = List.rev !edges;
+      }
+
+(* ------------------------------------------------------------------ *)
+(* .cfg *)
+
+let write_cfg blocks =
+  let buf = Buffer.create 512 in
+  List.iter
+    (fun b ->
+      Buffer.add_string buf
+        (join_csv
+           [
+             b.cb_proc;
+             string_of_int b.cb_id;
+             b.cb_label;
+             String.concat ";" (List.map string_of_int b.cb_succs);
+           ]);
+      Buffer.add_char buf '\n')
+    blocks;
+  Buffer.contents buf
+
+let parse_cfg s =
+  let rec go acc = function
+    | [] -> Ok (List.rev acc)
+    | line :: rest -> (
+      match split_csv line with
+      | [ proc; id; label; succs ] -> (
+        match int_of_string_opt id with
+        | None -> Error ("bad block id: " ^ line)
+        | Some id ->
+          let succs =
+            if succs = "" then []
+            else
+              String.split_on_char ';' succs
+              |> List.filter_map int_of_string_opt
+          in
+          go ({ cb_proc = proc; cb_id = id; cb_label = label; cb_succs = succs } :: acc)
+            rest)
+      | _ -> Error ("unrecognized .cfg line: " ^ line))
+  in
+  go [] (lines_of s)
+
+let save ~path contents =
+  let oc = open_out_bin path in
+  output_string oc contents;
+  close_out oc
+
+let load ~path =
+  let ic = open_in_bin path in
+  let len = in_channel_length ic in
+  let s = really_input_string ic len in
+  close_in ic;
+  s

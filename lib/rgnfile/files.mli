@@ -1,0 +1,39 @@
+(** Writers and parsers for the three plain-file formats the compiler side
+    emits and the Dragon side loads (paper, Section V-B step 2: "A bunch of
+    files will be generated that includes .dgn, .cfg and .rgn files").
+
+    - [.rgn]: CSV, one {!Row.t} per line, with a header line;
+    - [.dgn]: the project file — source files, procedure list, and the call
+      graph edges ("caller,callee,line" records);
+    - [.cfg]: per-procedure control-flow blocks ("proc,block,label,succs"). *)
+
+type dgn = {
+  dgn_sources : (string * string) list;  (** (path, language) *)
+  dgn_procs : (string * string * int) list;  (** (name, file, line) *)
+  dgn_edges : (string * string * int) list;  (** (caller, callee, line) *)
+}
+
+type cfg_block = {
+  cb_proc : string;
+  cb_id : int;
+  cb_label : string;
+  cb_succs : int list;
+}
+
+val split_csv : string -> string list
+(** Fields containing commas or quotes are double-quoted on output; this
+    undoes that encoding. *)
+
+val join_csv : string list -> string
+
+val write_rgn : Row.t list -> string
+val parse_rgn : string -> (Row.t list, string) result
+
+val write_dgn : dgn -> string
+val parse_dgn : string -> (dgn, string) result
+
+val write_cfg : cfg_block list -> string
+val parse_cfg : string -> (cfg_block list, string) result
+
+val save : path:string -> string -> unit
+val load : path:string -> string

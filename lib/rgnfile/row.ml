@@ -1,0 +1,82 @@
+type t = {
+  scope : string;
+  array : string;
+  file : string;
+  mode : string;
+  references : int;
+  dimensions : int;
+  lb : string;
+  ub : string;
+  stride : string;
+  element_size : int;
+  data_type : string;
+  dim_size : string;
+  tot_size : int;
+  size_bytes : int;
+  mem_loc : string;
+  acc_density : int;
+  line : int;
+}
+
+let density ~references ~size_bytes =
+  if size_bytes <= 0 then 0 else references * 100 / size_bytes
+
+let header =
+  [
+    "Scope"; "Array"; "File"; "Mode"; "References"; "Dimensions"; "LB"; "UB";
+    "Stride"; "Element_size"; "Data_type"; "Dim_size"; "Tot_size";
+    "Size_bytes"; "Mem_Loc"; "Acc_density"; "Line";
+  ]
+
+let to_fields t =
+  [
+    t.scope; t.array; t.file; t.mode;
+    string_of_int t.references;
+    string_of_int t.dimensions;
+    t.lb; t.ub; t.stride;
+    string_of_int t.element_size;
+    t.data_type; t.dim_size;
+    string_of_int t.tot_size;
+    string_of_int t.size_bytes;
+    t.mem_loc;
+    string_of_int t.acc_density;
+    string_of_int t.line;
+  ]
+
+let int_field name s =
+  match int_of_string_opt (String.trim s) with
+  | Some v -> Ok v
+  | None -> Error (Printf.sprintf "field %s: %S is not an integer" name s)
+
+let ( let* ) = Result.bind
+
+let of_fields = function
+  | [
+      scope; array; file; mode; references; dimensions; lb; ub; stride;
+      element_size; data_type; dim_size; tot_size; size_bytes; mem_loc;
+      acc_density; line;
+    ] ->
+    let* references = int_field "References" references in
+    let* dimensions = int_field "Dimensions" dimensions in
+    let* element_size = int_field "Element_size" element_size in
+    let* tot_size = int_field "Tot_size" tot_size in
+    let* size_bytes = int_field "Size_bytes" size_bytes in
+    let* acc_density = int_field "Acc_density" acc_density in
+    let* line = int_field "Line" line in
+    Ok
+      {
+        scope; array; file; mode; references; dimensions; lb; ub; stride;
+        element_size; data_type; dim_size; tot_size; size_bytes; mem_loc;
+        acc_density; line;
+      }
+  | fields ->
+    Error
+      (Printf.sprintf "expected %d fields, got %d" (List.length header)
+         (List.length fields))
+
+let equal a b = a = b
+
+let pp ppf t =
+  Format.fprintf ppf "%s %s %s %s refs=%d dims=%d [%s:%s:%s] %s %d bytes @%s d=%d"
+    t.scope t.array t.file t.mode t.references t.dimensions t.lb t.ub t.stride
+    t.data_type t.size_bytes t.mem_loc t.acc_density

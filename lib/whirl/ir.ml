@@ -1,0 +1,45 @@
+type pu = {
+  pu_name : string;
+  pu_st : int;
+  pu_formals : Symtab.st_idx list;
+  pu_body : Wn.t;
+  pu_symtab : Symtab.t;
+  pu_loc : Lang.Loc.t;
+  pu_file : string;
+  pu_object : string;
+  pu_lang : Lang.Ast.language;
+}
+
+type module_ = {
+  m_id : int;
+  m_global : Symtab.t;
+  m_pus : pu list;
+  m_program : Lang.Sema.program;
+}
+
+let module_counter = ref 0
+
+let fresh_module_id () =
+  incr module_counter;
+  !module_counter
+
+let global_base = 0x4000_0000
+
+let encode_global idx = idx + global_base
+let is_global_idx idx = idx >= global_base
+
+let st_entry m pu idx =
+  if is_global_idx idx then Symtab.st m.m_global (idx - global_base)
+  else Symtab.st pu.pu_symtab idx
+
+let ty_of m pu idx =
+  let e = st_entry m pu idx in
+  if is_global_idx idx then Symtab.ty m.m_global e.Symtab.st_ty
+  else Symtab.ty pu.pu_symtab e.Symtab.st_ty
+
+let st_name m pu idx = (st_entry m pu idx).Symtab.st_name
+
+let find_pu m name =
+  List.find_opt (fun p -> String.equal p.pu_name name) m.m_pus
+
+let pu_count m = List.length m.m_pus

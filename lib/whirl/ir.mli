@@ -1,0 +1,46 @@
+(** Whole-program WHIRL container.
+
+    Like OpenUH, there is one global symbol table (COMMON blocks, C
+    file-scope arrays, procedure entry symbols) and one local table per
+    program unit (formals and locals).  WN nodes store a single [st_idx]
+    integer; indices at or above {!global_base} address the global table.
+    This keeps [Mem_Loc] of a global array identical in every procedure that
+    touches it, which is what lets Dragon users "find arrays pointing to the
+    same memory location". *)
+
+type pu = {
+  pu_name : string;
+  pu_st : int;  (** global-encoded index of the entry symbol *)
+  pu_formals : Symtab.st_idx list;  (** local indices, parameter order *)
+  pu_body : Wn.t;  (** an [OPR_FUNC_ENTRY] *)
+  pu_symtab : Symtab.t;
+  pu_loc : Lang.Loc.t;
+  pu_file : string;
+  pu_object : string;
+  pu_lang : Lang.Ast.language;
+}
+
+type module_ = {
+  m_id : int;  (** unique per lowering run: keys caches that must not be
+                   shared between independently analyzed modules *)
+  m_global : Symtab.t;
+  m_pus : pu list;
+  m_program : Lang.Sema.program;
+}
+
+val fresh_module_id : unit -> int
+
+val global_base : int
+
+val encode_global : Symtab.st_idx -> int
+val is_global_idx : int -> bool
+
+val st_entry : module_ -> pu -> int -> Symtab.st_entry
+(** Resolve a WN [st_idx] against the right table. *)
+
+val ty_of : module_ -> pu -> int -> Symtab.ty_kind
+val st_name : module_ -> pu -> int -> string
+
+val find_pu : module_ -> string -> pu option
+
+val pu_count : module_ -> int

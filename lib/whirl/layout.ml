@@ -1,0 +1,18 @@
+let global_page = 0xb7f0_0000
+let local_page i = 0x5559_0000 + (i * 0x1_0000)
+
+let align16 n = (n + 15) land lnot 15
+
+let place symtab base =
+  let cursor = ref base in
+  Symtab.iter_st symtab (fun _ entry ->
+      match entry.Symtab.st_sclass with
+      | Symtab.Sclass_text -> entry.Symtab.st_mem_loc <- 0
+      | _ ->
+        entry.Symtab.st_mem_loc <- !cursor;
+        let size = max 16 (Symtab.size_bytes symtab entry.Symtab.st_ty) in
+        cursor := align16 (!cursor + size))
+
+let assign (m : Ir.module_) =
+  place m.Ir.m_global global_page;
+  List.iteri (fun i pu -> place pu.Ir.pu_symtab (local_page i)) m.Ir.m_pus

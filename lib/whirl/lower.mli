@@ -1,0 +1,18 @@
+(** AST to (high-level) WHIRL lowering.
+
+    Follows the conventions the paper depends on (Section IV-C):
+
+    - array references become [ILOAD(ARRAY)] / [ISTORE(_, ARRAY)] with the
+      subscripting kept explicit — this is the "H WHIRL" level where "arrays
+      keep their structures" and the ARRAY operator carries the shape;
+    - [ARRAY] is emitted row-major and zero-based for both source languages
+      (Fortran subscripts are reversed and shifted by their declared lower
+      bounds; Dragon's renderer undoes this for display);
+    - dimension-size kids of variable extents are [INTCONST 0];
+    - whole-array arguments lower to [LDA] parameters (the by-reference
+      passing the PASSED access mode summarizes);
+    - PARAMETER/#define constants fold to [INTCONST]. *)
+
+val lower : Lang.Sema.program -> Ir.module_
+(** @raise Lang.Diag.Frontend_error on references the front end let through
+    but the IR cannot express. *)

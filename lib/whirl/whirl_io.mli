@@ -1,0 +1,20 @@
+(** WHIRL file serialization — the analog of Open64's [.B] files: "The
+    front-ends generate a WHIRL file that consists of WHIRL instructions and
+    WHIRL symbol tables" (paper, Section IV-B).  [uhc --emit-whirl] writes
+    one, and analysis can start from it instead of source, which is exactly
+    how the real pipeline decouples front ends from IPA.
+
+    The format is a line-oriented text dump: the global symbol table, then
+    each PU with its local table, formals, and its WN tree in preorder with
+    explicit depths.  Everything a WN carries (Table I's fields) round-trips
+    bit-exactly; floats are written in hexadecimal notation. *)
+
+val write : Ir.module_ -> string
+
+val parse : string -> (Ir.module_, string) result
+(** The reconstructed module carries a stub semantic program (empty
+    procedure bodies, correct kinds and files): enough for the analysis,
+    the interpreter, and the writers, but not for re-running Sema. *)
+
+val save : path:string -> Ir.module_ -> unit
+val load : path:string -> (Ir.module_, string) result

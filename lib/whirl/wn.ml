@@ -1,0 +1,236 @@
+type operator =
+  | OPR_FUNC_ENTRY
+  | OPR_BLOCK
+  | OPR_DO_LOOP
+  | OPR_WHILE_DO
+  | OPR_IF
+  | OPR_STID
+  | OPR_LDID
+  | OPR_ISTORE
+  | OPR_ILOAD
+  | OPR_ARRAY
+  | OPR_COIDX
+  | OPR_LDA
+  | OPR_IDNAME
+  | OPR_CALL
+  | OPR_PARM
+  | OPR_INTCONST
+  | OPR_CONST
+  | OPR_STRCONST
+  | OPR_ADD | OPR_SUB | OPR_MPY | OPR_DIV | OPR_MOD | OPR_NEG
+  | OPR_EQ | OPR_NE | OPR_LT | OPR_LE | OPR_GT | OPR_GE
+  | OPR_LAND | OPR_LIOR | OPR_LNOT
+  | OPR_INTRINSIC_OP
+  | OPR_RETURN
+  | OPR_IO
+  | OPR_NOP
+
+type t = {
+  operator : operator;
+  kids : t array;
+  linenum : Lang.Loc.t;
+  offset : int;
+  elem_size : int;
+  const_val : int;
+  flt_val : float;
+  str_val : string;
+  st_idx : int;
+  res : Lang.Ast.dtype option;
+}
+
+let base_node operator loc =
+  {
+    operator;
+    kids = [||];
+    linenum = loc;
+    offset = 0;
+    elem_size = 0;
+    const_val = 0;
+    flt_val = 0.;
+    str_val = "";
+    st_idx = -1;
+    res = None;
+  }
+
+let kid_count t = Array.length t.kids
+
+let kid t i =
+  if i < 0 || i >= Array.length t.kids then
+    invalid_arg "Wn.kid: index out of range";
+  t.kids.(i)
+
+let num_dim t =
+  if t.operator <> OPR_ARRAY then invalid_arg "Wn.num_dim: not an ARRAY";
+  kid_count t lsr 1
+
+let array_base t =
+  if t.operator <> OPR_ARRAY then invalid_arg "Wn.array_base: not an ARRAY";
+  t.kids.(0)
+
+let array_dim t i =
+  let n = num_dim t in
+  if i < 0 || i >= n then invalid_arg "Wn.array_dim: dimension out of range";
+  t.kids.(1 + i)
+
+let array_index t i =
+  let n = num_dim t in
+  if i < 0 || i >= n then invalid_arg "Wn.array_index: dimension out of range";
+  t.kids.(1 + n + i)
+
+let dloc = Lang.Loc.dummy
+
+let intconst ?(loc = dloc) n =
+  { (base_node OPR_INTCONST loc) with const_val = n; res = Some Lang.Ast.Int_t }
+
+let fltconst ?(loc = dloc) f =
+  { (base_node OPR_CONST loc) with flt_val = f; res = Some Lang.Ast.Double_t }
+
+let strconst ?(loc = dloc) s =
+  { (base_node OPR_STRCONST loc) with str_val = s; res = Some Lang.Ast.Char_t }
+
+let ldid ?(loc = dloc) ~res st =
+  { (base_node OPR_LDID loc) with st_idx = st; res = Some res }
+
+let stid ?(loc = dloc) st rhs =
+  { (base_node OPR_STID loc) with st_idx = st; kids = [| rhs |] }
+
+let lda ?(loc = dloc) st = { (base_node OPR_LDA loc) with st_idx = st }
+
+let idname ?(loc = dloc) st = { (base_node OPR_IDNAME loc) with st_idx = st }
+
+let array ?(loc = dloc) ~elem_size ~base ~dims indices =
+  if List.length dims <> List.length indices then
+    invalid_arg "Wn.array: dims and indices must have the same length";
+  {
+    (base_node OPR_ARRAY loc) with
+    elem_size;
+    kids = Array.of_list ((base :: dims) @ indices);
+  }
+
+let coidx ?(loc = dloc) ~array img =
+  { (base_node OPR_COIDX loc) with kids = [| array; img |] }
+
+let iload ?(loc = dloc) ~res addr =
+  { (base_node OPR_ILOAD loc) with kids = [| addr |]; res = Some res }
+
+let istore ?(loc = dloc) ~rhs addr =
+  { (base_node OPR_ISTORE loc) with kids = [| rhs; addr |] }
+
+let binop ?(loc = dloc) op a b =
+  { (base_node op loc) with kids = [| a; b |] }
+
+let unop ?(loc = dloc) op a = { (base_node op loc) with kids = [| a |] }
+
+let intrinsic ?(loc = dloc) name args =
+  { (base_node OPR_INTRINSIC_OP loc) with str_val = name; kids = Array.of_list args }
+
+let block ?(loc = dloc) stmts =
+  { (base_node OPR_BLOCK loc) with kids = Array.of_list stmts }
+
+let do_loop ?(loc = dloc) ~ivar ~init ~upper ~step body =
+  {
+    (base_node OPR_DO_LOOP loc) with
+    kids = [| idname ~loc ivar; init; upper; step; body |];
+    st_idx = ivar;
+  }
+
+let while_do ?(loc = dloc) ~cond body =
+  { (base_node OPR_WHILE_DO loc) with kids = [| cond; body |] }
+
+let if_then_else ?(loc = dloc) ~cond ~then_ else_ =
+  { (base_node OPR_IF loc) with kids = [| cond; then_; else_ |] }
+
+let parm e = { (base_node OPR_PARM e.linenum) with kids = [| e |] }
+
+let call ?(loc = dloc) ~callee args =
+  {
+    (base_node OPR_CALL loc) with
+    st_idx = callee;
+    kids = Array.of_list (List.map parm args);
+  }
+
+let return_ ?(loc = dloc) v =
+  match v with
+  | None -> base_node OPR_RETURN loc
+  | Some e -> { (base_node OPR_RETURN loc) with kids = [| e |] }
+
+let io ?(loc = dloc) args =
+  { (base_node OPR_IO loc) with kids = Array.of_list (List.map parm args) }
+
+let nop ?(loc = dloc) () = base_node OPR_NOP loc
+
+let func_entry ?(loc = dloc) ~st body =
+  { (base_node OPR_FUNC_ENTRY loc) with st_idx = st; kids = [| body |] }
+
+let rec preorder f t =
+  f t;
+  Array.iter (preorder f) t.kids
+
+let rec fold f acc t = Array.fold_left (fold f) (f acc t) t.kids
+
+let count pred t = fold (fun acc n -> if pred n then acc + 1 else acc) 0 t
+
+let rec equal_tree a b =
+  a.operator = b.operator
+  && a.offset = b.offset
+  && a.elem_size = b.elem_size
+  && a.const_val = b.const_val
+  && a.flt_val = b.flt_val
+  && String.equal a.str_val b.str_val
+  && a.st_idx = b.st_idx
+  && Array.length a.kids = Array.length b.kids
+  && Array.for_all2 equal_tree a.kids b.kids
+
+let operator_name = function
+  | OPR_FUNC_ENTRY -> "FUNC_ENTRY"
+  | OPR_BLOCK -> "BLOCK"
+  | OPR_DO_LOOP -> "DO_LOOP"
+  | OPR_WHILE_DO -> "WHILE_DO"
+  | OPR_IF -> "IF"
+  | OPR_STID -> "STID"
+  | OPR_LDID -> "LDID"
+  | OPR_ISTORE -> "ISTORE"
+  | OPR_ILOAD -> "ILOAD"
+  | OPR_ARRAY -> "ARRAY"
+  | OPR_COIDX -> "COIDX"
+  | OPR_LDA -> "LDA"
+  | OPR_IDNAME -> "IDNAME"
+  | OPR_CALL -> "CALL"
+  | OPR_PARM -> "PARM"
+  | OPR_INTCONST -> "INTCONST"
+  | OPR_CONST -> "CONST"
+  | OPR_STRCONST -> "STRCONST"
+  | OPR_ADD -> "ADD"
+  | OPR_SUB -> "SUB"
+  | OPR_MPY -> "MPY"
+  | OPR_DIV -> "DIV"
+  | OPR_MOD -> "MOD"
+  | OPR_NEG -> "NEG"
+  | OPR_EQ -> "EQ"
+  | OPR_NE -> "NE"
+  | OPR_LT -> "LT"
+  | OPR_LE -> "LE"
+  | OPR_GT -> "GT"
+  | OPR_GE -> "GE"
+  | OPR_LAND -> "LAND"
+  | OPR_LIOR -> "LIOR"
+  | OPR_LNOT -> "LNOT"
+  | OPR_INTRINSIC_OP -> "INTRINSIC_OP"
+  | OPR_RETURN -> "RETURN"
+  | OPR_IO -> "IO"
+  | OPR_NOP -> "NOP"
+
+let rec pp_indented ppf depth t =
+  Format.fprintf ppf "%s%s" (String.make (2 * depth) ' ') (operator_name t.operator);
+  (match t.operator with
+  | OPR_INTCONST -> Format.fprintf ppf " %d" t.const_val
+  | OPR_CONST -> Format.fprintf ppf " %g" t.flt_val
+  | OPR_STRCONST -> Format.fprintf ppf " %S" t.str_val
+  | OPR_INTRINSIC_OP -> Format.fprintf ppf " %s" t.str_val
+  | OPR_ARRAY -> Format.fprintf ppf " ndim=%d esize=%d" (num_dim t) t.elem_size
+  | _ -> ());
+  if t.st_idx >= 0 then Format.fprintf ppf " st=%d" t.st_idx;
+  Format.pp_print_newline ppf ();
+  Array.iter (pp_indented ppf (depth + 1)) t.kids
+
+let pp ppf t = pp_indented ppf 0 t

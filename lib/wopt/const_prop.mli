@@ -1,0 +1,30 @@
+(** Constant propagation over high-level WHIRL.
+
+    The paper motivates WHIRL with exactly this pass: "some optimization
+    passes like constant propagation, dead code elimination ... have to be
+    re-applied at different times and in different components of the
+    compiler.  With WHIRL, a single implementation of an optimization pass
+    is sufficient" (Section IV-B).  This is that single implementation; it
+    runs before IPL when [uhc --wopt] is given and makes loop bounds like
+    [n = 32; do i = 1, n] constant, which turns symbolic region bounds into
+    the exact triplets the table shows.
+
+    The analysis is flow-sensitive and conservative:
+    - scalars assigned a constant propagate forward;
+    - both IF branches are analyzed and their environments intersected;
+    - scalars stored anywhere inside a loop body are unknown throughout it;
+    - a call kills every global scalar and every scalar passed by
+      reference;
+    - constant conditions fold the IF to the live branch, and constant
+      arithmetic folds bottom-up. *)
+
+type stats = {
+  folded_loads : int;     (** LDIDs replaced by constants *)
+  folded_ops : int;       (** arithmetic nodes folded *)
+  folded_branches : int;  (** IFs with a constant condition *)
+}
+
+val run_pu : Whirl.Ir.module_ -> Whirl.Ir.pu -> Whirl.Ir.pu * stats
+
+val run : Whirl.Ir.module_ -> Whirl.Ir.module_ * stats
+(** All PUs; stats summed. *)

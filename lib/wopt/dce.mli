@@ -1,0 +1,18 @@
+(** Dead code elimination over high-level WHIRL — the second of the paper's
+    canonical shared-IR passes (Section IV-B).
+
+    Conservative and syntactic:
+    - statements following a RETURN inside the same block are dropped;
+    - NOPs and empty IFs with pure conditions are dropped;
+    - stores to local scalars that are never loaded anywhere in the PU and
+      never passed by reference are dropped when their right-hand side is
+      pure (no calls, no array accesses — those may trap or have effects
+      worth keeping for the trace). *)
+
+type stats = {
+  removed_stmts : int;
+  removed_stores : int;
+}
+
+val run_pu : Whirl.Ir.module_ -> Whirl.Ir.pu -> Whirl.Ir.pu * stats
+val run : Whirl.Ir.module_ -> Whirl.Ir.module_ * stats

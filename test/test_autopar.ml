@@ -1,0 +1,145 @@
+(* Auto-parallelization: verdicts, private/reduction clauses, and source
+   annotation. *)
+
+let plan_of files =
+  let r = Ipa.Analyze.analyze_sources files in
+  (r, Ipa.Autopar.plan r.Ipa.Analyze.r_module r.Ipa.Analyze.r_summaries)
+
+let contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  nn > 0 && go 0
+
+let test_fig1_plan () =
+  let _, report = plan_of [ Corpus.Small.fig1_f ] in
+  Alcotest.(check int) "two suggestions" 2
+    (List.length report.Ipa.Autopar.rp_suggestions);
+  Alcotest.(check int) "one rejection" 1
+    (List.length report.Ipa.Autopar.rp_rejections);
+  let p2 =
+    List.find
+      (fun s -> s.Ipa.Autopar.sg_proc = "p2")
+      report.Ipa.Autopar.rp_suggestions
+  in
+  (* s accumulates: recognized as a sum reduction, k stays private *)
+  Alcotest.(check string) "reduction clause"
+    "!$omp parallel do private(k) reduction(+:s)" p2.Ipa.Autopar.sg_directive;
+  let rej = List.hd report.Ipa.Autopar.rp_rejections in
+  Alcotest.(check string) "add rejected" "add" rej.Ipa.Autopar.rj_proc;
+  Alcotest.(check (list string)) "conflict on a" [ "a" ]
+    rej.Ipa.Autopar.rj_arrays
+
+let test_c_spelling () =
+  let _, report = plan_of [ Corpus.Small.matrix_c ] in
+  List.iter
+    (fun s ->
+      Alcotest.(check bool) "pragma spelling" true
+        (contains s.Ipa.Autopar.sg_directive "#pragma omp parallel for"))
+    report.Ipa.Autopar.rp_suggestions;
+  (* the propagating loop aarr[i+1] = aarr[i] must be rejected *)
+  Alcotest.(check bool) "carried dependence rejected" true
+    (List.exists
+       (fun r -> r.Ipa.Autopar.rj_arrays = [ "aarr" ])
+       report.Ipa.Autopar.rp_rejections)
+
+let test_reduction_patterns () =
+  let src =
+    ( "t.f",
+      {|      program t
+      double precision a(1:32)
+      double precision total, prod, peak
+      integer i, scratch
+      do i = 1, 32
+        total = total + a(i)
+      end do
+      do i = 1, 32
+        prod = prod * a(i)
+      end do
+      do i = 1, 32
+        peak = max(peak, a(i))
+      end do
+      do i = 1, 32
+        scratch = i * 2
+        a(i) = a(i) + scratch
+      end do
+      end
+|} )
+  in
+  let _, report = plan_of [ src ] in
+  let dirs =
+    List.map (fun s -> s.Ipa.Autopar.sg_directive) report.Ipa.Autopar.rp_suggestions
+  in
+  Alcotest.(check bool) "sum" true
+    (List.exists (fun d -> contains d "reduction(+:total)") dirs);
+  Alcotest.(check bool) "product" true
+    (List.exists (fun d -> contains d "reduction(*:prod)") dirs);
+  Alcotest.(check bool) "max" true
+    (List.exists (fun d -> contains d "reduction(max:peak)") dirs);
+  Alcotest.(check bool) "scratch is private, not a reduction" true
+    (List.exists (fun d -> contains d "private(scratch)") dirs)
+
+let test_interprocedural_autopar () =
+  (* a loop whose body is a call: only the region summaries can prove it
+     parallel (the paper: APO "can not" handle calls inside loops) *)
+  let src =
+    ( "t.f",
+      {|      program t
+      double precision rows(1:64, 1:64)
+      common /g/ rows
+      integer i
+      do i = 1, 64
+        call dorow(i)
+      end do
+      end
+
+      subroutine dorow(r)
+      double precision rows(1:64, 1:64)
+      common /g/ rows
+      integer r, j
+      do j = 1, 64
+        rows(r, j) = r + j
+      end do
+      end
+|} )
+  in
+  let _, report = plan_of [ src ] in
+  let main_sugg =
+    List.filter
+      (fun s -> s.Ipa.Autopar.sg_proc = "t")
+      report.Ipa.Autopar.rp_suggestions
+  in
+  Alcotest.(check int) "call-in-loop proven parallel" 1 (List.length main_sugg)
+
+let test_annotation () =
+  let _, report = plan_of [ Corpus.Small.fig1_f ] in
+  let annotated =
+    Ipa.Autopar.annotate report ~file:"fig1.f" (snd Corpus.Small.fig1_f)
+  in
+  Alcotest.(check bool) "directive inserted" true
+    (contains annotated "!$omp parallel do");
+  (* the directive sits immediately before p1's do-loop line *)
+  let lines = String.split_on_char '\n' annotated in
+  let rec check = function
+    | a :: b :: rest ->
+      (if contains a "!$omp parallel do" then
+         Alcotest.(check bool) "followed by a do" true (contains b "do "));
+      check (b :: rest)
+    | _ -> ()
+  in
+  check lines;
+  (* annotation count matches suggestions for that file *)
+  let count =
+    List.length
+      (List.filter (fun l -> contains l "!$omp parallel do") lines)
+  in
+  Alcotest.(check int) "two directives" 2 count
+
+let suite =
+  [
+    Alcotest.test_case "fig1 plan" `Quick test_fig1_plan;
+    Alcotest.test_case "C pragma spelling" `Quick test_c_spelling;
+    Alcotest.test_case "reduction patterns" `Quick test_reduction_patterns;
+    Alcotest.test_case "interprocedural (call in loop)" `Quick
+      test_interprocedural_autopar;
+    Alcotest.test_case "source annotation" `Quick test_annotation;
+  ]

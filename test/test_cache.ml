@@ -1,0 +1,128 @@
+let mk_direct lines = Cache.create (Cache.direct_mapped ~line_bytes:16 ~lines)
+
+let test_cold_miss_then_hit () =
+  let c = mk_direct 4 in
+  Cache.access c ~write:false ~addr:0 ~bytes:4;
+  Cache.access c ~write:false ~addr:4 ~bytes:4;
+  let s = Cache.stats c in
+  Alcotest.(check int) "one miss" 1 (Cache.misses s);
+  Alcotest.(check int) "one hit" 1 (Cache.hits s)
+
+let test_conflict_eviction () =
+  let c = mk_direct 4 in
+  (* addresses 0 and 64 map to the same set in a 4-line 16-byte cache *)
+  Cache.access c ~write:false ~addr:0 ~bytes:4;
+  Cache.access c ~write:false ~addr:64 ~bytes:4;
+  Cache.access c ~write:false ~addr:0 ~bytes:4;
+  let s = Cache.stats c in
+  Alcotest.(check int) "three misses" 3 (Cache.misses s);
+  Alcotest.(check int) "two evictions" 2 s.Cache.evictions
+
+let test_two_way_avoids_conflict () =
+  let c = Cache.create (Cache.two_way ~line_bytes:16 ~lines:4) in
+  Cache.access c ~write:false ~addr:0 ~bytes:4;
+  Cache.access c ~write:false ~addr:32 ~bytes:4;  (* same set, other way *)
+  Cache.access c ~write:false ~addr:0 ~bytes:4;
+  let s = Cache.stats c in
+  Alcotest.(check int) "two misses only" 2 (Cache.misses s);
+  Alcotest.(check int) "one hit" 1 (Cache.hits s)
+
+let test_lru_order () =
+  let c = Cache.create (Cache.two_way ~line_bytes:16 ~lines:4) in
+  (* set 0 candidates: 0, 32, 64 *)
+  Cache.access c ~write:false ~addr:0 ~bytes:4;
+  Cache.access c ~write:false ~addr:32 ~bytes:4;
+  Cache.access c ~write:false ~addr:0 ~bytes:4;  (* 32 is now LRU *)
+  Cache.access c ~write:false ~addr:64 ~bytes:4; (* evicts 32 *)
+  Cache.access c ~write:false ~addr:0 ~bytes:4;  (* still resident *)
+  let s = Cache.stats c in
+  Alcotest.(check int) "misses" 3 (Cache.misses s);
+  Alcotest.(check int) "hits" 2 (Cache.hits s)
+
+let test_straddling_access () =
+  let c = mk_direct 4 in
+  (* 8 bytes starting at 12 touch lines 0 and 1 *)
+  Cache.access c ~write:true ~addr:12 ~bytes:8;
+  let s = Cache.stats c in
+  Alcotest.(check int) "two line touches" 2 s.Cache.writes;
+  Alcotest.(check int) "two write misses" 2 s.Cache.write_misses
+
+let test_reset () =
+  let c = mk_direct 4 in
+  Cache.access c ~write:false ~addr:0 ~bytes:4;
+  Cache.reset c;
+  let s = Cache.stats c in
+  Alcotest.(check int) "no reads" 0 s.Cache.reads;
+  Cache.access c ~write:false ~addr:0 ~bytes:4;
+  Alcotest.(check int) "cold again" 1 (Cache.misses (Cache.stats c))
+
+let test_validation () =
+  Alcotest.check_raises "bad line size"
+    (Invalid_argument "Cache.create: line_bytes must be a power of two")
+    (fun () -> ignore (Cache.create { Cache.line_bytes = 24; sets = 4; ways = 1 }));
+  Alcotest.check_raises "bad ways"
+    (Invalid_argument "Cache.create: ways must be >= 1")
+    (fun () -> ignore (Cache.create { Cache.line_bytes = 16; sets = 4; ways = 0 }))
+
+let test_capacity () =
+  Alcotest.(check int) "capacity" 2048
+    (Cache.capacity_bytes (Cache.two_way ~line_bytes:32 ~lines:64))
+
+(* property: miss count never exceeds access count; sequential sweep of N
+   distinct lines gives exactly N misses on first pass, 0 on second when it
+   fits *)
+let prop_sweep =
+  QCheck2.Test.make ~name:"sweep misses = distinct lines when resident"
+    ~count:100
+    QCheck2.Gen.(int_range 1 16)
+    ~print:string_of_int
+    (fun nlines ->
+      let c = Cache.create (Cache.direct_mapped ~line_bytes:16 ~lines:16) in
+      for i = 0 to nlines - 1 do
+        Cache.access c ~write:false ~addr:(i * 16) ~bytes:4
+      done;
+      let first = Cache.misses (Cache.stats c) in
+      for i = 0 to nlines - 1 do
+        Cache.access c ~write:false ~addr:(i * 16) ~bytes:4
+      done;
+      let second = Cache.misses (Cache.stats c) in
+      first = nlines && second = nlines)
+
+let test_hierarchy () =
+  let h =
+    Cache.Hierarchy.create
+      ~l1:(Cache.direct_mapped ~line_bytes:16 ~lines:2)
+      ~l2:(Cache.two_way ~line_bytes:16 ~lines:8)
+  in
+  (* two addresses conflicting in L1 but coexisting in L2 *)
+  Cache.Hierarchy.access h ~write:false ~addr:0 ~bytes:4;
+  Cache.Hierarchy.access h ~write:false ~addr:32 ~bytes:4;
+  Cache.Hierarchy.access h ~write:false ~addr:0 ~bytes:4;
+  Cache.Hierarchy.access h ~write:false ~addr:32 ~bytes:4;
+  let s = Cache.Hierarchy.stats h in
+  Alcotest.(check int) "L1 misses all four" 4 (Cache.misses s.Cache.Hierarchy.l1);
+  Alcotest.(check int) "L2 absorbs the refetches" 2
+    (Cache.misses s.Cache.Hierarchy.l2);
+  Alcotest.(check int) "L2 sees only L1 misses" 4
+    (s.Cache.Hierarchy.l2.Cache.reads + s.Cache.Hierarchy.l2.Cache.writes);
+  (* amat between the L2-hit and memory latencies *)
+  let t = Cache.Hierarchy.amat s in
+  Alcotest.(check bool) "amat sensible" true (t > 10.0 && t < 111.0);
+  Cache.Hierarchy.reset h;
+  let s = Cache.Hierarchy.stats h in
+  Alcotest.(check int) "reset" 0
+    (s.Cache.Hierarchy.l1.Cache.reads + s.Cache.Hierarchy.l2.Cache.reads)
+
+let suite =
+  [
+    Alcotest.test_case "two-level hierarchy" `Quick test_hierarchy;
+    Alcotest.test_case "cold miss then hit" `Quick test_cold_miss_then_hit;
+    Alcotest.test_case "conflict eviction" `Quick test_conflict_eviction;
+    Alcotest.test_case "2-way avoids conflict" `Quick test_two_way_avoids_conflict;
+    Alcotest.test_case "LRU order" `Quick test_lru_order;
+    Alcotest.test_case "straddling access" `Quick test_straddling_access;
+    Alcotest.test_case "reset" `Quick test_reset;
+    Alcotest.test_case "config validation" `Quick test_validation;
+    Alcotest.test_case "capacity" `Quick test_capacity;
+    QCheck_alcotest.to_alcotest prop_sweep;
+  ]

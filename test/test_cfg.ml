@@ -1,0 +1,120 @@
+let build_cfg src proc =
+  let prog = Lang.Frontend.load ~files:[ ("t.f", src) ] in
+  let m = Whirl.Lower.lower prog in
+  Cfg.build (Option.get (Whirl.Ir.find_pu m proc))
+
+let straight =
+  {|      program s
+      integer x
+      x = 1
+      x = x + 1
+      print *, x
+      end
+|}
+
+let with_if =
+  {|      program s
+      integer x
+      x = 1
+      if (x .gt. 0) then
+        x = 2
+      else
+        x = 3
+      end if
+      print *, x
+      end
+|}
+
+let with_loop =
+  {|      program s
+      integer i, s
+      s = 0
+      do i = 1, 10
+        s = s + i
+      end do
+      print *, s
+      end
+|}
+
+let with_return =
+  {|      subroutine s(x)
+      integer x
+      if (x .gt. 0) then
+        return
+      end if
+      x = 1
+      end
+|}
+
+let test_straight_line () =
+  let cfg = build_cfg straight "s" in
+  (* entry -> body -> exit *)
+  Alcotest.(check int) "3 blocks" 3 (Cfg.block_count cfg);
+  Alcotest.(check int) "2 edges" 2 (Cfg.edge_count cfg)
+
+let test_if_diamond () =
+  let cfg = build_cfg with_if "s" in
+  (* the cond block has two successors *)
+  let cond_blocks =
+    Array.to_list cfg.Cfg.blocks
+    |> List.filter (fun (b : Cfg.block) -> List.length b.Cfg.succs = 2)
+  in
+  Alcotest.(check int) "one branch point" 1 (List.length cond_blocks);
+  (* join reachable from both *)
+  let idom = Cfg.dominators cfg in
+  Alcotest.(check bool) "exit dominated by entry" true
+    (idom.(cfg.Cfg.exit_) <> -1)
+
+let test_loop_back_edge () =
+  let cfg = build_cfg with_loop "s" in
+  (* find the loop head: a block with an incoming back edge *)
+  let rpo = Cfg.reverse_postorder cfg in
+  let order = Array.make (Cfg.block_count cfg) (-1) in
+  List.iteri (fun i b -> order.(b) <- i) rpo;
+  let back_edges =
+    Array.to_list cfg.Cfg.blocks
+    |> List.concat_map (fun (b : Cfg.block) ->
+           List.filter_map
+             (fun s ->
+               if order.(s) >= 0 && order.(b.Cfg.id) >= 0 && order.(s) <= order.(b.Cfg.id)
+               then Some (b.Cfg.id, s)
+               else None)
+             b.Cfg.succs)
+  in
+  Alcotest.(check bool) "has a back edge" true (back_edges <> []);
+  (* the loop head dominates the latch *)
+  let latch, head = List.hd back_edges in
+  Alcotest.(check bool) "head dominates latch" true (Cfg.dominates cfg head latch)
+
+let test_return_edges_to_exit () =
+  let cfg = build_cfg with_return "s" in
+  let exit_preds = cfg.Cfg.blocks.(cfg.Cfg.exit_).Cfg.preds in
+  Alcotest.(check bool) "two paths into exit" true (List.length exit_preds >= 2)
+
+let test_rpo_starts_at_entry () =
+  let cfg = build_cfg with_loop "s" in
+  match Cfg.reverse_postorder cfg with
+  | e :: _ -> Alcotest.(check int) "entry first" cfg.Cfg.entry e
+  | [] -> Alcotest.fail "empty RPO"
+
+let test_dot_and_ascii () =
+  let cfg = build_cfg with_loop "s" in
+  let dot = Cfg.to_dot cfg in
+  let ascii = Cfg.to_ascii cfg in
+  let contains hay needle =
+    let nh = String.length hay and nn = String.length needle in
+    let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "dot digraph" true (contains dot "digraph");
+  Alcotest.(check bool) "ascii header" true (contains ascii "CFG of s")
+
+let suite =
+  [
+    Alcotest.test_case "straight line" `Quick test_straight_line;
+    Alcotest.test_case "if diamond" `Quick test_if_diamond;
+    Alcotest.test_case "loop back edge" `Quick test_loop_back_edge;
+    Alcotest.test_case "returns edge to exit" `Quick test_return_edges_to_exit;
+    Alcotest.test_case "RPO starts at entry" `Quick test_rpo_starts_at_entry;
+    Alcotest.test_case "dot and ascii output" `Quick test_dot_and_ascii;
+  ]

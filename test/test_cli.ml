@@ -1,0 +1,112 @@
+(* End-to-end CLI tests: the uhc and dragon binaries as processes, through
+   the on-disk project workflow of the paper's Section V-B. *)
+
+let exe name =
+  (* tests run from _build/default/test; the binaries are siblings *)
+  Filename.concat (Filename.concat ".." "bin") (name ^ ".exe")
+
+let run_capture cmd =
+  let ic = Unix.open_process_in (cmd ^ " 2>&1") in
+  let buf = Buffer.create 1024 in
+  (try
+     while true do
+       Buffer.add_channel buf ic 1
+     done
+   with End_of_file -> ());
+  let status = Unix.close_process_in ic in
+  (status, Buffer.contents buf)
+
+let contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  nn > 0 && go 0
+
+let temp_dir () =
+  let d = Filename.temp_file "cli" "" in
+  Sys.remove d;
+  Sys.mkdir d 0o755;
+  d
+
+let binaries_present () =
+  Sys.file_exists (exe "uhc") && Sys.file_exists (exe "dragon")
+
+let test_uhc_project_workflow () =
+  if not (binaries_present ()) then ()
+  else begin
+    let dir = temp_dir () in
+    let status, out =
+      run_capture
+        (Printf.sprintf "%s --corpus matrix -o %s -p matrix" (exe "uhc") dir)
+    in
+    Alcotest.(check bool) "uhc exits 0" true (status = Unix.WEXITED 0);
+    Alcotest.(check bool) "reports rows" true (contains out "array-region rows");
+    Alcotest.(check bool) ".rgn written" true
+      (Sys.file_exists (Filename.concat dir "matrix.rgn"));
+    Alcotest.(check bool) ".dgn written" true
+      (Sys.file_exists (Filename.concat dir "matrix.dgn"));
+    Alcotest.(check bool) ".cfg written" true
+      (Sys.file_exists (Filename.concat dir "matrix.cfg"));
+    Alcotest.(check bool) "source copied" true
+      (Sys.file_exists (Filename.concat dir "matrix.c"));
+    (* dragon over the project *)
+    let status, out =
+      run_capture
+        (Printf.sprintf "%s table -d %s -p matrix --find aarr" (exe "dragon") dir)
+    in
+    Alcotest.(check bool) "dragon exits 0" true (status = Unix.WEXITED 0);
+    Alcotest.(check bool) "find reports" true (contains out "5 row(s)");
+    let _, out =
+      run_capture (Printf.sprintf "%s advise -d %s -p matrix" (exe "dragon") dir)
+    in
+    Alcotest.(check bool) "advisor output" true (contains out "copyin");
+    let _, out =
+      run_capture
+        (Printf.sprintf "%s callgraph -d %s -p matrix --dot" (exe "dragon") dir)
+    in
+    Alcotest.(check bool) "dot graph" true (contains out "digraph")
+  end
+
+let test_uhc_error_handling () =
+  if not (binaries_present ()) then ()
+  else begin
+    let status, _ = run_capture (exe "uhc") in
+    Alcotest.(check bool) "no inputs: nonzero exit" true
+      (status <> Unix.WEXITED 0);
+    let bad = Filename.temp_file "bad" ".f" in
+    let oc = open_out bad in
+    output_string oc "      program broken\n      do i = \n      end\n";
+    close_out oc;
+    let status, out = run_capture (Printf.sprintf "%s %s" (exe "uhc") bad) in
+    Alcotest.(check bool) "syntax error: exit 1" true (status = Unix.WEXITED 1);
+    Alcotest.(check bool) "diagnostic printed" true (contains out "error")
+  end
+
+let test_dragon_missing_project () =
+  if not (binaries_present ()) then ()
+  else begin
+    let dir = temp_dir () in
+    let status, out =
+      run_capture (Printf.sprintf "%s table -d %s -p nope" (exe "dragon") dir)
+    in
+    Alcotest.(check bool) "exit 1" true (status = Unix.WEXITED 1);
+    Alcotest.(check bool) "mentions missing" true (contains out "missing")
+  end
+
+let test_uhc_run_flag () =
+  if not (binaries_present ()) then ()
+  else begin
+    let status, out =
+      run_capture (Printf.sprintf "%s --corpus matrix --run" (exe "uhc"))
+    in
+    Alcotest.(check bool) "exit 0" true (status = Unix.WEXITED 0);
+    Alcotest.(check bool) "program output" true
+      (contains out "statements executed")
+  end
+
+let suite =
+  [
+    Alcotest.test_case "uhc project workflow" `Quick test_uhc_project_workflow;
+    Alcotest.test_case "uhc error handling" `Quick test_uhc_error_handling;
+    Alcotest.test_case "dragon missing project" `Quick test_dragon_missing_project;
+    Alcotest.test_case "uhc --run" `Quick test_uhc_run_flag;
+  ]

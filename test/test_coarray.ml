@@ -1,0 +1,119 @@
+(* The PGAS extension (the paper's future work): coarray declarations,
+   remote accesses, RUSE/RDEF rows, and single-image execution. *)
+
+let result = lazy (Ipa.Analyze.analyze_sources [ Corpus.Small.caf_f ])
+
+let rows pred = List.filter pred (Lazy.force result).Ipa.Analyze.r_rows
+
+let test_parse_codimension () =
+  let u = Lang.Parser_f.parse ~file:"caf.f" (snd Corpus.Small.caf_f) in
+  let p = List.hd u.Lang.Ast.unit_procs in
+  let halo =
+    List.find (fun d -> d.Lang.Ast.decl_name = "halo") p.Lang.Ast.proc_decls
+  in
+  Alcotest.(check bool) "halo is a coarray" true halo.Lang.Ast.decl_coarray;
+  let i = List.find (fun d -> d.Lang.Ast.decl_name = "i") p.Lang.Ast.proc_decls in
+  Alcotest.(check bool) "i is not" false i.Lang.Ast.decl_coarray
+
+let test_remote_write_rows () =
+  let rdefs = rows (fun r -> r.Rgnfile.Row.mode = "RDEF") in
+  match rdefs with
+  | [ r ] ->
+    Alcotest.(check string) "halo" "halo" r.Rgnfile.Row.array;
+    Alcotest.(check string) "region 1:8" "1" r.Rgnfile.Row.lb;
+    Alcotest.(check string) "region 1:8" "8" r.Rgnfile.Row.ub
+  | l -> Alcotest.failf "expected one RDEF row, got %d" (List.length l)
+
+let test_remote_read_rows () =
+  let ruses = rows (fun r -> r.Rgnfile.Row.mode = "RUSE") in
+  match ruses with
+  | [ r ] ->
+    Alcotest.(check string) "work" "work" r.Rgnfile.Row.array;
+    Alcotest.(check string) "region 1:8" "1" r.Rgnfile.Row.lb;
+    Alcotest.(check string) "region 1:8" "8" r.Rgnfile.Row.ub
+  | l -> Alcotest.failf "expected one RUSE row, got %d" (List.length l)
+
+let test_local_rows_unaffected () =
+  (* work is also DEFined locally: 1:32 and 25:32 *)
+  let defs =
+    rows (fun r -> r.Rgnfile.Row.array = "work" && r.Rgnfile.Row.mode = "DEF")
+  in
+  Alcotest.(check int) "two local DEF rows" 2 (List.length defs)
+
+let test_single_image_execution () =
+  let m = (Lazy.force result).Ipa.Analyze.r_module in
+  let o = Interp.run m in
+  (* this_image() = num_images() = 1: the remote branches do not run *)
+  Alcotest.(check string) "output" "1\n" o.Interp.out_text
+
+let test_remote_to_other_image_traps () =
+  let src =
+    ( "t.f",
+      {|      program t
+      double precision x(1:4)[*]
+      x(1)[2] = 1.0d0
+      end
+|} )
+  in
+  let m = Whirl.Lower.lower (Lang.Frontend.load ~files:[ src ]) in
+  try
+    ignore (Interp.run m);
+    Alcotest.fail "expected a runtime error for image 2"
+  with Interp.Runtime_error (msg, _) ->
+    Alcotest.(check bool) "mentions image" true
+      (String.length msg > 0)
+
+let test_non_coarray_rejected () =
+  let src =
+    ( "t.f",
+      {|      program t
+      double precision x(1:4)
+      x(1)[2] = 1.0d0
+      end
+|} )
+  in
+  try
+    ignore (Lang.Frontend.load ~files:[ src ]);
+    Alcotest.fail "expected a sema error"
+  with Lang.Diag.Frontend_error d ->
+    Alcotest.(check string) "message" "x is not a coarray" d.Lang.Diag.message
+
+let test_whirl2src_renders_remote () =
+  let m = (Lazy.force result).Ipa.Analyze.r_module in
+  let pu = Option.get (Whirl.Ir.find_pu m "cafhalo") in
+  let s = Whirl.Whirl2src.pu_to_string m pu in
+  let contains needle =
+    let nh = String.length s and nn = String.length needle in
+    let rec go i = i + nn <= nh && (String.sub s i nn = needle || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "remote write rendered" true
+    (contains "halo(i)[(me + 1)]")
+
+let test_dragon_shows_remote_modes () =
+  let r = Lazy.force result in
+  let p =
+    Dragon.Project.make ~name:"caf" ~dgn:r.Ipa.Analyze.r_dgn
+      ~rows:r.Ipa.Analyze.r_rows ~cfg:[] ~sources:[ Corpus.Small.caf_f ]
+  in
+  let out = Dragon.Table.render p in
+  let contains needle =
+    let nh = String.length out and nn = String.length needle in
+    let rec go i = i + nn <= nh && (String.sub out i nn = needle || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "RDEF visible" true (contains "RDEF");
+  Alcotest.(check bool) "RUSE visible" true (contains "RUSE")
+
+let suite =
+  [
+    Alcotest.test_case "parse codimension" `Quick test_parse_codimension;
+    Alcotest.test_case "remote write rows (RDEF)" `Quick test_remote_write_rows;
+    Alcotest.test_case "remote read rows (RUSE)" `Quick test_remote_read_rows;
+    Alcotest.test_case "local rows unaffected" `Quick test_local_rows_unaffected;
+    Alcotest.test_case "single-image execution" `Quick test_single_image_execution;
+    Alcotest.test_case "remote to image 2 traps" `Quick test_remote_to_other_image_traps;
+    Alcotest.test_case "non-coarray rejected" `Quick test_non_coarray_rejected;
+    Alcotest.test_case "whirl2src renders remote" `Quick test_whirl2src_renders_remote;
+    Alcotest.test_case "Dragon shows RDEF/RUSE" `Quick test_dragon_shows_remote_modes;
+  ]

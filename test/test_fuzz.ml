@@ -1,0 +1,230 @@
+(* Randomized whole-pipeline soundness: generate random affine loop-nest
+   programs, then check
+
+   1. every element the interpreter actually touches lies inside some static
+      region of the same (array, mode) — the core soundness claim of the
+      region analysis;
+   2. WOPT (constant propagation + DCE) preserves program output;
+   3. the analysis is deterministic.
+
+   The generator keeps subscripts within declared bounds by construction so
+   runs never trap. *)
+
+open QCheck2
+
+(* ------------------------------------------------------------------ *)
+(* Program generator *)
+
+type sub = Svar of string * int  (* var + offset *) | Srev of string (* 21 - var *)
+
+let sub_str = function
+  | Svar (v, 0) -> v
+  | Svar (v, c) -> Printf.sprintf "%s + %d" v c
+  | Srev v -> Printf.sprintf "21 - %s" v
+
+type stmt =
+  | Loop of string * int * int * int * stmt list  (* var, lo, hi, step *)
+  | Store1 of string * sub * string  (* arr, sub, rhs-ish *)
+  | Store2 of sub * sub * string     (* c(s1, s2) = ... *)
+  | Accum of string * sub            (* s = s + arr(sub) *)
+  | Cond of string * int * stmt list
+
+let rec render indent stmt =
+  let pad = String.make indent ' ' in
+  match stmt with
+  | Loop (v, lo, hi, step, body) ->
+    let head =
+      if step = 1 then Printf.sprintf "%sdo %s = %d, %d\n" pad v lo hi
+      else Printf.sprintf "%sdo %s = %d, %d, %d\n" pad v lo hi step
+    in
+    head
+    ^ String.concat "" (List.map (render (indent + 2)) body)
+    ^ Printf.sprintf "%send do\n" pad
+  | Store1 (arr, sub, rhs) ->
+    Printf.sprintf "%s%s(%s) = %s\n" pad arr (sub_str sub) rhs
+  | Store2 (s1, s2, rhs) ->
+    Printf.sprintf "%sc(%s, %s) = %s\n" pad (sub_str s1) (sub_str s2) rhs
+  | Accum (arr, sub) ->
+    Printf.sprintf "%ss = s + %s(%s)\n" pad arr (sub_str sub)
+  | Cond (v, k, body) ->
+    Printf.sprintf "%sif (mod(%s, %d) .eq. 0) then\n" pad v (k + 1)
+    ^ String.concat "" (List.map (render (indent + 2)) body)
+    ^ Printf.sprintf "%send if\n" pad
+
+let program stmts =
+  "      program fuzz\n" ^ "      integer a(1:24), b(1:24), c(1:24, 1:24)\n"
+  ^ "      integer s, i, j, k\n" ^ "      s = 0\n"
+  ^ String.concat "" (List.map (render 6) stmts)
+  ^ "      print *, s\n" ^ "      end\n"
+
+(* subscripts valid for any loop var ranging within [1, 20] *)
+let gen_sub vars =
+  Gen.(
+    let* v = oneofl vars in
+    oneof
+      [
+        (let* c = int_range 0 4 in
+         return (Svar (v, c)));
+        return (Srev v);
+      ])
+
+let gen_rhs vars =
+  Gen.(
+    oneof
+      [
+        map string_of_int (int_range 0 9);
+        return "s";
+        (let* v = oneofl vars in
+         return v);
+        (let* arr = oneofl [ "a"; "b" ] in
+         let* s = gen_sub vars in
+         return (Printf.sprintf "%s(%s) + 1" arr (sub_str s)));
+      ])
+
+(* NOTE: QCheck2's [oneofl] raises on an empty list at generator
+   construction time, so sub-generators that need loop variables are only
+   built when [vars] is non-empty. *)
+let rec gen_stmt depth vars =
+  Gen.(
+    let unused =
+      List.filter (fun v -> not (List.mem v vars)) [ "i"; "j"; "k" ]
+    in
+    let loop_gen () =
+      let* v = oneofl unused in
+      let* lo = int_range 1 4 in
+      let* len = int_range 0 12 in
+      let* step = oneofl [ 1; 1; 2; 3 ] in
+      let hi = min 20 (lo + len) in
+      let* body = list_size (int_range 1 3) (gen_stmt (depth - 1) (v :: vars)) in
+      return (Loop (v, lo, hi, step, body))
+    in
+    if vars = [] then loop_gen ()
+    else
+      let leaf =
+        oneof
+          [
+            (let* arr = oneofl [ "a"; "b" ] in
+             let* s = gen_sub vars in
+             let* rhs = gen_rhs vars in
+             return (Store1 (arr, s, rhs)));
+            (let* s1 = gen_sub vars in
+             let* s2 = gen_sub vars in
+             let* rhs = gen_rhs vars in
+             return (Store2 (s1, s2, rhs)));
+            (let* arr = oneofl [ "a"; "b" ] in
+             let* s = gen_sub vars in
+             return (Accum (arr, s)));
+          ]
+      in
+      if depth = 0 || unused = [] then leaf
+      else
+        let cond_gen =
+          let* v = oneofl vars in
+          let* k = int_range 1 3 in
+          let* body = list_size (int_range 1 2) (gen_stmt (depth - 1) vars) in
+          return (Cond (v, k, body))
+        in
+        frequency [ (2, leaf); (3, loop_gen ()); (1, cond_gen) ])
+
+let gen_program =
+  Gen.(
+    let* top = list_size (int_range 1 4) (gen_stmt 2 []) in
+    (* top-level statements must not reference loop vars: wrap free leaves in
+       a loop when they mention vars.  Easier: only allow loops at top. *)
+    let top =
+      List.map
+        (function
+          | Loop _ as l -> l
+          | other -> Loop ("i", 1, 8, 1, [ other ]))
+        top
+    in
+    return (program top))
+
+(* ------------------------------------------------------------------ *)
+
+let prop_static_covers_dynamic =
+  Test.make ~name:"static regions cover dynamic accesses" ~count:60
+    gen_program ~print:(fun s -> s)
+    (fun src ->
+      let result = Ipa.Analyze.analyze_sources [ ("fuzz.f", src) ] in
+      let m = result.Ipa.Analyze.r_module in
+      (* static accesses by (name, is_write) *)
+      let static =
+        List.concat_map
+          (fun (_, (info : Ipa.Collect.pu_info)) ->
+            List.filter_map
+              (fun (a : Ipa.Collect.access) ->
+                let name =
+                  Whirl.Ir.st_name m info.Ipa.Collect.p_pu a.Ipa.Collect.ac_st
+                in
+                match a.Ipa.Collect.ac_mode with
+                | Regions.Mode.USE -> Some ((name, false), a.Ipa.Collect.ac_region)
+                | Regions.Mode.DEF -> Some ((name, true), a.Ipa.Collect.ac_region)
+                | _ -> None)
+              info.Ipa.Collect.p_accesses)
+          result.Ipa.Analyze.r_infos
+      in
+      let failures = ref 0 in
+      let events = ref 0 in
+      let _ =
+        Interp.run
+          ~observer:(fun ev ->
+            incr events;
+            if !events <= 20_000 then begin
+              let key = (ev.Interp.ev_array, ev.Interp.ev_write) in
+              let covered =
+                List.exists
+                  (fun (k, region) ->
+                    k = key
+                    && Regions.Region.contains_point region ev.Interp.ev_coords)
+                  static
+              in
+              if not covered then incr failures
+            end)
+          m
+      in
+      !failures = 0)
+
+let prop_wopt_preserves_output =
+  Test.make ~name:"wopt preserves output" ~count:60 gen_program
+    ~print:(fun s -> s)
+    (fun src ->
+      let lower () =
+        Whirl.Lower.lower (Lang.Frontend.load ~files:[ ("fuzz.f", src) ])
+      in
+      let before = (Interp.run (lower ())).Interp.out_text in
+      let m1, _ = Wopt.Const_prop.run (lower ()) in
+      let m2, _ = Wopt.Dce.run m1 in
+      let after = (Interp.run m2).Interp.out_text in
+      String.equal before after)
+
+let prop_analysis_deterministic =
+  Test.make ~name:"analysis deterministic" ~count:30 gen_program
+    ~print:(fun s -> s)
+    (fun src ->
+      let rows () =
+        (Ipa.Analyze.analyze_sources [ ("fuzz.f", src) ]).Ipa.Analyze.r_rows
+        |> List.map Rgnfile.Row.to_fields
+      in
+      rows () = rows ())
+
+let prop_rgn_roundtrip =
+  Test.make ~name:".rgn round-trips on random programs" ~count:40 gen_program
+    ~print:(fun s -> s)
+    (fun src ->
+      let rows =
+        (Ipa.Analyze.analyze_sources [ ("fuzz.f", src) ]).Ipa.Analyze.r_rows
+      in
+      match Rgnfile.Files.parse_rgn (Rgnfile.Files.write_rgn rows) with
+      | Ok rows' ->
+        List.length rows = List.length rows'
+        && List.for_all2 Rgnfile.Row.equal rows rows'
+      | Error _ -> false)
+
+let suite =
+  [
+    QCheck_alcotest.to_alcotest prop_rgn_roundtrip;
+    QCheck_alcotest.to_alcotest prop_static_covers_dynamic;
+    QCheck_alcotest.to_alcotest prop_wopt_preserves_output;
+    QCheck_alcotest.to_alcotest prop_analysis_deterministic;
+  ]

@@ -1,0 +1,84 @@
+let approx msg expected actual =
+  Alcotest.(check bool)
+    (Printf.sprintf "%s (expected %g, got %g)" msg expected actual)
+    true
+    (Float.abs (expected -. actual) <= 1e-9 +. (1e-6 *. Float.abs expected))
+
+let test_transfer_time () =
+  let link = { Gpu.Offload.latency_s = 1e-5; bandwidth_bps = 1e9 } in
+  approx "zero bytes free" 0.0 (Gpu.Offload.transfer_time link ~bytes:0);
+  approx "latency + payload" (1e-5 +. 1e-3)
+    (Gpu.Offload.transfer_time link ~bytes:1_000_000)
+
+let test_offload_time () =
+  let link = { Gpu.Offload.latency_s = 0.0; bandwidth_bps = 1e9 } in
+  let t =
+    Gpu.Offload.offload_time link
+      { Gpu.Offload.off_bytes_in = 500_000; off_bytes_out = 500_000; off_kernel_s = 0.25 }
+  in
+  approx "in + kernel + out" (0.0005 +. 0.25 +. 0.0005) t
+
+let test_region_bytes () =
+  let r =
+    let i = Linear.Var.fresh ~name:"i" Linear.Var.Ivar in
+    Regions.Region.of_subscripts ~extents:[ Some 100 ]
+      ~loops:
+        [
+          {
+            Regions.Region.lc_var = i;
+            lc_lo = Regions.Affine.Affine (Linear.Expr.of_int 0);
+            lc_hi = Regions.Affine.Affine (Linear.Expr.of_int 9);
+            lc_step = Some 2;
+          };
+        ]
+      [ Regions.Affine.Affine (Linear.Expr.var i) ]
+  in
+  (* 5 strided points, bounding box of 9 elements *)
+  Alcotest.(check (option int)) "exact points * esize" (Some 40)
+    (Gpu.Offload.region_bytes ~elem_size:8 r);
+  Alcotest.(check (option int)) "box bytes" (Some 72)
+    (Gpu.Offload.region_box_bytes ~elem_size:8 r)
+
+let test_whole_array_bytes () =
+  Alcotest.(check (option int)) "product" (Some 48)
+    (Gpu.Offload.whole_array_bytes ~elem_size:4 ~extents:[ Some 3; Some 4 ]);
+  Alcotest.(check (option int)) "unknown extent" None
+    (Gpu.Offload.whole_array_bytes ~elem_size:4 ~extents:[ Some 3; None ])
+
+let test_compare_copyin () =
+  let r = Regions.Region.whole ~extents:[ Some 10 ] in
+  match
+    Gpu.Offload.compare_copyin ~label:"t" ~elem_size:8 ~extents:[ Some 1000 ] r
+  with
+  | None -> Alcotest.fail "expected comparison"
+  | Some c ->
+    Alcotest.(check int) "full" 8000 c.Gpu.Offload.cmp_full_bytes;
+    Alcotest.(check int) "sub" 80 c.Gpu.Offload.cmp_sub_bytes;
+    Alcotest.(check bool) "speedup > 1" true (c.Gpu.Offload.cmp_speedup > 1.0)
+
+let test_speedup_monotone_in_bytes () =
+  let t b = Gpu.Offload.transfer_time Gpu.Offload.pcie_gen2 ~bytes:b in
+  Alcotest.(check bool) "more bytes, more time" true (t 1000 < t 1_000_000);
+  Alcotest.(check bool) "speedup consistent" true
+    (Gpu.Offload.speedup ~baseline:(t 1_000_000) ~improved:(t 1000) > 1.0)
+
+let test_omp_model () =
+  let m = Gpu.Omp.default_2012 in
+  let one = Gpu.Omp.region_overhead m ~threads:24 in
+  approx "per-region" (5e-6 +. (24.0 *. 0.4e-6)) one;
+  approx "two regions" (2.0 *. one) (Gpu.Omp.total_overhead m ~threads:24 ~regions:2);
+  approx "fusion saves one region" one
+    (Gpu.Omp.fusion_saving m ~threads:24 ~regions_before:2 ~regions_after:1);
+  Alcotest.(check bool) "more threads cost more" true
+    (Gpu.Omp.region_overhead m ~threads:24 > Gpu.Omp.region_overhead m ~threads:2)
+
+let suite =
+  [
+    Alcotest.test_case "transfer time" `Quick test_transfer_time;
+    Alcotest.test_case "offload time" `Quick test_offload_time;
+    Alcotest.test_case "region bytes (strided)" `Quick test_region_bytes;
+    Alcotest.test_case "whole-array bytes" `Quick test_whole_array_bytes;
+    Alcotest.test_case "compare copyin" `Quick test_compare_copyin;
+    Alcotest.test_case "speedup monotone" `Quick test_speedup_monotone_in_bytes;
+    Alcotest.test_case "OpenMP overhead model" `Quick test_omp_model;
+  ]

@@ -1,0 +1,96 @@
+open Numeric
+
+let itv =
+  Alcotest.testable Interval.pp Interval.equal
+
+let itv_opt = Alcotest.(option itv)
+
+let mk l h =
+  match Interval.of_ints l h with
+  | Some t -> t
+  | None -> Alcotest.failf "unexpected empty interval [%d,%d]" l h
+
+let test_make () =
+  Alcotest.check itv_opt "empty" None (Interval.of_ints 3 2);
+  Alcotest.check itv_opt "singleton" (Some (Interval.point 3)) (Interval.of_ints 3 3);
+  Alcotest.check_raises "make_exn empty" (Invalid_argument "Interval.make_exn: empty interval")
+    (fun () -> ignore (Interval.make_exn (Interval.Finite 1) (Interval.Finite 0)))
+
+let test_contains () =
+  let t = mk 2 5 in
+  Alcotest.(check bool) "in" true (Interval.contains t 2);
+  Alcotest.(check bool) "in" true (Interval.contains t 5);
+  Alcotest.(check bool) "out lo" false (Interval.contains t 1);
+  Alcotest.(check bool) "out hi" false (Interval.contains t 6);
+  Alcotest.(check bool) "full contains" true (Interval.contains Interval.full 1000)
+
+let test_size () =
+  Alcotest.(check (option int)) "size" (Some 4) (Interval.size (mk 2 5));
+  Alcotest.(check (option int)) "point size" (Some 1) (Interval.size (Interval.point 7));
+  Alcotest.(check (option int)) "unbounded" None (Interval.size Interval.full)
+
+let test_join_meet () =
+  Alcotest.check itv "join overlap" (mk 1 7) (Interval.join (mk 1 4) (mk 3 7));
+  Alcotest.check itv "join gap is convex" (mk 1 10) (Interval.join (mk 1 2) (mk 9 10));
+  Alcotest.check itv_opt "meet" (Some (mk 3 4)) (Interval.meet (mk 1 4) (mk 3 7));
+  Alcotest.check itv_opt "meet empty" None (Interval.meet (mk 1 2) (mk 4 5));
+  Alcotest.check itv_opt "meet with full" (Some (mk 1 4))
+    (Interval.meet (mk 1 4) Interval.full)
+
+let test_subset_disjoint () =
+  Alcotest.(check bool) "subset" true (Interval.subset (mk 2 3) (mk 1 4));
+  Alcotest.(check bool) "not subset" false (Interval.subset (mk 0 3) (mk 1 4));
+  Alcotest.(check bool) "subset of full" true (Interval.subset (mk 0 3) Interval.full);
+  Alcotest.(check bool) "full not subset" false (Interval.subset Interval.full (mk 0 3));
+  Alcotest.(check bool) "disjoint" true (Interval.disjoint (mk 1 2) (mk 3 4));
+  Alcotest.(check bool) "not disjoint" false (Interval.disjoint (mk 1 3) (mk 3 4))
+
+let test_shift () =
+  Alcotest.check itv "shift" (mk 4 7) (Interval.shift (mk 1 4) 3);
+  Alcotest.check itv "shift full" Interval.full (Interval.shift Interval.full 5)
+
+let gen_itv =
+  QCheck2.Gen.(
+    map2
+      (fun l len -> Interval.make_exn (Finite l) (Finite (l + len)))
+      (int_range (-100) 100) (int_range 0 50))
+
+let print_itv t = Format.asprintf "%a" Interval.pp t
+
+let prop_join_upper_bound =
+  QCheck2.Test.make ~name:"join contains both" ~count:300
+    QCheck2.Gen.(pair gen_itv gen_itv)
+    ~print:QCheck2.Print.(pair print_itv print_itv)
+    (fun (a, b) ->
+      let j = Interval.join a b in
+      Interval.subset a j && Interval.subset b j)
+
+let prop_meet_lower_bound =
+  QCheck2.Test.make ~name:"meet within both" ~count:300
+    QCheck2.Gen.(pair gen_itv gen_itv)
+    ~print:QCheck2.Print.(pair print_itv print_itv)
+    (fun (a, b) ->
+      match Interval.meet a b with
+      | None -> Interval.disjoint a b
+      | Some m -> Interval.subset m a && Interval.subset m b)
+
+let prop_subset_partial_order =
+  QCheck2.Test.make ~name:"subset antisymmetry" ~count:300
+    QCheck2.Gen.(pair gen_itv gen_itv)
+    ~print:QCheck2.Print.(pair print_itv print_itv)
+    (fun (a, b) ->
+      if Interval.subset a b && Interval.subset b a then Interval.equal a b
+      else true)
+
+let suite =
+  [
+    Alcotest.test_case "make" `Quick test_make;
+    Alcotest.test_case "contains" `Quick test_contains;
+    Alcotest.test_case "size" `Quick test_size;
+    Alcotest.test_case "join/meet" `Quick test_join_meet;
+    Alcotest.test_case "subset/disjoint" `Quick test_subset_disjoint;
+    Alcotest.test_case "shift" `Quick test_shift;
+    QCheck_alcotest.to_alcotest prop_join_upper_bound;
+    QCheck_alcotest.to_alcotest prop_meet_lower_bound;
+    QCheck_alcotest.to_alcotest prop_subset_partial_order;
+  ]

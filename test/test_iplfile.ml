@@ -1,0 +1,146 @@
+(* The IPL summary-file boundary: summaries survive the round trip through
+   the textual .ipl format, including symbolic bounds, and still translate
+   identically at call sites. *)
+
+let result = lazy (Ipa.Analyze.analyze_sources [ Corpus.Small.fig1_f ])
+
+let roundtrip () =
+  let r = Lazy.force result in
+  let m = r.Ipa.Analyze.r_module in
+  let text = Ipa.Iplfile.write_unit m r.Ipa.Analyze.r_summaries in
+  (m, r, text, Ipa.Iplfile.parse_unit m text)
+
+let test_roundtrip_structure () =
+  let _, r, _, parsed = roundtrip () in
+  match parsed with
+  | Error e -> Alcotest.failf "parse failed: %s" e
+  | Ok summaries ->
+    Alcotest.(check int) "same proc count"
+      (List.length r.Ipa.Analyze.r_summaries)
+      (List.length summaries);
+    List.iter2
+      (fun (p1, s1) (p2, s2) ->
+        Alcotest.(check string) "proc name" p1 p2;
+        Alcotest.(check int) (p1 ^ " entry count") (List.length s1)
+          (List.length s2);
+        List.iter2
+          (fun (e1 : Ipa.Summary.entry) (e2 : Ipa.Summary.entry) ->
+            Alcotest.(check bool) "key" true (e1.Ipa.Summary.e_key = e2.Ipa.Summary.e_key);
+            Alcotest.(check string) "mode"
+              (Regions.Mode.to_string e1.Ipa.Summary.e_mode)
+              (Regions.Mode.to_string e2.Ipa.Summary.e_mode);
+            Alcotest.(check int) "count" e1.Ipa.Summary.e_count e2.Ipa.Summary.e_count;
+            Alcotest.(check bool) "display-equal regions" true
+              (Regions.Region.equal_display e1.Ipa.Summary.e_region
+                 e2.Ipa.Summary.e_region))
+          s1 s2)
+      r.Ipa.Analyze.r_summaries summaries
+
+let test_roundtrip_semantics () =
+  (* the reloaded regions must be semantically interchangeable: mutual
+     convex inclusion with the originals *)
+  let _, r, _, parsed = roundtrip () in
+  match parsed with
+  | Error e -> Alcotest.failf "parse failed: %s" e
+  | Ok summaries ->
+    List.iter2
+      (fun (_, s1) (_, s2) ->
+        List.iter2
+          (fun (e1 : Ipa.Summary.entry) (e2 : Ipa.Summary.entry) ->
+            Alcotest.(check bool) "r1 includes r2" true
+              (Regions.Region.includes e1.Ipa.Summary.e_region
+                 e2.Ipa.Summary.e_region);
+            Alcotest.(check bool) "r2 includes r1" true
+              (Regions.Region.includes e2.Ipa.Summary.e_region
+                 e1.Ipa.Summary.e_region))
+          s1 s2)
+      r.Ipa.Analyze.r_summaries summaries
+
+let test_translation_after_reload () =
+  (* the Fig 1 independence verdict must hold with reloaded summaries *)
+  let m, r, _, parsed = roundtrip () in
+  match parsed with
+  | Error e -> Alcotest.failf "parse failed: %s" e
+  | Ok summaries -> (
+    let info = List.assoc "add" r.Ipa.Analyze.r_infos in
+    match info.Ipa.Collect.p_sites with
+    | [ s1; s2 ] ->
+      let conflicts =
+        Ipa.Parallel.sites_independent m summaries
+          ~caller:info.Ipa.Collect.p_pu s1 s2
+      in
+      Alcotest.(check int) "still independent" 0 (List.length conflicts)
+    | _ -> Alcotest.fail "expected two sites")
+
+let test_symbolic_bounds_roundtrip () =
+  (* a summary whose region has a symbolic bound (do i = 1, n) *)
+  let src =
+    ( "t.f",
+      {|      program t
+      integer a(1:64)
+      integer n
+      n = 40
+      call fill(a, n)
+      end
+
+      subroutine fill(b, n)
+      integer b(1:64)
+      integer n, i
+      do i = 1, n
+        b(i) = i
+      end do
+      end
+|} )
+  in
+  let r = Ipa.Analyze.analyze_sources [ src ] in
+  let m = r.Ipa.Analyze.r_module in
+  let text = Ipa.Iplfile.write_unit m r.Ipa.Analyze.r_summaries in
+  match Ipa.Iplfile.parse_unit m text with
+  | Error e -> Alcotest.failf "parse failed: %s" e
+  | Ok summaries ->
+    let fill = List.assoc "fill" summaries in
+    (match fill with
+    | [ e ] ->
+      let d = List.hd (Regions.Region.dim_list e.Ipa.Summary.e_region) in
+      (match d.Regions.Region.ub with
+      | Regions.Region.Bsym expr ->
+        Alcotest.(check string) "symbolic ub survives" "n - 1"
+          (Linear.Expr.to_string expr)
+      | _ -> Alcotest.fail "expected symbolic upper bound")
+    | _ -> Alcotest.fail "expected one entry for fill")
+
+let test_parse_errors () =
+  let r = Lazy.force result in
+  let m = r.Ipa.Analyze.r_module in
+  (match Ipa.Iplfile.parse_unit m "entry F 0 ; USE ; 1 ; 1 ; 1\n" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "entry outside proc should fail");
+  (match Ipa.Iplfile.parse_unit m "proc nosuch\nentry G missing ; USE ; 1 ; 1 ; 1\nstrides 1\nendentry\nendproc\n" with
+  | Error e ->
+    Alcotest.(check bool) "mentions unknown" true (String.length e > 0)
+  | Ok _ -> Alcotest.fail "unknown global should fail");
+  match Ipa.Iplfile.parse_unit m "proc p1\n" with
+  | Error e -> Alcotest.(check string) "missing endproc" "missing endproc" e
+  | Ok _ -> Alcotest.fail "should fail"
+
+let test_file_save () =
+  let dir = Filename.temp_file "ipl" "" in
+  Sys.remove dir;
+  Sys.mkdir dir 0o755;
+  let r = Lazy.force result in
+  let m = r.Ipa.Analyze.r_module in
+  let text = Ipa.Iplfile.write_unit m r.Ipa.Analyze.r_summaries in
+  let path = Ipa.Iplfile.save ~dir ~unit_name:"fig1" text in
+  Alcotest.(check bool) "file written" true (Sys.file_exists path);
+  let loaded = Rgnfile.Files.load ~path in
+  Alcotest.(check string) "contents identical" text loaded
+
+let suite =
+  [
+    Alcotest.test_case "round trip structure" `Quick test_roundtrip_structure;
+    Alcotest.test_case "round trip semantics" `Quick test_roundtrip_semantics;
+    Alcotest.test_case "translation after reload" `Quick test_translation_after_reload;
+    Alcotest.test_case "symbolic bounds round trip" `Quick test_symbolic_bounds_roundtrip;
+    Alcotest.test_case "parse errors" `Quick test_parse_errors;
+    Alcotest.test_case "file save" `Quick test_file_save;
+  ]

@@ -1,0 +1,94 @@
+(* Loop-level summaries: the paper's "summarize array accesses at both
+   loop-level and statement level". *)
+
+let setup files =
+  let r = Ipa.Analyze.analyze_sources files in
+  (r, r.Ipa.Analyze.r_module)
+
+let find_ls lss proc line_pred =
+  List.find
+    (fun ls -> ls.Ipa.Loopsum.ls_proc = proc && line_pred ls.Ipa.Loopsum.ls_line)
+    lss
+
+let dim_triplets region =
+  List.map
+    (fun d ->
+      Format.asprintf "%a:%a" Regions.Region.pp_bound d.Regions.Region.lb
+        Regions.Region.pp_bound d.Regions.Region.ub)
+    (Regions.Region.dim_list region)
+
+let test_outer_loop_totals () =
+  let r, m = setup [ Corpus.Small.fig1_f ] in
+  let pu = Option.get (Whirl.Ir.find_pu m "p1") in
+  let lss = Ipa.Loopsum.of_pu m r.Ipa.Analyze.r_summaries pu in
+  Alcotest.(check int) "two loops" 2 (List.length lss);
+  let outer = List.hd lss in
+  Alcotest.(check int) "outer depth 0" 0 outer.Ipa.Loopsum.ls_depth;
+  (match outer.Ipa.Loopsum.ls_entries with
+  | [ e ] ->
+    Alcotest.(check string) "array a" "a" e.Ipa.Loopsum.le_array;
+    Alcotest.(check bool) "DEF" true
+      (Regions.Mode.equal e.Ipa.Loopsum.le_mode Regions.Mode.DEF);
+    Alcotest.(check (list string)) "full square" [ "0:99"; "0:99" ]
+      (dim_triplets e.Ipa.Loopsum.le_region)
+  | _ -> Alcotest.fail "expected one entry");
+  (* the inner loop's summary keeps the outer ivar symbolic *)
+  let inner = List.nth lss 1 in
+  match inner.Ipa.Loopsum.ls_entries with
+  | [ e ] ->
+    Alcotest.(check bool) "inner second dim symbolic" true
+      (match List.nth (Regions.Region.dim_list e.Ipa.Loopsum.le_region) 1 with
+      | { Regions.Region.lb = Regions.Region.Bsym _; _ } -> true
+      | _ -> false)
+  | _ -> Alcotest.fail "expected one inner entry"
+
+let test_interprocedural_loop_summary () =
+  (* add's j loop: the callees' DEF and USE both appear *)
+  let r, m = setup [ Corpus.Small.fig1_f ] in
+  let pu = Option.get (Whirl.Ir.find_pu m "add") in
+  let lss = Ipa.Loopsum.of_pu m r.Ipa.Analyze.r_summaries pu in
+  let j = List.hd lss in
+  let modes =
+    List.map (fun e -> Regions.Mode.to_string e.Ipa.Loopsum.le_mode)
+      j.Ipa.Loopsum.ls_entries
+    |> List.sort compare
+  in
+  Alcotest.(check (list string)) "DEF and USE through calls" [ "DEF"; "USE" ]
+    modes
+
+let test_lu_corner_loop () =
+  (* the Case 2 loop: its loop-level summary of u is (1:3,1:5,1:10,1:4),
+     i.e. internal box 0:2 / 0:4 / 0:9 / 0:3 *)
+  let r, m = setup (Corpus.Nas_lu.files ()) in
+  let pu = Option.get (Whirl.Ir.find_pu m "rhs") in
+  let lss = Ipa.Loopsum.of_pu m r.Ipa.Analyze.r_summaries pu in
+  (* the corner nest is the last outermost loop of rhs *)
+  let outers =
+    List.filter (fun ls -> ls.Ipa.Loopsum.ls_depth = 0) lss
+  in
+  let corner = List.nth outers (List.length outers - 1) in
+  let u_use =
+    List.find
+      (fun e ->
+        e.Ipa.Loopsum.le_array = "u"
+        && Regions.Mode.equal e.Ipa.Loopsum.le_mode Regions.Mode.USE)
+      corner.Ipa.Loopsum.ls_entries
+  in
+  Alcotest.(check int) "four reference sites" 4 u_use.Ipa.Loopsum.le_refs;
+  Alcotest.(check (list string)) "union box = the paper's copyin region"
+    [ "0:2"; "0:4"; "0:9"; "0:3" ]
+    (dim_triplets u_use.Ipa.Loopsum.le_region)
+
+let test_module_wide () =
+  let r, m = setup [ Corpus.Apps.matmul ] in
+  let lss = Ipa.Loopsum.of_module m r.Ipa.Analyze.r_summaries in
+  (* 2 loops in main + 3 in dgemm *)
+  Alcotest.(check int) "five loops" 5 (List.length lss)
+
+let suite =
+  [
+    Alcotest.test_case "outer loop totals" `Quick test_outer_loop_totals;
+    Alcotest.test_case "interprocedural" `Quick test_interprocedural_loop_summary;
+    Alcotest.test_case "LU corner loop (Case 2)" `Quick test_lu_corner_loop;
+    Alcotest.test_case "module-wide" `Quick test_module_wide;
+  ]

@@ -1,0 +1,30 @@
+let () =
+  Alcotest.run "array_analysis"
+    [
+      ("rat", Test_rat.suite);
+      ("interval", Test_interval.suite);
+      ("linear", Test_linear.suite);
+      ("lang", Test_lang.suite);
+      ("region", Test_region.suite);
+      ("pipeline", Test_pipeline.suite);
+      ("whirl", Test_whirl.suite);
+      ("cache", Test_cache.suite);
+      ("interp", Test_interp.suite);
+      ("cfg", Test_cfg.suite);
+      ("methods", Test_methods.suite);
+      ("gpu", Test_gpu.suite);
+      ("dragon", Test_dragon.suite);
+      ("nas-lu", Test_nas_lu.suite);
+      ("wopt", Test_wopt.suite);
+      ("lno", Test_lno.suite);
+      ("coarray", Test_coarray.suite);
+      ("fuzz", Test_fuzz.suite);
+      ("iplfile", Test_iplfile.suite);
+      ("apps", Test_apps.suite);
+      ("robustness", Test_robustness.suite);
+      ("autopar", Test_autopar.suite);
+      ("whirl-io", Test_whirl_io.suite);
+      ("loopsum", Test_loopsum.suite);
+      ("summary", Test_summary.suite);
+      ("cli", Test_cli.suite);
+    ]

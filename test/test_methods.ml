@@ -1,0 +1,97 @@
+(* The Fig 2 summarization methods. *)
+
+open Regions
+
+let test_classic () =
+  let c = Methods.Classic.empty 1 in
+  Alcotest.(check bool) "fresh: no use" false (Methods.Classic.accessed Mode.USE c);
+  let c = Methods.Classic.add Mode.USE c in
+  Alcotest.(check bool) "use" true (Methods.Classic.accessed Mode.USE c);
+  Alcotest.(check bool) "no def" false (Methods.Classic.accessed Mode.DEF c);
+  Alcotest.(check int) "2 bits ~ 1 byte" 1 (Methods.Classic.storage_bytes c);
+  Alcotest.(check bool) "whole-array membership" true
+    (Methods.Classic.contains c [ 123 ])
+
+let test_reflist () =
+  let r = Methods.Reflist.empty 2 in
+  let r = Methods.Reflist.add [ 1; 2 ] r in
+  let r = Methods.Reflist.add [ 3; 4 ] r in
+  let r = Methods.Reflist.add [ 1; 2 ] r in
+  Alcotest.(check int) "dedup" 2 (Methods.Reflist.cardinal r);
+  Alcotest.(check bool) "member" true (Methods.Reflist.contains r [ 3; 4 ]);
+  Alcotest.(check bool) "non-member" false (Methods.Reflist.contains r [ 2; 1 ]);
+  Alcotest.(check int) "bytes = 2 refs * 2 dims * 8" 32
+    (Methods.Reflist.storage_bytes r);
+  Alcotest.check_raises "arity" (Invalid_argument "Reflist.add: wrong arity")
+    (fun () -> ignore (Methods.Reflist.add [ 1 ] r))
+
+let test_section_stride_detection () =
+  (* feed 0,4,8,12 *)
+  let s =
+    List.fold_left
+      (fun acc x -> Methods.Section.add [ x ] acc)
+      (Methods.Section.empty 1)
+      [ 0; 4; 8; 12 ]
+  in
+  (match Methods.Section.dims s with
+  | Some [ d ] ->
+    Alcotest.(check int) "lo" 0 d.Methods.Section.lo;
+    Alcotest.(check int) "hi" 12 d.Methods.Section.hi;
+    Alcotest.(check int) "stride discovered" 4 d.Methods.Section.stride
+  | _ -> Alcotest.fail "expected one dim");
+  Alcotest.(check int) "cardinal" 4 (Methods.Section.cardinal s);
+  Alcotest.(check bool) "member" true (Methods.Section.contains s [ 8 ]);
+  Alcotest.(check bool) "off-lattice" false (Methods.Section.contains s [ 6 ])
+
+let test_section_stride_widening () =
+  let s =
+    List.fold_left
+      (fun acc x -> Methods.Section.add [ x ] acc)
+      (Methods.Section.empty 1)
+      [ 0; 4; 6 ]
+  in
+  match Methods.Section.dims s with
+  | Some [ d ] ->
+    Alcotest.(check int) "gcd(4,6)" 2 d.Methods.Section.stride
+  | _ -> Alcotest.fail "expected one dim"
+
+let test_section_singleton () =
+  let s = Methods.Section.add [ 7 ] (Methods.Section.empty 1) in
+  Alcotest.(check int) "cardinal 1" 1 (Methods.Section.cardinal s);
+  Alcotest.(check bool) "member" true (Methods.Section.contains s [ 7 ]);
+  Alcotest.(check bool) "non-member" false (Methods.Section.contains s [ 8 ]);
+  Alcotest.(check int) "empty cardinal" 0
+    (Methods.Section.cardinal (Methods.Section.empty 1))
+
+(* property: a Section over-approximates the points fed to it; a Reflist is
+   exact; the section is never larger than the bounding box *)
+let prop_section_sound =
+  QCheck2.Test.make ~name:"section covers inputs, reflist exact" ~count:200
+    QCheck2.Gen.(list_size (int_range 1 30) (int_range 0 63))
+    ~print:QCheck2.Print.(list int)
+    (fun xs ->
+      let section =
+        List.fold_left
+          (fun acc x -> Methods.Section.add [ x ] acc)
+          (Methods.Section.empty 1)
+          xs
+      in
+      let reflist =
+        List.fold_left
+          (fun acc x -> Methods.Reflist.add [ x ] acc)
+          (Methods.Reflist.empty 1)
+          xs
+      in
+      List.for_all (fun x -> Methods.Section.contains section [ x ]) xs
+      && List.for_all (fun x -> Methods.Reflist.contains reflist [ x ]) xs
+      && Methods.Section.cardinal section >= Methods.Reflist.cardinal reflist)
+
+let suite =
+  [
+    Alcotest.test_case "classic bits" `Quick test_classic;
+    Alcotest.test_case "reference list" `Quick test_reflist;
+    Alcotest.test_case "section stride detection" `Quick test_section_stride_detection;
+    Alcotest.test_case "section stride widening" `Quick test_section_stride_widening;
+    Alcotest.test_case "section singleton" `Quick test_section_singleton;
+    QCheck_alcotest.to_alcotest prop_section_sound;
+  ]

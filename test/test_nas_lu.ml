@@ -1,0 +1,241 @@
+(* Integration suite on the NAS-LU-shaped corpus: asserts the numbers the
+   paper reports in Fig 11, Fig 12/Table II, Fig 14/Table III and the Case 2
+   directive. *)
+
+let result = lazy (Ipa.Analyze.analyze_sources (Corpus.Nas_lu.files ()))
+
+let rows pred = List.filter pred (Lazy.force result).Ipa.Analyze.r_rows
+
+let test_fig11_callgraph () =
+  let cg = (Lazy.force result).Ipa.Analyze.r_callgraph in
+  Alcotest.(check int) "24 procedures (paper: Fig 11)" 24
+    (Ipa.Callgraph.node_count cg);
+  Alcotest.(check (list string)) "single root" [ "applu" ] (Ipa.Callgraph.roots cg);
+  (* every one of the paper's procedures is present *)
+  List.iter
+    (fun name ->
+      Alcotest.(check bool) (name ^ " in graph") true
+        (List.mem name (Ipa.Callgraph.procs cg)))
+    Corpus.Nas_lu.proc_names;
+  (* ssor drives the solver *)
+  let ssor_callees = Ipa.Callgraph.callees cg "ssor" in
+  List.iter
+    (fun callee ->
+      Alcotest.(check bool) ("ssor calls " ^ callee) true
+        (List.mem callee ssor_callees))
+    [ "rhs"; "jacld"; "blts"; "jacu"; "buts"; "l2norm" ]
+
+let test_tab2_xcr () =
+  let xcr_use =
+    rows (fun r ->
+        r.Rgnfile.Row.array = "xcr" && r.Rgnfile.Row.mode = "USE"
+        && r.Rgnfile.Row.scope = "verify")
+  in
+  Alcotest.(check int) "4 USE rows" 4 (List.length xcr_use);
+  List.iter
+    (fun (r : Rgnfile.Row.t) ->
+      Alcotest.(check int) "refs 4 (Table II)" 4 r.Rgnfile.Row.references;
+      Alcotest.(check string) "bounds 1:5" "1" r.Rgnfile.Row.lb;
+      Alcotest.(check string) "bounds 1:5" "5" r.Rgnfile.Row.ub;
+      Alcotest.(check string) "stride 1" "1" r.Rgnfile.Row.stride;
+      Alcotest.(check int) "esize 8" 8 r.Rgnfile.Row.element_size;
+      Alcotest.(check string) "double" "double" r.Rgnfile.Row.data_type;
+      Alcotest.(check int) "40 bytes" 40 r.Rgnfile.Row.size_bytes;
+      Alcotest.(check int) "density 10 (Table II)" 10 r.Rgnfile.Row.acc_density;
+      Alcotest.(check string) "file verify.o" "verify.o" r.Rgnfile.Row.file)
+    xcr_use;
+  let xcr_formal =
+    rows (fun r ->
+        r.Rgnfile.Row.array = "xcr" && r.Rgnfile.Row.mode = "FORMAL")
+  in
+  (match xcr_formal with
+  | [ r ] ->
+    Alcotest.(check int) "FORMAL refs 1" 1 r.Rgnfile.Row.references;
+    Alcotest.(check int) "FORMAL density 2 (Table II)" 2 r.Rgnfile.Row.acc_density
+  | _ -> Alcotest.fail "expected exactly one FORMAL row for xcr")
+
+let test_fig12_class () =
+  let class_rows =
+    rows (fun r -> r.Rgnfile.Row.array = "class" && r.Rgnfile.Row.mode = "DEF")
+  in
+  Alcotest.(check int) "9 DEF rows" 9 (List.length class_rows);
+  List.iter
+    (fun (r : Rgnfile.Row.t) ->
+      Alcotest.(check int) "refs 9 (Fig 12)" 9 r.Rgnfile.Row.references;
+      Alcotest.(check string) "char" "char" r.Rgnfile.Row.data_type;
+      Alcotest.(check int) "1 byte" 1 r.Rgnfile.Row.size_bytes;
+      Alcotest.(check int) "density 900 (Fig 12)" 900 r.Rgnfile.Row.acc_density;
+      Alcotest.(check string) "global scope" "@" r.Rgnfile.Row.scope)
+    class_rows
+
+let test_tab3_u () =
+  let u_use =
+    rows (fun r ->
+        r.Rgnfile.Row.array = "u" && r.Rgnfile.Row.mode = "USE"
+        && r.Rgnfile.Row.file = "rhs.o")
+  in
+  Alcotest.(check int) "110 USE rows in rhs.o (Table III)" 110
+    (List.length u_use);
+  List.iter
+    (fun (r : Rgnfile.Row.t) ->
+      Alcotest.(check int) "References 110" 110 r.Rgnfile.Row.references;
+      Alcotest.(check int) "4-D" 4 r.Rgnfile.Row.dimensions;
+      Alcotest.(check string) "dims 64|65|65|5" "64|65|65|5" r.Rgnfile.Row.dim_size;
+      Alcotest.(check int) "1352000 elements" 1352000 r.Rgnfile.Row.tot_size;
+      Alcotest.(check int) "10816000 bytes" 10816000 r.Rgnfile.Row.size_bytes;
+      Alcotest.(check int) "density 0" 0 r.Rgnfile.Row.acc_density)
+    u_use
+
+let test_fig14_corner_regions () =
+  let corner =
+    rows (fun r ->
+        r.Rgnfile.Row.array = "u" && r.Rgnfile.Row.mode = "USE"
+        && r.Rgnfile.Row.file = "rhs.o"
+        && String.length r.Rgnfile.Row.ub >= 6
+        && String.sub r.Rgnfile.Row.ub 0 6 = "3|5|10")
+  in
+  Alcotest.(check int) "four rows, last dim separate (Fig 14)" 4
+    (List.length corner);
+  let ubs =
+    List.map (fun (r : Rgnfile.Row.t) -> r.Rgnfile.Row.ub) corner
+    |> List.sort compare
+  in
+  Alcotest.(check (list string)) "per-m regions"
+    [ "3|5|10|1"; "3|5|10|2"; "3|5|10|3"; "3|5|10|4" ]
+    ubs
+
+let test_case2_directive () =
+  let r = Lazy.force result in
+  let project =
+    Dragon.Project.make ~name:"lu" ~dgn:r.Ipa.Analyze.r_dgn
+      ~rows:r.Ipa.Analyze.r_rows ~cfg:[] ~sources:(Corpus.Nas_lu.files ())
+  in
+  let corner_lines =
+    List.filter_map
+      (fun (row : Rgnfile.Row.t) ->
+        if
+          row.Rgnfile.Row.array = "u" && row.Rgnfile.Row.mode = "USE"
+          && String.length row.Rgnfile.Row.ub >= 6
+          && String.sub row.Rgnfile.Row.ub 0 6 = "3|5|10"
+        then Some row.Rgnfile.Row.line
+        else None)
+      r.Ipa.Analyze.r_rows
+  in
+  let first_line = List.fold_left min max_int corner_lines in
+  let last_line = List.fold_left max 0 corner_lines in
+  match
+    Dragon.Advisor.copyin_for_lines project ~array:"u" ~first_line ~last_line
+  with
+  | None -> Alcotest.fail "expected copyin advice"
+  | Some a ->
+    Alcotest.(check string) "the paper's directive"
+      "!$acc region copyin(u(1:3, 1:5, 1:10, 1:4))"
+      a.Dragon.Advisor.ci_directive;
+    Alcotest.(check int) "full bytes" 10816000 a.Dragon.Advisor.ci_bytes_full;
+    Alcotest.(check int) "region bytes = 600 elems * 8" 4800
+      a.Dragon.Advisor.ci_bytes_region
+
+let test_tab4_shape () =
+  (* the speedup grows monotonically with the class size *)
+  let speedups =
+    List.filter_map
+      (fun cls ->
+        let r = Ipa.Analyze.analyze_sources (Corpus.Nas_lu.files ~cls ()) in
+        let u_row =
+          List.find_opt
+            (fun (row : Rgnfile.Row.t) ->
+              row.Rgnfile.Row.array = "u" && row.Rgnfile.Row.mode = "USE")
+            r.Ipa.Analyze.r_rows
+        in
+        Option.map
+          (fun (row : Rgnfile.Row.t) ->
+            let full = row.Rgnfile.Row.size_bytes in
+            let t_full = Gpu.Offload.transfer_time Gpu.Offload.pcie_gen2 ~bytes:full in
+            let t_sub = Gpu.Offload.transfer_time Gpu.Offload.pcie_gen2 ~bytes:4800 in
+            Gpu.Offload.speedup ~baseline:t_full ~improved:t_sub)
+          u_row)
+      [ 'S'; 'W'; 'A' ]
+  in
+  Alcotest.(check int) "three classes" 3 (List.length speedups);
+  let rec increasing = function
+    | a :: (b :: _ as rest) -> a < b && increasing rest
+    | _ -> true
+  in
+  Alcotest.(check bool) "speedup grows with class (Table IV shape)" true
+    (increasing speedups);
+  Alcotest.(check bool) "subarray always wins" true
+    (List.for_all (fun s -> s > 1.0) speedups)
+
+let test_no_recursion () =
+  let cg = (Lazy.force result).Ipa.Analyze.r_callgraph in
+  List.iter
+    (fun p ->
+      Alcotest.(check bool) (p ^ " not recursive") false
+        (Ipa.Callgraph.is_recursive cg p))
+    (Ipa.Callgraph.procs cg)
+
+let test_class_parametrization () =
+  (* class S shrinks the grid to 12^3: u(5,13,13,12) = 10140 elems *)
+  let r = Ipa.Analyze.analyze_sources (Corpus.Nas_lu.files ~cls:'S' ()) in
+  let u_row =
+    List.find
+      (fun (row : Rgnfile.Row.t) ->
+        row.Rgnfile.Row.array = "u" && row.Rgnfile.Row.mode = "USE"
+        && row.Rgnfile.Row.file = "rhs.o")
+      r.Ipa.Analyze.r_rows
+  in
+  Alcotest.(check string) "class S dims" "12|13|13|5" u_row.Rgnfile.Row.dim_size;
+  Alcotest.(check int) "class S elements" (12 * 13 * 13 * 5)
+    u_row.Rgnfile.Row.tot_size;
+  Alcotest.(check int) "class S still 110 refs" 110 u_row.Rgnfile.Row.references;
+  (* the call structure is class-independent *)
+  Alcotest.(check int) "24 procedures at class S" 24
+    (Ipa.Callgraph.node_count r.Ipa.Analyze.r_callgraph)
+
+let test_outputs_loadable_by_dragon () =
+  let dir = Filename.temp_file "lu_proj" "" in
+  Sys.remove dir;
+  Sys.mkdir dir 0o755;
+  let r = Lazy.force result in
+  let _ = Ipa.Analyze.write_outputs r ~dir ~project:"lu" in
+  List.iter
+    (fun (name, contents) ->
+      Rgnfile.Files.save ~path:(Filename.concat dir (Filename.basename name)) contents)
+    (Corpus.Nas_lu.files ());
+  match Dragon.Project.load ~dir ~project:"lu" with
+  | Error e -> Alcotest.failf "project load failed: %s" e
+  | Ok p ->
+    Alcotest.(check int) "rows preserved"
+      (List.length r.Ipa.Analyze.r_rows)
+      (List.length p.Dragon.Project.rows);
+    Alcotest.(check int) "24 procedures" 24
+      (List.length (Dragon.Project.procedures p));
+    Alcotest.(check bool) "sources loaded" true
+      (List.length p.Dragon.Project.sources = List.length (Corpus.Nas_lu.files ()));
+    (* the grep feature finds xcr in verify.f *)
+    let hits = Dragon.Browse.grep_array p "xcr" in
+    Alcotest.(check bool) "grep hits" true (List.length hits >= 4)
+
+let test_analysis_speed () =
+  (* regression guard: the whole class-A pipeline stays interactive *)
+  let t0 = Unix.gettimeofday () in
+  ignore (Ipa.Analyze.analyze_sources (Corpus.Nas_lu.files ()));
+  let dt = Unix.gettimeofday () -. t0 in
+  Alcotest.(check bool)
+    (Printf.sprintf "class A analysis under 2s (took %.2fs)" dt)
+    true (dt < 2.0)
+
+let suite =
+  [
+    Alcotest.test_case "analysis speed guard" `Quick test_analysis_speed;
+    Alcotest.test_case "Fig 11: call graph" `Quick test_fig11_callgraph;
+    Alcotest.test_case "Table II: xcr" `Quick test_tab2_xcr;
+    Alcotest.test_case "Fig 12: class" `Quick test_fig12_class;
+    Alcotest.test_case "Table III: u" `Quick test_tab3_u;
+    Alcotest.test_case "Fig 14: corner regions" `Quick test_fig14_corner_regions;
+    Alcotest.test_case "Case 2: copyin directive" `Quick test_case2_directive;
+    Alcotest.test_case "Table IV: speedup shape" `Quick test_tab4_shape;
+    Alcotest.test_case "no recursion" `Quick test_no_recursion;
+    Alcotest.test_case "class parametrization" `Quick test_class_parametrization;
+    Alcotest.test_case "Dragon loads written outputs" `Quick test_outputs_loadable_by_dragon;
+  ]

@@ -1,0 +1,130 @@
+open Numeric
+
+let rat = Alcotest.testable Rat.pp Rat.equal
+
+let check_rat = Alcotest.check rat
+
+let test_make_normalizes () =
+  check_rat "6/4 = 3/2" (Rat.make 3 2) (Rat.make 6 4);
+  check_rat "-6/-4 = 3/2" (Rat.make 3 2) (Rat.make (-6) (-4));
+  check_rat "6/-4 = -3/2" (Rat.make (-3) 2) (Rat.make 6 (-4));
+  check_rat "0/7 = 0" Rat.zero (Rat.make 0 7);
+  Alcotest.check_raises "den 0" Division_by_zero (fun () ->
+      ignore (Rat.make 1 0))
+
+let test_arith () =
+  check_rat "1/2 + 1/3" (Rat.make 5 6) (Rat.add (Rat.make 1 2) (Rat.make 1 3));
+  check_rat "1/2 - 1/3" (Rat.make 1 6) (Rat.sub (Rat.make 1 2) (Rat.make 1 3));
+  check_rat "2/3 * 3/4" (Rat.make 1 2) (Rat.mul (Rat.make 2 3) (Rat.make 3 4));
+  check_rat "1/2 / 1/4" (Rat.of_int 2) (Rat.div (Rat.make 1 2) (Rat.make 1 4));
+  check_rat "neg" (Rat.make (-1) 2) (Rat.neg (Rat.make 1 2));
+  check_rat "abs" (Rat.make 1 2) (Rat.abs (Rat.make (-1) 2));
+  check_rat "inv" (Rat.make (-2) 1) (Rat.inv (Rat.make (-1) 2));
+  Alcotest.check_raises "div by zero" Division_by_zero (fun () ->
+      ignore (Rat.div Rat.one Rat.zero))
+
+let test_compare () =
+  Alcotest.(check bool) "1/2 < 2/3" true Rat.(make 1 2 < make 2 3);
+  Alcotest.(check bool) "-1/2 < 1/3" true Rat.(make (-1) 2 < make 1 3);
+  Alcotest.(check int) "sign neg" (-1) (Rat.sign (Rat.make (-3) 7));
+  Alcotest.(check int) "sign zero" 0 (Rat.sign Rat.zero);
+  check_rat "min" (Rat.make 1 3) (Rat.min (Rat.make 1 3) (Rat.make 1 2));
+  check_rat "max" (Rat.make 1 2) (Rat.max (Rat.make 1 3) (Rat.make 1 2))
+
+let test_floor_ceil () =
+  Alcotest.(check int) "floor 7/2" 3 (Rat.floor (Rat.make 7 2));
+  Alcotest.(check int) "floor -7/2" (-4) (Rat.floor (Rat.make (-7) 2));
+  Alcotest.(check int) "floor 4" 4 (Rat.floor (Rat.of_int 4));
+  Alcotest.(check int) "ceil 7/2" 4 (Rat.ceil (Rat.make 7 2));
+  Alcotest.(check int) "ceil -7/2" (-3) (Rat.ceil (Rat.make (-7) 2));
+  Alcotest.(check int) "ceil -4" (-4) (Rat.ceil (Rat.of_int (-4)))
+
+let test_to_int () =
+  Alcotest.(check int) "to_int" 5 (Rat.to_int (Rat.of_int 5));
+  Alcotest.(check bool) "is_integer 5" true (Rat.is_integer (Rat.of_int 5));
+  Alcotest.(check bool) "is_integer 1/2" false (Rat.is_integer (Rat.make 1 2))
+
+let test_gcd_lcm () =
+  Alcotest.(check int) "gcd 12 18" 6 (Rat.gcd 12 18);
+  Alcotest.(check int) "gcd -12 18" 6 (Rat.gcd (-12) 18);
+  Alcotest.(check int) "gcd 0 0" 0 (Rat.gcd 0 0);
+  Alcotest.(check int) "gcd 0 5" 5 (Rat.gcd 0 5);
+  Alcotest.(check int) "lcm 4 6" 12 (Rat.lcm 4 6)
+
+let test_overflow () =
+  Alcotest.check_raises "mul overflow" Rat.Overflow (fun () ->
+      ignore (Rat.mul (Rat.of_int max_int) (Rat.of_int 2)))
+
+let test_pp () =
+  Alcotest.(check string) "int render" "5" (Rat.to_string (Rat.of_int 5));
+  Alcotest.(check string) "frac render" "-3/2" (Rat.to_string (Rat.make 3 (-2)))
+
+(* Property tests: field laws on small rationals. *)
+
+let gen_rat =
+  QCheck2.Gen.(
+    map2
+      (fun n d -> Rat.make n d)
+      (int_range (-1000) 1000)
+      (int_range 1 50))
+
+let print_rat = Rat.to_string
+
+let prop_add_comm =
+  QCheck2.Test.make ~name:"rat add commutative" ~count:500
+    QCheck2.Gen.(pair gen_rat gen_rat)
+    ~print:QCheck2.Print.(pair print_rat print_rat)
+    (fun (a, b) -> Rat.equal (Rat.add a b) (Rat.add b a))
+
+let prop_add_assoc =
+  QCheck2.Test.make ~name:"rat add associative" ~count:500
+    QCheck2.Gen.(triple gen_rat gen_rat gen_rat)
+    ~print:QCheck2.Print.(triple print_rat print_rat print_rat)
+    (fun (a, b, c) ->
+      Rat.equal (Rat.add (Rat.add a b) c) (Rat.add a (Rat.add b c)))
+
+let prop_mul_distrib =
+  QCheck2.Test.make ~name:"rat mul distributes over add" ~count:500
+    QCheck2.Gen.(triple gen_rat gen_rat gen_rat)
+    ~print:QCheck2.Print.(triple print_rat print_rat print_rat)
+    (fun (a, b, c) ->
+      Rat.equal (Rat.mul a (Rat.add b c)) (Rat.add (Rat.mul a b) (Rat.mul a c)))
+
+let prop_inv =
+  QCheck2.Test.make ~name:"rat x * 1/x = 1" ~count:500 gen_rat ~print:print_rat
+    (fun a ->
+      QCheck2.assume (not (Rat.equal a Rat.zero));
+      Rat.equal (Rat.mul a (Rat.inv a)) Rat.one)
+
+let prop_floor_ceil =
+  QCheck2.Test.make ~name:"floor <= x <= ceil, within 1" ~count:500 gen_rat
+    ~print:print_rat (fun a ->
+      let f = Rat.floor a and c = Rat.ceil a in
+      Rat.(of_int f <= a)
+      && Rat.(a <= of_int c)
+      && c - f <= 1
+      && (Rat.is_integer a = (f = c)))
+
+let prop_compare_total =
+  QCheck2.Test.make ~name:"compare antisymmetric" ~count:500
+    QCheck2.Gen.(pair gen_rat gen_rat)
+    ~print:QCheck2.Print.(pair print_rat print_rat)
+    (fun (a, b) -> Rat.compare a b = -Rat.compare b a)
+
+let suite =
+  [
+    Alcotest.test_case "make normalizes" `Quick test_make_normalizes;
+    Alcotest.test_case "arithmetic" `Quick test_arith;
+    Alcotest.test_case "compare" `Quick test_compare;
+    Alcotest.test_case "floor/ceil" `Quick test_floor_ceil;
+    Alcotest.test_case "to_int" `Quick test_to_int;
+    Alcotest.test_case "gcd/lcm" `Quick test_gcd_lcm;
+    Alcotest.test_case "overflow" `Quick test_overflow;
+    Alcotest.test_case "pretty-printing" `Quick test_pp;
+    QCheck_alcotest.to_alcotest prop_add_comm;
+    QCheck_alcotest.to_alcotest prop_add_assoc;
+    QCheck_alcotest.to_alcotest prop_mul_distrib;
+    QCheck_alcotest.to_alcotest prop_inv;
+    QCheck_alcotest.to_alcotest prop_floor_ceil;
+    QCheck_alcotest.to_alcotest prop_compare_total;
+  ]

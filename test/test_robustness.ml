@@ -1,0 +1,344 @@
+(* Edge cases and failure behaviour across the pipeline: recursion, parser
+   diagnostics, CSV quoting, empty programs, deep nesting. *)
+
+let analyze files = Ipa.Analyze.analyze_sources files
+
+let test_recursion_handled () =
+  (* direct recursion: the analysis must terminate and fall back to the
+     opaque (whole-array) summary rather than loop *)
+  let src =
+    ( "rec.f",
+      {|      program recmain
+      integer a(1:16)
+      common /g/ a
+      call walk(1)
+      print *, a(1)
+      end
+
+      subroutine walk(d)
+      integer a(1:16)
+      common /g/ a
+      integer d
+      a(d) = d
+      if (d .lt. 8) then
+        call walk(d + 1)
+      end if
+      end
+|} )
+  in
+  let r = analyze [ src ] in
+  Alcotest.(check bool) "recursive flagged" true
+    (Ipa.Callgraph.is_recursive r.Ipa.Analyze.r_callgraph "walk");
+  (* recmain still gets a conservative DEF of a through the call *)
+  let s = Ipa.Analyze.summary_of r "recmain" in
+  Alcotest.(check bool) "recmain sees a DEF of the global" true
+    (List.exists
+       (fun (e : Ipa.Summary.entry) ->
+         Regions.Mode.equal e.Ipa.Summary.e_mode Regions.Mode.DEF)
+       s);
+  (* and the interpreter executes the recursion *)
+  let o = Interp.run r.Ipa.Analyze.r_module in
+  Alcotest.(check string) "recursion runs" "1\n" o.Interp.out_text
+
+let test_mutual_recursion () =
+  let src =
+    ( "mut.f",
+      {|      program mutmain
+      integer x
+      x = 0
+      call even(6, x)
+      print *, x
+      end
+
+      subroutine even(n, r)
+      integer n, r
+      if (n .eq. 0) then
+        r = 1
+      else
+        call odd(n - 1, r)
+      end if
+      end
+
+      subroutine odd(n, r)
+      integer n, r
+      if (n .eq. 0) then
+        r = 0
+      else
+        call even(n - 1, r)
+      end if
+      end
+|} )
+  in
+  let r = analyze [ src ] in
+  Alcotest.(check bool) "even in cycle" true
+    (Ipa.Callgraph.is_recursive r.Ipa.Analyze.r_callgraph "even");
+  let o = Interp.run r.Ipa.Analyze.r_module in
+  Alcotest.(check string) "mutual recursion runs" "1\n" o.Interp.out_text
+
+let expect_error files fragment =
+  try
+    ignore (Lang.Frontend.load ~files);
+    Alcotest.failf "expected an error mentioning %S" fragment
+  with Lang.Diag.Frontend_error d ->
+    let msg = d.Lang.Diag.message in
+    let contains =
+      let nh = String.length msg and nn = String.length fragment in
+      let rec go i = i + nn <= nh && (String.sub msg i nn = fragment || go (i + 1)) in
+      go 0
+    in
+    Alcotest.(check bool)
+      (Printf.sprintf "message %S mentions %S" msg fragment)
+      true contains
+
+let test_parser_diagnostics () =
+  expect_error [ ("t.f", "      program t\n      do i = 1\n      end do\n      end\n") ] "expected";
+  expect_error [ ("t.f", "      program t\n      integer a(1:\n      end\n") ] "expected";
+  expect_error [ ("t.f", "      program t\n") ] "missing 'end'";
+  expect_error [ ("t.c", "int main() { return 0;\n") ] "unterminated";
+  expect_error [ ("t.zz", "") ] "unknown source extension"
+
+let test_diag_locations () =
+  try
+    ignore
+      (Lang.Frontend.load
+         ~files:[ ("t.f", "      program t\n      integer a(2)\n      a(1, 2) = 0\n      end\n") ]);
+    Alcotest.fail "expected rank error"
+  with Lang.Diag.Frontend_error d ->
+    Alcotest.(check int) "error on line 3" 3 (Lang.Loc.line d.Lang.Diag.loc)
+
+let test_csv_quoting () =
+  let fields = [ "plain"; "has,comma"; "has\"quote"; "multi\nline" ] in
+  let line = Rgnfile.Files.join_csv fields in
+  Alcotest.(check (list string)) "round trip" fields (Rgnfile.Files.split_csv line)
+
+let test_empty_program () =
+  let r = analyze [ ("t.f", "      program empty\n      end\n") ] in
+  Alcotest.(check int) "no rows" 0 (List.length r.Ipa.Analyze.r_rows);
+  Alcotest.(check int) "one proc" 1
+    (Ipa.Callgraph.node_count r.Ipa.Analyze.r_callgraph);
+  let o = Interp.run r.Ipa.Analyze.r_module in
+  Alcotest.(check string) "no output" "" o.Interp.out_text
+
+let test_deep_nesting () =
+  (* 8 nested loops over a tiny range: the region machinery handles deep
+     contexts without blowup *)
+  let body = ref "          a(i1 + i8) = i4\n" in
+  for k = 8 downto 1 do
+    body :=
+      Printf.sprintf "      do i%d = 1, 2\n%s      end do\n" k !body
+  done;
+  let src =
+    Printf.sprintf
+      "      program deep\n      integer a(1:32)\n      integer i1, i2, i3, i4, i5, i6, i7, i8\n%s      end\n"
+      !body
+  in
+  let r = analyze [ ("deep.f", src) ] in
+  let row =
+    List.find
+      (fun (row : Rgnfile.Row.t) ->
+        row.Rgnfile.Row.array = "a" && row.Rgnfile.Row.mode = "DEF")
+      r.Ipa.Analyze.r_rows
+  in
+  Alcotest.(check string) "lb 2" "2" row.Rgnfile.Row.lb;
+  Alcotest.(check string) "ub 4" "4" row.Rgnfile.Row.ub
+
+let test_symbolic_step_is_conservative () =
+  let src =
+    ( "t.f",
+      {|      program t
+      integer a(1:64)
+      integer i, s
+      s = 3
+      call go(s)
+      end
+
+      subroutine go(s)
+      integer s, i
+      integer a(1:64)
+      common /g/ a
+      do i = 1, 20, s
+        a(i) = i
+      end do
+      end
+|} )
+  in
+  let r = analyze [ src ] in
+  let row =
+    List.find
+      (fun (row : Rgnfile.Row.t) ->
+        row.Rgnfile.Row.array = "a" && row.Rgnfile.Row.mode = "DEF")
+      r.Ipa.Analyze.r_rows
+  in
+  (* unknown step: bounds stay, stride is unknown *)
+  Alcotest.(check string) "lb" "1" row.Rgnfile.Row.lb;
+  Alcotest.(check string) "ub" "20" row.Rgnfile.Row.ub;
+  Alcotest.(check string) "stride unknown" "*" row.Rgnfile.Row.stride
+
+let test_many_files () =
+  (* a program split over several units still links into one call graph *)
+  let unit k =
+    ( Printf.sprintf "u%d.f" k,
+      Printf.sprintf
+        "      subroutine s%d(x)\n      integer x\n      x = x + %d\n      end\n"
+        k k )
+  in
+  let main =
+    ( "main.f",
+      "      program m\n      integer x\n      x = 0\n"
+      ^ String.concat ""
+          (List.init 6 (fun k -> Printf.sprintf "      call s%d(x)\n" (k + 1)))
+      ^ "      print *, x\n      end\n" )
+  in
+  let r = analyze (main :: List.init 6 (fun k -> unit (k + 1))) in
+  Alcotest.(check int) "7 procs" 7
+    (Ipa.Callgraph.node_count r.Ipa.Analyze.r_callgraph);
+  let o = Interp.run r.Ipa.Analyze.r_module in
+  Alcotest.(check string) "1+2+..+6" "21\n" o.Interp.out_text
+
+let test_assumed_shape_negative_esize () =
+  (* F90 assumed-shape formal: the paper's negative-element-size convention
+     ("If it is negative, it specifies a non-contiguous array") plus the
+     variable-length total-size-0 rule *)
+  let src =
+    ( "t.f",
+      {|      program t
+      double precision x(1:16)
+      call scale(x)
+      end
+
+      subroutine scale(v)
+      double precision v(:)
+      integer i
+      do i = 1, 8
+        v(i) = v(i) * 2.0d0
+      end do
+      end
+|} )
+  in
+  let r = analyze [ src ] in
+  let row =
+    List.find
+      (fun (row : Rgnfile.Row.t) ->
+        row.Rgnfile.Row.array = "v" && row.Rgnfile.Row.mode = "DEF")
+      r.Ipa.Analyze.r_rows
+  in
+  Alcotest.(check int) "negative element size" (-8) row.Rgnfile.Row.element_size;
+  Alcotest.(check int) "total size 0" 0 row.Rgnfile.Row.tot_size;
+  Alcotest.(check int) "size bytes 0" 0 row.Rgnfile.Row.size_bytes;
+  Alcotest.(check int) "density 0" 0 row.Rgnfile.Row.acc_density;
+  Alcotest.(check string) "region still computed" "1" row.Rgnfile.Row.lb;
+  Alcotest.(check string) "region still computed" "8" row.Rgnfile.Row.ub
+
+let test_mixed_languages () =
+  (* one program from a C unit and a Fortran unit: the shared IR makes the
+     interprocedural analysis language-agnostic, as OpenUH's WHIRL does *)
+  let c_main =
+    ( "main.c",
+      {|double buf[32];
+int main() {
+  int i;
+  finit();
+  for (i = 0; i < 32; i++) {
+    buf[i] = buf[i] * 2.0;
+  }
+  printf("%g", buf[3]);
+  return 0;
+}
+|} )
+  in
+  let f_helper =
+    ( "finit.f",
+      {|      subroutine finit
+      double precision buf(0:31)
+      common /global/ buf
+      integer i
+      do i = 0, 31
+        buf(i) = i
+      end do
+      end
+|} )
+  in
+  let r = analyze [ c_main; f_helper ] in
+  Alcotest.(check int) "two procs" 2
+    (Ipa.Callgraph.node_count r.Ipa.Analyze.r_callgraph);
+  (* both sides' accesses meet on the shared global *)
+  let buf_rows =
+    List.filter
+      (fun (row : Rgnfile.Row.t) -> row.Rgnfile.Row.array = "buf")
+      r.Ipa.Analyze.r_rows
+  in
+  let files =
+    List.map (fun (row : Rgnfile.Row.t) -> row.Rgnfile.Row.file) buf_rows
+    |> List.sort_uniq compare
+  in
+  Alcotest.(check (list string)) "accessed from both objects"
+    [ "finit.o"; "main.o" ] files;
+  (* C rows display zero-based, Fortran rows honor the declared 0 lower
+     bound: the loops on both sides produce a 0:31 region *)
+  List.iter
+    (fun file ->
+      Alcotest.(check bool) (file ^ " loop region") true
+        (List.exists
+           (fun (row : Rgnfile.Row.t) ->
+             row.Rgnfile.Row.file = file
+             && row.Rgnfile.Row.lb = "0"
+             && row.Rgnfile.Row.ub = "31")
+           buf_rows))
+    [ "finit.o"; "main.o" ];
+  let o = Interp.run r.Ipa.Analyze.r_module in
+  Alcotest.(check string) "cross-language execution" "6" o.Interp.out_text
+
+let test_nonunit_lower_bounds () =
+  (* Fortran arrays with 0-based and negative lower bounds: the display
+     must restore the declared base *)
+  let src =
+    ( "t.f",
+      {|      program t
+      integer a(0:9)
+      integer b(-5:5)
+      integer i
+      do i = 0, 9
+        a(i) = i
+      end do
+      do i = -5, 5
+        b(i) = i
+      end do
+      end
+|} )
+  in
+  let r = analyze [ src ] in
+  let row name =
+    List.find
+      (fun (row : Rgnfile.Row.t) ->
+        row.Rgnfile.Row.array = name && row.Rgnfile.Row.mode = "DEF")
+      r.Ipa.Analyze.r_rows
+  in
+  let a = row "a" in
+  Alcotest.(check string) "a lb 0" "0" a.Rgnfile.Row.lb;
+  Alcotest.(check string) "a ub 9" "9" a.Rgnfile.Row.ub;
+  Alcotest.(check int) "a tot" 10 a.Rgnfile.Row.tot_size;
+  let b = row "b" in
+  Alcotest.(check string) "b lb -5" "-5" b.Rgnfile.Row.lb;
+  Alcotest.(check string) "b ub 5" "5" b.Rgnfile.Row.ub;
+  Alcotest.(check int) "b tot" 11 b.Rgnfile.Row.tot_size;
+  (* and the program runs: negative subscripts map correctly *)
+  let o = Interp.run r.Ipa.Analyze.r_module in
+  Alcotest.(check string) "no output, no trap" "" o.Interp.out_text
+
+let suite =
+  [
+    Alcotest.test_case "nonunit lower bounds" `Quick test_nonunit_lower_bounds;
+    Alcotest.test_case "mixed C and Fortran" `Quick test_mixed_languages;
+    Alcotest.test_case "assumed-shape negative esize" `Quick
+      test_assumed_shape_negative_esize;
+    Alcotest.test_case "direct recursion" `Quick test_recursion_handled;
+    Alcotest.test_case "mutual recursion" `Quick test_mutual_recursion;
+    Alcotest.test_case "parser diagnostics" `Quick test_parser_diagnostics;
+    Alcotest.test_case "diagnostic locations" `Quick test_diag_locations;
+    Alcotest.test_case "csv quoting" `Quick test_csv_quoting;
+    Alcotest.test_case "empty program" `Quick test_empty_program;
+    Alcotest.test_case "deep nesting" `Quick test_deep_nesting;
+    Alcotest.test_case "symbolic step conservative" `Quick
+      test_symbolic_step_is_conservative;
+    Alcotest.test_case "many compilation units" `Quick test_many_files;
+  ]

@@ -1,0 +1,190 @@
+(* Unit tests of the interprocedural summary machinery: merging, capping,
+   formal-to-actual translation variants. *)
+
+open Ipa
+
+let setup src =
+  let r = Analyze.analyze_sources [ ("t.f", src) ] in
+  (r, r.Analyze.r_module)
+
+(* effects propagated into a procedure's table from its call sites (the
+   exported summary drops caller-local arrays, which is where most of these
+   land) *)
+let propagated r proc mode =
+  let table =
+    List.find (fun t -> t.Analyze.t_proc = proc) r.Analyze.r_tables
+  in
+  List.filter
+    (fun (a : Collect.access) ->
+      a.Collect.ac_via <> None && Regions.Mode.equal a.Collect.ac_mode mode)
+    table.Analyze.t_accesses
+
+let region_triplets region =
+  List.map
+    (fun d ->
+      Format.asprintf "%a:%a:%a" Regions.Region.pp_bound d.Regions.Region.lb
+        Regions.Region.pp_bound d.Regions.Region.ub Regions.Region.pp_stride
+        d.Regions.Region.stride)
+    (Regions.Region.dim_list region)
+
+let test_scalar_substitution_through_call () =
+  (* callee's region depends on its scalar formal; the caller passes a
+     constant: the translated region must be concrete *)
+  let r, _m =
+    setup
+      {|      program t
+      integer a(1:64)
+      call fill(a, 10)
+      end
+
+      subroutine fill(b, n)
+      integer b(1:64)
+      integer n, i
+      do i = 1, n
+        b(i) = i
+      end do
+      end
+|}
+  in
+  match propagated r "t" Regions.Mode.DEF with
+  | [] -> Alcotest.fail "no DEF propagated to main"
+  | a :: _ ->
+    (* internal zero-based: 1..10 -> 0..9 *)
+    Alcotest.(check (list string)) "constant after substitution"
+      [ "0:9:1" ]
+      (region_triplets a.Collect.ac_region)
+
+let test_nested_translation () =
+  (* two levels: grandparent sees the grandchild's region through the
+     middle procedure, with both substitutions composed *)
+  let r, _m =
+    setup
+      {|      program t
+      integer a(1:64)
+      call mid(a, 5)
+      end
+
+      subroutine mid(b, k)
+      integer b(1:64)
+      integer k
+      call leaf(b, k + 2)
+      end
+
+      subroutine leaf(c, n)
+      integer c(1:64)
+      integer n, i
+      do i = 1, n
+        c(i) = i
+      end do
+      end
+|}
+  in
+  match propagated r "t" Regions.Mode.DEF with
+  | [ a ] ->
+    (* n = k + 2 = 7: region 1..7 -> internal 0..6 *)
+    Alcotest.(check (list string)) "composed substitution" [ "0:6:1" ]
+      (region_triplets a.Collect.ac_region)
+  | l -> Alcotest.failf "expected one DEF entry, got %d" (List.length l)
+
+let test_element_arg_falls_back_to_whole () =
+  (* Fortran sequence association: passing a(5) as an array argument makes
+     the callee's view unanalyzable -> whole array, inexact *)
+  let r, _m =
+    setup
+      {|      program t
+      integer a(1:64)
+      call fill(a(5))
+      end
+
+      subroutine fill(b)
+      integer b(1:8)
+      integer i
+      do i = 1, 8
+        b(i) = i
+      end do
+      end
+|}
+  in
+  match propagated r "t" Regions.Mode.DEF with
+  | [ a ] ->
+    Alcotest.(check (list string)) "whole array" [ "0:63:1" ]
+      (region_triplets a.Collect.ac_region);
+    Alcotest.(check bool) "inexact" false
+      (Regions.Region.is_exact a.Collect.ac_region)
+  | l -> Alcotest.failf "expected one DEF entry, got %d" (List.length l)
+
+let test_rank_mismatch_falls_back () =
+  (* 1-D formal onto 2-D actual: whole-array fallback *)
+  let r, _m =
+    setup
+      {|      program t
+      integer a(1:8, 1:8)
+      call fill(a)
+      end
+
+      subroutine fill(b)
+      integer b(1:64)
+      integer i
+      do i = 1, 8
+        b(i) = i
+      end do
+      end
+|}
+  in
+  match propagated r "t" Regions.Mode.DEF with
+  | [ a ] ->
+    Alcotest.(check (list string)) "2-D whole" [ "0:7:1"; "0:7:1" ]
+      (region_triplets a.Collect.ac_region)
+  | l -> Alcotest.failf "expected one DEF entry, got %d" (List.length l)
+
+let test_merge_and_cap () =
+  (* identical display regions merge; distinct ones accumulate up to the
+     cap, then collapse into a union *)
+  let i = Linear.Var.fresh ~name:"i" Linear.Var.Ivar in
+  let mk lo hi =
+    Regions.Region.of_subscripts ~extents:[ Some 256 ]
+      ~loops:
+        [
+          {
+            Regions.Region.lc_var = i;
+            lc_lo = Regions.Affine.Affine (Linear.Expr.of_int lo);
+            lc_hi = Regions.Affine.Affine (Linear.Expr.of_int hi);
+            lc_step = Some 1;
+          };
+        ]
+      [ Regions.Affine.Affine (Linear.Expr.var i) ]
+  in
+  let entry lo hi =
+    {
+      Summary.e_key = Summary.Kformal 0;
+      e_mode = Regions.Mode.DEF;
+      e_region = mk lo hi;
+      e_count = 1;
+    }
+  in
+  (* same region twice: merged with count 2 *)
+  let s = Summary.add_entry (Summary.add_entry [] (entry 0 7)) (entry 0 7) in
+  (match s with
+  | [ e ] -> Alcotest.(check int) "merged count" 2 e.Summary.e_count
+  | _ -> Alcotest.fail "expected one merged entry");
+  (* exceed the cap with distinct regions *)
+  let s =
+    List.fold_left
+      (fun acc k -> Summary.add_entry acc (entry (10 * k) ((10 * k) + 5)))
+      []
+      (List.init (Summary.max_regions_per_key + 3) Fun.id)
+  in
+  Alcotest.(check bool) "capped" true
+    (List.length s <= Summary.max_regions_per_key + 1)
+
+let suite =
+  [
+    Alcotest.test_case "scalar substitution" `Quick
+      test_scalar_substitution_through_call;
+    Alcotest.test_case "nested translation" `Quick test_nested_translation;
+    Alcotest.test_case "element arg fallback" `Quick
+      test_element_arg_falls_back_to_whole;
+    Alcotest.test_case "rank mismatch fallback" `Quick
+      test_rank_mismatch_falls_back;
+    Alcotest.test_case "merge and cap" `Quick test_merge_and_cap;
+  ]
