@@ -1,196 +1,17 @@
-(* uhc: the compiler-side driver.
+(* uhc: command-line front over Pipeline (lib/engine).
 
    Mirrors the paper's usage step 1-2: compile the application with
    interprocedural array analysis enabled and obtain the .dgn/.cfg/.rgn
-   files that Dragon loads.  Additional inspection flags expose the stages
-   (WHIRL dump, whirl2src, call graph, summaries) and the interpreter. *)
-
-let read_file path =
-  let ic = open_in_bin path in
-  let len = in_channel_length ic in
-  let s = really_input_string ic len in
-  close_in ic;
-  s
-
-let copy_sources ~dir files =
-  List.iter
-    (fun (name, contents) ->
-      let dst = Filename.concat dir (Filename.basename name) in
-      Rgnfile.Files.save ~path:dst contents)
-    files
-
-let load_inputs paths corpus =
-  match corpus with
-  | Some "lu" -> Corpus.Nas_lu.files ()
-  | Some "matrix" -> [ Corpus.Small.matrix_c ]
-  | Some "fig1" -> [ Corpus.Small.fig1_f ]
-  | Some "stride" -> [ Corpus.Small.stride_f ]
-  | Some other -> failwith (Printf.sprintf "unknown corpus %S (lu|matrix|fig1|stride)" other)
-  | None -> List.map (fun p -> (p, read_file p)) paths
+   files that Dragon loads.  All driver logic lives in [Pipeline.exec];
+   this file only maps flags onto [Pipeline.config]. *)
 
 let run paths corpus out_dir project dump_whirl dump_src dump_callgraph
-    dump_summaries execute wopt ipl_dir fuse autopar emit_whirl loop_summaries =
-  try
-    (* a single .B input resumes from a serialized WHIRL file, skipping the
-       front ends entirely -- the paper's multi-phase pipeline *)
-    let from_whirl =
-      match paths, corpus with
-      | [ p ], None when Filename.extension p = ".B" -> Some p
-      | _ -> None
-    in
-    let files =
-      match from_whirl with Some _ -> [] | None -> load_inputs paths corpus
-    in
-    if files = [] && from_whirl = None then begin
-      prerr_endline "uhc: no input files";
-      exit 2
-    end;
-    let m0 =
-      match from_whirl with
-      | Some path -> (
-        match Whirl.Whirl_io.load ~path with
-        | Ok m -> m
-        | Error e -> failwith (Printf.sprintf "%s: %s" path e))
-      | None -> Whirl.Lower.lower (Lang.Frontend.load ~files)
-    in
-    let m0 =
-      if wopt then begin
-        let m1, cp = Wopt.Const_prop.run m0 in
-        let m2, dce = Wopt.Dce.run m1 in
-        Printf.printf
-          "wopt: folded %d loads, %d ops, %d branches; removed %d statements, %d dead stores\n"
-          cp.Wopt.Const_prop.folded_loads cp.Wopt.Const_prop.folded_ops
-          cp.Wopt.Const_prop.folded_branches dce.Wopt.Dce.removed_stmts
-          dce.Wopt.Dce.removed_stores;
-        m2
-      end
-      else m0
-    in
-    let result = Ipa.Analyze.analyze m0 in
-    let result =
-      if not fuse then result
-      else begin
-        (* LNO: dependence-legal fusion of adjacent compatible loops *)
-        let m = result.Ipa.Analyze.r_module in
-        let total = ref 0 in
-        let pus =
-          List.map
-            (fun pu ->
-              let pu', n =
-                Ipa.Lno.fuse_pu m result.Ipa.Analyze.r_summaries pu
-              in
-              total := !total + n;
-              pu')
-            m.Whirl.Ir.m_pus
-        in
-        Printf.printf "lno: fused %d loop pair(s)\n" !total;
-        Ipa.Analyze.analyze { m with Whirl.Ir.m_pus = pus }
-      end
-    in
-    let m = result.Ipa.Analyze.r_module in
-    if dump_whirl then
-      List.iter
-        (fun pu ->
-          Format.printf "=== %s ===@.%a@." pu.Whirl.Ir.pu_name Whirl.Wn.pp
-            pu.Whirl.Ir.pu_body)
-        m.Whirl.Ir.m_pus;
-    if dump_src then print_string (Whirl.Whirl2src.module_to_string m);
-    if dump_callgraph then
-      print_string (Ipa.Callgraph.to_ascii_tree result.Ipa.Analyze.r_callgraph);
-    if dump_summaries then
-      List.iter
-        (fun (name, summary) ->
-          match Whirl.Ir.find_pu m name with
-          | None -> ()
-          | Some pu ->
-            Format.printf "@[<v 2>summary of %s:@,%a@]@." name
-              (Ipa.Summary.pp m pu) summary)
-        result.Ipa.Analyze.r_summaries;
-    if loop_summaries then
-      List.iter
-        (fun pu ->
-          let lss = Ipa.Loopsum.of_pu m result.Ipa.Analyze.r_summaries pu in
-          if lss <> [] then print_string (Ipa.Loopsum.render m pu lss))
-        m.Whirl.Ir.m_pus;
-    if autopar then begin
-      let report = Ipa.Autopar.plan m result.Ipa.Analyze.r_summaries in
-      print_string (Ipa.Autopar.render report);
-      (* annotated sources *)
-      List.iter
-        (fun (name, contents) ->
-          let annotated = Ipa.Autopar.annotate report ~file:name contents in
-          if annotated <> contents then begin
-            Printf.printf "--- %s (annotated) ---\n" name;
-            print_string annotated
-          end)
-        files
-    end;
-    if execute then begin
-      let outcome = Interp.run m in
-      print_string outcome.Interp.out_text;
-      Printf.printf "(%d statements executed)\n" outcome.Interp.out_steps;
-      if dump_callgraph then begin
-        (* the dynamic call graph with feedback information (Dragon Fig 5) *)
-        let project =
-          Dragon.Project.make ~name:project ~dgn:result.Ipa.Analyze.r_dgn
-            ~rows:[] ~cfg:[] ~sources:[]
-        in
-        print_string
-          (Dragon.Graphs.callgraph_ascii ~feedback:outcome.Interp.out_calls
-             project)
-      end
-    end;
-    (match out_dir with
-    | None -> ()
-    | Some dir ->
-      if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
-      let written = Ipa.Analyze.write_outputs result ~dir ~project in
-      copy_sources ~dir files;
-      List.iter (Printf.printf "wrote %s\n") written);
-    (match ipl_dir with
-    | None -> ()
-    | Some dir ->
-      (* one .ipl per compilation unit, as the paper's IPL phase does *)
-      if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
-      let by_unit = Hashtbl.create 8 in
-      List.iter
-        (fun pu ->
-          let unit_name =
-            Filename.remove_extension (Filename.basename pu.Whirl.Ir.pu_file)
-          in
-          let cur =
-            try Hashtbl.find by_unit unit_name with Not_found -> []
-          in
-          match List.assoc_opt pu.Whirl.Ir.pu_name result.Ipa.Analyze.r_summaries with
-          | Some s -> Hashtbl.replace by_unit unit_name (cur @ [ (pu.Whirl.Ir.pu_name, s) ])
-          | None -> ())
-        m.Whirl.Ir.m_pus;
-      Hashtbl.iter
-        (fun unit_name summaries ->
-          let path =
-            Ipa.Iplfile.save ~dir ~unit_name
-              (Ipa.Iplfile.write_unit m summaries)
-          in
-          Printf.printf "wrote %s\n" path)
-        by_unit);
-    (match emit_whirl with
-    | None -> ()
-    | Some path ->
-      Whirl.Whirl_io.save ~path m;
-      Printf.printf "wrote %s\n" path);
-    Printf.printf
-      "analyzed %d procedures, %d call edges, %d array-region rows\n"
-      (Ipa.Callgraph.node_count result.Ipa.Analyze.r_callgraph)
-      (Ipa.Callgraph.edge_count result.Ipa.Analyze.r_callgraph)
-      (List.length result.Ipa.Analyze.r_rows);
-    0
-  with
-  | Lang.Diag.Frontend_error d ->
-    Printf.eprintf "%s\n" (Lang.Diag.to_string d);
-    1
-  | Failure msg ->
-    Printf.eprintf "uhc: %s\n" msg;
-    1
+    dump_summaries execute wopt ipl_dir fuse autopar emit_whirl loop_summaries
+    jobs cache_dir stats =
+  Pipeline.exec
+    (Pipeline.make ~paths ?corpus ?out_dir ~project ~dump_whirl ~dump_src
+       ~dump_callgraph ~dump_summaries ~execute ~wopt ?ipl_dir ~fuse ~autopar
+       ?emit_whirl ~loop_summaries ~jobs ?cache_dir ~stats ())
 
 open Cmdliner
 
@@ -277,6 +98,28 @@ let loop_summaries =
         ~doc:"Print per-loop access summaries (the loop-level granularity \
               of the paper's Section I).")
 
+let jobs =
+  Arg.(
+    value & opt int 1
+    & info [ "j"; "jobs" ] ~docv:"N"
+        ~doc:"Analysis domains: 1 = serial (default), 0 = one per core. \
+              Output is byte-identical at any setting.")
+
+let cache_dir =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "cache-dir" ] ~docv:"DIR"
+        ~doc:"Persist per-procedure analysis results here, keyed by content \
+              digests; repeated invocations only re-analyze what changed.")
+
+let stats =
+  Arg.(
+    value & flag
+    & info [ "stats" ]
+        ~doc:"Print per-phase wall-clock/allocation statistics and cache \
+              hit/miss counts for every analysis the driver runs.")
+
 let cmd =
   let doc = "analyze array regions in MiniF/MiniC programs (OpenUH-style)" in
   Cmd.v
@@ -284,6 +127,6 @@ let cmd =
     Term.(
       const run $ paths $ corpus $ out_dir $ project $ dump_whirl $ dump_src
       $ dump_callgraph $ dump_summaries $ execute $ wopt $ ipl_dir $ fuse
-      $ autopar $ emit_whirl $ loop_summaries)
+      $ autopar $ emit_whirl $ loop_summaries $ jobs $ cache_dir $ stats)
 
 let () = exit (Cmd.eval' cmd)

@@ -79,7 +79,7 @@ let () =
   let result = Ipa.Analyze.analyze_sources [ unfused ] in
   let project =
     Dragon.Project.make ~name:"case1" ~dgn:result.Ipa.Analyze.r_dgn
-      ~rows:result.Ipa.Analyze.r_rows ~cfg:[] ~sources:[ unfused ]
+      ~rows:result.Ipa.Analyze.r_rows ~sources:[ unfused ] ()
   in
   print_endline "### Fusion candidates reported by the advisor";
   List.iter

@@ -24,7 +24,7 @@ let () =
       let rows = result.Ipa.Analyze.r_rows in
       let project =
         Dragon.Project.make ~name:"lu" ~dgn:result.Ipa.Analyze.r_dgn ~rows
-          ~cfg:[] ~sources:(Corpus.Nas_lu.files ~cls ())
+          ~sources:(Corpus.Nas_lu.files ~cls ()) ()
       in
       match corner_rows rows with
       | [] -> Printf.printf "class %c: corner loop rows not found\n" cls

@@ -10,8 +10,8 @@ let () =
   let result = Ipa.Analyze.analyze_sources [ Corpus.Small.caf_f ] in
   let project =
     Dragon.Project.make ~name:"caf" ~dgn:result.Ipa.Analyze.r_dgn
-      ~rows:result.Ipa.Analyze.r_rows ~cfg:[]
-      ~sources:[ Corpus.Small.caf_f ]
+      ~rows:result.Ipa.Analyze.r_rows
+      ~sources:[ Corpus.Small.caf_f ] ()
   in
 
   print_endline "### Array analysis table (RDEF/RUSE = remote accesses)";

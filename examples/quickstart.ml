@@ -38,7 +38,7 @@ let () =
   (* 2. the array-analysis table (what Dragon displays) *)
   let project =
     Dragon.Project.make ~name:"demo" ~dgn:result.Ipa.Analyze.r_dgn
-      ~rows:result.Ipa.Analyze.r_rows ~cfg:[] ~sources:[ source ]
+      ~rows:result.Ipa.Analyze.r_rows ~sources:[ source ] ()
   in
   print_endline "### Array analysis table";
   print_string (Dragon.Table.render project);

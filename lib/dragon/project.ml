@@ -44,7 +44,8 @@ let load ~dir ~project =
   in
   Ok { name = project; dgn; rows; cfg; sources }
 
-let make ~name ~dgn ~rows ~cfg ~sources = { name; dgn; rows; cfg; sources }
+let make ~name ~dgn ?(rows = []) ?(cfg = []) ?(sources = []) () =
+  { name; dgn; rows; cfg; sources }
 
 let scopes t =
   let seen = Hashtbl.create 16 in

@@ -21,12 +21,14 @@ val load : dir:string -> project:string -> (t, string) result
 val make :
   name:string ->
   dgn:Rgnfile.Files.dgn ->
-  rows:Rgnfile.Row.t list ->
-  cfg:Rgnfile.Files.cfg_block list ->
-  sources:(string * string) list ->
+  ?rows:Rgnfile.Row.t list ->
+  ?cfg:Rgnfile.Files.cfg_block list ->
+  ?sources:(string * string) list ->
+  unit ->
   t
 (** In-memory construction (used when compiler and viewer run in one
-    process). *)
+    process).  [rows], [cfg] and [sources] default to empty — a bare
+    call-graph or feedback view needs none of them. *)
 
 val scopes : t -> string list
 (** "@" first, then the procedures that have rows, in row order. *)

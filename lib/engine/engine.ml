@@ -1,0 +1,326 @@
+(* The parallel, incremental analysis engine.
+
+   One [run] performs the same pipeline as the serial
+   [Ipa.Analyze.analyze] — layout, collection, bottom-up summary
+   propagation, assembly — but fans the per-PU stages (collection, CFG
+   construction) across a domain pool and reuses cached results keyed by
+   content digests:
+
+   - [key1 pu] digests the global symbol table plus the PU's serialized
+     body: it addresses the *local* collection result;
+   - [key2 pu] is a Merkle digest folding [key1] of the PU together with
+     the [key2] of everything it (transitively) calls: it addresses the
+     *interprocedural* summary, so editing one PU invalidates exactly that
+     PU and its transitive callers.
+
+   Determinism: symbolic-variable ids are pre-assigned by
+   [Collect.intern_module_syms] before any fan-out, every task writes only
+   its own slot, and summary propagation runs level-by-level over the SCC
+   DAG with the members of one SCC processed sequentially in call-graph
+   order — the exact schedule the serial path uses.  Parallel, cached and
+   serial runs therefore produce byte-identical outputs. *)
+
+open Whirl
+
+type config = { jobs : int; store : Engine_store.t option }
+
+let config ?(jobs = 1) ?store () = { jobs; store }
+
+module Stats = struct
+  type phase = { ph_name : string; ph_wall : float; ph_alloc : float }
+
+  type t = {
+    s_jobs : int;
+    s_pus : int;
+    s_collect_hits : int;
+    s_collect_misses : int;
+    s_summary_hits : int;
+    s_summary_misses : int;
+    s_phases : phase list;
+    s_total_wall : float;
+  }
+
+  let pp ppf t =
+    Format.fprintf ppf "engine: %d job%s, %d PU%s@\n" t.s_jobs
+      (if t.s_jobs = 1 then "" else "s")
+      t.s_pus
+      (if t.s_pus = 1 then "" else "s");
+    Format.fprintf ppf "  cache: collect %d hit / %d miss, summary %d hit / %d miss@\n"
+      t.s_collect_hits t.s_collect_misses t.s_summary_hits t.s_summary_misses;
+    List.iter
+      (fun p ->
+        Format.fprintf ppf "  %-10s %8.3fs %10.1f kB@\n" p.ph_name p.ph_wall
+          (p.ph_alloc /. 1024.))
+      t.s_phases;
+    Format.fprintf ppf "  %-10s %8.3fs@\n" "total" t.s_total_wall
+end
+
+type result = { e_result : Ipa.Analyze.result; e_stats : Stats.t }
+
+let count_true a =
+  Array.fold_left (fun acc b -> if b then acc + 1 else acc) 0 a
+
+let run (cfg : config) (m : Ir.module_) : result =
+  let jobs = Engine_pool.resolve_jobs cfg.jobs in
+  let t_start = Unix.gettimeofday () in
+  let phases = ref [] in
+  let timed name f =
+    let t0 = Unix.gettimeofday () in
+    let a0 = Gc.allocated_bytes () in
+    let r = f () in
+    phases :=
+      {
+        Stats.ph_name = name;
+        ph_wall = Unix.gettimeofday () -. t0;
+        ph_alloc = Gc.allocated_bytes () -. a0;
+      }
+      :: !phases;
+    r
+  in
+  (* ---- prepare: layout, symbolic variables, call graph -------------- *)
+  let cg =
+    timed "prepare" (fun () ->
+        Layout.assign m;
+        Ipa.Collect.intern_module_syms m;
+        Ipa.Callgraph.build m)
+  in
+  let pus = Array.of_list m.Ir.m_pus in
+  let n = Array.length pus in
+  let idx_of = Hashtbl.create (2 * n) in
+  Array.iteri (fun i pu -> Hashtbl.replace idx_of pu.Ir.pu_name i) pus;
+  let idx name = Hashtbl.find_opt idx_of name in
+  (* ---- content digests (after layout: Mem_Locs are part of content) - *)
+  let key1 =
+    timed "digest" (fun () ->
+        let gd = Digest.to_hex (Whirl_io.symtab_digest m.Ir.m_global) in
+        let keys = Array.make n Digest.(string "") in
+        let scratch = Domain.DLS.new_key (fun () -> Buffer.create 65536) in
+        Engine_pool.run ~jobs
+          (Array.init n (fun i () ->
+               let buf = Domain.DLS.get scratch in
+               Buffer.clear buf;
+               Buffer.add_string buf gd;
+               Whirl_io.add_pu_content buf m pus.(i);
+               keys.(i) <- Digest.string (Buffer.contents buf)));
+        keys)
+  in
+  (* ---- collection + CFGs, one task per PU --------------------------- *)
+  let infos : Ipa.Collect.pu_info option array = Array.make n None in
+  let cfgs : Cfg.t option array = Array.make n None in
+  let collect_hit = Array.make n false in
+  timed "collect" (fun () ->
+      let task i () =
+        let pu = pus.(i) in
+        (match cfg.store with
+        | Some store -> (
+          match Engine_store.find_collect store ~m ~key:key1.(i) with
+          | Some p ->
+            collect_hit.(i) <- true;
+            infos.(i) <-
+              Some
+                {
+                  Ipa.Collect.p_pu = pu;
+                  p_accesses = p.Engine_store.cp_accesses;
+                  p_sites = p.Engine_store.cp_sites;
+                }
+          | None -> infos.(i) <- Some (Ipa.Collect.run_pu m pu))
+        | None -> infos.(i) <- Some (Ipa.Collect.run_pu m pu));
+        cfgs.(i) <- Some (Cfg.build pu)
+      in
+      Engine_pool.run ~jobs (Array.init n task);
+      match cfg.store with
+      | None -> ()
+      | Some store ->
+        Array.iteri
+          (fun i hit ->
+            if not hit then
+              match infos.(i) with
+              | Some info ->
+                Engine_store.add_collect store ~key:key1.(i)
+                  {
+                    Engine_store.cp_accesses = info.Ipa.Collect.p_accesses;
+                    cp_sites = info.Ipa.Collect.p_sites;
+                  }
+              | None -> ())
+          collect_hit);
+  (* ---- summaries: Merkle keys, cache, then level-parallel SCCs ------ *)
+  let summaries : Ipa.Summary.t option array = Array.make n None in
+  let propagated : Ipa.Collect.access list array = Array.make n [] in
+  let summary_hit = Array.make n false in
+  let computed = Array.make n false in
+  timed "summarize" (fun () ->
+      let scc_arr = Array.of_list (Ipa.Callgraph.sccs cg) in
+      (* Merkle digests, bottom-up: [sccs] lists callee SCCs first.  The
+         members of one SCC share their input digest (they are mutually
+         recursive: any change to one member's inputs re-summarizes the
+         whole cycle), differing only by a name suffix. *)
+      let key2 : Digest.t option array = Array.make n None in
+      Array.iter
+        (fun scc ->
+          let buf = Buffer.create 256 in
+          List.iter
+            (fun name ->
+              (match idx name with
+              | None -> Buffer.add_string buf "@undef-member"
+              | Some i -> Buffer.add_string buf key1.(i));
+              List.iter
+                (fun c ->
+                  Buffer.add_string buf c;
+                  match idx c with
+                  | None -> Buffer.add_string buf "@undef"
+                  | Some j ->
+                    if List.mem c scc then Buffer.add_string buf "@rec"
+                    else
+                      Buffer.add_string buf
+                        (match key2.(j) with
+                        | Some k -> k
+                        | None -> "@pending"))
+                (Ipa.Callgraph.callees cg name))
+            scc;
+          let inputs = Buffer.contents buf in
+          List.iter
+            (fun name ->
+              match idx name with
+              | None -> ()
+              | Some i -> key2.(i) <- Some (Digest.string (inputs ^ name)))
+            scc)
+        scc_arr;
+      (* cache lookups, one task per PU *)
+      (match cfg.store with
+      | None -> ()
+      | Some store ->
+        let task i () =
+          match key2.(i) with
+          | None -> ()
+          | Some key -> (
+            match Engine_store.find_summary store ~m ~key with
+            | Some p ->
+              summary_hit.(i) <- true;
+              summaries.(i) <- Some p.Engine_store.sp_summary;
+              propagated.(i) <- p.Engine_store.sp_propagated
+            | None -> ())
+        in
+        Engine_pool.run ~jobs (Array.init n task));
+      (* level-parallel propagation over the SCC DAG: an SCC's level is one
+         more than its deepest callee SCC, so everything a level-[l] SCC
+         looks up was finished at level [< l].  Members of one SCC run
+         sequentially in call-graph order; a not-yet-summarized member of
+         the same cycle reads as [None] — the serial path's schedule. *)
+      let nscc = Array.length scc_arr in
+      let scc_of = Hashtbl.create (2 * n) in
+      Array.iteri
+        (fun si scc -> List.iter (fun p -> Hashtbl.replace scc_of p si) scc)
+        scc_arr;
+      let level = Array.make nscc 0 in
+      Array.iteri
+        (fun si scc ->
+          level.(si) <-
+            List.fold_left
+              (fun acc p ->
+                List.fold_left
+                  (fun acc c ->
+                    match Hashtbl.find_opt scc_of c with
+                    | Some cj when cj <> si -> max acc (level.(cj) + 1)
+                    | _ -> acc)
+                  acc
+                  (Ipa.Callgraph.callees cg p))
+              0 scc)
+        scc_arr;
+      let lookup name =
+        match idx name with Some j -> summaries.(j) | None -> None
+      in
+      let process_scc scc () =
+        List.iter
+          (fun name ->
+            match idx name with
+            | None -> ()
+            | Some i ->
+              if not summary_hit.(i) then (
+                match infos.(i) with
+                | None -> ()
+                | Some info ->
+                  let exported, extra =
+                    Ipa.Analyze.summarize_pu m ~lookup info
+                  in
+                  summaries.(i) <- Some exported;
+                  propagated.(i) <- extra;
+                  computed.(i) <- true))
+          scc
+      in
+      let needs_work scc =
+        List.exists
+          (fun p ->
+            match idx p with Some i -> not summary_hit.(i) | None -> false)
+          scc
+      in
+      let max_level = Array.fold_left max 0 level in
+      for lv = 0 to max_level do
+        let work = ref [] in
+        Array.iteri
+          (fun si scc ->
+            if level.(si) = lv && needs_work scc then work := scc :: !work)
+          scc_arr;
+        let tasks =
+          Array.of_list (List.rev_map (fun scc -> process_scc scc) !work)
+        in
+        Engine_pool.run ~jobs tasks
+      done;
+      (* persist what this run computed *)
+      match cfg.store with
+      | None -> ()
+      | Some store ->
+        Array.iteri
+          (fun i c ->
+            if c then
+              match (key2.(i), summaries.(i)) with
+              | Some key, Some s ->
+                Engine_store.add_summary store ~key
+                  {
+                    Engine_store.sp_summary = s;
+                    sp_propagated = propagated.(i);
+                  }
+              | _ -> ())
+          computed);
+  (* ---- assembly ----------------------------------------------------- *)
+  let res =
+    timed "assemble" (fun () ->
+        let infos_l =
+          Array.to_list
+            (Array.mapi
+               (fun i pu ->
+                 match infos.(i) with
+                 | Some info -> (pu.Ir.pu_name, info)
+                 | None -> assert false)
+               pus)
+        in
+        let cfgs_l =
+          Array.to_list
+            (Array.mapi
+               (fun i pu ->
+                 match cfgs.(i) with
+                 | Some c -> (pu.Ir.pu_name, c)
+                 | None -> assert false)
+               pus)
+        in
+        Ipa.Analyze.assemble m cg ~infos:infos_l
+          ~summaries:(fun name ->
+            match idx name with Some i -> summaries.(i) | None -> None)
+          ~propagated:(fun name ->
+            match idx name with Some i -> propagated.(i) | None -> [])
+          ~cfgs:cfgs_l)
+  in
+  let collect_hits = count_true collect_hit in
+  let summary_hits = count_true summary_hit in
+  let stats =
+    {
+      Stats.s_jobs = jobs;
+      s_pus = n;
+      s_collect_hits = collect_hits;
+      s_collect_misses = n - collect_hits;
+      s_summary_hits = summary_hits;
+      s_summary_misses = n - summary_hits;
+      s_phases = List.rev !phases;
+      s_total_wall = Unix.gettimeofday () -. t_start;
+    }
+  in
+  { e_result = res; e_stats = stats }

@@ -1,0 +1,51 @@
+(** The parallel, incremental analysis engine.
+
+    [run] produces the same {!Ipa.Analyze.result} as the (deprecated)
+    serial [Ipa.Analyze.analyze] — byte-identical [.rgn]/[.dgn]/[.cfg]
+    contents — while fanning per-PU collection and CFG construction across
+    an OCaml domain pool and reusing content-addressed cached results:
+
+    - collection results are keyed by a digest of the global symbol table
+      plus the PU's serialized WHIRL body;
+    - summaries are keyed by a Merkle digest that also folds in every
+      (transitive) callee's key, so editing one PU re-summarizes exactly
+      that PU and its transitive callers.
+
+    With an on-disk store ({!Engine_store.create} [~dir]), the cache
+    survives across tool invocations. *)
+
+type config = { jobs : int; store : Engine_store.t option }
+
+val config : ?jobs:int -> ?store:Engine_store.t -> unit -> config
+(** [jobs] defaults to [1] (serial); [0] means
+    [Domain.recommended_domain_count ()].  Without [store], nothing is
+    cached. *)
+
+module Stats : sig
+  type phase = {
+    ph_name : string;
+    ph_wall : float;  (** seconds *)
+    ph_alloc : float;
+        (** bytes allocated on the coordinating domain — worker-domain
+            allocation is not attributed *)
+  }
+
+  type t = {
+    s_jobs : int;
+    s_pus : int;
+    s_collect_hits : int;
+    s_collect_misses : int;
+    s_summary_hits : int;
+    s_summary_misses : int;
+    s_phases : phase list;  (** in execution order *)
+    s_total_wall : float;
+  }
+
+  val pp : Format.formatter -> t -> unit
+end
+
+type result = { e_result : Ipa.Analyze.result; e_stats : Stats.t }
+
+val run : config -> Whirl.Ir.module_ -> result
+(** Also assigns the memory layout (Mem_Loc) if not yet done, like the
+    serial path. *)

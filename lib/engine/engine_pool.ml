@@ -1,0 +1,142 @@
+(* A persistent domain pool draining indexed work batches.
+
+   Spawning a domain costs milliseconds (its minor heap alone), which would
+   dwarf the per-PU work the engine fans out — one analysis run issues a
+   batch per phase plus one per call-graph level.  So workers are spawned
+   once, on first use, and parked on a condition variable between batches;
+   submitting a batch is just a broadcast.
+
+   Tasks are claimed with an atomic counter, so the assignment of tasks to
+   domains is scheduling-dependent — which is why every task writes its
+   result into its own pre-assigned slot and the stages the engine runs
+   here are free of order-dependent side effects.  Completion is signalled
+   through a mutex-guarded counter, giving the caller a happens-before edge
+   over all plain writes the tasks made. *)
+
+let recommended () = Domain.recommended_domain_count ()
+
+let resolve_jobs jobs = if jobs <= 0 then recommended () else jobs
+
+type batch = {
+  tasks : (unit -> unit) array;
+  next : int Atomic.t;  (* next unclaimed task index *)
+  finished : int Atomic.t;  (* completed tasks *)
+  slots : int Atomic.t;  (* worker-participation permits left *)
+  failure : (exn * Printexc.raw_backtrace) option Atomic.t;
+}
+
+type pool = {
+  mutex : Mutex.t;
+  wake : Condition.t;  (* workers: a new batch (epoch bump) or shutdown *)
+  done_ : Condition.t;  (* caller: batch completed *)
+  mutable epoch : int;
+  mutable current : batch option;
+  mutable stop : bool;
+  mutable spawned : int;
+  mutable domains : unit Domain.t list;
+}
+
+let drain pool (b : batch) =
+  let n = Array.length b.tasks in
+  let rec claim () =
+    let i = Atomic.fetch_and_add b.next 1 in
+    if i < n then begin
+      (if Atomic.get b.failure = None then
+         try b.tasks.(i) ()
+         with e ->
+           let bt = Printexc.get_raw_backtrace () in
+           ignore (Atomic.compare_and_set b.failure None (Some (e, bt))));
+      if Atomic.fetch_and_add b.finished 1 + 1 = n then begin
+        Mutex.lock pool.mutex;
+        Condition.broadcast pool.done_;
+        Mutex.unlock pool.mutex
+      end;
+      claim ()
+    end
+  in
+  claim ()
+
+let worker pool () =
+  let rec wait_for_work last_epoch =
+    Mutex.lock pool.mutex;
+    while pool.epoch = last_epoch && not pool.stop do
+      Condition.wait pool.wake pool.mutex
+    done;
+    let epoch = pool.epoch and batch = pool.current and stop = pool.stop in
+    Mutex.unlock pool.mutex;
+    if not stop then begin
+      (match batch with
+      | Some b when Atomic.fetch_and_add b.slots (-1) > 0 -> drain pool b
+      | _ -> ());
+      wait_for_work epoch
+    end
+  in
+  wait_for_work 0
+
+let pool =
+  lazy
+    (let p =
+       {
+         mutex = Mutex.create ();
+         wake = Condition.create ();
+         done_ = Condition.create ();
+         epoch = 0;
+         current = None;
+         stop = false;
+         spawned = 0;
+         domains = [];
+       }
+     in
+     at_exit (fun () ->
+         Mutex.lock p.mutex;
+         p.stop <- true;
+         Condition.broadcast p.wake;
+         Mutex.unlock p.mutex;
+         List.iter Domain.join p.domains;
+         p.domains <- []);
+     p)
+
+let ensure_workers p count =
+  if p.spawned < count then begin
+    Mutex.lock p.mutex;
+    while p.spawned < count do
+      p.domains <- Domain.spawn (worker p) :: p.domains;
+      p.spawned <- p.spawned + 1
+    done;
+    Mutex.unlock p.mutex
+  end
+
+let run ~jobs (tasks : (unit -> unit) array) =
+  let n = Array.length tasks in
+  let jobs = max 1 (min (resolve_jobs jobs) n) in
+  if jobs <= 1 then Array.iter (fun t -> t ()) tasks
+  else begin
+    let p = Lazy.force pool in
+    ensure_workers p (jobs - 1);
+    let b =
+      {
+        tasks;
+        next = Atomic.make 0;
+        finished = Atomic.make 0;
+        slots = Atomic.make (jobs - 1);
+        failure = Atomic.make None;
+      }
+    in
+    Mutex.lock p.mutex;
+    p.current <- Some b;
+    p.epoch <- p.epoch + 1;
+    Condition.broadcast p.wake;
+    Mutex.unlock p.mutex;
+    drain p b;
+    Mutex.lock p.mutex;
+    while Atomic.get b.finished < n do
+      Condition.wait p.done_ p.mutex
+    done;
+    (match p.current with
+    | Some b' when b' == b -> p.current <- None
+    | _ -> ());
+    Mutex.unlock p.mutex;
+    match Atomic.get b.failure with
+    | Some (e, bt) -> Printexc.raise_with_backtrace e bt
+    | None -> ()
+  end

@@ -1,0 +1,296 @@
+(* Content-addressed store for per-PU analysis artifacts.
+
+   Keys are MD5 digests computed by the engine from serialized WHIRL (see
+   Engine): identical content — identical key, whatever process computed it.
+   Values are Marshal images of collection results / summaries, plus enough
+   metadata to re-intern their symbolic variables against the *current*
+   process's registry:
+
+   - [en_counter] is the variable-id counter snapshot at save time; loading
+     advances the live counter past it so freshly minted ids can never
+     collide with deserialized ones;
+   - [en_syms] records, for every [Sym] variable in the value, which
+     (procedure, st) it stood for.  On load those are looked up through
+     [Ipa.Collect.sym_var], so a region loaded from disk constrains the very
+     same variables a fresh analysis of the module would.
+
+   Induction variables need no such treatment: they never escape their PU,
+   so keeping their (counter-bumped) ids is enough.
+
+   On-disk entries live under [dir/<schema>/], where <schema> is derived
+   from the running executable — Marshal images are only safe to read back
+   into the binary layout that produced them, so a rebuilt tool simply
+   starts a fresh cache namespace. *)
+
+open Regions
+
+type collect_payload = {
+  cp_accesses : Ipa.Collect.access list;
+  cp_sites : Ipa.Collect.site list;
+}
+
+type summary_payload = {
+  sp_summary : Ipa.Summary.t;
+  sp_propagated : Ipa.Collect.access list;
+}
+
+type 'a entry = {
+  en_counter : int;
+  en_syms : (int * string * int * string) list;
+      (* saved var id, owning procedure ("" = global), st code, name *)
+  en_value : 'a;
+}
+
+type t = {
+  dir : string option;
+  mem : (string, string) Hashtbl.t; (* full key -> marshaled entry *)
+  mutex : Mutex.t;
+}
+
+let schema_token =
+  lazy
+    (try String.sub (Digest.to_hex (Digest.file Sys.executable_name)) 0 12
+     with Sys_error _ -> "noexe")
+
+let create ?dir () =
+  (match dir with
+  | Some d ->
+    if not (Sys.file_exists d) then Sys.mkdir d 0o755;
+    let sub = Filename.concat d (Lazy.force schema_token) in
+    if not (Sys.file_exists sub) then Sys.mkdir sub 0o755
+  | None -> ());
+  { dir; mem = Hashtbl.create 64; mutex = Mutex.create () }
+
+let in_memory () = create ()
+
+let path_of t ns key =
+  Option.map
+    (fun d ->
+      Filename.concat
+        (Filename.concat d (Lazy.force schema_token))
+        (Printf.sprintf "%s-%s.bin" ns (Digest.to_hex key)))
+    t.dir
+
+let full_key ns key = ns ^ Digest.to_hex key
+
+(* ------------------------------------------------------------------ *)
+(* Variable bookkeeping *)
+
+let add_expr e acc =
+  List.fold_left (fun a v -> Linear.Var.Set.add v a) acc (Linear.Expr.vars e)
+
+let add_affine r acc =
+  match r with Affine.Affine e -> add_expr e acc | Affine.Messy -> acc
+
+let add_region (r : Region.t) acc =
+  let acc = Linear.Var.Set.union (Linear.System.vars r.Region.sys) acc in
+  List.fold_left
+    (fun a (d : Region.dim) ->
+      let a =
+        match d.Region.lb with Region.Bsym e -> add_expr e a | _ -> a
+      in
+      match d.Region.ub with Region.Bsym e -> add_expr e a | _ -> a)
+    acc (Region.dim_list r)
+
+let add_access (a : Ipa.Collect.access) acc =
+  add_region a.Ipa.Collect.ac_region acc
+
+let add_loop ((_, lc) : int * Region.loop_ctx) acc =
+  Linear.Var.Set.add lc.Region.lc_var
+    (add_affine lc.Region.lc_lo (add_affine lc.Region.lc_hi acc))
+
+let add_site (s : Ipa.Collect.site) acc =
+  let acc =
+    List.fold_left
+      (fun a arg ->
+        match arg with
+        | Ipa.Collect.Arg_array_elem (_, coords) ->
+          List.fold_left (fun a c -> add_affine c a) a coords
+        | Ipa.Collect.Arg_value r -> add_affine r a
+        | Ipa.Collect.Arg_array_whole _ | Ipa.Collect.Arg_scalar_ref _ -> a)
+      acc s.Ipa.Collect.s_args
+  in
+  List.fold_left (fun a l -> add_loop l a) acc s.Ipa.Collect.s_loops
+
+let add_summary (s : Ipa.Summary.t) acc =
+  List.fold_left
+    (fun a (e : Ipa.Summary.entry) -> add_region e.Ipa.Summary.e_region a)
+    acc s
+
+let syms_of vars =
+  Linear.Var.Set.fold
+    (fun v acc ->
+      if Linear.Var.is_sym v then
+        match Ipa.Collect.sym_info v with
+        | Some (owner, st) ->
+          (Linear.Var.id v, owner, st, Linear.Var.name v) :: acc
+        | None -> acc
+      else acc)
+    vars []
+
+(* ------------------------------------------------------------------ *)
+(* Re-interning *)
+
+let remap_fn m syms =
+  let tbl = Hashtbl.create 16 in
+  List.iter
+    (fun (id, owner, st, name) ->
+      Hashtbl.replace tbl id (Ipa.Collect.sym_var ~m ~pu:owner ~st ~name))
+    syms;
+  fun v ->
+    match Hashtbl.find_opt tbl (Linear.Var.id v) with
+    | Some v' -> v'
+    | None -> v
+
+let map_affine f = function
+  | Affine.Affine e -> Affine.Affine (Linear.Expr.map_vars f e)
+  | Affine.Messy -> Affine.Messy
+
+let map_loop f ((st, lc) : int * Region.loop_ctx) =
+  ( st,
+    {
+      Region.lc_var = f lc.Region.lc_var;
+      lc_lo = map_affine f lc.Region.lc_lo;
+      lc_hi = map_affine f lc.Region.lc_hi;
+      lc_step = lc.Region.lc_step;
+    } )
+
+let map_access f (a : Ipa.Collect.access) =
+  { a with Ipa.Collect.ac_region = Region.map_vars f a.Ipa.Collect.ac_region }
+
+let map_site f (s : Ipa.Collect.site) =
+  {
+    s with
+    Ipa.Collect.s_args =
+      List.map
+        (function
+          | Ipa.Collect.Arg_array_elem (st, coords) ->
+            Ipa.Collect.Arg_array_elem (st, List.map (map_affine f) coords)
+          | Ipa.Collect.Arg_value r -> Ipa.Collect.Arg_value (map_affine f r)
+          | (Ipa.Collect.Arg_array_whole _ | Ipa.Collect.Arg_scalar_ref _) as a
+            -> a)
+        s.Ipa.Collect.s_args;
+    s_loops = List.map (map_loop f) s.Ipa.Collect.s_loops;
+  }
+
+let map_summary f (s : Ipa.Summary.t) : Ipa.Summary.t =
+  List.map
+    (fun (e : Ipa.Summary.entry) ->
+      { e with Ipa.Summary.e_region = Region.map_vars f e.Ipa.Summary.e_region })
+    s
+
+(* ------------------------------------------------------------------ *)
+(* Raw byte-level store *)
+
+let mem_find t k =
+  Mutex.lock t.mutex;
+  let r = Hashtbl.find_opt t.mem k in
+  Mutex.unlock t.mutex;
+  r
+
+let mem_add t k v =
+  Mutex.lock t.mutex;
+  Hashtbl.replace t.mem k v;
+  Mutex.unlock t.mutex
+
+let read_file path =
+  try
+    let ic = open_in_bin path in
+    let len = in_channel_length ic in
+    let s = really_input_string ic len in
+    close_in ic;
+    Some s
+  with Sys_error _ | End_of_file -> None
+
+let write_file path contents =
+  let tmp = path ^ ".tmp." ^ string_of_int (Unix.getpid ()) in
+  let oc = open_out_bin tmp in
+  output_string oc contents;
+  close_out oc;
+  Sys.rename tmp path
+
+let find_raw t ns key =
+  let k = full_key ns key in
+  match mem_find t k with
+  | Some bytes -> Some bytes
+  | None -> (
+    match path_of t ns key with
+    | None -> None
+    | Some path -> (
+      match read_file path with
+      | None -> None
+      | Some bytes ->
+        mem_add t k bytes;
+        Some bytes))
+
+let add_raw t ns key bytes =
+  mem_add t (full_key ns key) bytes;
+  match path_of t ns key with
+  | None -> ()
+  | Some path -> ( try write_file path bytes with Sys_error _ -> ())
+
+(* ------------------------------------------------------------------ *)
+(* Typed views *)
+
+let add_collect t ~key (p : collect_payload) =
+  let vars =
+    List.fold_left
+      (fun a s -> add_site s a)
+      (List.fold_left (fun a x -> add_access x a) Linear.Var.Set.empty
+         p.cp_accesses)
+      p.cp_sites
+  in
+  let entry =
+    { en_counter = Linear.Var.current (); en_syms = syms_of vars; en_value = p }
+  in
+  add_raw t "c" key (Marshal.to_string entry [])
+
+let find_collect t ~m ~key : collect_payload option =
+  match find_raw t "c" key with
+  | None -> None
+  | Some bytes -> (
+    match (Marshal.from_string bytes 0 : collect_payload entry) with
+    | exception (Failure _ | Invalid_argument _) -> None
+    | entry ->
+      Linear.Var.advance_past entry.en_counter;
+      let f = remap_fn m entry.en_syms in
+      let p = entry.en_value in
+      Some
+        {
+          cp_accesses = List.map (map_access f) p.cp_accesses;
+          cp_sites = List.map (map_site f) p.cp_sites;
+        })
+
+let add_summary t ~key (p : summary_payload) =
+  let vars =
+    add_summary p.sp_summary
+      (List.fold_left
+         (fun a x -> add_access x a)
+         Linear.Var.Set.empty p.sp_propagated)
+  in
+  let entry =
+    { en_counter = Linear.Var.current (); en_syms = syms_of vars; en_value = p }
+  in
+  add_raw t "s" key (Marshal.to_string entry [])
+
+let find_summary t ~m ~key : summary_payload option =
+  match find_raw t "s" key with
+  | None -> None
+  | Some bytes -> (
+    match (Marshal.from_string bytes 0 : summary_payload entry) with
+    | exception (Failure _ | Invalid_argument _) -> None
+    | entry ->
+      Linear.Var.advance_past entry.en_counter;
+      let f = remap_fn m entry.en_syms in
+      let p = entry.en_value in
+      Some
+        {
+          sp_summary = map_summary f p.sp_summary;
+          sp_propagated = List.map (map_access f) p.sp_propagated;
+        })
+
+let entry_count t =
+  Mutex.lock t.mutex;
+  let n = Hashtbl.length t.mem in
+  Mutex.unlock t.mutex;
+  n

@@ -1,0 +1,50 @@
+(** Content-addressed store for per-PU analysis artifacts.
+
+    Maps engine-computed digests (of serialized WHIRL content, see
+    [Engine]) to collection results and interprocedural summaries.  Entries
+    live in memory and, when the store was created with [~dir], also on
+    disk — so repeated tool invocations over unchanged sources only
+    re-analyze what changed.
+
+    Loaded values are re-interned: symbolic variables inside cached regions
+    are resolved through the current process's [Ipa.Collect.sym_var]
+    registry, so a cache hit yields structures indistinguishable from a
+    fresh analysis.  Lookups are safe to issue from several domains
+    concurrently; additions are expected from the coordinating domain. *)
+
+type collect_payload = {
+  cp_accesses : Ipa.Collect.access list;
+  cp_sites : Ipa.Collect.site list;
+}
+
+type summary_payload = {
+  sp_summary : Ipa.Summary.t;
+  sp_propagated : Ipa.Collect.access list;
+      (** accesses charged to callers via call sites ([ac_via] set) *)
+}
+
+type t
+
+val create : ?dir:string -> unit -> t
+(** With [~dir], entries are persisted under
+    [dir/<schema>/{c,s}-<digest>.bin]; the schema component fingerprints the
+    running executable, because Marshal images are only readable by the
+    build that wrote them.  The directories are created as needed. *)
+
+val in_memory : unit -> t
+(** [create ()] — caching within one process only (e.g. across [--fuse]
+    re-analysis). *)
+
+val add_collect : t -> key:Digest.t -> collect_payload -> unit
+
+val find_collect :
+  t -> m:Whirl.Ir.module_ -> key:Digest.t -> collect_payload option
+(** [None] on a genuine miss and on any unreadable/corrupt entry. *)
+
+val add_summary : t -> key:Digest.t -> summary_payload -> unit
+
+val find_summary :
+  t -> m:Whirl.Ir.module_ -> key:Digest.t -> summary_payload option
+
+val entry_count : t -> int
+(** Number of entries currently held in memory (loaded or added). *)

@@ -1,0 +1,263 @@
+(* The compiler-side driver behind a single configuration record.
+
+   This is the paper's usage steps 1-2 (compile with interprocedural array
+   analysis enabled, obtain the .dgn/.cfg/.rgn files Dragon loads) as a
+   library entry point: [bin/uhc] is now only command-line parsing over
+   [make]/[exec].  Analysis itself goes through [Engine.run], so every
+   driver feature (--fuse re-analysis, repeated invocations with
+   --cache-dir) is parallel and incremental for free. *)
+
+type config = {
+  paths : string list;
+  corpus : string option;
+  out_dir : string option;
+  project : string;
+  dump_whirl : bool;
+  dump_src : bool;
+  dump_callgraph : bool;
+  dump_summaries : bool;
+  loop_summaries : bool;
+  execute : bool;
+  wopt : bool;
+  fuse : bool;
+  autopar : bool;
+  ipl_dir : string option;
+  emit_whirl : string option;
+  jobs : int;
+  cache_dir : string option;
+  stats : bool;
+}
+
+let make ?(paths = []) ?corpus ?out_dir ?(project = "project")
+    ?(dump_whirl = false) ?(dump_src = false) ?(dump_callgraph = false)
+    ?(dump_summaries = false) ?(loop_summaries = false) ?(execute = false)
+    ?(wopt = false) ?(fuse = false) ?(autopar = false) ?ipl_dir ?emit_whirl
+    ?(jobs = 1) ?cache_dir ?(stats = false) () =
+  {
+    paths;
+    corpus;
+    out_dir;
+    project;
+    dump_whirl;
+    dump_src;
+    dump_callgraph;
+    dump_summaries;
+    loop_summaries;
+    execute;
+    wopt;
+    fuse;
+    autopar;
+    ipl_dir;
+    emit_whirl;
+    jobs;
+    cache_dir;
+    stats;
+  }
+
+let read_file path =
+  let ic = open_in_bin path in
+  let len = in_channel_length ic in
+  let s = really_input_string ic len in
+  close_in ic;
+  s
+
+let copy_sources ~dir files =
+  List.iter
+    (fun (name, contents) ->
+      let dst = Filename.concat dir (Filename.basename name) in
+      Rgnfile.Files.save ~path:dst contents)
+    files
+
+let load_inputs paths corpus =
+  match corpus with
+  | Some "lu" -> Corpus.Nas_lu.files ()
+  | Some "matrix" -> [ Corpus.Small.matrix_c ]
+  | Some "fig1" -> [ Corpus.Small.fig1_f ]
+  | Some "stride" -> [ Corpus.Small.stride_f ]
+  | Some other ->
+    failwith (Printf.sprintf "unknown corpus %S (lu|matrix|fig1|stride)" other)
+  | None -> List.map (fun p -> (p, read_file p)) paths
+
+let exec (cfg : config) =
+  try
+    (* a single .B input resumes from a serialized WHIRL file, skipping the
+       front ends entirely -- the paper's multi-phase pipeline *)
+    let from_whirl =
+      match (cfg.paths, cfg.corpus) with
+      | [ p ], None when Filename.extension p = ".B" -> Some p
+      | _ -> None
+    in
+    let files =
+      match from_whirl with
+      | Some _ -> []
+      | None -> load_inputs cfg.paths cfg.corpus
+    in
+    if files = [] && from_whirl = None then begin
+      prerr_endline "uhc: no input files";
+      exit 2
+    end;
+    let m0 =
+      match from_whirl with
+      | Some path -> (
+        match Whirl.Whirl_io.load ~path with
+        | Ok m -> m
+        | Error e -> failwith (Printf.sprintf "%s: %s" path e))
+      | None -> Whirl.Lower.lower (Lang.Frontend.load ~files)
+    in
+    let m0 =
+      if cfg.wopt then begin
+        let m1, cp = Wopt.Const_prop.run m0 in
+        let m2, dce = Wopt.Dce.run m1 in
+        Printf.printf
+          "wopt: folded %d loads, %d ops, %d branches; removed %d statements, %d dead stores\n"
+          cp.Wopt.Const_prop.folded_loads cp.Wopt.Const_prop.folded_ops
+          cp.Wopt.Const_prop.folded_branches dce.Wopt.Dce.removed_stmts
+          dce.Wopt.Dce.removed_stores;
+        m2
+      end
+      else m0
+    in
+    (* one store for the whole invocation: the --fuse re-analysis hits it
+       for every PU fusion left untouched *)
+    let store =
+      match cfg.cache_dir with
+      | Some dir -> Some (Engine_store.create ~dir ())
+      | None -> if cfg.fuse then Some (Engine_store.in_memory ()) else None
+    in
+    let engine_cfg = Engine.config ~jobs:cfg.jobs ?store () in
+    let analyze m =
+      let r = Engine.run engine_cfg m in
+      if cfg.stats then Format.printf "%a" Engine.Stats.pp r.Engine.e_stats;
+      r.Engine.e_result
+    in
+    let result = analyze m0 in
+    let result =
+      if not cfg.fuse then result
+      else begin
+        (* LNO: dependence-legal fusion of adjacent compatible loops *)
+        let m = result.Ipa.Analyze.r_module in
+        let total = ref 0 in
+        let pus =
+          List.map
+            (fun pu ->
+              let pu', n =
+                Ipa.Lno.fuse_pu m result.Ipa.Analyze.r_summaries pu
+              in
+              total := !total + n;
+              pu')
+            m.Whirl.Ir.m_pus
+        in
+        Printf.printf "lno: fused %d loop pair(s)\n" !total;
+        analyze { m with Whirl.Ir.m_pus = pus }
+      end
+    in
+    let m = result.Ipa.Analyze.r_module in
+    if cfg.dump_whirl then
+      List.iter
+        (fun pu ->
+          Format.printf "=== %s ===@.%a@." pu.Whirl.Ir.pu_name Whirl.Wn.pp
+            pu.Whirl.Ir.pu_body)
+        m.Whirl.Ir.m_pus;
+    if cfg.dump_src then print_string (Whirl.Whirl2src.module_to_string m);
+    if cfg.dump_callgraph then
+      print_string (Ipa.Callgraph.to_ascii_tree result.Ipa.Analyze.r_callgraph);
+    if cfg.dump_summaries then
+      List.iter
+        (fun (name, summary) ->
+          match Whirl.Ir.find_pu m name with
+          | None -> ()
+          | Some pu ->
+            Format.printf "@[<v 2>summary of %s:@,%a@]@." name
+              (Ipa.Summary.pp m pu) summary)
+        result.Ipa.Analyze.r_summaries;
+    if cfg.loop_summaries then
+      List.iter
+        (fun pu ->
+          let lss = Ipa.Loopsum.of_pu m result.Ipa.Analyze.r_summaries pu in
+          if lss <> [] then print_string (Ipa.Loopsum.render m pu lss))
+        m.Whirl.Ir.m_pus;
+    if cfg.autopar then begin
+      let report = Ipa.Autopar.plan m result.Ipa.Analyze.r_summaries in
+      print_string (Ipa.Autopar.render report);
+      (* annotated sources *)
+      List.iter
+        (fun (name, contents) ->
+          let annotated = Ipa.Autopar.annotate report ~file:name contents in
+          if annotated <> contents then begin
+            Printf.printf "--- %s (annotated) ---\n" name;
+            print_string annotated
+          end)
+        files
+    end;
+    if cfg.execute then begin
+      let outcome = Interp.run m in
+      print_string outcome.Interp.out_text;
+      Printf.printf "(%d statements executed)\n" outcome.Interp.out_steps;
+      if cfg.dump_callgraph then begin
+        (* the dynamic call graph with feedback information (Dragon Fig 5) *)
+        let project =
+          Dragon.Project.make ~name:cfg.project ~dgn:result.Ipa.Analyze.r_dgn
+            ()
+        in
+        print_string
+          (Dragon.Graphs.callgraph_ascii ~feedback:outcome.Interp.out_calls
+             project)
+      end
+    end;
+    (match cfg.out_dir with
+    | None -> ()
+    | Some dir ->
+      if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+      let written =
+        Ipa.Analyze.write_outputs result ~dir ~project:cfg.project
+      in
+      copy_sources ~dir files;
+      List.iter (Printf.printf "wrote %s\n") written);
+    (match cfg.ipl_dir with
+    | None -> ()
+    | Some dir ->
+      (* one .ipl per compilation unit, as the paper's IPL phase does *)
+      if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+      let by_unit = Hashtbl.create 8 in
+      List.iter
+        (fun pu ->
+          let unit_name =
+            Filename.remove_extension (Filename.basename pu.Whirl.Ir.pu_file)
+          in
+          let cur = try Hashtbl.find by_unit unit_name with Not_found -> [] in
+          match
+            List.assoc_opt pu.Whirl.Ir.pu_name result.Ipa.Analyze.r_summaries
+          with
+          | Some s ->
+            Hashtbl.replace by_unit unit_name
+              (cur @ [ (pu.Whirl.Ir.pu_name, s) ])
+          | None ->
+            Printf.eprintf
+              "uhc: warning: no summary for procedure %s; omitted from %s.ipl\n"
+              pu.Whirl.Ir.pu_name unit_name)
+        m.Whirl.Ir.m_pus;
+      Hashtbl.iter
+        (fun unit_name summaries ->
+          let path =
+            Ipa.Iplfile.save ~dir ~unit_name
+              (Ipa.Iplfile.write_unit m summaries)
+          in
+          Printf.printf "wrote %s\n" path)
+        by_unit);
+    (match cfg.emit_whirl with
+    | None -> ()
+    | Some path ->
+      Whirl.Whirl_io.save ~path m;
+      Printf.printf "wrote %s\n" path);
+    Printf.printf "analyzed %d procedures, %d call edges, %d array-region rows\n"
+      (Ipa.Callgraph.node_count result.Ipa.Analyze.r_callgraph)
+      (Ipa.Callgraph.edge_count result.Ipa.Analyze.r_callgraph)
+      (List.length result.Ipa.Analyze.r_rows);
+    0
+  with
+  | Lang.Diag.Frontend_error d ->
+    Printf.eprintf "%s\n" (Lang.Diag.to_string d);
+    1
+  | Failure msg ->
+    Printf.eprintf "uhc: %s\n" msg;
+    1

@@ -1,0 +1,59 @@
+(** The full compiler-side pipeline (front ends, WOPT, analysis, LNO,
+    output files) behind one configuration record.
+
+    [bin/uhc] is a thin command-line wrapper over this module; programs
+    embedding the tool call [make]/[exec] directly instead of threading a
+    dozen positional flags around.  Analysis runs on {!Engine.run}, so
+    [jobs]/[cache_dir]/[stats] select parallelism, the persistent
+    content-addressed cache and per-phase statistics for every analysis the
+    driver performs (including the [--fuse] re-analysis). *)
+
+type config = {
+  paths : string list;  (** source files, or a single [.B] WHIRL file *)
+  corpus : string option;  (** built-in input: lu, matrix, fig1, stride *)
+  out_dir : string option;  (** write [.rgn]/[.dgn]/[.cfg] project files *)
+  project : string;  (** project (file base) name *)
+  dump_whirl : bool;
+  dump_src : bool;
+  dump_callgraph : bool;
+  dump_summaries : bool;
+  loop_summaries : bool;
+  execute : bool;  (** interpret the program after analysis *)
+  wopt : bool;  (** constant propagation + DCE before analysis *)
+  fuse : bool;  (** LNO fusion, then re-analyze *)
+  autopar : bool;
+  ipl_dir : string option;  (** per-unit [.ipl] summary files *)
+  emit_whirl : string option;  (** serialize the WHIRL module *)
+  jobs : int;  (** engine domains; 0 = all cores, 1 = serial *)
+  cache_dir : string option;  (** persistent engine cache directory *)
+  stats : bool;  (** print per-phase engine statistics *)
+}
+
+val make :
+  ?paths:string list ->
+  ?corpus:string ->
+  ?out_dir:string ->
+  ?project:string ->
+  ?dump_whirl:bool ->
+  ?dump_src:bool ->
+  ?dump_callgraph:bool ->
+  ?dump_summaries:bool ->
+  ?loop_summaries:bool ->
+  ?execute:bool ->
+  ?wopt:bool ->
+  ?fuse:bool ->
+  ?autopar:bool ->
+  ?ipl_dir:string ->
+  ?emit_whirl:string ->
+  ?jobs:int ->
+  ?cache_dir:string ->
+  ?stats:bool ->
+  unit ->
+  config
+(** Everything defaults to off/empty; [project] defaults to ["project"],
+    [jobs] to [1]. *)
+
+val exec : config -> int
+(** Runs the pipeline, printing to stdout/stderr like the [uhc] tool;
+    returns the process exit code (0 ok, 1 failure; exits with 2 on empty
+    input, matching the CLI contract). *)

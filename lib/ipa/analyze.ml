@@ -68,94 +68,76 @@ let dim_size_str m pu st =
 (* ------------------------------------------------------------------ *)
 (* Analysis *)
 
-let analyze (m : Ir.module_) : result =
-  Layout.assign m;
-  let cg = Callgraph.build m in
-  let raw_infos = Collect.run m in
-  let infos =
-    List.map (fun (i : Collect.pu_info) -> (i.Collect.p_pu.Ir.pu_name, i)) raw_infos
-  in
-  let summaries : (string, Summary.t) Hashtbl.t = Hashtbl.create 16 in
-  let propagated : (string, Collect.access list) Hashtbl.t = Hashtbl.create 16 in
-  (* bottom-up over the call graph *)
+let summarize_pu (m : Ir.module_) ~lookup (info : Collect.pu_info) =
+  let pu = info.Collect.p_pu in
+  let local = Summary.of_local m pu info.Collect.p_accesses in
+  let extra = ref [] in
+  let summary = ref local in
   List.iter
-    (fun proc ->
-      match List.assoc_opt proc infos with
+    (fun (site : Collect.site) ->
+      match Ir.find_pu m site.Collect.s_callee with
       | None -> ()
-      | Some info ->
-        let pu = info.Collect.p_pu in
-        let local = Summary.of_local m pu info.Collect.p_accesses in
-        let extra = ref [] in
-        let summary = ref local in
-        List.iter
-          (fun (site : Collect.site) ->
-            match Ir.find_pu m site.Collect.s_callee with
-            | None -> ()
-            | Some callee_pu ->
-              let callee_summary =
-                match Hashtbl.find_opt summaries site.Collect.s_callee with
-                | Some s -> s
-                | None ->
-                  (* cycle in the call graph: worst-case summary *)
-                  Summary.opaque m callee_pu
-              in
-              let translated =
-                Summary.translate m ~caller:pu ~callee:callee_pu ~site
-                  callee_summary
-              in
-              List.iter
-                (fun (tr : Summary.translated) ->
-                  extra :=
-                    {
-                      Collect.ac_st = tr.Summary.t_st;
-                      ac_mode = tr.Summary.t_mode;
-                      ac_region = tr.Summary.t_region;
-                      ac_loc = site.Collect.s_loc;
-                      ac_via = Some site.Collect.s_callee;
-                    }
-                    :: !extra;
-                  summary :=
-                    Summary.add_entry !summary
-                      (let key =
-                         if Ir.is_global_idx tr.Summary.t_st then
-                           Summary.Kglobal tr.Summary.t_st
-                         else
-                           match
-                             let rec pos i = function
-                               | [] -> None
-                               | f :: rest ->
-                                 if f = tr.Summary.t_st then Some i
-                                 else pos (i + 1) rest
-                             in
-                             pos 0 pu.Ir.pu_formals
-                           with
-                           | Some p -> Summary.Kformal p
-                           | None -> Summary.Kglobal (-1)
-                       in
-                       {
-                         Summary.e_key = key;
-                         e_mode = tr.Summary.t_mode;
-                         e_region = tr.Summary.t_region;
-                         e_count = tr.Summary.t_count;
-                       }))
-                translated)
-          info.Collect.p_sites;
-        (* entries that target caller locals (key Kglobal (-1)) don't escape *)
-        let exported =
-          List.filter
-            (fun (e : Summary.entry) -> e.Summary.e_key <> Summary.Kglobal (-1))
-            !summary
+      | Some callee_pu ->
+        let callee_summary =
+          match lookup site.Collect.s_callee with
+          | Some s -> s
+          | None ->
+            (* cycle in the call graph: worst-case summary *)
+            Summary.opaque m callee_pu
         in
-        Hashtbl.replace summaries proc exported;
-        Hashtbl.replace propagated proc (List.rev !extra))
-    (Callgraph.bottom_up cg);
+        let translated =
+          Summary.translate m ~caller:pu ~callee:callee_pu ~site callee_summary
+        in
+        List.iter
+          (fun (tr : Summary.translated) ->
+            extra :=
+              {
+                Collect.ac_st = tr.Summary.t_st;
+                ac_mode = tr.Summary.t_mode;
+                ac_region = tr.Summary.t_region;
+                ac_loc = site.Collect.s_loc;
+                ac_via = Some site.Collect.s_callee;
+              }
+              :: !extra;
+            summary :=
+              Summary.add_entry !summary
+                (let key =
+                   if Ir.is_global_idx tr.Summary.t_st then
+                     Summary.Kglobal tr.Summary.t_st
+                   else
+                     match
+                       let rec pos i = function
+                         | [] -> None
+                         | f :: rest ->
+                           if f = tr.Summary.t_st then Some i
+                           else pos (i + 1) rest
+                       in
+                       pos 0 pu.Ir.pu_formals
+                     with
+                     | Some p -> Summary.Kformal p
+                     | None -> Summary.Kglobal (-1)
+                 in
+                 {
+                   Summary.e_key = key;
+                   e_mode = tr.Summary.t_mode;
+                   e_region = tr.Summary.t_region;
+                   e_count = tr.Summary.t_count;
+                 }))
+          translated)
+    info.Collect.p_sites;
+  (* entries that target caller locals (key Kglobal (-1)) don't escape *)
+  let exported =
+    List.filter
+      (fun (e : Summary.entry) -> e.Summary.e_key <> Summary.Kglobal (-1))
+      !summary
+  in
+  (exported, List.rev !extra)
+
+let assemble (m : Ir.module_) cg ~infos ~summaries ~propagated ~cfgs : result =
   let tables =
     List.map
       (fun (name, (info : Collect.pu_info)) ->
-        let extra =
-          match Hashtbl.find_opt propagated name with Some l -> l | None -> []
-        in
-        { t_proc = name; t_accesses = info.Collect.p_accesses @ extra })
+        { t_proc = name; t_accesses = info.Collect.p_accesses @ propagated name })
       infos
   in
   (* ---------------------------------------------------------------- *)
@@ -254,11 +236,9 @@ let analyze (m : Ir.module_) : result =
           (Callgraph.callsites cg);
     }
   in
-  let cfgs = List.map (fun pu -> (pu.Ir.pu_name, Cfg.build pu)) m.Ir.m_pus in
   let summaries_list =
     List.filter_map
-      (fun (name, _) ->
-        Option.map (fun s -> (name, s)) (Hashtbl.find_opt summaries name))
+      (fun (name, _) -> Option.map (fun s -> (name, s)) (summaries name))
       infos
   in
   {
@@ -271,6 +251,39 @@ let analyze (m : Ir.module_) : result =
     r_dgn = dgn;
     r_cfgs = cfgs;
   }
+
+(* The serial reference pipeline.  [Engine.run] composes the same stages
+   ({!Collect.run_pu}, {!summarize_pu}, {!assemble}) with a domain pool and
+   the content-addressed summary cache; keeping a single copy of each stage
+   is what guarantees the two paths produce byte-identical outputs. *)
+let analyze (m : Ir.module_) : result =
+  Layout.assign m;
+  Collect.intern_module_syms m;
+  let cg = Callgraph.build m in
+  let raw_infos = Collect.run m in
+  let infos =
+    List.map (fun (i : Collect.pu_info) -> (i.Collect.p_pu.Ir.pu_name, i)) raw_infos
+  in
+  let summaries : (string, Summary.t) Hashtbl.t = Hashtbl.create 16 in
+  let propagated : (string, Collect.access list) Hashtbl.t = Hashtbl.create 16 in
+  (* bottom-up over the call graph *)
+  List.iter
+    (fun proc ->
+      match List.assoc_opt proc infos with
+      | None -> ()
+      | Some info ->
+        let exported, extra =
+          summarize_pu m ~lookup:(Hashtbl.find_opt summaries) info
+        in
+        Hashtbl.replace summaries proc exported;
+        Hashtbl.replace propagated proc extra)
+    (Callgraph.bottom_up cg);
+  let cfgs = List.map (fun pu -> (pu.Ir.pu_name, Cfg.build pu)) m.Ir.m_pus in
+  assemble m cg ~infos
+    ~summaries:(Hashtbl.find_opt summaries)
+    ~propagated:(fun name ->
+      match Hashtbl.find_opt propagated name with Some l -> l | None -> [])
+    ~cfgs
 
 let analyze_sources files =
   let prog = Lang.Frontend.load ~files in

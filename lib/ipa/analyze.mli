@@ -32,10 +32,51 @@ type result = {
 }
 
 val analyze : Whirl.Ir.module_ -> result
-(** Also assigns the memory layout (Mem_Loc) if not yet done. *)
+  [@@deprecated
+    "use Engine.run (lib/engine): the parallel, incremental engine produces \
+     byte-identical results and exposes caching and per-phase stats. This \
+     serial reference path is kept for compatibility."]
+(** Also assigns the memory layout (Mem_Loc) if not yet done.
+
+    @deprecated Use [Engine.run] — same outputs, plus parallelism, the
+    content-addressed summary cache, and [Engine.Stats]. *)
 
 val analyze_sources : (string * string) list -> result
-(** Front end + lowering + analysis over [(filename, contents)] pairs. *)
+  [@@deprecated
+    "use Pipeline.make/Pipeline.exec or Engine.run (lib/engine) instead"]
+(** Front end + lowering + analysis over [(filename, contents)] pairs.
+
+    @deprecated Use [Engine.run] on a lowered module (or the [Pipeline] API
+    for the full driver). *)
+
+(** {2 Building blocks}
+
+    The stages the serial path above and the parallel [Engine] share.  They
+    are deliberately schedule-free: [summarize_pu] performs one PU's summary
+    step given a callee-summary lookup, and [assemble] renders rows/files
+    from whatever the caller computed (or loaded from cache). *)
+
+val summarize_pu :
+  Whirl.Ir.module_ ->
+  lookup:(string -> Summary.t option) ->
+  Collect.pu_info ->
+  Summary.t * Collect.access list
+(** One bottom-up step of Algorithm 1: the PU's exported summary (local
+    accesses plus translated callee side effects) and the call-propagated
+    access records ([ac_via] set).  [lookup] returns the already-computed
+    summary of a callee, or [None] for a call-graph cycle (worst-case
+    summary is then assumed). *)
+
+val assemble :
+  Whirl.Ir.module_ ->
+  Callgraph.t ->
+  infos:(string * Collect.pu_info) list ->
+  summaries:(string -> Summary.t option) ->
+  propagated:(string -> Collect.access list) ->
+  cfgs:(string * Cfg.t) list ->
+  result
+(** Renders tables, rows, the .dgn skeleton and the final {!result} record
+    from per-PU collection results and summaries. *)
 
 val display_bounds :
   Whirl.Ir.module_ ->

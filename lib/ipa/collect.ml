@@ -36,20 +36,55 @@ let sym_registry : (int * string * int, Linear.Var.t) Hashtbl.t =
 
 let sym_reverse : (int, string * int) Hashtbl.t = Hashtbl.create 64
 
+(* Per-PU collection runs on several domains at once; the registry is the
+   one piece of state they share, so it is guarded.  Determinism of the
+   variable ids is handled separately by {!intern_module_syms}. *)
+let sym_mutex = Mutex.create ()
+
 let sym_var ~m ~pu ~st ~name =
   let key =
     if Ir.is_global_idx st then (m.Ir.m_id, "", st) else (m.Ir.m_id, pu, st)
   in
-  match Hashtbl.find_opt sym_registry key with
-  | Some v -> v
-  | None ->
-    let v = Linear.Var.fresh ~name Linear.Var.Sym in
-    Hashtbl.add sym_registry key v;
-    let _, owner, code = key in
-    Hashtbl.replace sym_reverse (Linear.Var.id v) (owner, code);
-    v
+  Mutex.lock sym_mutex;
+  let v =
+    match Hashtbl.find_opt sym_registry key with
+    | Some v -> v
+    | None ->
+      let v = Linear.Var.fresh ~name Linear.Var.Sym in
+      Hashtbl.add sym_registry key v;
+      let _, owner, code = key in
+      Hashtbl.replace sym_reverse (Linear.Var.id v) (owner, code);
+      v
+  in
+  Mutex.unlock sym_mutex;
+  v
 
-let sym_info v = Hashtbl.find_opt sym_reverse (Linear.Var.id v)
+let sym_info v =
+  Mutex.lock sym_mutex;
+  let r = Hashtbl.find_opt sym_reverse (Linear.Var.id v) in
+  Mutex.unlock sym_mutex;
+  r
+
+let intern_module_syms (m : Ir.module_) =
+  (* Pre-register the symbolic variable of every scalar symbol, globals
+     first then each PU's locals in definition order.  After this pass the
+     parallel collection phase only ever *looks up* symbolic variables, so
+     their ids — and hence the rendered order of symbolic bound terms — no
+     longer depend on the schedule. *)
+  Symtab.iter_st m.Ir.m_global (fun idx e ->
+      match Symtab.ty m.Ir.m_global e.Symtab.st_ty with
+      | Symtab.Ty_scalar _ ->
+        ignore
+          (sym_var ~m ~pu:"" ~st:(Ir.encode_global idx) ~name:e.Symtab.st_name)
+      | Symtab.Ty_array _ -> ());
+  List.iter
+    (fun pu ->
+      Symtab.iter_st pu.Ir.pu_symtab (fun idx e ->
+          match Symtab.ty pu.Ir.pu_symtab e.Symtab.st_ty with
+          | Symtab.Ty_scalar _ ->
+            ignore (sym_var ~m ~pu:pu.Ir.pu_name ~st:idx ~name:e.Symtab.st_name)
+          | Symtab.Ty_array _ -> ()))
+    m.Ir.m_pus
 
 (* ------------------------------------------------------------------ *)
 
@@ -324,15 +359,14 @@ let loop_bounds_for m pu (loop : Wn.t) var =
     (* direction unknowable: leave the variable unconstrained (sound) *)
     []
 
-let run (m : Ir.module_) =
-  List.map
-    (fun pu ->
-      let s = { m; pu; loops = []; accesses = []; sites = [] } in
-      formals_records s;
-      walk_stmt s pu.Ir.pu_body;
-      {
-        p_pu = pu;
-        p_accesses = List.rev s.accesses;
-        p_sites = List.rev s.sites;
-      })
-    m.Ir.m_pus
+let run_pu (m : Ir.module_) pu =
+  let s = { m; pu; loops = []; accesses = []; sites = [] } in
+  formals_records s;
+  walk_stmt s pu.Ir.pu_body;
+  {
+    p_pu = pu;
+    p_accesses = List.rev s.accesses;
+    p_sites = List.rev s.sites;
+  }
+
+let run (m : Ir.module_) = List.map (run_pu m) m.Ir.m_pus

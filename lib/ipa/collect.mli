@@ -59,7 +59,19 @@ val extents_of : Whirl.Ir.module_ -> Whirl.Ir.pu -> int -> int option list
 (** Row-major declared extents of an array symbol ([None] per unknown
     dimension). *)
 
+val intern_module_syms : Whirl.Ir.module_ -> unit
+(** Pre-register the symbolic variables of every scalar symbol of the
+    module (globals first, then per-PU locals, in table order).  The engine
+    calls this before fanning {!run_pu} out across domains so that symbolic
+    variable ids are independent of the parallel schedule — which is what
+    makes parallel output byte-identical to serial output. *)
+
 val run : Whirl.Ir.module_ -> pu_info list
+
+val run_pu : Whirl.Ir.module_ -> Whirl.Ir.pu -> pu_info
+(** Collection for a single PU (one unit of the engine's parallel work
+    queue).  Only touches shared state through the guarded symbolic-variable
+    registry. *)
 
 val run_body : Whirl.Ir.module_ -> Whirl.Ir.pu -> Whirl.Wn.t -> pu_info
 (** Walks one statement subtree with an empty loop context: enclosing

@@ -25,6 +25,9 @@ val is_trivial : t -> bool option
 
 val subst : Var.t -> Expr.t -> t -> t
 
+val map_vars : (Var.t -> Var.t) -> t -> t
+(** Rename variables; the result is re-normalized. *)
+
 val holds : (Var.t -> Rat.t) -> t -> bool
 
 val vars : t -> Var.t list

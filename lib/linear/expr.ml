@@ -52,6 +52,20 @@ let subst v e t =
     let without = { t with terms = Var.Map.remove v t.terms } in
     add without (scale c e)
 
+let map_vars f t =
+  let terms =
+    Var.Map.fold
+      (fun v c acc ->
+        let v' = f v in
+        Var.Map.update v'
+          (function
+            | None -> norm_coeff c
+            | Some c0 -> norm_coeff (Rat.add c0 c))
+          acc)
+      t.terms Var.Map.empty
+  in
+  { t with terms }
+
 let eval valuation t =
   Var.Map.fold
     (fun v c acc -> Rat.add acc (Rat.mul c (valuation v)))

@@ -30,6 +30,11 @@ val is_const : t -> bool
 val subst : Var.t -> t -> t -> t
 (** [subst v e t] replaces [v] by [e] in [t]. *)
 
+val map_vars : (Var.t -> Var.t) -> t -> t
+(** Renames every variable through the function (coefficients of variables
+    mapped together are summed).  Used by the engine's cache to re-intern
+    deserialized symbolic variables. *)
+
 val eval : (Var.t -> Rat.t) -> t -> Rat.t
 (** @raise Not_found if the valuation lacks a variable of [t]. *)
 

@@ -27,6 +27,8 @@ let vars t =
 
 let subst v e t = normalize (List.map (Constr.subst v e) t)
 
+let map_vars f t = normalize (List.map (Constr.map_vars f) t)
+
 (* Fourier-Motzkin step.  An equality mentioning [v] gives an exact
    substitution; otherwise lower bounds (coeff < 0) pair with upper bounds
    (coeff > 0). *)

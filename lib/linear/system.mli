@@ -45,6 +45,9 @@ val feasible : t -> bool
 
 val subst : Var.t -> Expr.t -> t -> t
 
+val map_vars : (Var.t -> Var.t) -> t -> t
+(** Rename variables in every constraint (re-normalized and re-sorted). *)
+
 val bounds : Var.t -> t -> Rat.t option * Rat.t option
 (** [(lo, hi)] — the tightest constant bounds on the variable implied by the
     system (other variables are projected away first).  [None] means

@@ -5,24 +5,41 @@ type kind =
 
 type t = { id : int; name : string; kind : kind }
 
-let counter = ref 0
+(* The id counter is atomic so that [fresh] is safe to call from several
+   domains at once (the engine fans per-PU collection out in parallel). *)
+let counter = Atomic.make 0
 
-let fresh ~name kind =
-  incr counter;
-  { id = !counter; name; kind }
+let fresh ~name kind = { id = Atomic.fetch_and_add counter 1 + 1; name; kind }
+
+let current () = Atomic.get counter
+
+let rec advance_past n =
+  let cur = Atomic.get counter in
+  if cur >= n then ()
+  else if not (Atomic.compare_and_set counter cur n) then advance_past n
 
 (* Canonical subscript variables: dimension k of every region description is
    the same variable, so regions over the same array compose directly.
-   Their ids are negative to stay disjoint from [fresh] ids. *)
+   Their ids are negative to stay disjoint from [fresh] ids.  The table is
+   only a memoization of a pure construction, but it is still guarded so
+   concurrent first uses cannot corrupt the bucket lists. *)
 let subscript_table : (int, t) Hashtbl.t = Hashtbl.create 16
+let subscript_mutex = Mutex.create ()
 
 let subscript k =
-  match Hashtbl.find_opt subscript_table k with
-  | Some v -> v
-  | None ->
-    let v = { id = -(k + 1); name = Printf.sprintf "d%d" k; kind = Subscript k } in
-    Hashtbl.add subscript_table k v;
-    v
+  Mutex.lock subscript_mutex;
+  let v =
+    match Hashtbl.find_opt subscript_table k with
+    | Some v -> v
+    | None ->
+      let v =
+        { id = -(k + 1); name = Printf.sprintf "d%d" k; kind = Subscript k }
+      in
+      Hashtbl.add subscript_table k v;
+      v
+  in
+  Mutex.unlock subscript_mutex;
+  v
 
 let id t = t.id
 let name t = t.name

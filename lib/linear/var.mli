@@ -17,7 +17,16 @@ type kind =
 type t = private { id : int; name : string; kind : kind }
 
 val fresh : name:string -> kind -> t
-(** Allocates a globally unique variable. *)
+(** Allocates a globally unique variable.  Safe to call concurrently from
+    several domains. *)
+
+val current : unit -> int
+(** The last id handed out by {!fresh} — a snapshot the engine's on-disk
+    summary cache records so a later process can {!advance_past} it. *)
+
+val advance_past : int -> unit
+(** Ensure future {!fresh} ids are strictly greater than [n]; used when
+    deserialized structures carry variables minted by another process. *)
 
 val subscript : int -> t
 (** [subscript k] is the canonical (interned) variable for dimension [k];

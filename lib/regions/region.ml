@@ -319,6 +319,24 @@ let contains_point t coords =
            | _ -> true)
          t.dims coords
 
+let map_vars f t =
+  (* Structural rename: the triplet view is carried over (with its bound
+     expressions renamed), NOT recomputed, so that a region reloaded from
+     the engine's cache renders byte-identically to the original. *)
+  let map_bound = function
+    | Bconst _ as b -> b
+    | Bsym e -> Bsym (Expr.map_vars f e)
+    | Bunknown -> Bunknown
+  in
+  {
+    t with
+    sys = System.map_vars f t.sys;
+    dims =
+      List.map
+        (fun d -> { d with lb = map_bound d.lb; ub = map_bound d.ub })
+        t.dims;
+  }
+
 let subst_sym substs t =
   let sys =
     List.fold_left

@@ -85,6 +85,11 @@ val contains_point : t -> int list -> bool
 val subst_sym : (Linear.Var.t * Linear.Expr.t) list -> t -> t
 (** Substitute symbolic variables (formal-to-actual translation). *)
 
+val map_vars : (Linear.Var.t -> Linear.Var.t) -> t -> t
+(** Rename every variable, preserving (not recomputing) the triplet view —
+    the engine cache uses this to re-intern deserialized regions onto the
+    live symbolic-variable registry. *)
+
 val close_under_loops : loop_ctx list -> t -> t
 (** After a formal-to-actual substitution a region may mention the caller's
     induction variables; this conjoins the given loop constraints and

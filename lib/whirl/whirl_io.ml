@@ -123,29 +123,173 @@ let proc_kind m name =
   | Some pi -> pi.Lang.Sema.pi_proc.Lang.Ast.proc_kind
   | None -> Lang.Ast.Subroutine
 
+let write_pu buf (m : Ir.module_) pu =
+  Buffer.add_string buf
+    (Printf.sprintf "pu %s %d %S %S %s %d %d %s\n" pu.Ir.pu_name
+       pu.Ir.pu_st pu.Ir.pu_file pu.Ir.pu_object
+       (match pu.Ir.pu_lang with Lang.Ast.Fortran -> "fortran" | Lang.Ast.C -> "c")
+       (Lang.Loc.line pu.Ir.pu_loc)
+       (Lang.Loc.col pu.Ir.pu_loc)
+       (kind_str (proc_kind m pu.Ir.pu_name)));
+  Buffer.add_string buf
+    (Printf.sprintf "formals %s\n"
+       (String.concat " " (List.map string_of_int pu.Ir.pu_formals)));
+  write_symtab buf pu.Ir.pu_symtab;
+  write_wn buf 0 pu.Ir.pu_body;
+  Buffer.add_string buf "endpu\n"
+
+(* Content images for the engine's digests: a compact binary encoding of
+   exactly the fields the textual format round-trips, minus the formatting
+   cost (one [Printf.sprintf] per WN node is what makes [write] too slow to
+   run on every cache probe).  Never parsed — only hashed. *)
+
+let add_int buf x = Buffer.add_int64_le buf (Int64.of_int x)
+
+let add_str buf s =
+  add_int buf (String.length s);
+  Buffer.add_string buf s
+
+let add_loc buf loc =
+  add_str buf (Lang.Loc.file loc);
+  add_int buf (Lang.Loc.line loc);
+  add_int buf (Lang.Loc.col loc)
+
+let add_symtab_content buf st =
+  let rec tys i =
+    match Symtab.ty st i with
+    | exception Invalid_argument _ -> ()
+    | Symtab.Ty_scalar d ->
+      Buffer.add_char buf 'S';
+      add_str buf (dtype_name d);
+      tys (i + 1)
+    | Symtab.Ty_array { elem; dims; contiguous } ->
+      Buffer.add_char buf 'A';
+      add_str buf (dtype_name elem);
+      Buffer.add_char buf (if contiguous then 'c' else 'n');
+      add_int buf (List.length dims);
+      List.iter
+        (fun (lo, hi) ->
+          add_int buf (Option.value lo ~default:min_int);
+          add_int buf (Option.value hi ~default:min_int))
+        dims;
+      tys (i + 1)
+  in
+  tys 0;
+  Symtab.iter_st st (fun _ e ->
+      Buffer.add_char buf 's';
+      add_str buf e.Symtab.st_name;
+      add_int buf e.Symtab.st_ty;
+      add_str buf (sclass_str e.Symtab.st_sclass);
+      add_int buf e.Symtab.st_mem_loc;
+      add_loc buf e.Symtab.st_loc)
+
+let add_i32 buf x = Buffer.add_int32_le buf (Int32.of_int x)
+
+let operator_tag =
+  let tbl = Hashtbl.create 64 in
+  List.iteri (fun i op -> Hashtbl.replace tbl op (Char.chr i)) all_operators;
+  fun op -> try Hashtbl.find tbl op with Not_found -> '\255'
+
+let dtype_tag = function
+  | Lang.Ast.Int_t -> '\001'
+  | Lang.Ast.Real_t -> '\002'
+  | Lang.Ast.Double_t -> '\003'
+  | Lang.Ast.Char_t -> '\004'
+  | Lang.Ast.Logical_t -> '\005'
+
+let res_tag = function None -> '\000' | Some d -> dtype_tag d
+
+(* The file component of WN locations is almost always the same string
+   (physically) as the previous node's, so it is run-length memoized; the
+   fallback writes the full length-prefixed string, which keeps the
+   encoding injective. *)
+(* Small non-negative ints (nearly every field) take one byte; anything
+   else pays a marker plus four bytes.  Decoding would be unambiguous, so
+   the encoding stays injective. *)
+let add_ci buf x =
+  if x >= 0 && x < 255 then Buffer.add_char buf (Char.unsafe_chr x)
+  else begin
+    Buffer.add_char buf '\255';
+    add_i32 buf x
+  end
+
+let rec add_wn_content buf last_file (w : Wn.t) =
+  Buffer.add_char buf (operator_tag w.Wn.operator);
+  add_ci buf w.Wn.st_idx;
+  add_ci buf w.Wn.offset;
+  add_ci buf w.Wn.elem_size;
+  (* const_val/flt_val/str_val are zero/empty on all but constant nodes *)
+  (if w.Wn.const_val = 0 then Buffer.add_char buf '\000'
+   else begin
+     Buffer.add_char buf '\001';
+     add_int buf w.Wn.const_val
+   end);
+  (if Int64.bits_of_float w.Wn.flt_val = 0L then Buffer.add_char buf '\000'
+   else begin
+     Buffer.add_char buf '\001';
+     Buffer.add_int64_le buf (Int64.bits_of_float w.Wn.flt_val)
+   end);
+  Buffer.add_char buf (res_tag w.Wn.res);
+  let f = Lang.Loc.file w.Wn.linenum in
+  if f == !last_file then Buffer.add_char buf '='
+  else begin
+    Buffer.add_char buf '#';
+    add_str buf f;
+    last_file := f
+  end;
+  add_ci buf (Lang.Loc.line w.Wn.linenum);
+  add_ci buf (Lang.Loc.col w.Wn.linenum);
+  (if w.Wn.str_val = "" then Buffer.add_char buf '\000'
+   else begin
+     Buffer.add_char buf '\001';
+     add_ci buf (String.length w.Wn.str_val);
+     Buffer.add_string buf w.Wn.str_val
+   end);
+  add_ci buf (Array.length w.Wn.kids);
+  Array.iter (add_wn_content buf last_file) w.Wn.kids
+
+let add_pu_content buf (m : Ir.module_) pu =
+  add_str buf pu.Ir.pu_name;
+  add_int buf pu.Ir.pu_st;
+  add_str buf pu.Ir.pu_file;
+  add_str buf pu.Ir.pu_object;
+  Buffer.add_char buf
+    (match pu.Ir.pu_lang with Lang.Ast.Fortran -> 'f' | Lang.Ast.C -> 'c');
+  add_loc buf pu.Ir.pu_loc;
+  add_str buf (kind_str (proc_kind m pu.Ir.pu_name));
+  add_int buf (List.length pu.Ir.pu_formals);
+  List.iter (add_int buf) pu.Ir.pu_formals;
+  add_symtab_content buf pu.Ir.pu_symtab;
+  add_wn_content buf (ref "") pu.Ir.pu_body
+
 let write (m : Ir.module_) =
   let buf = Buffer.create 4096 in
   Buffer.add_string buf "whirl 1\nglobal\n";
   write_symtab buf m.Ir.m_global;
   Buffer.add_string buf "endglobal\n";
-  List.iter
-    (fun pu ->
-      Buffer.add_string buf
-        (Printf.sprintf "pu %s %d %S %S %s %d %d %s\n" pu.Ir.pu_name
-           pu.Ir.pu_st pu.Ir.pu_file pu.Ir.pu_object
-           (match pu.Ir.pu_lang with Lang.Ast.Fortran -> "fortran" | Lang.Ast.C -> "c")
-           (Lang.Loc.line pu.Ir.pu_loc)
-           (Lang.Loc.col pu.Ir.pu_loc)
-           (kind_str (proc_kind m pu.Ir.pu_name)));
-      Buffer.add_string buf
-        (Printf.sprintf "formals %s\n"
-           (String.concat " " (List.map string_of_int pu.Ir.pu_formals)));
-      write_symtab buf pu.Ir.pu_symtab;
-      write_wn buf 0 pu.Ir.pu_body;
-      Buffer.add_string buf "endpu\n")
-    m.Ir.m_pus;
+  List.iter (write_pu buf m) m.Ir.m_pus;
   Buffer.add_string buf "endmodule\n";
   Buffer.contents buf
+
+let pu_to_string m pu =
+  let buf = Buffer.create 1024 in
+  write_pu buf m pu;
+  Buffer.contents buf
+
+let symtab_to_string st =
+  let buf = Buffer.create 512 in
+  write_symtab buf st;
+  Buffer.contents buf
+
+let pu_digest m pu =
+  let buf = Buffer.create 65536 in
+  add_pu_content buf m pu;
+  Digest.string (Buffer.contents buf)
+
+let symtab_digest st =
+  let buf = Buffer.create 4096 in
+  add_symtab_content buf st;
+  Digest.string (Buffer.contents buf)
 
 (* ------------------------------------------------------------------ *)
 (* Parsing *)

@@ -1,0 +1,27 @@
+#!/bin/sh
+# Repo verification: full build, format check (when available), tests, and
+# an end-to-end uhc smoke run through the parallel engine.
+set -e
+cd "$(dirname "$0")/.."
+
+echo "== dune build @all =="
+dune build @all
+
+if command -v ocamlformat >/dev/null 2>&1; then
+  echo "== dune build @fmt =="
+  dune build @fmt
+else
+  echo "== skipping @fmt (ocamlformat not installed) =="
+fi
+
+echo "== dune runtest =="
+OCAMLRUNPARAM=b dune runtest
+
+echo "== smoke: uhc --corpus lu --jobs 4 =="
+out=$(mktemp -d)
+trap 'rm -rf "$out"' EXIT
+dune exec bin/uhc.exe -- --corpus lu -o "$out" --jobs 4 --stats
+test -s "$out/project.rgn"
+test -s "$out/project.dgn"
+
+echo "verify: OK"

@@ -156,7 +156,7 @@ let test_apps_advisor () =
       let r = analyze files in
       let p =
         Dragon.Project.make ~name:"app" ~dgn:r.Ipa.Analyze.r_dgn
-          ~rows:r.Ipa.Analyze.r_rows ~cfg:[] ~sources:files
+          ~rows:r.Ipa.Analyze.r_rows ~sources:files ()
       in
       let out = Dragon.Advisor.render p in
       Alcotest.(check bool) "advisor renders" true (String.length out > 0))

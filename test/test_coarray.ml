@@ -94,7 +94,7 @@ let test_dragon_shows_remote_modes () =
   let r = Lazy.force result in
   let p =
     Dragon.Project.make ~name:"caf" ~dgn:r.Ipa.Analyze.r_dgn
-      ~rows:r.Ipa.Analyze.r_rows ~cfg:[] ~sources:[ Corpus.Small.caf_f ]
+      ~rows:r.Ipa.Analyze.r_rows ~sources:[ Corpus.Small.caf_f ] ()
   in
   let out = Dragon.Table.render p in
   let contains needle =

@@ -4,7 +4,7 @@ let project_of files =
   let result = Ipa.Analyze.analyze_sources files in
   ( result,
     Dragon.Project.make ~name:"t" ~dgn:result.Ipa.Analyze.r_dgn
-      ~rows:result.Ipa.Analyze.r_rows ~cfg:[] ~sources:files )
+      ~rows:result.Ipa.Analyze.r_rows ~sources:files () )
 
 let contains hay needle =
   let nh = String.length hay and nn = String.length needle in
@@ -82,7 +82,7 @@ let test_callgraph_views () =
   let result, _ = project_of [ Corpus.Small.fig1_f ] in
   let p =
     Dragon.Project.make ~name:"t" ~dgn:result.Ipa.Analyze.r_dgn
-      ~rows:result.Ipa.Analyze.r_rows ~cfg:[] ~sources:[ Corpus.Small.fig1_f ]
+      ~rows:result.Ipa.Analyze.r_rows ~sources:[ Corpus.Small.fig1_f ] ()
   in
   let ascii = Dragon.Graphs.callgraph_ascii p in
   Alcotest.(check bool) "root first" true (contains ascii "- fig1");
@@ -107,7 +107,7 @@ let test_cfg_views () =
   in
   let p =
     Dragon.Project.make ~name:"t" ~dgn:result.Ipa.Analyze.r_dgn
-      ~rows:result.Ipa.Analyze.r_rows ~cfg:blocks ~sources:[]
+      ~rows:result.Ipa.Analyze.r_rows ~cfg:blocks ()
   in
   Alcotest.(check bool) "p1 has a cfg" true
     (List.mem "p1" (Dragon.Graphs.cfg_procs p));

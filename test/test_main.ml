@@ -27,4 +27,5 @@ let () =
       ("loopsum", Test_loopsum.suite);
       ("summary", Test_summary.suite);
       ("cli", Test_cli.suite);
+      ("engine", Test_engine.suite);
     ]

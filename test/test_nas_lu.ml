@@ -108,7 +108,7 @@ let test_case2_directive () =
   let r = Lazy.force result in
   let project =
     Dragon.Project.make ~name:"lu" ~dgn:r.Ipa.Analyze.r_dgn
-      ~rows:r.Ipa.Analyze.r_rows ~cfg:[] ~sources:(Corpus.Nas_lu.files ())
+      ~rows:r.Ipa.Analyze.r_rows ~sources:(Corpus.Nas_lu.files ()) ()
   in
   let corner_lines =
     List.filter_map
