@@ -24,12 +24,19 @@ let print_rows rows =
 let rows_matching result pred =
   List.filter pred result.Ipa.Analyze.r_rows
 
+(* Every section analyzes through the engine pipeline; the deprecated
+   [analyze_sources] entry point stays test-only. *)
+let analyze_module m = (Engine.run (Engine.config ()) m).Engine.e_result
+
+let analyze_sources files =
+  analyze_module (Whirl.Lower.lower (Lang.Frontend.load ~files))
+
 (* ------------------------------------------------------------------ *)
 (* Fig 1: interprocedural access analysis example *)
 
 let bench_fig1 () =
   header "Fig 1: interprocedural DEF/USE regions and independence";
-  let result = Ipa.Analyze.analyze_sources [ Corpus.Small.fig1_f ] in
+  let result = analyze_sources [ Corpus.Small.fig1_f ] in
   let m = result.Ipa.Analyze.r_module in
   List.iter
     (fun proc ->
@@ -188,7 +195,7 @@ let bench_fig2 () =
 
 let bench_fig9 () =
   header "Fig 9: the aarr rows of matrix.c (with Fig 8's access density)";
-  let result = Ipa.Analyze.analyze_sources [ Corpus.Small.matrix_c ] in
+  let result = analyze_sources [ Corpus.Small.matrix_c ] in
   print_rows
     (rows_matching result (fun r ->
          r.Rgnfile.Row.array = "aarr"
@@ -221,7 +228,7 @@ let bench_fig9 () =
 
 let bench_fig8 () =
   header "Fig 8: access density (references per allocated byte, as %)";
-  let result = Ipa.Analyze.analyze_sources (Corpus.Nas_lu.files ()) in
+  let result = analyze_sources (Corpus.Nas_lu.files ()) in
   (* one bar per (array, mode) with nonzero density, highest first *)
   let seen = Hashtbl.create 32 in
   let entries =
@@ -251,7 +258,7 @@ let bench_fig8 () =
 
 let bench_fig11 () =
   header "Fig 11: Dragon call graph for NAS LU";
-  let result = Ipa.Analyze.analyze_sources (Corpus.Nas_lu.files ()) in
+  let result = analyze_sources (Corpus.Nas_lu.files ()) in
   let cg = result.Ipa.Analyze.r_callgraph in
   print_string (Ipa.Callgraph.to_ascii_tree cg);
   Printf.printf "paper: 24 procedures; measured: %d procedures, %d edges\n"
@@ -262,7 +269,7 @@ let bench_fig11 () =
 
 let bench_tab2 () =
   header "Table II / Fig 12: one-dimensional arrays in verify (NAS LU)";
-  let result = Ipa.Analyze.analyze_sources (Corpus.Nas_lu.files ()) in
+  let result = analyze_sources (Corpus.Nas_lu.files ()) in
   print_rows
     (rows_matching result (fun r ->
          (r.Rgnfile.Row.array = "xcr" && r.Rgnfile.Row.scope = "verify")
@@ -276,7 +283,7 @@ let bench_tab2 () =
 
 let bench_tab3 () =
   header "Table III / Fig 14: multidimensional array u in rhs (NAS LU)";
-  let result = Ipa.Analyze.analyze_sources (Corpus.Nas_lu.files ()) in
+  let result = analyze_sources (Corpus.Nas_lu.files ()) in
   let u_rows =
     rows_matching result (fun r ->
         r.Rgnfile.Row.array = "u" && r.Rgnfile.Row.file = "rhs.o"
@@ -308,7 +315,7 @@ let bench_tab4 () =
     "region bytes" "t(whole) s" "t(region) s" "speedup";
   List.iter
     (fun cls ->
-      let result = Ipa.Analyze.analyze_sources (Corpus.Nas_lu.files ~cls ()) in
+      let result = analyze_sources (Corpus.Nas_lu.files ~cls ()) in
       let project =
         Dragon.Project.make ~name:"lu" ~dgn:result.Ipa.Analyze.r_dgn
           ~rows:result.Ipa.Analyze.r_rows
@@ -468,7 +475,7 @@ let bench_apps () =
   in
   List.iter
     (fun (name, files) ->
-      let r = Ipa.Analyze.analyze_sources files in
+      let r = analyze_sources files in
       let m = r.Ipa.Analyze.r_module in
       (* count dependence-free DO loops across all procedures *)
       let parallel = ref 0 and total = ref 0 in
@@ -538,7 +545,7 @@ let bench_ablation () =
   let count files wopt =
     let m = Whirl.Lower.lower (Lang.Frontend.load ~files) in
     let m = if wopt then fst (Wopt.Const_prop.run m) else m in
-    let rows = (Ipa.Analyze.analyze m).Ipa.Analyze.r_rows in
+    let rows = (analyze_module m).Ipa.Analyze.r_rows in
     let const = List.length (List.filter constant_row rows) in
     (const, List.length rows)
   in
@@ -554,7 +561,7 @@ let bench_ablation () =
     "shape: constant propagation turns symbolic bounds (n, m, k) into the\n\
      exact triplets the paper's tables show";
   header "Ablation 2: interprocedural summaries vs opaque call effects";
-  let r = Ipa.Analyze.analyze_sources [ Corpus.Small.fig1_f ] in
+  let r = analyze_sources [ Corpus.Small.fig1_f ] in
   let m = r.Ipa.Analyze.r_module in
   let info = List.assoc "add" r.Ipa.Analyze.r_infos in
   (match info.Ipa.Collect.p_sites with
@@ -586,7 +593,7 @@ let bench_ablation () =
 
 let bench_pgas () =
   header "PGAS extension: remote coarray access rows (paper future work)";
-  let r = Ipa.Analyze.analyze_sources [ Corpus.Small.caf_f ] in
+  let r = analyze_sources [ Corpus.Small.caf_f ] in
   print_rows
     (rows_matching r (fun row ->
          row.Rgnfile.Row.mode = "RUSE" || row.Rgnfile.Row.mode = "RDEF"));
@@ -615,7 +622,7 @@ let locality_src =
 
 let bench_locality () =
   header "Locality: layout-aware interchange (use case 1, measured)";
-  let result = Ipa.Analyze.analyze_sources [ locality_src ] in
+  let result = analyze_sources [ locality_src ] in
   let m = result.Ipa.Analyze.r_module in
   let pu = List.hd m.Whirl.Ir.m_pus in
   List.iter
@@ -733,6 +740,338 @@ let bench_engine () =
      outputs are byte-identical in every mode (checked by test_engine)"
 
 (* ------------------------------------------------------------------ *)
+(* Solver: before/after micro-benchmarks and end-to-end feasible time *)
+
+let json_escape s =
+  let b = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let bench_solver ~json ~out () =
+  header "Solver: packed integer FM, pruning, memoized queries (NAS LU)";
+  let files = Corpus.Nas_lu.files () in
+  let lower () = Whirl.Lower.lower (Lang.Frontend.load ~files) in
+  (* throwaway run so frontend/layout paths are hot *)
+  ignore (analyze_module (lower ()));
+  (* ---- end-to-end: total feasible-query wall time, reference vs fast *)
+  let run_mode reference =
+    Linear.System.set_reference_mode reference;
+    Linear.System.clear_cache ();
+    let s0 = Linear.Solver_stats.snapshot () in
+    let t0 = Unix.gettimeofday () in
+    let res = analyze_module (lower ()) in
+    let wall = Unix.gettimeofday () -. t0 in
+    let d = Linear.Solver_stats.diff (Linear.Solver_stats.snapshot ()) s0 in
+    Linear.System.set_reference_mode false;
+    (res, wall, d)
+  in
+  let query_ns reference (d : Linear.Solver_stats.t) =
+    if reference then d.Linear.Solver_stats.wall_reference_ns
+    else d.Linear.Solver_stats.wall_fast_ns
+  in
+  let best_run reference =
+    let best = ref None in
+    for _ = 1 to 3 do
+      let (_, _, d) as r = run_mode reference in
+      match !best with
+      | Some (_, _, d') when query_ns reference d' <= query_ns reference d ->
+        ()
+      | _ -> best := Some r
+    done;
+    Option.get !best
+  in
+  let _, wall_ref, d_ref = best_run true in
+  let res, wall_fast, d_fast = best_run false in
+  let open Linear.Solver_stats in
+  let ref_ns = d_ref.wall_reference_ns and fast_ns = d_fast.wall_fast_ns in
+  let speedup = float_of_int ref_ns /. float_of_int (max 1 fast_ns) in
+  Printf.printf
+    "end-to-end (feasible queries): reference %d queries %.3f ms, fast %d \
+     queries %.3f ms => %.1fx\n"
+    d_ref.queries
+    (float_of_int ref_ns /. 1e6)
+    d_fast.queries
+    (float_of_int fast_ns /. 1e6)
+    speedup;
+  Printf.printf
+    "fast-path breakdown: %d cache hit / %d miss, %d box-refuted, %d \
+     syntactic, %d FM runs (%d rows built, %d pruned), fallbacks: %d \
+     tighten / %d overflow\n"
+    d_fast.cache_hits d_fast.cache_misses d_fast.box_refutations
+    d_fast.syntactic_hits d_fast.fm_runs d_fast.fm_rows_built
+    d_fast.fm_rows_pruned d_fast.tighten_fallbacks d_fast.overflow_fallbacks;
+  Printf.printf "analysis wall: reference %.4fs, fast %.4fs\n" wall_ref
+    wall_fast;
+  (* ---- micro: harvested region systems through each query, each mode *)
+  let systems =
+    List.concat_map
+      (fun (_, info) ->
+        List.map
+          (fun (a : Ipa.Collect.access) ->
+            a.Ipa.Collect.ac_region.Regions.Region.sys)
+          info.Ipa.Collect.p_accesses)
+      res.Ipa.Analyze.r_infos
+  in
+  let rec adjacent = function
+    | a :: (b :: _ as tl) -> (a, b) :: adjacent tl
+    | _ -> []
+  in
+  let pairs = adjacent systems in
+  let passes = 5 in
+  let wall f =
+    let t0 = Unix.gettimeofday () in
+    for _ = 1 to passes do
+      f ()
+    done;
+    Unix.gettimeofday () -. t0
+  in
+  let timed_mode ~reference ~cache f =
+    Linear.System.set_reference_mode reference;
+    Linear.System.set_cache_enabled cache;
+    Linear.System.clear_cache ();
+    let t = wall f in
+    Linear.System.set_reference_mode false;
+    Linear.System.set_cache_enabled true;
+    t
+  in
+  let feas_run () =
+    List.iter (fun s -> ignore (Linear.System.feasible s)) systems
+  in
+  let impl_run () =
+    List.iter
+      (fun (a, b) ->
+        List.iter
+          (fun c -> ignore (Linear.System.implies a c))
+          (Linear.System.to_list b))
+      pairs
+  in
+  let proj_run () =
+    List.iter
+      (fun s ->
+        let keep =
+          Linear.Var.Set.filter Linear.Var.is_subscript (Linear.System.vars s)
+        in
+        ignore (Linear.System.project_onto keep s))
+      systems
+  in
+  let feas_reference = timed_mode ~reference:true ~cache:false feas_run in
+  let feas_packed = timed_mode ~reference:false ~cache:false feas_run in
+  let feas_memo = timed_mode ~reference:false ~cache:true feas_run in
+  let impl_reference = timed_mode ~reference:true ~cache:false impl_run in
+  let impl_fast = timed_mode ~reference:false ~cache:true impl_run in
+  let proj = timed_mode ~reference:false ~cache:true proj_run in
+  Printf.printf
+    "micro (%d systems x %d passes):\n\
+    \  feasible: reference %.4fs, packed %.4fs, packed+memo %.4fs\n\
+    \  implies:  reference %.4fs, fast %.4fs\n\
+    \  project:  %.4fs (shared exact eliminator, unchanged)\n"
+    (List.length systems) passes feas_reference feas_packed feas_memo
+    impl_reference impl_fast proj;
+  (* ---- machine-readable record *)
+  if json || out <> None then begin
+    let path = Option.value out ~default:"BENCH_solver.json" in
+    let b = Buffer.create 2048 in
+    let bpf fmt = Printf.ksprintf (Buffer.add_string b) fmt in
+    bpf "{\n";
+    bpf "  \"bench\": \"%s\",\n" (json_escape "solver");
+    bpf "  \"corpus\": \"nas-lu\",\n";
+    bpf "  \"solver\": {\n";
+    bpf "    \"end_to_end\": {\n";
+    bpf "      \"reference\": {\n";
+    bpf "        \"feasible_queries\": %d,\n" d_ref.queries;
+    bpf "        \"feasible_wall_ns\": %d,\n" ref_ns;
+    bpf "        \"analysis_wall_s\": %.6f\n" wall_ref;
+    bpf "      },\n";
+    bpf "      \"fast\": {\n";
+    bpf "        \"feasible_queries\": %d,\n" d_fast.queries;
+    bpf "        \"feasible_wall_ns\": %d,\n" fast_ns;
+    bpf "        \"analysis_wall_s\": %.6f,\n" wall_fast;
+    bpf "        \"cache_hits\": %d,\n" d_fast.cache_hits;
+    bpf "        \"cache_misses\": %d,\n" d_fast.cache_misses;
+    bpf "        \"box_refutations\": %d,\n" d_fast.box_refutations;
+    bpf "        \"syntactic_hits\": %d,\n" d_fast.syntactic_hits;
+    bpf "        \"fm_runs\": %d,\n" d_fast.fm_runs;
+    bpf "        \"fm_rows_built\": %d,\n" d_fast.fm_rows_built;
+    bpf "        \"fm_rows_pruned\": %d,\n" d_fast.fm_rows_pruned;
+    bpf "        \"tighten_fallbacks\": %d,\n" d_fast.tighten_fallbacks;
+    bpf "        \"overflow_fallbacks\": %d\n" d_fast.overflow_fallbacks;
+    bpf "      },\n";
+    bpf "      \"feasible_speedup\": %.2f\n" speedup;
+    bpf "    },\n";
+    bpf "    \"micro\": {\n";
+    bpf "      \"systems\": %d,\n" (List.length systems);
+    bpf "      \"passes\": %d,\n" passes;
+    bpf "      \"feasible_reference_s\": %.6f,\n" feas_reference;
+    bpf "      \"feasible_packed_s\": %.6f,\n" feas_packed;
+    bpf "      \"feasible_memo_s\": %.6f,\n" feas_memo;
+    bpf "      \"implies_reference_s\": %.6f,\n" impl_reference;
+    bpf "      \"implies_fast_s\": %.6f,\n" impl_fast;
+    bpf "      \"project_s\": %.6f\n" proj;
+    bpf "    }\n";
+    bpf "  }\n";
+    bpf "}\n";
+    let oc = open_out path in
+    output_string oc (Buffer.contents b);
+    close_out oc;
+    Printf.printf "wrote %s\n" path
+  end
+
+(* ------------------------------------------------------------------ *)
+(* check-json: validate an emitted benchmark file without external deps *)
+
+let check_json_file path =
+  let ic = open_in_bin path in
+  let len = in_channel_length ic in
+  let s = really_input_string ic len in
+  close_in ic;
+  let pos = ref 0 in
+  let fail : 'b. string -> 'b =
+   fun msg ->
+    Printf.eprintf "check-json: %s at offset %d in %s\n" msg !pos path;
+    exit 1
+  in
+  let peek () = if !pos >= String.length s then '\000' else s.[!pos] in
+  let advance () = incr pos in
+  let rec skip_ws () =
+    match peek () with
+    | ' ' | '\t' | '\n' | '\r' ->
+      advance ();
+      skip_ws ()
+    | _ -> ()
+  in
+  let expect c =
+    skip_ws ();
+    if peek () <> c then fail (Printf.sprintf "expected '%c'" c)
+    else advance ()
+  in
+  let literal word =
+    let n = String.length word in
+    if !pos + n <= String.length s && String.sub s !pos n = word then
+      pos := !pos + n
+    else fail "bad literal"
+  in
+  let parse_string () =
+    skip_ws ();
+    if peek () <> '"' then fail "expected string";
+    advance ();
+    let b = Buffer.create 16 in
+    let rec go () =
+      match peek () with
+      | '\000' -> fail "unterminated string"
+      | '"' -> advance ()
+      | '\\' ->
+        advance ();
+        (match peek () with
+        | '\000' -> fail "bad escape"
+        | c ->
+          Buffer.add_char b c;
+          advance ());
+        go ()
+      | c ->
+        Buffer.add_char b c;
+        advance ();
+        go ()
+    in
+    go ();
+    Buffer.contents b
+  in
+  let is_num_char = function
+    | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+    | _ -> false
+  in
+  let rec parse_value () =
+    skip_ws ();
+    match peek () with
+    | '{' ->
+      advance ();
+      skip_ws ();
+      if peek () = '}' then begin
+        advance ();
+        `Obj []
+      end
+      else begin
+        let rec members acc =
+          let k = parse_string () in
+          expect ':';
+          let v = parse_value () in
+          skip_ws ();
+          match peek () with
+          | ',' ->
+            advance ();
+            members ((k, v) :: acc)
+          | '}' ->
+            advance ();
+            `Obj (List.rev ((k, v) :: acc))
+          | _ -> fail "expected ',' or '}'"
+        in
+        members []
+      end
+    | '[' ->
+      advance ();
+      skip_ws ();
+      if peek () = ']' then begin
+        advance ();
+        `List []
+      end
+      else begin
+        let rec items acc =
+          let v = parse_value () in
+          skip_ws ();
+          match peek () with
+          | ',' ->
+            advance ();
+            items (v :: acc)
+          | ']' ->
+            advance ();
+            `List (List.rev (v :: acc))
+          | _ -> fail "expected ',' or ']'"
+        in
+        items []
+      end
+    | '"' -> `Str (parse_string ())
+    | 't' ->
+      literal "true";
+      `Bool true
+    | 'f' ->
+      literal "false";
+      `Bool false
+    | 'n' ->
+      literal "null";
+      `Null
+    | c when is_num_char c ->
+      let start = !pos in
+      while is_num_char (peek ()) do
+        advance ()
+      done;
+      (match float_of_string_opt (String.sub s start (!pos - start)) with
+      | Some f -> `Num f
+      | None -> fail "bad number")
+    | _ -> fail "unexpected character"
+  in
+  let v = parse_value () in
+  skip_ws ();
+  if !pos <> String.length s then fail "trailing garbage";
+  match v with
+  | `Obj members -> (
+    match List.assoc_opt "solver" members with
+    | Some (`Obj sm) -> (
+      match (List.assoc_opt "end_to_end" sm, List.assoc_opt "micro" sm) with
+      | Some (`Obj _), Some (`Obj _) ->
+        Printf.printf "check-json: %s OK (solver section present)\n" path
+      | _ -> fail "solver.end_to_end / solver.micro missing")
+    | _ -> fail "top-level \"solver\" object missing")
+  | _ -> fail "top-level value is not an object"
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel timings of the analysis kernels *)
 
 let timing_suite () =
@@ -781,12 +1120,12 @@ let timing_suite () =
   let test_matrix =
     Test.make ~name:"matrix.c full pipeline"
       (Staged.stage (fun () ->
-           ignore (Ipa.Analyze.analyze_sources [ Corpus.Small.matrix_c ])))
+           ignore (analyze_sources [ Corpus.Small.matrix_c ])))
   in
   let test_lu =
     Test.make ~name:"NAS LU class A full pipeline"
       (Staged.stage (fun () ->
-           ignore (Ipa.Analyze.analyze_sources (Corpus.Nas_lu.files ()))))
+           ignore (analyze_sources (Corpus.Nas_lu.files ()))))
   in
   let benchmark test =
     let instance = Toolkit.Instance.monotonic_clock in
@@ -815,22 +1154,34 @@ let timing_suite () =
 (* ------------------------------------------------------------------ *)
 
 let () =
-  let args = Array.to_list Sys.argv in
-  let only name = List.mem name args in
-  let all = List.length args <= 1 in
-  if all || only "fig1" then bench_fig1 ();
-  if all || only "fig2" then bench_fig2 ();
-  if all || only "fig8" then bench_fig8 ();
-  if all || only "fig9" then bench_fig9 ();
-  if all || only "fig11" then bench_fig11 ();
-  if all || only "tab2" || only "fig12" then bench_tab2 ();
-  if all || only "tab3" || only "fig14" then bench_tab3 ();
-  if all || only "tab4" then bench_tab4 ();
-  if all || only "case1" then bench_case1 ();
-  if all || only "apps" then bench_apps ();
-  if all || only "ablation" then bench_ablation ();
-  if all || only "pgas" then bench_pgas ();
-  if all || only "misscurve" then bench_misscurve ();
-  if all || only "locality" then bench_locality ();
-  if all || only "engine" then bench_engine ();
-  if all || only "timing" then timing_suite ()
+  let rec parse (json, out, sections) = function
+    | [] -> (json, out, List.rev sections)
+    | "--json" :: rest -> parse (true, out, sections) rest
+    | "--out" :: path :: rest -> parse (json, Some path, sections) rest
+    | s :: rest -> parse (json, out, s :: sections) rest
+  in
+  let json, out, sections =
+    parse (false, None, []) (List.tl (Array.to_list Sys.argv))
+  in
+  match sections with
+  | "check-json" :: files -> List.iter check_json_file files
+  | _ ->
+    let only name = List.mem name sections in
+    let all = sections = [] in
+    if all || only "fig1" then bench_fig1 ();
+    if all || only "fig2" then bench_fig2 ();
+    if all || only "fig8" then bench_fig8 ();
+    if all || only "fig9" then bench_fig9 ();
+    if all || only "fig11" then bench_fig11 ();
+    if all || only "tab2" || only "fig12" then bench_tab2 ();
+    if all || only "tab3" || only "fig14" then bench_tab3 ();
+    if all || only "tab4" then bench_tab4 ();
+    if all || only "case1" then bench_case1 ();
+    if all || only "apps" then bench_apps ();
+    if all || only "ablation" then bench_ablation ();
+    if all || only "pgas" then bench_pgas ();
+    if all || only "misscurve" then bench_misscurve ();
+    if all || only "locality" then bench_locality ();
+    if all || only "engine" then bench_engine ();
+    if all || only "solver" then bench_solver ~json ~out ();
+    if all || only "timing" then timing_suite ()

@@ -38,6 +38,7 @@ module Stats = struct
     s_summary_misses : int;
     s_phases : phase list;
     s_total_wall : float;
+    s_solver : Linear.Solver_stats.t;
   }
 
   let pp ppf t =
@@ -52,7 +53,8 @@ module Stats = struct
         Format.fprintf ppf "  %-10s %8.3fs %10.1f kB@\n" p.ph_name p.ph_wall
           (p.ph_alloc /. 1024.))
       t.s_phases;
-    Format.fprintf ppf "  %-10s %8.3fs@\n" "total" t.s_total_wall
+    Format.fprintf ppf "  %-10s %8.3fs@\n" "total" t.s_total_wall;
+    Linear.Solver_stats.pp ppf t.s_solver
 end
 
 type result = { e_result : Ipa.Analyze.result; e_stats : Stats.t }
@@ -62,6 +64,7 @@ let count_true a =
 
 let run (cfg : config) (m : Ir.module_) : result =
   let jobs = Engine_pool.resolve_jobs cfg.jobs in
+  let solver0 = Linear.Solver_stats.snapshot () in
   let t_start = Unix.gettimeofday () in
   let phases = ref [] in
   let timed name f =
@@ -321,6 +324,8 @@ let run (cfg : config) (m : Ir.module_) : result =
       s_summary_misses = n - summary_hits;
       s_phases = List.rev !phases;
       s_total_wall = Unix.gettimeofday () -. t_start;
+      s_solver =
+        Linear.Solver_stats.diff (Linear.Solver_stats.snapshot ()) solver0;
     }
   in
   { e_result = res; e_stats = stats }

@@ -39,6 +39,9 @@ module Stats : sig
     s_summary_misses : int;
     s_phases : phase list;  (** in execution order *)
     s_total_wall : float;
+    s_solver : Linear.Solver_stats.t;
+        (** solver-layer counter deltas attributed to this run (queries,
+            memo hits, eliminations — see {!Linear.Solver_stats}) *)
   }
 
   val pp : Format.formatter -> t -> unit

@@ -47,11 +47,16 @@ let body_effects m summaries pu (wn : Wn.t) =
   in
   direct @ from_calls
 
-let feasible_with base_constraints r1 r2' =
+(* [base] is the loop-bounds system, built once per dependence question and
+   reused across every access pair (it used to be re-normalized from the raw
+   constraint list inside each pair).  Grouping does not change the meet's
+   normalized form, so answers are unaffected. *)
+let feasible_with base extras r1 r2' =
   let sys =
     System.meet (r1 : Region.t).Region.sys (r2' : Region.t).Region.sys
   in
-  let sys = System.meet sys (System.of_list base_constraints) in
+  let sys = System.meet sys base in
+  let sys = List.fold_left (fun s c -> System.add c s) sys extras in
   System.feasible sys
 
 let loop_dependences m summaries pu (loop : Wn.t) =
@@ -60,7 +65,8 @@ let loop_dependences m summaries pu (loop : Wn.t) =
   let v = ivar_sym m pu loop in
   let v' = Var.fresh ~name:(Var.name v ^ "'") Var.Sym in
   let bounds =
-    bound_constraints m pu loop v @ bound_constraints m pu loop v'
+    System.of_list
+      (bound_constraints m pu loop v @ bound_constraints m pu loop v')
   in
   let effects = body_effects m summaries pu (Wn.kid loop 4) in
   let deps = ref [] in
@@ -74,16 +80,17 @@ let loop_dependences m summaries pu (loop : Wn.t) =
             | Some k ->
               let r2' = Region.subst_sym [ (v, Expr.var v') ] r2 in
               let carried =
-                feasible_with
-                  (Constr.le
-                     (Expr.add_const Numeric.Rat.one (Expr.var v))
-                     (Expr.var v')
-                  :: bounds)
+                feasible_with bounds
+                  [
+                    Constr.le
+                      (Expr.add_const Numeric.Rat.one (Expr.var v))
+                      (Expr.var v');
+                  ]
                   r1 r2'
               in
               let same_iter =
-                feasible_with
-                  (Constr.eq (Expr.var v) (Expr.var v') :: bounds)
+                feasible_with bounds
+                  [ Constr.eq (Expr.var v) (Expr.var v') ]
                   r1 r2'
               in
               if carried || same_iter then
@@ -115,7 +122,8 @@ let fusion_preventing m summaries pu ~first ~second =
     |> List.map (fun (st, md, r) -> (st, md, Region.subst_sym [ (v2, Expr.var v') ] r))
   in
   let bounds =
-    bound_constraints m pu first v @ bound_constraints m pu second v'
+    System.of_list
+      (bound_constraints m pu first v @ bound_constraints m pu second v')
   in
   (* fusion is illegal if the second loop's iteration i' would, after
      fusion, run before a first-loop iteration i > i' that it depends on *)
@@ -128,7 +136,7 @@ let fusion_preventing m summaries pu ~first ~second =
       List.iter
         (fun (st2, m2, r2') ->
           if st1 = st2 && kind_of m1 m2 <> None then
-            if feasible_with (backward :: bounds) r1 r2' then begin
+            if feasible_with bounds [ backward ] r1 r2' then begin
               let name = Ir.st_name m pu st1 in
               if not (List.mem name !offenders) then
                 offenders := name :: !offenders
@@ -145,10 +153,11 @@ let interchange_preventing m summaries pu ~outer ~inner =
   let vj' = Var.fresh ~name:(Var.name vj ^ "'") Var.Sym in
   let effects = body_effects m summaries pu (Wn.kid inner 4) in
   let bounds =
-    bound_constraints m pu outer vi
-    @ bound_constraints m pu outer vi'
-    @ bound_constraints m pu inner vj
-    @ bound_constraints m pu inner vj'
+    System.of_list
+      (bound_constraints m pu outer vi
+      @ bound_constraints m pu outer vi'
+      @ bound_constraints m pu inner vj
+      @ bound_constraints m pu inner vj')
   in
   (* a (<, >) direction vector *)
   let direction =
@@ -166,7 +175,7 @@ let interchange_preventing m summaries pu ~outer ~inner =
             let r2' =
               Region.subst_sym [ (vi, Expr.var vi'); (vj, Expr.var vj') ] r2
             in
-            if feasible_with (direction @ bounds) r1 r2' then begin
+            if feasible_with bounds direction r1 r2' then begin
               let name = Ir.st_name m pu st1 in
               if not (List.mem name !offenders) then
                 offenders := name :: !offenders

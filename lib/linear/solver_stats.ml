@@ -1,0 +1,111 @@
+(* Process-wide counters for the solver layer under {!System}.
+
+   Every counter is an [Atomic.t] so the engine's domain pool can bump them
+   without locks; totals are exact under parallelism (wall-clock sums are
+   per-query deltas, so concurrent queries may sum to more than elapsed
+   time — they measure solver work, not latency). *)
+
+type t = {
+  queries : int;  (* System.feasible entry points answered *)
+  cache_hits : int;
+  cache_misses : int;
+  box_refutations : int;  (* disjoint/feasible decided by interval boxes *)
+  syntactic_hits : int;  (* implies decided without any elimination *)
+  fm_runs : int;  (* packed Fourier-Motzkin eliminations performed *)
+  fm_rows_built : int;  (* rows produced by FM combination *)
+  fm_rows_pruned : int;  (* rows dropped by Imbert counting / dominance *)
+  tighten_fallbacks : int;  (* GCD tightening refuted; exact re-run needed *)
+  overflow_fallbacks : int;  (* packed arithmetic overflowed; used reference *)
+  reference_runs : int;  (* queries answered by the reference path *)
+  wall_fast_ns : int;  (* time inside fast-path feasible queries *)
+  wall_reference_ns : int;  (* time inside reference-path feasible queries *)
+}
+
+let c_queries = Atomic.make 0
+let c_cache_hits = Atomic.make 0
+let c_cache_misses = Atomic.make 0
+let c_box_refutations = Atomic.make 0
+let c_syntactic_hits = Atomic.make 0
+let c_fm_runs = Atomic.make 0
+let c_fm_rows_built = Atomic.make 0
+let c_fm_rows_pruned = Atomic.make 0
+let c_tighten_fallbacks = Atomic.make 0
+let c_overflow_fallbacks = Atomic.make 0
+let c_reference_runs = Atomic.make 0
+let c_wall_fast_ns = Atomic.make 0
+let c_wall_reference_ns = Atomic.make 0
+
+let all =
+  [
+    c_queries; c_cache_hits; c_cache_misses; c_box_refutations;
+    c_syntactic_hits; c_fm_runs; c_fm_rows_built; c_fm_rows_pruned;
+    c_tighten_fallbacks; c_overflow_fallbacks; c_reference_runs;
+    c_wall_fast_ns; c_wall_reference_ns;
+  ]
+
+let bump c = Atomic.incr c
+let add c n = ignore (Atomic.fetch_and_add c n)
+
+let query () = bump c_queries
+let cache_hit () = bump c_cache_hits
+let cache_miss () = bump c_cache_misses
+let box_refutation () = bump c_box_refutations
+let syntactic_hit () = bump c_syntactic_hits
+let fm_run () = bump c_fm_runs
+let fm_rows_built n = add c_fm_rows_built n
+let fm_rows_pruned n = add c_fm_rows_pruned n
+let tighten_fallback () = bump c_tighten_fallbacks
+let overflow_fallback () = bump c_overflow_fallbacks
+let reference_run () = bump c_reference_runs
+let add_fast_ns n = add c_wall_fast_ns n
+let add_reference_ns n = add c_wall_reference_ns n
+
+let snapshot () =
+  {
+    queries = Atomic.get c_queries;
+    cache_hits = Atomic.get c_cache_hits;
+    cache_misses = Atomic.get c_cache_misses;
+    box_refutations = Atomic.get c_box_refutations;
+    syntactic_hits = Atomic.get c_syntactic_hits;
+    fm_runs = Atomic.get c_fm_runs;
+    fm_rows_built = Atomic.get c_fm_rows_built;
+    fm_rows_pruned = Atomic.get c_fm_rows_pruned;
+    tighten_fallbacks = Atomic.get c_tighten_fallbacks;
+    overflow_fallbacks = Atomic.get c_overflow_fallbacks;
+    reference_runs = Atomic.get c_reference_runs;
+    wall_fast_ns = Atomic.get c_wall_fast_ns;
+    wall_reference_ns = Atomic.get c_wall_reference_ns;
+  }
+
+let diff a b =
+  {
+    queries = a.queries - b.queries;
+    cache_hits = a.cache_hits - b.cache_hits;
+    cache_misses = a.cache_misses - b.cache_misses;
+    box_refutations = a.box_refutations - b.box_refutations;
+    syntactic_hits = a.syntactic_hits - b.syntactic_hits;
+    fm_runs = a.fm_runs - b.fm_runs;
+    fm_rows_built = a.fm_rows_built - b.fm_rows_built;
+    fm_rows_pruned = a.fm_rows_pruned - b.fm_rows_pruned;
+    tighten_fallbacks = a.tighten_fallbacks - b.tighten_fallbacks;
+    overflow_fallbacks = a.overflow_fallbacks - b.overflow_fallbacks;
+    reference_runs = a.reference_runs - b.reference_runs;
+    wall_fast_ns = a.wall_fast_ns - b.wall_fast_ns;
+    wall_reference_ns = a.wall_reference_ns - b.wall_reference_ns;
+  }
+
+let reset () = List.iter (fun c -> Atomic.set c 0) all
+
+let pp ppf t =
+  Format.fprintf ppf
+    "solver: %d queries (%d cache hit / %d miss), %d box-refuted, %d \
+     syntactic@\n"
+    t.queries t.cache_hits t.cache_misses t.box_refutations t.syntactic_hits;
+  Format.fprintf ppf
+    "  FM: %d runs, %d rows built, %d pruned; fallbacks: %d tighten, %d \
+     overflow, %d reference@\n"
+    t.fm_runs t.fm_rows_built t.fm_rows_pruned t.tighten_fallbacks
+    t.overflow_fallbacks t.reference_runs;
+  Format.fprintf ppf "  feasible wall: fast %.3f ms, reference %.3f ms@\n"
+    (float_of_int t.wall_fast_ns /. 1e6)
+    (float_of_int t.wall_reference_ns /. 1e6)

@@ -1,0 +1,50 @@
+(** Process-wide counters for the fast solver layer in {!System}.
+
+    All counters are atomic so engine worker domains can update them without
+    locks.  [snapshot]/[diff] let callers (the engine, the bench harness)
+    attribute counter deltas to a particular run. *)
+
+type t = {
+  queries : int;  (** [System.feasible] entry points answered *)
+  cache_hits : int;
+  cache_misses : int;
+  box_refutations : int;
+      (** queries decided by the per-variable interval bounding box *)
+  syntactic_hits : int;  (** [implies] decided without any elimination *)
+  fm_runs : int;  (** packed Fourier-Motzkin eliminations performed *)
+  fm_rows_built : int;  (** rows produced by FM pair combination *)
+  fm_rows_pruned : int;  (** rows dropped by Imbert counting / dominance *)
+  tighten_fallbacks : int;
+      (** GCD tightening refuted a system; exact re-run was needed *)
+  overflow_fallbacks : int;
+      (** packed arithmetic overflowed; query used the reference path *)
+  reference_runs : int;  (** queries answered by the reference path *)
+  wall_fast_ns : int;  (** nanoseconds inside fast-path feasible queries *)
+  wall_reference_ns : int;
+      (** nanoseconds inside reference-path feasible queries *)
+}
+
+val query : unit -> unit
+val cache_hit : unit -> unit
+val cache_miss : unit -> unit
+val box_refutation : unit -> unit
+val syntactic_hit : unit -> unit
+val fm_run : unit -> unit
+val fm_rows_built : int -> unit
+val fm_rows_pruned : int -> unit
+val tighten_fallback : unit -> unit
+val overflow_fallback : unit -> unit
+val reference_run : unit -> unit
+val add_fast_ns : int -> unit
+val add_reference_ns : int -> unit
+
+val snapshot : unit -> t
+(** Current counter values. *)
+
+val diff : t -> t -> t
+(** [diff later earlier] is the per-field difference. *)
+
+val reset : unit -> unit
+(** Zero every counter (bench harness only; the engine uses [diff]). *)
+
+val pp : Format.formatter -> t -> unit

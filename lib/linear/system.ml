@@ -31,7 +31,12 @@ let map_vars f t = normalize (List.map (Constr.map_vars f) t)
 
 (* Fourier-Motzkin step.  An equality mentioning [v] gives an exact
    substitution; otherwise lower bounds (coeff < 0) pair with upper bounds
-   (coeff > 0). *)
+   (coeff > 0).
+
+   This eliminator also backs [project_onto]/[bounds]/[sample], whose
+   results are rendered into .rgn files — it stays the single source of
+   truth for anything output-sensitive.  Only answer-only queries below go
+   through the packed fast path. *)
 let eliminate v t =
   let mentions, free = List.partition (Constr.mem v) t in
   match
@@ -73,7 +78,10 @@ let project_onto keep t =
   let doomed = Var.Set.diff (vars t) keep in
   eliminate_all (Var.Set.elements doomed) t
 
-let feasible t =
+(* The exact rational eliminator, kept verbatim as the reference answer for
+   every fast path below (and exposed as [Reference.feasible] for
+   differential tests and before/after benchmarking). *)
+let ref_feasible t =
   let t = eliminate_all (Var.Set.elements (vars t)) t in
   not (List.exists (fun c -> Constr.is_trivial c = Some false) t)
 
@@ -116,12 +124,171 @@ let negations c =
     [ Constr.make (Expr.add_const Rat.one (Expr.neg e)) Constr.Le;
       Constr.make (Expr.add_const Rat.one e) Constr.Le ]
 
+let ref_implies t c =
+  List.for_all (fun n -> not (ref_feasible (add n t))) (negations c)
+
+let ref_includes a b = List.for_all (fun c -> ref_implies b c) a
+let ref_disjoint a b = not (ref_feasible (meet a b))
+let ref_equal_semantic a b = ref_includes a b && ref_includes b a
+
+(* ---------- fast query layer ---------- *)
+
+let use_reference = Atomic.make false
+let set_reference_mode b = Atomic.set use_reference b
+let reference_mode () = Atomic.get use_reference
+let use_cache = Atomic.make true
+let set_cache_enabled b = Atomic.set use_cache b
+
+(* Memo table for [feasible], one per domain (no locks, deterministic). *)
+let cache_key : (string, bool) Hashtbl.t Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> Hashtbl.create 512)
+
+let clear_cache () = Hashtbl.reset (Domain.DLS.get cache_key)
+
+(* Canonical key: [t] is already sorted and deduplicated, so serializing
+   (op, var ids, coefficients, constant) in order is injective. *)
+let key_of t =
+  let b = Buffer.create 128 in
+  let add_rat r =
+    Buffer.add_string b (string_of_int (Rat.num r));
+    if Rat.den r <> 1 then begin
+      Buffer.add_char b '/';
+      Buffer.add_string b (string_of_int (Rat.den r))
+    end
+  in
+  List.iter
+    (fun c ->
+      Buffer.add_char b (match Constr.op c with Constr.Le -> 'L' | Constr.Eq -> 'E');
+      let e = Constr.expr c in
+      Expr.fold
+        (fun v r () ->
+          Buffer.add_string b (string_of_int (Var.id v));
+          Buffer.add_char b ':';
+          add_rat r;
+          Buffer.add_char b ',')
+        e ();
+      Buffer.add_char b '=';
+      add_rat (Expr.constant e);
+      Buffer.add_char b ';')
+    t;
+  Buffer.contents b
+
+let now_ns () = int_of_float (Unix.gettimeofday () *. 1e9)
+
+(* Packed feasibility: GCD-tightened first; a refutation that involved
+   strict tightening is re-checked exactly so the answer always equals
+   [ref_feasible].  Overflow and unpackable coefficients fall back to the
+   reference eliminator. *)
+let compute_feasible t =
+  try
+    let rows = Packed.pack t in
+    match Packed.box_of rows with
+    | None ->
+      Solver_stats.box_refutation ();
+      false
+    | Some _ -> (
+      match Packed.feasible ~tighten:true rows with
+      | Packed.Feasible -> true
+      | Packed.Infeasible -> false
+      | Packed.Infeasible_tightened -> (
+        Solver_stats.tighten_fallback ();
+        match Packed.feasible ~tighten:false rows with
+        | Packed.Feasible -> true
+        | Packed.Infeasible | Packed.Infeasible_tightened -> false))
+  with Packed.Not_packable | Rat.Overflow ->
+    Solver_stats.overflow_fallback ();
+    Solver_stats.reference_run ();
+    ref_feasible t
+
+let feasible t =
+  Solver_stats.query ();
+  if Atomic.get use_reference then begin
+    Solver_stats.reference_run ();
+    let t0 = now_ns () in
+    let r = ref_feasible t in
+    Solver_stats.add_reference_ns (now_ns () - t0);
+    r
+  end
+  else begin
+    let t0 = now_ns () in
+    let r =
+      if Atomic.get use_cache then begin
+        let tbl = Domain.DLS.get cache_key in
+        let key = key_of t in
+        match Hashtbl.find_opt tbl key with
+        | Some r ->
+          Solver_stats.cache_hit ();
+          r
+        | None ->
+          Solver_stats.cache_miss ();
+          let r = compute_feasible t in
+          Hashtbl.replace tbl key r;
+          r
+      end
+      else compute_feasible t
+    in
+    Solver_stats.add_fast_ns (now_ns () - t0);
+    r
+  end
+
+(* The compound queries below route every internal feasibility test through
+   [feasible] — in reference mode included — so the per-mode wall-clock
+   counters cover the same set of underlying queries in both modes. *)
+
 let implies t c =
-  List.for_all (fun n -> not (feasible (add n t))) (negations c)
+  if Atomic.get use_reference then
+    List.for_all (fun n -> not (feasible (add n t))) (negations c)
+  else if List.exists (Constr.equal c) t then begin
+    (* quasi-syntactic entailment: [c] is literally one of the constraints *)
+    Solver_stats.syntactic_hit ();
+    true
+  end
+  else begin
+    let fast =
+      try
+        let rows = Packed.pack t in
+        match Packed.box_of rows with
+        | None ->
+          (* [t] itself is infeasible, so it entails anything *)
+          Solver_stats.box_refutation ();
+          Some true
+        | Some box ->
+          if Packed.box_implies box [| Packed.pack_constr c |] then begin
+            Solver_stats.syntactic_hit ();
+            Some true
+          end
+          else None
+      with Packed.Not_packable | Rat.Overflow -> None
+    in
+    match fast with
+    | Some r -> r
+    | None -> List.for_all (fun n -> not (feasible (add n t))) (negations c)
+  end
 
-let includes a b = List.for_all (fun c -> implies b c) a
+let includes a b =
+  if Atomic.get use_reference then List.for_all (fun c -> implies b c) a
+  else a == b || List.for_all (fun c -> implies b c) a
 
-let disjoint a b = not (feasible (meet a b))
+let disjoint a b =
+  if Atomic.get use_reference then not (feasible (meet a b))
+  else begin
+    let fast =
+      try
+        let ra = Packed.pack a and rb = Packed.pack b in
+        match (Packed.box_of ra, Packed.box_of rb) with
+        | None, _ | _, None ->
+          Solver_stats.box_refutation ();
+          Some true
+        | Some ba, Some bb ->
+          if Packed.boxes_disjoint ba bb then begin
+            Solver_stats.box_refutation ();
+            Some true
+          end
+          else None
+      with Packed.Not_packable | Rat.Overflow -> None
+    in
+    match fast with Some r -> r | None -> not (feasible (meet a b))
+  end
 
 let equal_semantic a b = includes a b && includes b a
 
@@ -169,6 +336,16 @@ let sample t =
   match solve t (Var.Set.elements (vars t)) with
   | None -> None
   | Some m -> Some (fun v -> Var.Map.find v m)
+
+module Reference = struct
+  let feasible = ref_feasible
+  let implies = ref_implies
+  let includes = ref_includes
+  let disjoint = ref_disjoint
+  let equal_semantic = ref_equal_semantic
+  let bounds = bounds
+  let sample = sample
+end
 
 let pp ppf t =
   if t = [] then Format.pp_print_string ppf "{true}"

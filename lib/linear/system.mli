@@ -41,7 +41,13 @@ val project_onto : Var.Set.t -> t -> t
 val feasible : t -> bool
 (** Rational feasibility.  [false] guarantees the system has no integer
     points either, which is the direction the dependence/disjointness tests
-    need for soundness. *)
+    need for soundness.
+
+    Answered by the packed integer solver ({!Packed}) with GCD tightening,
+    Imbert redundancy pruning, and a per-domain memo cache; refutations that
+    depended on strict tightening are re-checked exactly, and overflow falls
+    back to the reference eliminator, so the answer always equals
+    {!Reference.feasible}. *)
 
 val subst : Var.t -> Expr.t -> t -> t
 
@@ -75,5 +81,37 @@ val simplify : t -> t
 val sample : t -> (Var.t -> Rat.t) option
 (** A rational point satisfying the system, if feasible: found by
     back-substitution through the elimination order. *)
+
+(** {2 Solver knobs}
+
+    The fast query layer can be disabled wholesale ([set_reference_mode
+    true] routes {!feasible}/{!implies}/{!includes}/{!disjoint} through the
+    reference eliminator) or partially ([set_cache_enabled false] keeps the
+    packed solver but skips memoization).  Both knobs exist for differential
+    testing and benchmarking; answers are identical in every configuration. *)
+
+val set_reference_mode : bool -> unit
+val reference_mode : unit -> bool
+
+val set_cache_enabled : bool -> unit
+(** The memo cache for {!feasible} is per-domain (domain-local storage), so
+    parallel engine workers never contend on it. *)
+
+val clear_cache : unit -> unit
+(** Drop the calling domain's memo table (benchmarks; never required for
+    correctness since cached answers are immutable facts). *)
+
+(** The pristine pre-optimization query paths, used as ground truth by the
+    solver equivalence tests and the before/after benchmarks.  [bounds] and
+    [sample] are aliases: those are output-sensitive and were not changed. *)
+module Reference : sig
+  val feasible : t -> bool
+  val implies : t -> Constr.t -> bool
+  val includes : t -> t -> bool
+  val disjoint : t -> t -> bool
+  val equal_semantic : t -> t -> bool
+  val bounds : Var.t -> t -> Rat.t option * Rat.t option
+  val sample : t -> (Var.t -> Rat.t) option
+end
 
 val pp : Format.formatter -> t -> unit

@@ -78,11 +78,45 @@ let div a b = mul a (inv b)
 
 let sign t = compare t.num 0
 
+(* Exact comparison of p/q and r/s (all positive) by continued-fraction
+   descent: the integer parts decide, otherwise the fractional parts
+   m1/q and m2/s compare as s/m2 vs q/m1 (both flips reverse the order
+   twice).  Terminates like the Euclidean algorithm; never multiplies, so
+   it cannot overflow for any operand magnitude. *)
+let rec cmp_pos_64 p q r s =
+  let d1 = Int64.div p q and d2 = Int64.div r s in
+  if d1 <> d2 then Int64.compare d1 d2
+  else
+    let m1 = Int64.rem p q and m2 = Int64.rem r s in
+    if m1 = 0L && m2 = 0L then 0
+    else if m1 = 0L then -1
+    else if m2 = 0L then 1
+    else cmp_pos_64 s m2 q m1
+
+let fits31 n = -0x4000_0000 <= n && n <= 0x4000_0000
+
 let compare a b =
-  (* Avoid overflow in the general case by comparing via subtraction only
-     when needed; the common cases share a denominator. *)
+  (* Never via [sign (sub a b)]: the cross products there overflow for large
+     denominators.  Same-denominator and opposite-sign cases are free; then
+     widened (Int64) cross-multiplication when both products provably fit,
+     and a multiplication-free Euclidean descent for the rest. *)
   if a.den = b.den then Stdlib.compare a.num b.num
-  else sign (sub a b)
+  else
+    let sa = Stdlib.compare a.num 0 and sb = Stdlib.compare b.num 0 in
+    if sa <> sb then Stdlib.compare sa sb
+    else if sa = 0 then 0
+    else if fits31 a.num && fits31 b.num && fits31 a.den && fits31 b.den then
+      Int64.compare
+        (Int64.mul (Int64.of_int a.num) (Int64.of_int b.den))
+        (Int64.mul (Int64.of_int b.num) (Int64.of_int a.den))
+    else
+      let abs64 n = Int64.abs (Int64.of_int n) in
+      if sa > 0 then
+        cmp_pos_64 (abs64 a.num) (Int64.of_int a.den) (abs64 b.num)
+          (Int64.of_int b.den)
+      else
+        cmp_pos_64 (abs64 b.num) (Int64.of_int b.den) (abs64 a.num)
+          (Int64.of_int a.den)
 
 let equal a b = a.num = b.num && a.den = b.den
 

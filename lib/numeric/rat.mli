@@ -46,6 +46,11 @@ val min : t -> t -> t
 val max : t -> t -> t
 
 val compare : t -> t -> int
+(** Total order.  Exact for every representable rational: compares via
+    widened (Int64) cross-multiplication when the products provably fit,
+    falling back to a multiplication-free Euclidean descent near [max_int]
+    — unlike subtraction-based comparison, it never raises {!Overflow}. *)
+
 val equal : t -> t -> bool
 val sign : t -> int
 

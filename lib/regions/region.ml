@@ -27,15 +27,10 @@ type loop_ctx = {
 (* ------------------------------------------------------------------ *)
 (* Triplet projection *)
 
-(* Symbolic bound extraction for subscript variable [v]: project the system
-   onto [v] plus the symbolic variables, then read off a constraint that
-   bounds [v] from the requested side. *)
-let symbolic_bound side v sys =
-  let keep =
-    Var.Set.add v
-      (Var.Set.filter Var.is_sym (System.vars sys))
-  in
-  let projected = System.project_onto keep sys in
+(* Symbolic bound extraction for subscript variable [v]: given the system
+   projected onto [v] plus the symbolic variables, read off a constraint
+   that bounds [v] from the requested side. *)
+let symbolic_bound side v projected =
   let candidates =
     List.filter_map
       (fun c ->
@@ -54,7 +49,7 @@ let symbolic_bound side v sys =
   in
   match candidates with [] -> None | b :: _ -> Some b
 
-let bound_of_side side v sys (clo, chi) =
+let bound_of_side side v projected (clo, chi) =
   let const =
     match side with
     | `Lower -> Option.map (fun r -> Bconst (Rat.ceil r)) clo
@@ -63,7 +58,7 @@ let bound_of_side side v sys (clo, chi) =
   match const with
   | Some b -> b
   | None -> (
-    match symbolic_bound side v sys with
+    match symbolic_bound side v (Lazy.force projected) with
     | Some e -> Bsym e
     | None -> Bunknown)
 
@@ -71,8 +66,18 @@ let triplets_of_sys ~ndims ~strides sys =
   List.init ndims (fun k ->
       let v = Var.subscript k in
       let cb = System.bounds v sys in
-      let lb = bound_of_side `Lower v sys cb in
-      let ub = bound_of_side `Upper v sys cb in
+      (* one shared projection per dimension, forced only when a side has no
+         constant bound and must render symbolically (previously each side
+         re-projected the full system) *)
+      let projected =
+        lazy
+          (let keep =
+             Var.Set.add v (Var.Set.filter Var.is_sym (System.vars sys))
+           in
+           System.project_onto keep sys)
+      in
+      let lb = bound_of_side `Lower v projected cb in
+      let ub = bound_of_side `Upper v projected cb in
       let stride = List.nth strides k in
       { lb; ub; stride })
 
@@ -256,7 +261,7 @@ let union_approx a b =
   else r
 
 let includes a b =
-  a.ndims = b.ndims && System.includes a.sys b.sys
+  a.ndims = b.ndims && (a.sys == b.sys || System.includes a.sys b.sys)
 
 (* Stride-lattice separation: when both regions are exact, every access of a
    dimension lies on the lattice { lb + stride * k }; two lattices with
@@ -271,10 +276,12 @@ let lattice_disjoint_dim d1 d2 =
   | _ -> false
 
 let disjoint a b =
+  (* lattice test first: it is a few gcds, while System.disjoint may run a
+     full elimination.  Same verdict either way — [||] is commutative. *)
   a.ndims = b.ndims
-  && (System.disjoint a.sys b.sys
-     || (a.exact && b.exact
-        && List.exists2 lattice_disjoint_dim a.dims b.dims))
+  && ((a.exact && b.exact
+      && List.exists2 lattice_disjoint_dim a.dims b.dims)
+     || System.disjoint a.sys b.sys)
 
 let intersects a b = a.ndims = b.ndims && not (disjoint a b)
 

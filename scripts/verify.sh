@@ -24,4 +24,9 @@ dune exec bin/uhc.exe -- --corpus lu -o "$out" --jobs 4 --stats
 test -s "$out/project.rgn"
 test -s "$out/project.dgn"
 
+echo "== smoke: bench solver --json =="
+dune exec bench/main.exe -- solver --json --out "$out/BENCH_solver.json"
+test -s "$out/BENCH_solver.json"
+dune exec bench/main.exe -- check-json "$out/BENCH_solver.json"
+
 echo "verify: OK"

@@ -28,4 +28,5 @@ let () =
       ("summary", Test_summary.suite);
       ("cli", Test_cli.suite);
       ("engine", Test_engine.suite);
+      ("solver", Test_solver.suite);
     ]

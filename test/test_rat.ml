@@ -55,6 +55,29 @@ let test_overflow () =
   Alcotest.check_raises "mul overflow" Rat.Overflow (fun () ->
       ignore (Rat.mul (Rat.of_int max_int) (Rat.of_int 2)))
 
+(* [compare] must stay total near [max_int]: the naive cross-multiplication
+   n1*d2 vs n2*d1 overflows native ints for every pair below. *)
+let test_compare_huge () =
+  let m = max_int in
+  Alcotest.(check int) "(m-1)/m > (m-2)/(m-1)" 1
+    (Rat.compare (Rat.make (m - 1) m) (Rat.make (m - 2) (m - 1)));
+  Alcotest.(check int) "(m-2)/(m-1) < (m-1)/m" (-1)
+    (Rat.compare (Rat.make (m - 2) (m - 1)) (Rat.make (m - 1) m));
+  Alcotest.(check int) "1/m < 1/(m-1)" (-1)
+    (Rat.compare (Rat.make 1 m) (Rat.make 1 (m - 1)));
+  Alcotest.(check int) "m/1 > (m-1)/1" 1
+    (Rat.compare (Rat.of_int m) (Rat.of_int (m - 1)));
+  Alcotest.(check int) "-(m-1)/m < -(m-2)/(m-1)" (-1)
+    (Rat.compare (Rat.make (-(m - 1)) m) (Rat.make (-(m - 2)) (m - 1)));
+  Alcotest.(check int) "-x < y" (-1)
+    (Rat.compare (Rat.make (-(m - 1)) m) (Rat.make (m - 2) (m - 1)));
+  Alcotest.(check int) "equal huge" 0
+    (Rat.compare (Rat.make (m - 1) m) (Rat.make (m - 1) m));
+  Alcotest.(check int) "huge vs half" 1
+    (Rat.compare (Rat.make (m - 1) m) (Rat.make 1 2));
+  Alcotest.(check int) "m/(m-1) > (m-1)/m" 1
+    (Rat.compare (Rat.make m (m - 1)) (Rat.make (m - 1) m))
+
 let test_pp () =
   Alcotest.(check string) "int render" "5" (Rat.to_string (Rat.of_int 5));
   Alcotest.(check string) "frac render" "-3/2" (Rat.to_string (Rat.make 3 (-2)))
@@ -111,6 +134,12 @@ let prop_compare_total =
     ~print:QCheck2.Print.(pair print_rat print_rat)
     (fun (a, b) -> Rat.compare a b = -Rat.compare b a)
 
+let prop_compare_sub =
+  QCheck2.Test.make ~name:"compare agrees with sign of difference" ~count:500
+    QCheck2.Gen.(pair gen_rat gen_rat)
+    ~print:QCheck2.Print.(pair print_rat print_rat)
+    (fun (a, b) -> Rat.compare a b = Rat.sign (Rat.sub a b))
+
 let suite =
   [
     Alcotest.test_case "make normalizes" `Quick test_make_normalizes;
@@ -120,6 +149,7 @@ let suite =
     Alcotest.test_case "to_int" `Quick test_to_int;
     Alcotest.test_case "gcd/lcm" `Quick test_gcd_lcm;
     Alcotest.test_case "overflow" `Quick test_overflow;
+    Alcotest.test_case "compare near max_int" `Quick test_compare_huge;
     Alcotest.test_case "pretty-printing" `Quick test_pp;
     QCheck_alcotest.to_alcotest prop_add_comm;
     QCheck_alcotest.to_alcotest prop_add_assoc;
@@ -127,4 +157,5 @@ let suite =
     QCheck_alcotest.to_alcotest prop_inv;
     QCheck_alcotest.to_alcotest prop_floor_ceil;
     QCheck_alcotest.to_alcotest prop_compare_total;
+    QCheck_alcotest.to_alcotest prop_compare_sub;
   ]

@@ -1,0 +1,188 @@
+(* The fast solver's contract: the packed/pruned/memoized query layer must
+   be answer-identical to the pristine reference implementation kept in
+   [Linear.System.Reference] — on random small systems (including ones with
+   fractional coefficients, which exercise the reference fallback) and on
+   every corpus end-to-end, where the emitted .rgn/.dgn/.cfg bytes must not
+   move at all. *)
+
+open Numeric
+open Linear
+
+let r = Rat.of_int
+let x = Var.fresh ~name:"sx" Var.Ivar
+let y = Var.fresh ~name:"sy" Var.Ivar
+let z = Var.fresh ~name:"sz" Var.Ivar
+let e_of_int = Expr.of_int
+
+(* ---------- generators ---------- *)
+
+let gen_coeff = QCheck2.Gen.int_range (-3) 3
+
+(* constraints over x, y, z; a slice of them equalities, and a slice with a
+   denominator-2 coefficient so packing fails and the reference fallback
+   kicks in *)
+let gen_constr =
+  QCheck2.Gen.(
+    let* a = gen_coeff and* b = gen_coeff and* c = gen_coeff in
+    let* k = int_range (-8) 8 in
+    let* halve = frequencyl [ (4, false); (1, true) ] in
+    let* eq = frequencyl [ (5, false); (1, true) ] in
+    let ca = if halve then Rat.make a 2 else r a in
+    let e =
+      Expr.add (Expr.monom ca x)
+        (Expr.add (Expr.monom (r b) y)
+           (Expr.add (Expr.monom (r c) z) (e_of_int k)))
+    in
+    return (Constr.make e (if eq then Constr.Eq else Constr.Le)))
+
+let box =
+  [
+    Constr.ge (Expr.var x) (e_of_int (-6));
+    Constr.le (Expr.var x) (e_of_int 6);
+    Constr.ge (Expr.var y) (e_of_int (-6));
+    Constr.le (Expr.var y) (e_of_int 6);
+    Constr.ge (Expr.var z) (e_of_int (-6));
+    Constr.le (Expr.var z) (e_of_int 6);
+  ]
+
+let gen_system =
+  QCheck2.Gen.(
+    map
+      (fun cs -> System.meet (System.of_list cs) (System.of_list box))
+      (list_size (int_range 0 5) gen_constr))
+
+let print_system s = Format.asprintf "%a" System.pp s
+let print_constr c = Format.asprintf "%a" Constr.pp c
+
+(* run [f] once with the memo cache off and once with it on (cleared), and
+   require both to agree with the reference answer *)
+let both_cache_modes check =
+  System.set_cache_enabled false;
+  let off = check () in
+  System.set_cache_enabled true;
+  System.clear_cache ();
+  let on = check () in
+  off && on
+
+let prop_feasible_agrees =
+  QCheck2.Test.make ~name:"fast feasible = reference feasible" ~count:300
+    gen_system ~print:print_system (fun s ->
+      let expected = System.Reference.feasible s in
+      both_cache_modes (fun () -> System.feasible s = expected))
+
+let prop_implies_agrees =
+  QCheck2.Test.make ~name:"fast implies = reference implies" ~count:300
+    QCheck2.Gen.(pair gen_system gen_constr)
+    ~print:QCheck2.Print.(pair print_system print_constr)
+    (fun (s, c) ->
+      let expected = System.Reference.implies s c in
+      both_cache_modes (fun () -> System.implies s c = expected))
+
+let prop_includes_agrees =
+  QCheck2.Test.make ~name:"fast includes = reference includes" ~count:200
+    QCheck2.Gen.(pair gen_system gen_system)
+    ~print:QCheck2.Print.(pair print_system print_system)
+    (fun (a, b) ->
+      let expected = System.Reference.includes a b in
+      both_cache_modes (fun () -> System.includes a b = expected))
+
+let prop_disjoint_agrees =
+  QCheck2.Test.make ~name:"fast disjoint = reference disjoint" ~count:200
+    QCheck2.Gen.(pair gen_system gen_system)
+    ~print:QCheck2.Print.(pair print_system print_system)
+    (fun (a, b) ->
+      let expected = System.Reference.disjoint a b in
+      both_cache_modes (fun () -> System.disjoint a b = expected))
+
+let rat_opt_equal a b =
+  match (a, b) with
+  | None, None -> true
+  | Some a, Some b -> Rat.equal a b
+  | _ -> false
+
+let prop_bounds_sample_agree =
+  QCheck2.Test.make ~name:"bounds/sample = reference bounds/sample" ~count:200
+    gen_system ~print:print_system (fun s ->
+      let lo, hi = System.bounds x s
+      and lo', hi' = System.Reference.bounds x s in
+      rat_opt_equal lo lo' && rat_opt_equal hi hi'
+      &&
+      match (System.sample s, System.Reference.sample s) with
+      | None, None -> true
+      | Some a, Some b ->
+        List.for_all (fun v -> Rat.equal (a v) (b v)) [ x; y; z ]
+      | _ -> false)
+
+(* ---------- end-to-end: corpora under reference mode ---------- *)
+
+let corpus_files = function
+  | "lu" -> Corpus.Nas_lu.files ()
+  | "matrix" -> [ Corpus.Small.matrix_c ]
+  | "fig1" -> [ Corpus.Small.fig1_f ]
+  | "stride" -> [ Corpus.Small.stride_f ]
+  | other -> Alcotest.failf "unknown corpus %s" other
+
+let lower files = Whirl.Lower.lower (Lang.Frontend.load ~files)
+
+let render (r : Ipa.Analyze.result) =
+  let blocks =
+    List.concat_map
+      (fun (proc, cfg) ->
+        Array.to_list
+          (Array.map
+             (fun (b : Cfg.block) ->
+               {
+                 Rgnfile.Files.cb_proc = proc;
+                 cb_id = b.Cfg.id;
+                 cb_label = b.Cfg.label;
+                 cb_succs = b.Cfg.succs;
+               })
+             cfg.Cfg.blocks))
+      r.Ipa.Analyze.r_cfgs
+  in
+  ( Rgnfile.Files.write_rgn r.Ipa.Analyze.r_rows,
+    Rgnfile.Files.write_dgn r.Ipa.Analyze.r_dgn,
+    Rgnfile.Files.write_cfg blocks )
+
+let check_same_output name (rgn_a, dgn_a, cfg_a) (rgn_b, dgn_b, cfg_b) =
+  Alcotest.(check bool) (name ^ " .rgn byte-identical") true (rgn_a = rgn_b);
+  Alcotest.(check bool) (name ^ " .dgn byte-identical") true (dgn_a = dgn_b);
+  Alcotest.(check bool) (name ^ " .cfg byte-identical") true (cfg_a = cfg_b)
+
+let test_corpora_identical () =
+  List.iter
+    (fun corpus ->
+      let files = corpus_files corpus in
+      let fast = render (Ipa.Analyze.analyze (lower files)) in
+      System.set_reference_mode true;
+      let reference =
+        Fun.protect
+          ~finally:(fun () -> System.set_reference_mode false)
+          (fun () -> render (Ipa.Analyze.analyze (lower files)))
+      in
+      check_same_output (corpus ^ " reference vs fast") reference fast)
+    [ "lu"; "matrix"; "fig1"; "stride" ]
+
+let test_stats_move () =
+  Solver_stats.reset ();
+  System.clear_cache ();
+  let s = System.of_list box in
+  ignore (System.feasible s);
+  ignore (System.feasible s);
+  let d = Solver_stats.snapshot () in
+  Alcotest.(check int) "two queries" 2 d.Solver_stats.queries;
+  Alcotest.(check int) "one miss" 1 d.Solver_stats.cache_misses;
+  Alcotest.(check int) "one hit" 1 d.Solver_stats.cache_hits
+
+let suite =
+  [
+    QCheck_alcotest.to_alcotest prop_feasible_agrees;
+    QCheck_alcotest.to_alcotest prop_implies_agrees;
+    QCheck_alcotest.to_alcotest prop_includes_agrees;
+    QCheck_alcotest.to_alcotest prop_disjoint_agrees;
+    QCheck_alcotest.to_alcotest prop_bounds_sample_agree;
+    Alcotest.test_case "corpora byte-identical (reference vs fast)" `Quick
+      test_corpora_identical;
+    Alcotest.test_case "solver stats count queries and memo hits" `Quick
+      test_stats_move;
+  ]
