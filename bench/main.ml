@@ -926,150 +926,200 @@ let bench_solver ~json ~out () =
   end
 
 (* ------------------------------------------------------------------ *)
-(* check-json: validate an emitted benchmark file without external deps *)
+(* check-json: validate emitted JSON files (bench records, uhc --trace
+   traces, uhc --metrics dumps) without external deps.  The shape is
+   detected from the top-level key; traces additionally go through
+   [Obs.Trace.parse], which enforces monotone per-track timestamps and
+   matched, properly nested begin/end pairs. *)
+
+exception Check_fail of string
+
+let check_fail fmt = Printf.ksprintf (fun msg -> raise (Check_fail msg)) fmt
+
+let check_solver_json path doc =
+  match Obs.Json.member "end_to_end" doc, Obs.Json.member "micro" doc with
+  | Some (Obs.Json.Obj _), Some (Obs.Json.Obj _) ->
+    Printf.printf "check-json: %s OK (solver section present)\n" path
+  | _ -> check_fail "solver.end_to_end / solver.micro missing"
+
+let check_trace_json path raw =
+  match Obs.Trace.parse raw with
+  | Error e -> check_fail "%s" e
+  | Ok spans ->
+    List.iter
+      (fun (sp : Obs.Trace.span) ->
+        if sp.Obs.Trace.sp_dur_us < 0. then
+          check_fail "span %S has negative duration" sp.Obs.Trace.sp_name)
+      spans;
+    Printf.printf "check-json: %s OK (trace, %d spans)\n" path
+      (List.length spans)
+
+let check_metrics_json path entries =
+  let kinds = [ "counter"; "gauge"; "histogram" ] in
+  let last_name = ref "" in
+  let n = ref 0 in
+  List.iter
+    (fun entry ->
+      incr n;
+      let str field =
+        match Option.bind (Obs.Json.member field entry) Obs.Json.to_string with
+        | Some s -> s
+        | None -> check_fail "metric without %S string" field
+      in
+      let num field =
+        match Option.bind (Obs.Json.member field entry) Obs.Json.to_float with
+        | Some v -> v
+        | None -> check_fail "metric %S lacks number %S" (str "name") field
+      in
+      let name = str "name" in
+      if name <= !last_name then
+        check_fail "metric names not sorted/unique at %S (after %S)" name
+          !last_name;
+      last_name := name;
+      let kind = str "kind" in
+      if not (List.mem kind kinds) then
+        check_fail "metric %S has unknown kind %S" name kind;
+      if kind = "histogram" then begin
+        let count = num "count" in
+        ignore (num "sum");
+        List.iter (fun p -> ignore (num p)) [ "p50"; "p95"; "p99" ];
+        let buckets =
+          match
+            Option.bind (Obs.Json.member "buckets" entry) Obs.Json.to_list
+          with
+          | Some l -> l
+          | None -> check_fail "histogram %S lacks buckets" name
+        in
+        let bucket_total =
+          List.fold_left
+            (fun acc b ->
+              let bnum f =
+                match Option.bind (Obs.Json.member f b) Obs.Json.to_float with
+                | Some v -> v
+                | None -> check_fail "histogram %S bucket lacks %S" name f
+              in
+              let lo = bnum "lo" and hi = bnum "hi" in
+              if hi >= 0. && hi < lo then
+                check_fail "histogram %S bucket hi < lo" name;
+              acc +. bnum "count")
+            0. buckets
+        in
+        if bucket_total <> count then
+          check_fail "histogram %S bucket counts sum to %g, count %g" name
+            bucket_total count
+      end
+      else ignore (num "value"))
+    entries;
+  Printf.printf "check-json: %s OK (metrics, %d instruments)\n" path !n
 
 let check_json_file path =
   let ic = open_in_bin path in
   let len = in_channel_length ic in
-  let s = really_input_string ic len in
+  let raw = really_input_string ic len in
   close_in ic;
-  let pos = ref 0 in
-  let fail : 'b. string -> 'b =
-   fun msg ->
-    Printf.eprintf "check-json: %s at offset %d in %s\n" msg !pos path;
+  try
+    match Obs.Json.parse raw with
+    | Error e -> check_fail "%s" e
+    | Ok v -> (
+      match v with
+      | Obs.Json.Obj _ -> (
+        match
+          ( Obs.Json.member "solver" v,
+            Obs.Json.member "traceEvents" v,
+            Obs.Json.member "metrics" v,
+            Obs.Json.member "obs" v )
+        with
+        | Some (Obs.Json.Obj _ as doc), _, _, _ -> check_solver_json path doc
+        | _, Some (Obs.Json.List _), _, _ -> check_trace_json path raw
+        | _, _, Some (Obs.Json.List entries), _ ->
+          check_metrics_json path entries
+        | _, _, _, Some (Obs.Json.Obj _) ->
+          Printf.printf "check-json: %s OK (obs section present)\n" path
+        | _ ->
+          check_fail
+            "no recognized top-level section (solver/traceEvents/metrics/obs)")
+      | _ -> check_fail "top-level value is not an object")
+  with Check_fail msg ->
+    Printf.eprintf "check-json: %s in %s\n" msg path;
     exit 1
+
+(* ------------------------------------------------------------------ *)
+(* obs: tracing/metrics overhead on the NAS LU pipeline *)
+
+let bench_obs ~json ~out () =
+  header "Obs: tracing and metrics overhead (NAS LU)";
+  let files = Corpus.Nas_lu.files () in
+  let lower () = Whirl.Lower.lower (Lang.Frontend.load ~files) in
+  ignore (analyze_module (lower ()));
+  let best f =
+    let t = ref infinity in
+    for _ = 1 to 5 do
+      let t0 = Unix.gettimeofday () in
+      ignore (f ());
+      t := min !t (Unix.gettimeofday () -. t0)
+    done;
+    !t
   in
-  let peek () = if !pos >= String.length s then '\000' else s.[!pos] in
-  let advance () = incr pos in
-  let rec skip_ws () =
-    match peek () with
-    | ' ' | '\t' | '\n' | '\r' ->
-      advance ();
-      skip_ws ()
-    | _ -> ()
+  let analysis () = analyze_module (lower ()) in
+  let disabled = best analysis in
+  Obs.Span.set_enabled true;
+  Obs.Metrics.set_enabled true;
+  Obs.Trace.clear ();
+  let enabled = best analysis in
+  Obs.Span.set_enabled false;
+  Obs.Metrics.set_enabled false;
+  let span_count =
+    match Obs.Trace.parse (Obs.Trace.export ()) with
+    | Ok spans -> List.length spans
+    | Error _ -> 0
   in
-  let expect c =
-    skip_ws ();
-    if peek () <> c then fail (Printf.sprintf "expected '%c'" c)
-    else advance ()
+  Obs.Trace.clear ();
+  (* micro: the cost of one disabled Span.with_ — the only thing the
+     instrumentation adds to hot paths when observability is off *)
+  let iters = 10_000_000 in
+  let sink = ref 0 in
+  let t0 = Unix.gettimeofday () in
+  for i = 1 to iters do
+    Obs.Span.with_ ~name:"noop" (fun () -> sink := !sink + i)
+  done;
+  let per_call_ns = (Unix.gettimeofday () -. t0) /. float_of_int iters *. 1e9 in
+  let overhead = (enabled -. disabled) /. disabled in
+  Printf.printf "analysis wall: disabled %.4fs, enabled %.4fs (%+.2f%%)\n"
+    disabled enabled (100. *. overhead);
+  Printf.printf "trace recorded %d spans per run\n" span_count;
+  Printf.printf "disabled Span.with_: %.2f ns/call (%d calls)\n" per_call_ns
+    iters;
+  (* the disabled-path bound the tentpole requires: even if every recorded
+     span were on the hot path, the disabled checks cost a vanishing
+     fraction of the analysis *)
+  let disabled_cost =
+    float_of_int span_count *. per_call_ns /. 1e9 /. disabled
   in
-  let literal word =
-    let n = String.length word in
-    if !pos + n <= String.length s && String.sub s !pos n = word then
-      pos := !pos + n
-    else fail "bad literal"
-  in
-  let parse_string () =
-    skip_ws ();
-    if peek () <> '"' then fail "expected string";
-    advance ();
-    let b = Buffer.create 16 in
-    let rec go () =
-      match peek () with
-      | '\000' -> fail "unterminated string"
-      | '"' -> advance ()
-      | '\\' ->
-        advance ();
-        (match peek () with
-        | '\000' -> fail "bad escape"
-        | c ->
-          Buffer.add_char b c;
-          advance ());
-        go ()
-      | c ->
-        Buffer.add_char b c;
-        advance ();
-        go ()
-    in
-    go ();
-    Buffer.contents b
-  in
-  let is_num_char = function
-    | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
-    | _ -> false
-  in
-  let rec parse_value () =
-    skip_ws ();
-    match peek () with
-    | '{' ->
-      advance ();
-      skip_ws ();
-      if peek () = '}' then begin
-        advance ();
-        `Obj []
-      end
-      else begin
-        let rec members acc =
-          let k = parse_string () in
-          expect ':';
-          let v = parse_value () in
-          skip_ws ();
-          match peek () with
-          | ',' ->
-            advance ();
-            members ((k, v) :: acc)
-          | '}' ->
-            advance ();
-            `Obj (List.rev ((k, v) :: acc))
-          | _ -> fail "expected ',' or '}'"
-        in
-        members []
-      end
-    | '[' ->
-      advance ();
-      skip_ws ();
-      if peek () = ']' then begin
-        advance ();
-        `List []
-      end
-      else begin
-        let rec items acc =
-          let v = parse_value () in
-          skip_ws ();
-          match peek () with
-          | ',' ->
-            advance ();
-            items (v :: acc)
-          | ']' ->
-            advance ();
-            `List (List.rev (v :: acc))
-          | _ -> fail "expected ',' or ']'"
-        in
-        items []
-      end
-    | '"' -> `Str (parse_string ())
-    | 't' ->
-      literal "true";
-      `Bool true
-    | 'f' ->
-      literal "false";
-      `Bool false
-    | 'n' ->
-      literal "null";
-      `Null
-    | c when is_num_char c ->
-      let start = !pos in
-      while is_num_char (peek ()) do
-        advance ()
-      done;
-      (match float_of_string_opt (String.sub s start (!pos - start)) with
-      | Some f -> `Num f
-      | None -> fail "bad number")
-    | _ -> fail "unexpected character"
-  in
-  let v = parse_value () in
-  skip_ws ();
-  if !pos <> String.length s then fail "trailing garbage";
-  match v with
-  | `Obj members -> (
-    match List.assoc_opt "solver" members with
-    | Some (`Obj sm) -> (
-      match (List.assoc_opt "end_to_end" sm, List.assoc_opt "micro" sm) with
-      | Some (`Obj _), Some (`Obj _) ->
-        Printf.printf "check-json: %s OK (solver section present)\n" path
-      | _ -> fail "solver.end_to_end / solver.micro missing")
-    | _ -> fail "top-level \"solver\" object missing")
-  | _ -> fail "top-level value is not an object"
+  Printf.printf "disabled-path cost bound: %.4f%% of analysis wall (< 2%% %s)\n"
+    (100. *. disabled_cost)
+    (if disabled_cost < 0.02 then "OK" else "VIOLATED");
+  if json || out <> None then begin
+    let path = Option.value out ~default:"BENCH_obs.json" in
+    let b = Buffer.create 512 in
+    let bpf fmt = Printf.ksprintf (Buffer.add_string b) fmt in
+    bpf "{\n";
+    bpf "  \"bench\": \"obs\",\n";
+    bpf "  \"corpus\": \"nas-lu\",\n";
+    bpf "  \"obs\": {\n";
+    bpf "    \"disabled_wall_s\": %.6f,\n" disabled;
+    bpf "    \"enabled_wall_s\": %.6f,\n" enabled;
+    bpf "    \"enabled_overhead\": %.6f,\n" overhead;
+    bpf "    \"spans_per_run\": %d,\n" span_count;
+    bpf "    \"disabled_span_ns\": %.3f,\n" per_call_ns;
+    bpf "    \"disabled_cost_fraction\": %.8f,\n" disabled_cost;
+    bpf "    \"disabled_cost_ok\": %b\n" (disabled_cost < 0.02);
+    bpf "  }\n";
+    bpf "}\n";
+    let oc = open_out path in
+    output_string oc (Buffer.contents b);
+    close_out oc;
+    Printf.printf "wrote %s\n" path
+  end
 
 (* ------------------------------------------------------------------ *)
 (* Bechamel timings of the analysis kernels *)
@@ -1184,4 +1234,5 @@ let () =
     if all || only "locality" then bench_locality ();
     if all || only "engine" then bench_engine ();
     if all || only "solver" then bench_solver ~json ~out ();
+    if all || only "obs" then bench_obs ~json ~out ();
     if all || only "timing" then timing_suite ()

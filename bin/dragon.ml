@@ -189,6 +189,28 @@ let html_cmd =
              graph, sources, advisor).")
     Term.(const run $ dir_arg $ project_arg $ out)
 
+let profile_cmd =
+  let trace_file =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"TRACE.json")
+  in
+  let top =
+    Arg.(
+      value & opt int 20
+      & info [ "top" ] ~docv:"N"
+          ~doc:"Rows per table (0 = all); the phase table is never cut.")
+  in
+  let run path top =
+    match Dragon.Profile.of_file ~top ~path () with
+    | Ok s -> print_string s
+    | Error e ->
+      Printf.eprintf "dragon: %s: %s\n" path e;
+      exit 1
+  in
+  Cmd.v
+    (Cmd.info "profile"
+       ~doc:"Render a uhc --trace file as sorted per-phase/per-PU tables.")
+    Term.(const run $ trace_file $ top)
+
 let advise_cmd =
   let run dir project =
     let p = load dir project in
@@ -203,6 +225,6 @@ let main =
   Cmd.group
     (Cmd.info "dragon" ~doc)
     [ table_cmd; callgraph_cmd; cfg_cmd; grep_cmd; locate_cmd; advise_cmd; html_cmd;
-      browse_cmd; diff_cmd ]
+      browse_cmd; diff_cmd; profile_cmd ]
 
 let () = exit (Cmd.eval main)

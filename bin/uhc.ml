@@ -7,11 +7,12 @@
 
 let run paths corpus out_dir project dump_whirl dump_src dump_callgraph
     dump_summaries execute wopt ipl_dir fuse autopar emit_whirl loop_summaries
-    jobs cache_dir stats =
+    jobs cache_dir stats stats_det trace metrics log_level =
   Pipeline.exec
     (Pipeline.make ~paths ?corpus ?out_dir ~project ~dump_whirl ~dump_src
        ~dump_callgraph ~dump_summaries ~execute ~wopt ?ipl_dir ~fuse ~autopar
-       ?emit_whirl ~loop_summaries ~jobs ?cache_dir ~stats ())
+       ?emit_whirl ~loop_summaries ~jobs ?cache_dir ~stats ~stats_det ?trace
+       ?metrics ~log_level ())
 
 open Cmdliner
 
@@ -120,6 +121,51 @@ let stats =
         ~doc:"Print per-phase wall-clock/allocation statistics and cache \
               hit/miss counts for every analysis the driver runs.")
 
+let stats_det =
+  Arg.(
+    value & flag
+    & info [ "stats-det" ]
+        ~doc:"Print the scheduling-independent statistics subset (no \
+              wall-clock/allocation columns); byte-identical at any --jobs \
+              setting, so suitable for diffing in CI.")
+
+let trace =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE"
+        ~doc:"Record a hierarchical span trace of the invocation and write \
+              it to FILE as Chrome trace_event JSON (open in Perfetto or \
+              chrome://tracing, or render with dragon profile FILE).")
+
+let metrics =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "metrics" ] ~docv:"FILE"
+        ~doc:"Write the metrics registry (named counters and latency \
+              histograms with p50/p95/p99) to FILE as JSON.")
+
+let log_level =
+  let parse s =
+    match Obs.Log.level_of_string s with
+    | Some l -> Ok l
+    | None -> Error (`Msg (Printf.sprintf "unknown log level %S" s))
+  in
+  let print ppf l =
+    Format.pp_print_string ppf
+      (match l with
+      | Obs.Log.Quiet -> "quiet"
+      | Obs.Log.Info -> "info"
+      | Obs.Log.Debug -> "debug")
+  in
+  Arg.(
+    value
+    & opt (conv (parse, print)) Obs.Log.Quiet
+    & info [ "log-level" ] ~docv:"LEVEL"
+        ~doc:"Structured key=value logging on stderr: quiet (default), \
+              info, or debug.")
+
 let cmd =
   let doc = "analyze array regions in MiniF/MiniC programs (OpenUH-style)" in
   Cmd.v
@@ -127,6 +173,7 @@ let cmd =
     Term.(
       const run $ paths $ corpus $ out_dir $ project $ dump_whirl $ dump_src
       $ dump_callgraph $ dump_summaries $ execute $ wopt $ ipl_dir $ fuse
-      $ autopar $ emit_whirl $ loop_summaries $ jobs $ cache_dir $ stats)
+      $ autopar $ emit_whirl $ loop_summaries $ jobs $ cache_dir $ stats
+      $ stats_det $ trace $ metrics $ log_level)
 
 let () = exit (Cmd.eval' cmd)

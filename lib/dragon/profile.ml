@@ -1,0 +1,94 @@
+(* Renders a uhc --trace file as per-phase / per-PU / per-file tables.
+
+   This is the text-mode counterpart of loading the trace into Perfetto:
+   spans are grouped by their category ("phase", "pu", "scc", "io", ...)
+   and aggregated by name, so a thousand per-PU collection spans collapse
+   into one line per procedure with count / total / mean columns. *)
+
+type row = {
+  r_name : string;
+  r_count : int;
+  r_total_us : float;
+  r_max_us : float;
+}
+
+let aggregate spans =
+  let tbl = Hashtbl.create 64 in
+  List.iter
+    (fun (s : Obs.Trace.span) ->
+      let r =
+        match Hashtbl.find_opt tbl s.Obs.Trace.sp_name with
+        | Some r -> r
+        | None ->
+          { r_name = s.Obs.Trace.sp_name; r_count = 0; r_total_us = 0.; r_max_us = 0. }
+      in
+      Hashtbl.replace tbl s.Obs.Trace.sp_name
+        {
+          r with
+          r_count = r.r_count + 1;
+          r_total_us = r.r_total_us +. s.Obs.Trace.sp_dur_us;
+          r_max_us = max r.r_max_us s.Obs.Trace.sp_dur_us;
+        })
+    spans;
+  let rows = Hashtbl.fold (fun _ r acc -> r :: acc) tbl [] in
+  (* duration-descending, name as tiebreak so equal-duration rows render
+     in a stable order *)
+  List.sort
+    (fun a b ->
+      match compare b.r_total_us a.r_total_us with
+      | 0 -> compare a.r_name b.r_name
+      | c -> c)
+    rows
+
+let wall_us spans =
+  List.fold_left
+    (fun acc (s : Obs.Trace.span) ->
+      max acc (s.Obs.Trace.sp_ts_us +. s.Obs.Trace.sp_dur_us))
+    0. spans
+
+let ms us = us /. 1000.
+
+let render_section buf ~title ~wall ~top rows =
+  if rows <> [] then begin
+    Buffer.add_string buf (Printf.sprintf "%s\n" title);
+    Buffer.add_string buf
+      (Printf.sprintf "  %-32s %7s %12s %12s %7s\n" "name" "count" "total ms"
+         "max ms" "%");
+    let shown = if top > 0 then List.filteri (fun i _ -> i < top) rows else rows in
+    List.iter
+      (fun r ->
+        Buffer.add_string buf
+          (Printf.sprintf "  %-32s %7d %12.3f %12.3f %6.1f%%\n" r.r_name
+             r.r_count (ms r.r_total_us) (ms r.r_max_us)
+             (if wall > 0. then 100. *. r.r_total_us /. wall else 0.)))
+      shown;
+    let omitted = List.length rows - List.length shown in
+    if omitted > 0 then
+      Buffer.add_string buf (Printf.sprintf "  ... %d more\n" omitted);
+    Buffer.add_char buf '\n'
+  end
+
+let render ?(top = 20) (spans : Obs.Trace.span list) =
+  let buf = Buffer.create 4096 in
+  let wall = wall_us spans in
+  Buffer.add_string buf
+    (Printf.sprintf "trace: %d spans, %.3f ms wall\n\n" (List.length spans)
+       (ms wall));
+  let by_cat cat =
+    List.filter (fun (s : Obs.Trace.span) -> s.Obs.Trace.sp_cat = cat) spans
+  in
+  let known = [ "phase"; "pu"; "scc"; "io" ] in
+  render_section buf ~title:"phases" ~wall ~top:0 (aggregate (by_cat "phase"));
+  render_section buf ~title:"per-PU" ~wall ~top (aggregate (by_cat "pu"));
+  render_section buf ~title:"SCCs" ~wall ~top (aggregate (by_cat "scc"));
+  render_section buf ~title:"I/O" ~wall ~top (aggregate (by_cat "io"));
+  let other =
+    List.filter
+      (fun (s : Obs.Trace.span) -> not (List.mem s.Obs.Trace.sp_cat known))
+      spans
+  in
+  render_section buf ~title:"other" ~wall ~top (aggregate other);
+  Buffer.contents buf
+
+let of_file ?top ~path () =
+  Result.map (render ?top) (Obs.Trace.load ~path)

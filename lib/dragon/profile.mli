@@ -1,0 +1,15 @@
+(** Text-mode profile view over a [uhc --trace] file.
+
+    Spans are grouped by category — pipeline phases, per-PU work, SCC
+    propagation, file I/O — and aggregated by name into
+    count / total / max / percent-of-wall tables, duration-descending.
+    The same file loads graphically into Perfetto; this is the quick look
+    without leaving the terminal. *)
+
+val render : ?top:int -> Obs.Trace.span list -> string
+(** [top] (default 20) bounds each per-PU/SCC/I-O table; the phase table is
+    never truncated. *)
+
+val of_file : ?top:int -> path:string -> unit -> (string, string) result
+(** Parse a Chrome trace_event JSON file (via {!Obs.Trace.load}) and render
+    it; [Error] carries the parse/validation failure. *)

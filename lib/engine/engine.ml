@@ -55,6 +55,18 @@ module Stats = struct
       t.s_phases;
     Format.fprintf ppf "  %-10s %8.3fs@\n" "total" t.s_total_wall;
     Linear.Solver_stats.pp ppf t.s_solver
+
+  let pp_deterministic ppf t =
+    (* wall/alloc columns dropped, phase names kept in execution order;
+       every number printed here is reproducible at any --jobs setting *)
+    Format.fprintf ppf "engine: %d PU%s@\n" t.s_pus
+      (if t.s_pus = 1 then "" else "s");
+    Format.fprintf ppf "  cache: collect %d hit / %d miss, summary %d hit / %d miss@\n"
+      t.s_collect_hits t.s_collect_misses t.s_summary_hits t.s_summary_misses;
+    Format.fprintf ppf "  phases:";
+    List.iter (fun p -> Format.fprintf ppf " %s" p.ph_name) t.s_phases;
+    Format.fprintf ppf "@\n";
+    Linear.Solver_stats.pp_deterministic ppf t.s_solver
 end
 
 type result = { e_result : Ipa.Analyze.result; e_stats : Stats.t }
@@ -62,22 +74,57 @@ type result = { e_result : Ipa.Analyze.result; e_stats : Stats.t }
 let count_true a =
   Array.fold_left (fun acc b -> if b then acc + 1 else acc) 0 a
 
+(* Cumulative registry mirrors of the per-run cache counters, plus one
+   latency histogram per pipeline phase. *)
+let c_runs = Obs.Metrics.counter "engine.runs"
+let c_collect_hits = Obs.Metrics.counter "engine.collect.hits"
+let c_collect_misses = Obs.Metrics.counter "engine.collect.misses"
+let c_summary_hits = Obs.Metrics.counter "engine.summary.hits"
+let c_summary_misses = Obs.Metrics.counter "engine.summary.misses"
+
+let phase_hist =
+  let tbl = Hashtbl.create 8 in
+  fun name ->
+    match Hashtbl.find_opt tbl name with
+    | Some h -> h
+    | None ->
+      let h = Obs.Metrics.histogram ("engine.phase." ^ name ^ ".wall_ns") in
+      Hashtbl.replace tbl name h;
+      h
+
 let run (cfg : config) (m : Ir.module_) : result =
   let jobs = Engine_pool.resolve_jobs cfg.jobs in
   let solver0 = Linear.Solver_stats.snapshot () in
   let t_start = Unix.gettimeofday () in
   let phases = ref [] in
   let timed name f =
+    (* the ambient sink collects worker-domain allocation and busy time for
+       every pool batch this phase issues; the coordinator's own delta is
+       measured directly *)
+    let sink = Obs.Sink.create () in
+    Obs.Sink.set_current (Some sink);
     let t0 = Unix.gettimeofday () in
     let a0 = Gc.allocated_bytes () in
-    let r = f () in
+    let r =
+      Fun.protect
+        ~finally:(fun () -> Obs.Sink.set_current None)
+        (fun () -> Obs.Span.with_ ~cat:"phase" ~name f)
+    in
+    let wall = Unix.gettimeofday () -. t0 in
+    let alloc = Gc.allocated_bytes () -. a0 +. Obs.Sink.alloc_bytes sink in
+    if Obs.Metrics.enabled () then
+      Obs.Hist.observe (phase_hist name)
+        (int_of_float (wall *. 1e9));
+    Obs.Log.debug "engine.phase" (fun () ->
+        [
+          ("name", name);
+          ("wall_ms", Printf.sprintf "%.3f" (wall *. 1e3));
+          ("alloc_kb", Printf.sprintf "%.1f" (alloc /. 1024.));
+          ("worker_busy_ms",
+           Printf.sprintf "%.3f" (float_of_int (Obs.Sink.busy_ns sink) /. 1e6));
+        ]);
     phases :=
-      {
-        Stats.ph_name = name;
-        ph_wall = Unix.gettimeofday () -. t0;
-        ph_alloc = Gc.allocated_bytes () -. a0;
-      }
-      :: !phases;
+      { Stats.ph_name = name; ph_wall = wall; ph_alloc = alloc } :: !phases;
     r
   in
   (* ---- prepare: layout, symbolic variables, call graph -------------- *)
@@ -114,6 +161,8 @@ let run (cfg : config) (m : Ir.module_) : result =
   timed "collect" (fun () ->
       let task i () =
         let pu = pus.(i) in
+        Obs.Span.with_ ~cat:"pu" ~name:("collect:" ^ pu.Ir.pu_name)
+        @@ fun () ->
         (match cfg.store with
         | Some store -> (
           match Engine_store.find_collect store ~m ~key:key1.(i) with
@@ -233,6 +282,10 @@ let run (cfg : config) (m : Ir.module_) : result =
         match idx name with Some j -> summaries.(j) | None -> None
       in
       let process_scc scc () =
+        Obs.Span.with_ ~cat:"scc"
+          ~name:("scc:" ^ String.concat "," scc)
+          ~attrs:[ ("members", string_of_int (List.length scc)) ]
+        @@ fun () ->
         List.iter
           (fun name ->
             match idx name with
@@ -243,7 +296,8 @@ let run (cfg : config) (m : Ir.module_) : result =
                 | None -> ()
                 | Some info ->
                   let exported, extra =
-                    Ipa.Analyze.summarize_pu m ~lookup info
+                    Obs.Span.with_ ~cat:"pu" ~name:("summarize:" ^ name)
+                      (fun () -> Ipa.Analyze.summarize_pu m ~lookup info)
                   in
                   summaries.(i) <- Some exported;
                   propagated.(i) <- extra;
@@ -314,6 +368,11 @@ let run (cfg : config) (m : Ir.module_) : result =
   in
   let collect_hits = count_true collect_hit in
   let summary_hits = count_true summary_hit in
+  Obs.Metrics.Counter.incr c_runs;
+  Obs.Metrics.Counter.add c_collect_hits collect_hits;
+  Obs.Metrics.Counter.add c_collect_misses (n - collect_hits);
+  Obs.Metrics.Counter.add c_summary_hits summary_hits;
+  Obs.Metrics.Counter.add c_summary_misses (n - summary_hits);
   let stats =
     {
       Stats.s_jobs = jobs;

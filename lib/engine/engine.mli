@@ -26,8 +26,10 @@ module Stats : sig
     ph_name : string;
     ph_wall : float;  (** seconds *)
     ph_alloc : float;
-        (** bytes allocated on the coordinating domain — worker-domain
-            allocation is not attributed *)
+        (** bytes allocated during the phase, coordinating domain plus
+            every worker domain that participated in the phase's pool
+            batches (workers report their [Gc.allocated_bytes] deltas
+            through the ambient {!Obs.Sink}) *)
   }
 
   type t = {
@@ -45,6 +47,12 @@ module Stats : sig
   }
 
   val pp : Format.formatter -> t -> unit
+
+  val pp_deterministic : Format.formatter -> t -> unit
+  (** Like {!pp} but restricted to numbers that are reproducible at any
+      [--jobs] setting: wall-clock and allocation columns (and the job
+      count itself) are dropped, phase names and all cache/solver counters
+      are kept.  Suitable for diffing in CI. *)
 end
 
 type result = { e_result : Ipa.Analyze.result; e_stats : Stats.t }

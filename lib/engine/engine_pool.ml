@@ -56,6 +56,22 @@ let drain pool (b : batch) =
   in
   claim ()
 
+(* A worker's participation in one batch, bracketed with allocation and
+   busy-time measurement reported to the ambient attribution sink (when the
+   engine installed one for the current phase).  This is what lets
+   [Engine.Stats] attribute worker-domain allocation: the coordinator's own
+   [Gc.allocated_bytes] delta only sees its own heap. *)
+let drain_measured pool b =
+  match Obs.Sink.current () with
+  | None -> drain pool b
+  | Some sink ->
+    let t0 = Obs.Trace.now_ns () in
+    let a0 = Gc.allocated_bytes () in
+    drain pool b;
+    Obs.Sink.add sink
+      ~alloc_bytes:(Gc.allocated_bytes () -. a0)
+      ~busy_ns:(Obs.Trace.now_ns () - t0)
+
 let worker pool () =
   let rec wait_for_work last_epoch =
     Mutex.lock pool.mutex;
@@ -66,7 +82,8 @@ let worker pool () =
     Mutex.unlock pool.mutex;
     if not stop then begin
       (match batch with
-      | Some b when Atomic.fetch_and_add b.slots (-1) > 0 -> drain pool b
+      | Some b when Atomic.fetch_and_add b.slots (-1) > 0 ->
+        drain_measured pool b
       | _ -> ());
       wait_for_work epoch
     end

@@ -11,7 +11,12 @@
     so plain writes made by tasks are safely visible to the caller.  With
     [jobs <= 1] — or a single task — everything runs on the calling domain,
     which is the serial reference path.  The first task exception is
-    re-raised in the caller after the batch drains. *)
+    re-raised in the caller after the batch drains.
+
+    When an {!Obs.Sink} is installed as the ambient attribution sink,
+    worker domains report their [Gc.allocated_bytes] delta and busy time
+    for each batch they participate in — the engine merges those into its
+    per-phase statistics after the barrier. *)
 
 val recommended : unit -> int
 (** [Domain.recommended_domain_count ()]. *)

@@ -209,25 +209,58 @@ let write_file path contents =
   close_out oc;
   Sys.rename tmp path
 
+(* store-layer observability: hit/miss counters per tier plus I/O latency
+   histograms (the disk timings are only observed when metrics are on) *)
+let c_mem_hits = Obs.Metrics.counter "store.mem.hits"
+let c_disk_hits = Obs.Metrics.counter "store.disk.hits"
+let c_misses = Obs.Metrics.counter "store.misses"
+let c_disk_reads = Obs.Metrics.counter "store.disk.read_bytes"
+let c_disk_writes = Obs.Metrics.counter "store.disk.write_bytes"
+let h_find = Obs.Metrics.histogram "store.find.ns"
+let h_add = Obs.Metrics.histogram "store.add.ns"
+
+let observed h f =
+  if not (Obs.Metrics.enabled ()) then f ()
+  else begin
+    let t0 = Obs.Trace.now_ns () in
+    let r = f () in
+    Obs.Hist.observe h (Obs.Trace.now_ns () - t0);
+    r
+  end
+
 let find_raw t ns key =
+  observed h_find @@ fun () ->
   let k = full_key ns key in
   match mem_find t k with
-  | Some bytes -> Some bytes
+  | Some bytes ->
+    Obs.Metrics.Counter.incr c_mem_hits;
+    Some bytes
   | None -> (
     match path_of t ns key with
-    | None -> None
+    | None ->
+      Obs.Metrics.Counter.incr c_misses;
+      None
     | Some path -> (
       match read_file path with
-      | None -> None
+      | None ->
+        Obs.Metrics.Counter.incr c_misses;
+        None
       | Some bytes ->
+        Obs.Metrics.Counter.incr c_disk_hits;
+        Obs.Metrics.Counter.add c_disk_reads (String.length bytes);
         mem_add t k bytes;
         Some bytes))
 
 let add_raw t ns key bytes =
+  observed h_add @@ fun () ->
   mem_add t (full_key ns key) bytes;
   match path_of t ns key with
   | None -> ()
-  | Some path -> ( try write_file path bytes with Sys_error _ -> ())
+  | Some path -> (
+    try
+      write_file path bytes;
+      Obs.Metrics.Counter.add c_disk_writes (String.length bytes)
+    with Sys_error _ -> ())
 
 (* ------------------------------------------------------------------ *)
 (* Typed views *)

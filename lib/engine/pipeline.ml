@@ -26,13 +26,18 @@ type config = {
   jobs : int;
   cache_dir : string option;
   stats : bool;
+  stats_det : bool;
+  trace : string option;
+  metrics : string option;
+  log_level : Obs.Log.level;
 }
 
 let make ?(paths = []) ?corpus ?out_dir ?(project = "project")
     ?(dump_whirl = false) ?(dump_src = false) ?(dump_callgraph = false)
     ?(dump_summaries = false) ?(loop_summaries = false) ?(execute = false)
     ?(wopt = false) ?(fuse = false) ?(autopar = false) ?ipl_dir ?emit_whirl
-    ?(jobs = 1) ?cache_dir ?(stats = false) () =
+    ?(jobs = 1) ?cache_dir ?(stats = false) ?(stats_det = false) ?trace
+    ?metrics ?(log_level = Obs.Log.Quiet) () =
   {
     paths;
     corpus;
@@ -52,6 +57,10 @@ let make ?(paths = []) ?corpus ?out_dir ?(project = "project")
     jobs;
     cache_dir;
     stats;
+    stats_det;
+    trace;
+    metrics;
+    log_level;
   }
 
 let read_file path =
@@ -78,7 +87,7 @@ let load_inputs paths corpus =
     failwith (Printf.sprintf "unknown corpus %S (lu|matrix|fig1|stride)" other)
   | None -> List.map (fun p -> (p, read_file p)) paths
 
-let exec (cfg : config) =
+let exec_body (cfg : config) =
   try
     (* a single .B input resumes from a serialized WHIRL file, skipping the
        front ends entirely -- the paper's multi-phase pipeline *)
@@ -106,8 +115,14 @@ let exec (cfg : config) =
     in
     let m0 =
       if cfg.wopt then begin
-        let m1, cp = Wopt.Const_prop.run m0 in
-        let m2, dce = Wopt.Dce.run m1 in
+        let m1, cp =
+          Obs.Span.with_ ~cat:"phase" ~name:"wopt:const_prop" (fun () ->
+              Wopt.Const_prop.run m0)
+        in
+        let m2, dce =
+          Obs.Span.with_ ~cat:"phase" ~name:"wopt:dce" (fun () ->
+              Wopt.Dce.run m1)
+        in
         Printf.printf
           "wopt: folded %d loads, %d ops, %d branches; removed %d statements, %d dead stores\n"
           cp.Wopt.Const_prop.folded_loads cp.Wopt.Const_prop.folded_ops
@@ -128,6 +143,8 @@ let exec (cfg : config) =
     let analyze m =
       let r = Engine.run engine_cfg m in
       if cfg.stats then Format.printf "%a" Engine.Stats.pp r.Engine.e_stats;
+      if cfg.stats_det then
+        Format.printf "%a" Engine.Stats.pp_deterministic r.Engine.e_stats;
       r.Engine.e_result
     in
     let result = analyze m0 in
@@ -138,6 +155,7 @@ let exec (cfg : config) =
         let m = result.Ipa.Analyze.r_module in
         let total = ref 0 in
         let pus =
+          Obs.Span.with_ ~cat:"phase" ~name:"lno:fuse" @@ fun () ->
           List.map
             (fun pu ->
               let pu', n =
@@ -190,7 +208,9 @@ let exec (cfg : config) =
         files
     end;
     if cfg.execute then begin
-      let outcome = Interp.run m in
+      let outcome =
+        Obs.Span.with_ ~cat:"phase" ~name:"execute" (fun () -> Interp.run m)
+      in
       print_string outcome.Interp.out_text;
       Printf.printf "(%d statements executed)\n" outcome.Interp.out_steps;
       if cfg.dump_callgraph then begin
@@ -209,7 +229,8 @@ let exec (cfg : config) =
     | Some dir ->
       if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
       let written =
-        Ipa.Analyze.write_outputs result ~dir ~project:cfg.project
+        Obs.Span.with_ ~cat:"io" ~name:"write_outputs" (fun () ->
+            Ipa.Analyze.write_outputs result ~dir ~project:cfg.project)
       in
       copy_sources ~dir files;
       List.iter (Printf.printf "wrote %s\n") written);
@@ -247,7 +268,8 @@ let exec (cfg : config) =
     (match cfg.emit_whirl with
     | None -> ()
     | Some path ->
-      Whirl.Whirl_io.save ~path m;
+      Obs.Span.with_ ~cat:"io" ~name:"emit_whirl" (fun () ->
+          Whirl.Whirl_io.save ~path m);
       Printf.printf "wrote %s\n" path);
     Printf.printf "analyzed %d procedures, %d call edges, %d array-region rows\n"
       (Ipa.Callgraph.node_count result.Ipa.Analyze.r_callgraph)
@@ -261,3 +283,45 @@ let exec (cfg : config) =
   | Failure msg ->
     Printf.eprintf "uhc: %s\n" msg;
     1
+
+let exec (cfg : config) =
+  Obs.Log.set_level cfg.log_level;
+  if cfg.trace <> None then begin
+    Obs.Trace.clear ();
+    Obs.Span.set_enabled true
+  end;
+  if cfg.metrics <> None then Obs.Metrics.set_enabled true;
+  Obs.Log.info "pipeline.start"
+    [
+      ("inputs", string_of_int (List.length cfg.paths));
+      ("corpus", Option.value cfg.corpus ~default:"-");
+      ("jobs", string_of_int cfg.jobs);
+    ];
+  let t0 = Obs.Trace.now_ns () in
+  Fun.protect
+    ~finally:(fun () ->
+      (* flush observation files even when the pipeline failed: a trace of a
+         crashed run is exactly what one wants to look at *)
+      (match cfg.trace with
+      | None -> ()
+      | Some path ->
+        Obs.Span.set_enabled false;
+        Obs.Trace.save ~path;
+        Obs.Log.info "trace.written" [ ("path", path) ]);
+      match cfg.metrics with
+      | None -> ()
+      | Some path ->
+        Obs.Metrics.save ~path;
+        Obs.Log.info "metrics.written" [ ("path", path) ])
+    (fun () ->
+      let code = Obs.Span.with_ ~cat:"phase" ~name:"pipeline" (fun () ->
+          exec_body cfg)
+      in
+      Obs.Log.info "pipeline.done"
+        [
+          ("exit", string_of_int code);
+          ( "wall_ms",
+            Printf.sprintf "%.1f"
+              (float_of_int (Obs.Trace.now_ns () - t0) /. 1e6) );
+        ];
+      code)

@@ -27,6 +27,18 @@ type config = {
   jobs : int;  (** engine domains; 0 = all cores, 1 = serial *)
   cache_dir : string option;  (** persistent engine cache directory *)
   stats : bool;  (** print per-phase engine statistics *)
+  stats_det : bool;
+      (** print the scheduling-independent statistics subset
+          ({!Engine.Stats.pp_deterministic}) — diffable across [jobs] *)
+  trace : string option;
+      (** record a hierarchical span trace of the whole invocation and
+          write it to this path as Chrome [trace_event] JSON (load in
+          Perfetto / [chrome://tracing], or render with [dragon profile]) *)
+  metrics : string option;
+      (** write the metrics registry (counters + latency histograms) to
+          this path as JSON; also enables timed-histogram observation *)
+  log_level : Obs.Log.level;
+      (** structured [key=value] logging on stderr; default [Quiet] *)
 }
 
 val make :
@@ -48,6 +60,10 @@ val make :
   ?jobs:int ->
   ?cache_dir:string ->
   ?stats:bool ->
+  ?stats_det:bool ->
+  ?trace:string ->
+  ?metrics:string ->
+  ?log_level:Obs.Log.level ->
   unit ->
   config
 (** Everything defaults to off/empty; [project] defaults to ["project"],

@@ -294,9 +294,11 @@ let summary_of result name = List.assoc name result.r_summaries
 let write_outputs result ~dir ~project =
   let path name = Filename.concat dir name in
   let rgn = path (project ^ ".rgn") in
-  Rgnfile.Files.save ~path:rgn (Rgnfile.Files.write_rgn result.r_rows);
+  Obs.Span.with_ ~cat:"io" ~name:"emit:rgn" (fun () ->
+      Rgnfile.Files.save ~path:rgn (Rgnfile.Files.write_rgn result.r_rows));
   let dgnp = path (project ^ ".dgn") in
-  Rgnfile.Files.save ~path:dgnp (Rgnfile.Files.write_dgn result.r_dgn);
+  Obs.Span.with_ ~cat:"io" ~name:"emit:dgn" (fun () ->
+      Rgnfile.Files.save ~path:dgnp (Rgnfile.Files.write_dgn result.r_dgn));
   let cfgp = path (project ^ ".cfg") in
   let blocks =
     List.concat_map
@@ -313,5 +315,6 @@ let write_outputs result ~dir ~project =
              cfg.Cfg.blocks))
       result.r_cfgs
   in
-  Rgnfile.Files.save ~path:cfgp (Rgnfile.Files.write_cfg blocks);
+  Obs.Span.with_ ~cat:"io" ~name:"emit:cfg" (fun () ->
+      Rgnfile.Files.save ~path:cfgp (Rgnfile.Files.write_cfg blocks));
   [ rgn; dgnp; cfgp ]

@@ -1,9 +1,15 @@
-(* Process-wide counters for the solver layer under {!System}.
-
-   Every counter is an [Atomic.t] so the engine's domain pool can bump them
-   without locks; totals are exact under parallelism (wall-clock sums are
+(* Thin facade over the {!Obs.Metrics} registry: every counter here is a
+   registered "solver.*" metric, so the same numbers show up in
+   [uhc --metrics] dumps and in the [Engine.Stats] record without being
+   kept twice.  Totals are exact under parallelism (wall-clock sums are
    per-query deltas, so concurrent queries may sum to more than elapsed
-   time — they measure solver work, not latency). *)
+   time — they measure solver work, not latency).
+
+   [quiet] suppresses counting on the calling domain: System uses it when
+   it re-computes a query another domain already computed (per-domain memo
+   caches), which keeps every counter scheduling-independent — each
+   distinct system is counted exactly once however the engine's pool
+   interleaves the work. *)
 
 type t = {
   queries : int;  (* System.feasible entry points answered *)
@@ -14,26 +20,26 @@ type t = {
   fm_runs : int;  (* packed Fourier-Motzkin eliminations performed *)
   fm_rows_built : int;  (* rows produced by FM combination *)
   fm_rows_pruned : int;  (* rows dropped by Imbert counting / dominance *)
-  tighten_fallbacks : int;  (* GCD tightening refuted; exact re-run needed *)
+  tighten_fallbacks : int;  (* GCD tightening refuted; exact rerun needed *)
   overflow_fallbacks : int;  (* packed arithmetic overflowed; used reference *)
   reference_runs : int;  (* queries answered by the reference path *)
   wall_fast_ns : int;  (* time inside fast-path feasible queries *)
   wall_reference_ns : int;  (* time inside reference-path feasible queries *)
 }
 
-let c_queries = Atomic.make 0
-let c_cache_hits = Atomic.make 0
-let c_cache_misses = Atomic.make 0
-let c_box_refutations = Atomic.make 0
-let c_syntactic_hits = Atomic.make 0
-let c_fm_runs = Atomic.make 0
-let c_fm_rows_built = Atomic.make 0
-let c_fm_rows_pruned = Atomic.make 0
-let c_tighten_fallbacks = Atomic.make 0
-let c_overflow_fallbacks = Atomic.make 0
-let c_reference_runs = Atomic.make 0
-let c_wall_fast_ns = Atomic.make 0
-let c_wall_reference_ns = Atomic.make 0
+let c_queries = Obs.Metrics.counter "solver.queries"
+let c_cache_hits = Obs.Metrics.counter "solver.cache.hits"
+let c_cache_misses = Obs.Metrics.counter "solver.cache.misses"
+let c_box_refutations = Obs.Metrics.counter "solver.box_refutations"
+let c_syntactic_hits = Obs.Metrics.counter "solver.syntactic_hits"
+let c_fm_runs = Obs.Metrics.counter "solver.fm.runs"
+let c_fm_rows_built = Obs.Metrics.counter "solver.fm.rows_built"
+let c_fm_rows_pruned = Obs.Metrics.counter "solver.fm.rows_pruned"
+let c_tighten_fallbacks = Obs.Metrics.counter "solver.fallback.tighten"
+let c_overflow_fallbacks = Obs.Metrics.counter "solver.fallback.overflow"
+let c_reference_runs = Obs.Metrics.counter "solver.reference.runs"
+let c_wall_fast_ns = Obs.Metrics.counter "solver.wall.fast_ns"
+let c_wall_reference_ns = Obs.Metrics.counter "solver.wall.reference_ns"
 
 let all =
   [
@@ -43,8 +49,19 @@ let all =
     c_wall_fast_ns; c_wall_reference_ns;
   ]
 
-let bump c = Atomic.incr c
-let add c n = ignore (Atomic.fetch_and_add c n)
+(* Per-domain suppression flag for [quiet]. *)
+let quiet_key = Domain.DLS.new_key (fun () -> ref false)
+
+let quiet f =
+  let q = Domain.DLS.get quiet_key in
+  let saved = !q in
+  q := true;
+  Fun.protect ~finally:(fun () -> q := saved) f
+
+let counting () = not !(Domain.DLS.get quiet_key)
+
+let bump c = if counting () then Obs.Metrics.Counter.incr c
+let add c n = if counting () then Obs.Metrics.Counter.add c n
 
 let query () = bump c_queries
 let cache_hit () = bump c_cache_hits
@@ -60,21 +77,23 @@ let reference_run () = bump c_reference_runs
 let add_fast_ns n = add c_wall_fast_ns n
 let add_reference_ns n = add c_wall_reference_ns n
 
+let get = Obs.Metrics.Counter.get
+
 let snapshot () =
   {
-    queries = Atomic.get c_queries;
-    cache_hits = Atomic.get c_cache_hits;
-    cache_misses = Atomic.get c_cache_misses;
-    box_refutations = Atomic.get c_box_refutations;
-    syntactic_hits = Atomic.get c_syntactic_hits;
-    fm_runs = Atomic.get c_fm_runs;
-    fm_rows_built = Atomic.get c_fm_rows_built;
-    fm_rows_pruned = Atomic.get c_fm_rows_pruned;
-    tighten_fallbacks = Atomic.get c_tighten_fallbacks;
-    overflow_fallbacks = Atomic.get c_overflow_fallbacks;
-    reference_runs = Atomic.get c_reference_runs;
-    wall_fast_ns = Atomic.get c_wall_fast_ns;
-    wall_reference_ns = Atomic.get c_wall_reference_ns;
+    queries = get c_queries;
+    cache_hits = get c_cache_hits;
+    cache_misses = get c_cache_misses;
+    box_refutations = get c_box_refutations;
+    syntactic_hits = get c_syntactic_hits;
+    fm_runs = get c_fm_runs;
+    fm_rows_built = get c_fm_rows_built;
+    fm_rows_pruned = get c_fm_rows_pruned;
+    tighten_fallbacks = get c_tighten_fallbacks;
+    overflow_fallbacks = get c_overflow_fallbacks;
+    reference_runs = get c_reference_runs;
+    wall_fast_ns = get c_wall_fast_ns;
+    wall_reference_ns = get c_wall_reference_ns;
   }
 
 let diff a b =
@@ -94,7 +113,7 @@ let diff a b =
     wall_reference_ns = a.wall_reference_ns - b.wall_reference_ns;
   }
 
-let reset () = List.iter (fun c -> Atomic.set c 0) all
+let reset () = List.iter (fun c -> Obs.Metrics.Counter.set c 0) all
 
 let pp ppf t =
   Format.fprintf ppf
@@ -109,3 +128,16 @@ let pp ppf t =
   Format.fprintf ppf "  feasible wall: fast %.3f ms, reference %.3f ms@\n"
     (float_of_int t.wall_fast_ns /. 1e6)
     (float_of_int t.wall_reference_ns /. 1e6)
+
+let pp_deterministic ppf t =
+  (* everything but the wall-clock sums: counters are
+     scheduling-independent (see [quiet]), times never are *)
+  Format.fprintf ppf
+    "solver: %d queries (%d cache hit / %d miss), %d box-refuted, %d \
+     syntactic@\n"
+    t.queries t.cache_hits t.cache_misses t.box_refutations t.syntactic_hits;
+  Format.fprintf ppf
+    "  FM: %d runs, %d rows built, %d pruned; fallbacks: %d tighten, %d \
+     overflow, %d reference@\n"
+    t.fm_runs t.fm_rows_built t.fm_rows_pruned t.tighten_fallbacks
+    t.overflow_fallbacks t.reference_runs

@@ -1,8 +1,17 @@
 (** Process-wide counters for the fast solver layer in {!System}.
 
-    All counters are atomic so engine worker domains can update them without
-    locks.  [snapshot]/[diff] let callers (the engine, the bench harness)
-    attribute counter deltas to a particular run. *)
+    Every counter is an ["solver.*"] metric in the {!Obs.Metrics} registry
+    (this module is a facade over it), atomic so engine worker domains can
+    update them without locks.  [snapshot]/[diff] let callers (the engine,
+    the bench harness) attribute counter deltas to a particular run.
+
+    All counters except the wall-clock sums are scheduling-independent:
+    when a worker domain re-computes a query that another domain's memo
+    already answered, {!System} wraps the recompute in {!quiet}, so each
+    distinct system contributes to [cache_misses], [fm_runs], the row
+    counts and the fallback counters exactly once however the pool
+    interleaves the work — [--stats] counter output is identical at any
+    [--jobs] setting. *)
 
 type t = {
   queries : int;  (** [System.feasible] entry points answered *)
@@ -44,7 +53,16 @@ val snapshot : unit -> t
 val diff : t -> t -> t
 (** [diff later earlier] is the per-field difference. *)
 
+val quiet : (unit -> 'a) -> 'a
+(** Run [f] with counting suppressed on the calling domain ({!System} uses
+    this for redundant cross-domain recomputes; see the determinism note
+    above). *)
+
 val reset : unit -> unit
 (** Zero every counter (bench harness only; the engine uses [diff]). *)
 
 val pp : Format.formatter -> t -> unit
+
+val pp_deterministic : Format.formatter -> t -> unit
+(** Like [pp] without the wall-clock line — every printed number is
+    scheduling-independent, so the output is diffable in CI. *)

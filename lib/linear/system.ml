@@ -143,7 +143,27 @@ let set_cache_enabled b = Atomic.set use_cache b
 let cache_key : (string, bool) Hashtbl.t Domain.DLS.key =
   Domain.DLS.new_key (fun () -> Hashtbl.create 512)
 
-let clear_cache () = Hashtbl.reset (Domain.DLS.get cache_key)
+(* Global registry of systems ever computed.  A local memo miss consults it
+   (one mutex round-trip, dwarfed by the elimination it precedes) so that
+   hit/miss and the compute-path counters count each distinct system once,
+   independent of how the pool schedules queries across domains: the first
+   domain to reach a key counts a miss and computes loudly, later domains
+   recompute under [Solver_stats.quiet] and count a hit. *)
+let seen : (string, unit) Hashtbl.t = Hashtbl.create 4096
+let seen_mutex = Mutex.create ()
+
+let seen_add key =
+  Mutex.lock seen_mutex;
+  let fresh = not (Hashtbl.mem seen key) in
+  if fresh then Hashtbl.add seen key ();
+  Mutex.unlock seen_mutex;
+  fresh
+
+let clear_cache () =
+  Hashtbl.reset (Domain.DLS.get cache_key);
+  Mutex.lock seen_mutex;
+  Hashtbl.reset seen;
+  Mutex.unlock seen_mutex
 
 (* Canonical key: [t] is already sorted and deduplicated, so serializing
    (op, var ids, coefficients, constant) in order is injective. *)
@@ -175,30 +195,55 @@ let key_of t =
 
 let now_ns () = int_of_float (Unix.gettimeofday () *. 1e9)
 
+(* Latency histograms, one per (query kind, decision tag): [hit] answered
+   from the memo, [prefilter] decided by a box/syntactic check, [eliminated]
+   paid for an elimination (packed FM or the reference eliminator).
+   Observation is gated on [Obs.Metrics.enabled] at the call sites, so with
+   metrics off the only cost left in [implies]/[disjoint] is one atomic
+   load. *)
+let h_feasible_hit = Obs.Metrics.histogram "solver.feasible.hit.ns"
+let h_feasible_prefilter = Obs.Metrics.histogram "solver.feasible.prefilter.ns"
+let h_feasible_eliminated =
+  Obs.Metrics.histogram "solver.feasible.eliminated.ns"
+let h_implies_hit = Obs.Metrics.histogram "solver.implies.hit.ns"
+let h_implies_prefilter = Obs.Metrics.histogram "solver.implies.prefilter.ns"
+let h_implies_eliminated = Obs.Metrics.histogram "solver.implies.eliminated.ns"
+let h_disjoint_prefilter = Obs.Metrics.histogram "solver.disjoint.prefilter.ns"
+let h_disjoint_eliminated =
+  Obs.Metrics.histogram "solver.disjoint.eliminated.ns"
+
 (* Packed feasibility: GCD-tightened first; a refutation that involved
    strict tightening is re-checked exactly so the answer always equals
    [ref_feasible].  Overflow and unpackable coefficients fall back to the
-   reference eliminator. *)
+   reference eliminator.  Also returns which histogram the query belongs
+   to: [`Prefilter] when the box check decided it, [`Eliminated] when an
+   eliminator ran. *)
 let compute_feasible t =
   try
     let rows = Packed.pack t in
     match Packed.box_of rows with
     | None ->
       Solver_stats.box_refutation ();
-      false
+      (false, `Prefilter)
     | Some _ -> (
       match Packed.feasible ~tighten:true rows with
-      | Packed.Feasible -> true
-      | Packed.Infeasible -> false
+      | Packed.Feasible -> (true, `Eliminated)
+      | Packed.Infeasible -> (false, `Eliminated)
       | Packed.Infeasible_tightened -> (
         Solver_stats.tighten_fallback ();
         match Packed.feasible ~tighten:false rows with
-        | Packed.Feasible -> true
-        | Packed.Infeasible | Packed.Infeasible_tightened -> false))
+        | Packed.Feasible -> (true, `Eliminated)
+        | Packed.Infeasible | Packed.Infeasible_tightened ->
+          (false, `Eliminated)))
   with Packed.Not_packable | Rat.Overflow ->
     Solver_stats.overflow_fallback ();
     Solver_stats.reference_run ();
-    ref_feasible t
+    (ref_feasible t, `Eliminated)
+
+let feasible_hist = function
+  | `Hit -> h_feasible_hit
+  | `Prefilter -> h_feasible_prefilter
+  | `Eliminated -> h_feasible_eliminated
 
 let feasible t =
   Solver_stats.query ();
@@ -206,28 +251,40 @@ let feasible t =
     Solver_stats.reference_run ();
     let t0 = now_ns () in
     let r = ref_feasible t in
-    Solver_stats.add_reference_ns (now_ns () - t0);
+    let ns = now_ns () - t0 in
+    Solver_stats.add_reference_ns ns;
+    if Obs.Metrics.enabled () then Obs.Hist.observe h_feasible_eliminated ns;
     r
   end
   else begin
     let t0 = now_ns () in
-    let r =
+    let r, tag =
       if Atomic.get use_cache then begin
         let tbl = Domain.DLS.get cache_key in
         let key = key_of t in
         match Hashtbl.find_opt tbl key with
         | Some r ->
           Solver_stats.cache_hit ();
-          r
+          (r, `Hit)
         | None ->
-          Solver_stats.cache_miss ();
-          let r = compute_feasible t in
+          (* first domain to reach this system counts (and computes
+             loudly); later domains recompute quietly and count a hit, so
+             counters do not depend on pool scheduling *)
+          let fresh = seen_add key in
+          if fresh then Solver_stats.cache_miss ()
+          else Solver_stats.cache_hit ();
+          let r, tag =
+            if fresh then compute_feasible t
+            else Solver_stats.quiet (fun () -> compute_feasible t)
+          in
           Hashtbl.replace tbl key r;
-          r
+          (r, tag)
       end
       else compute_feasible t
     in
-    Solver_stats.add_fast_ns (now_ns () - t0);
+    let ns = now_ns () - t0 in
+    Solver_stats.add_fast_ns ns;
+    if Obs.Metrics.enabled () then Obs.Hist.observe (feasible_hist tag) ns;
     r
   end
 
@@ -238,31 +295,45 @@ let feasible t =
 let implies t c =
   if Atomic.get use_reference then
     List.for_all (fun n -> not (feasible (add n t))) (negations c)
-  else if List.exists (Constr.equal c) t then begin
-    (* quasi-syntactic entailment: [c] is literally one of the constraints *)
-    Solver_stats.syntactic_hit ();
-    true
-  end
   else begin
-    let fast =
-      try
-        let rows = Packed.pack t in
-        match Packed.box_of rows with
-        | None ->
-          (* [t] itself is infeasible, so it entails anything *)
-          Solver_stats.box_refutation ();
-          Some true
-        | Some box ->
-          if Packed.box_implies box [| Packed.pack_constr c |] then begin
-            Solver_stats.syntactic_hit ();
+    let mt = Obs.Metrics.enabled () in
+    let t0 = if mt then now_ns () else 0 in
+    let observe h = if mt then Obs.Hist.observe h (now_ns () - t0) in
+    if List.exists (Constr.equal c) t then begin
+      (* quasi-syntactic entailment: [c] is literally one of the
+         constraints *)
+      Solver_stats.syntactic_hit ();
+      observe h_implies_hit;
+      true
+    end
+    else begin
+      let fast =
+        try
+          let rows = Packed.pack t in
+          match Packed.box_of rows with
+          | None ->
+            (* [t] itself is infeasible, so it entails anything *)
+            Solver_stats.box_refutation ();
             Some true
-          end
-          else None
-      with Packed.Not_packable | Rat.Overflow -> None
-    in
-    match fast with
-    | Some r -> r
-    | None -> List.for_all (fun n -> not (feasible (add n t))) (negations c)
+          | Some box ->
+            if Packed.box_implies box [| Packed.pack_constr c |] then begin
+              Solver_stats.syntactic_hit ();
+              Some true
+            end
+            else None
+        with Packed.Not_packable | Rat.Overflow -> None
+      in
+      match fast with
+      | Some r ->
+        observe h_implies_prefilter;
+        r
+      | None ->
+        let r =
+          List.for_all (fun n -> not (feasible (add n t))) (negations c)
+        in
+        observe h_implies_eliminated;
+        r
+    end
   end
 
 let includes a b =
@@ -272,6 +343,9 @@ let includes a b =
 let disjoint a b =
   if Atomic.get use_reference then not (feasible (meet a b))
   else begin
+    let mt = Obs.Metrics.enabled () in
+    let t0 = if mt then now_ns () else 0 in
+    let observe h = if mt then Obs.Hist.observe h (now_ns () - t0) in
     let fast =
       try
         let ra = Packed.pack a and rb = Packed.pack b in
@@ -287,7 +361,14 @@ let disjoint a b =
           else None
       with Packed.Not_packable | Rat.Overflow -> None
     in
-    match fast with Some r -> r | None -> not (feasible (meet a b))
+    match fast with
+    | Some r ->
+      observe h_disjoint_prefilter;
+      r
+    | None ->
+      let r = not (feasible (meet a b)) in
+      observe h_disjoint_eliminated;
+      r
   end
 
 let equal_semantic a b = includes a b && includes b a

@@ -1,0 +1,194 @@
+(* Recursive-descent JSON reader over a string, reporting byte offsets on
+   error.  Escapes are decoded loosely (\uXXXX below 0x80 becomes the byte,
+   anything else keeps the escaped character verbatim) — the files this
+   parses are our own ASCII emissions. *)
+
+type t =
+  | Obj of (string * t) list
+  | List of t list
+  | Str of string
+  | Num of float
+  | Bool of bool
+  | Null
+
+exception Fail of string * int
+
+let parse s =
+  let pos = ref 0 in
+  let len = String.length s in
+  let fail msg = raise (Fail (msg, !pos)) in
+  let peek () = if !pos >= len then '\000' else s.[!pos] in
+  let advance () = incr pos in
+  let rec skip_ws () =
+    match peek () with
+    | ' ' | '\t' | '\n' | '\r' ->
+      advance ();
+      skip_ws ()
+    | _ -> ()
+  in
+  let expect c =
+    skip_ws ();
+    if peek () <> c then fail (Printf.sprintf "expected '%c'" c)
+    else advance ()
+  in
+  let literal word v =
+    let n = String.length word in
+    if !pos + n <= len && String.sub s !pos n = word then begin
+      pos := !pos + n;
+      v
+    end
+    else fail "bad literal"
+  in
+  let parse_string () =
+    skip_ws ();
+    if peek () <> '"' then fail "expected string";
+    advance ();
+    let b = Buffer.create 16 in
+    let rec go () =
+      match peek () with
+      | '\000' -> fail "unterminated string"
+      | '"' -> advance ()
+      | '\\' ->
+        advance ();
+        (match peek () with
+        | '\000' -> fail "bad escape"
+        | 'n' ->
+          Buffer.add_char b '\n';
+          advance ()
+        | 't' ->
+          Buffer.add_char b '\t';
+          advance ()
+        | 'r' ->
+          Buffer.add_char b '\r';
+          advance ()
+        | 'u' ->
+          advance ();
+          if !pos + 4 > len then fail "bad \\u escape";
+          let hex = String.sub s !pos 4 in
+          (match int_of_string_opt ("0x" ^ hex) with
+          | Some code when code < 0x80 -> Buffer.add_char b (Char.chr code)
+          | Some _ -> Buffer.add_string b ("\\u" ^ hex)
+          | None -> fail "bad \\u escape");
+          pos := !pos + 4
+        | c ->
+          Buffer.add_char b c;
+          advance ());
+        go ()
+      | c ->
+        Buffer.add_char b c;
+        advance ();
+        go ()
+    in
+    go ();
+    Buffer.contents b
+  in
+  let is_num_char = function
+    | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+    | _ -> false
+  in
+  let rec parse_value () =
+    skip_ws ();
+    match peek () with
+    | '{' ->
+      advance ();
+      skip_ws ();
+      if peek () = '}' then begin
+        advance ();
+        Obj []
+      end
+      else begin
+        let rec members acc =
+          let k = parse_string () in
+          expect ':';
+          let v = parse_value () in
+          skip_ws ();
+          match peek () with
+          | ',' ->
+            advance ();
+            members ((k, v) :: acc)
+          | '}' ->
+            advance ();
+            Obj (List.rev ((k, v) :: acc))
+          | _ -> fail "expected ',' or '}'"
+        in
+        members []
+      end
+    | '[' ->
+      advance ();
+      skip_ws ();
+      if peek () = ']' then begin
+        advance ();
+        List []
+      end
+      else begin
+        let rec items acc =
+          let v = parse_value () in
+          skip_ws ();
+          match peek () with
+          | ',' ->
+            advance ();
+            items (v :: acc)
+          | ']' ->
+            advance ();
+            List (List.rev (v :: acc))
+          | _ -> fail "expected ',' or ']'"
+        in
+        items []
+      end
+    | '"' -> Str (parse_string ())
+    | 't' -> literal "true" (Bool true)
+    | 'f' -> literal "false" (Bool false)
+    | 'n' -> literal "null" Null
+    | c when is_num_char c ->
+      let start = !pos in
+      while is_num_char (peek ()) do
+        advance ()
+      done;
+      (match float_of_string_opt (String.sub s start (!pos - start)) with
+      | Some f -> Num f
+      | None -> fail "bad number")
+    | _ -> fail "unexpected character"
+  in
+  match
+    let v = parse_value () in
+    skip_ws ();
+    if !pos <> len then fail "trailing garbage";
+    v
+  with
+  | v -> Ok v
+  | exception Fail (msg, off) ->
+    Error (Printf.sprintf "%s at offset %d" msg off)
+
+let parse_file path =
+  match
+    let ic = open_in_bin path in
+    let len = in_channel_length ic in
+    let s = really_input_string ic len in
+    close_in ic;
+    s
+  with
+  | s -> parse s
+  | exception Sys_error e -> Error e
+
+let member k = function Obj kvs -> List.assoc_opt k kvs | _ -> None
+let to_list = function List l -> Some l | _ -> None
+let to_string = function Str s -> Some s | _ -> None
+let to_float = function Num f -> Some f | _ -> None
+
+let to_int = function
+  | Num f when Float.is_integer f -> Some (int_of_float f)
+  | _ -> None
+
+let escape s =
+  let b = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b

@@ -1,0 +1,46 @@
+type level = Quiet | Info | Debug
+
+let rank = function Quiet -> 0 | Info -> 1 | Debug -> 2
+
+let current = Atomic.make Quiet
+let set_level l = Atomic.set current l
+let level () = Atomic.get current
+
+let level_of_string = function
+  | "quiet" -> Some Quiet
+  | "info" -> Some Info
+  | "debug" -> Some Debug
+  | _ -> None
+
+let needs_quoting v =
+  v = "" || String.exists (fun c -> c = ' ' || c = '=' || c = '"') v
+
+let emit lvl event attrs =
+  let b = Buffer.create 128 in
+  Buffer.add_string b (match lvl with Debug -> "debug " | _ -> "info ");
+  Buffer.add_string b event;
+  List.iter
+    (fun (k, v) ->
+      Buffer.add_char b ' ';
+      Buffer.add_string b k;
+      Buffer.add_char b '=';
+      if needs_quoting v then begin
+        Buffer.add_char b '"';
+        String.iter
+          (fun c ->
+            if c = '"' || c = '\\' then Buffer.add_char b '\\';
+            Buffer.add_char b c)
+          v;
+        Buffer.add_char b '"'
+      end
+      else Buffer.add_string b v)
+    attrs;
+  Buffer.add_char b '\n';
+  prerr_string (Buffer.contents b);
+  flush stderr
+
+let info event attrs =
+  if rank (Atomic.get current) >= rank Info then emit Info event attrs
+
+let debug event attrs =
+  if rank (Atomic.get current) >= rank Debug then emit Debug event (attrs ())

@@ -1,0 +1,20 @@
+(** Structured key=value logging on stderr.
+
+    One line per event: [level event key=value ...], values quoted when
+    they contain spaces.  The level gate is a single atomic read; [debug]
+    takes a thunk so attribute lists are only built when they will be
+    printed. *)
+
+type level = Quiet | Info | Debug
+
+val set_level : level -> unit
+val level : unit -> level
+
+val level_of_string : string -> level option
+(** ["quiet"], ["info"], ["debug"]. *)
+
+val info : string -> (string * string) list -> unit
+(** [info event attrs] — printed at [Info] and [Debug]. *)
+
+val debug : string -> (unit -> (string * string) list) -> unit
+(** [debug event attrs] — printed at [Debug] only. *)

@@ -1,0 +1,21 @@
+let enabled = Trace.enabled
+let set_enabled = Trace.set_enabled
+
+let with_ ?(cat = "task") ?(attrs = []) ~name f =
+  if not (Trace.enabled ()) then f ()
+  else begin
+    Trace.begin_ ~name ~cat ~attrs;
+    match f () with
+    | r ->
+      Trace.end_ ~name;
+      r
+    | exception e ->
+      Trace.end_ ~name;
+      raise e
+  end
+
+let instant ?(cat = "task") ?(attrs = []) name =
+  if Trace.enabled () then begin
+    Trace.begin_ ~name ~cat ~attrs;
+    Trace.end_ ~name
+  end

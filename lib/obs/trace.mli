@@ -1,0 +1,46 @@
+(** The trace-event store behind {!Span}: per-domain append-only event
+    buffers, exported as Chrome [trace_event] JSON (loadable in Perfetto or
+    [chrome://tracing]), plus the inverse — parsing such a file back into
+    paired spans for [dragon profile] and the tests.
+
+    Collection is off by default; when off, {!begin_}/{!end_} are never
+    reached ({!Span.with_} checks {!enabled} first).  When on, each domain
+    appends to its own buffer — no locks on the hot path — and buffers are
+    merged at {!export} time, one Perfetto track per domain. *)
+
+val set_enabled : bool -> unit
+val enabled : unit -> bool
+
+val now_ns : unit -> int
+(** Nanoseconds since an arbitrary process-wide origin (reset by {!clear});
+    the timestamp base of every recorded event. *)
+
+val clear : unit -> unit
+(** Drop all recorded events and restart the timestamp origin. *)
+
+val begin_ : name:string -> cat:string -> attrs:(string * string) list -> unit
+val end_ : name:string -> unit
+
+val export : unit -> string
+(** The Chrome JSON document: [{"traceEvents": [...]}] with one ["B"]/["E"]
+    pair per span, thread-name metadata per domain track, microsecond
+    timestamps. *)
+
+val save : path:string -> unit
+
+(** A begin/end pair reconstructed from a trace file. *)
+type span = {
+  sp_name : string;
+  sp_cat : string;
+  sp_tid : int;  (** the worker track (domain) the span ran on *)
+  sp_ts_us : float;
+  sp_dur_us : float;
+  sp_depth : int;  (** 0 = top-level; parents are the enclosing spans *)
+  sp_args : (string * string) list;
+}
+
+val parse : string -> (span list, string) result
+(** Rejects malformed JSON, non-monotone per-track timestamps, and
+    unmatched or misnested begin/end pairs. *)
+
+val load : path:string -> (span list, string) result

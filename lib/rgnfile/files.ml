@@ -193,14 +193,27 @@ let parse_cfg s =
   in
   go [] (lines_of s)
 
+let c_saves = Obs.Metrics.counter "files.saves"
+let c_save_bytes = Obs.Metrics.counter "files.save_bytes"
+let c_loads = Obs.Metrics.counter "files.loads"
+let c_load_bytes = Obs.Metrics.counter "files.load_bytes"
+
 let save ~path contents =
+  Obs.Span.with_ ~cat:"io" ~name:("save:" ^ Filename.basename path)
+  @@ fun () ->
+  Obs.Metrics.Counter.incr c_saves;
+  Obs.Metrics.Counter.add c_save_bytes (String.length contents);
   let oc = open_out_bin path in
   output_string oc contents;
   close_out oc
 
 let load ~path =
+  Obs.Span.with_ ~cat:"io" ~name:("load:" ^ Filename.basename path)
+  @@ fun () ->
   let ic = open_in_bin path in
   let len = in_channel_length ic in
   let s = really_input_string ic len in
   close_in ic;
+  Obs.Metrics.Counter.incr c_loads;
+  Obs.Metrics.Counter.add c_load_bytes len;
   s

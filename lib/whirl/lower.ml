@@ -207,6 +207,7 @@ and lower_block env loc stmts =
 (* ------------------------------------------------------------------ *)
 
 let lower (prog : Sema.program) : Ir.module_ =
+  Obs.Span.with_ ~cat:"phase" ~name:"lower" @@ fun () ->
   let global = Symtab.create () in
   (* global arrays and scalars *)
   SM.iter

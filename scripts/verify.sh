@@ -29,4 +29,19 @@ dune exec bench/main.exe -- solver --json --out "$out/BENCH_solver.json"
 test -s "$out/BENCH_solver.json"
 dune exec bench/main.exe -- check-json "$out/BENCH_solver.json"
 
+echo "== smoke: uhc --trace/--metrics + dragon profile =="
+dune exec bin/uhc.exe -- --corpus matrix --jobs 2 \
+  --trace "$out/trace.json" --metrics "$out/metrics.json" \
+  --log-level info -o "$out" 2>"$out/log.err"
+test -s "$out/trace.json"
+test -s "$out/metrics.json"
+grep -q "^info pipeline.done" "$out/log.err"
+dune exec bench/main.exe -- check-json "$out/trace.json" "$out/metrics.json"
+dune exec bin/dragon.exe -- profile "$out/trace.json" | grep -q "^phases"
+
+echo "== obs: duplicate metric registration is rejected =="
+# the "metrics registry" case re-registers a name as a different instrument
+# kind and fails unless Obs.Metrics raises Invalid_argument
+dune exec test/test_main.exe -- test obs 5
+
 echo "verify: OK"

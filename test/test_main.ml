@@ -29,4 +29,5 @@ let () =
       ("cli", Test_cli.suite);
       ("engine", Test_engine.suite);
       ("solver", Test_solver.suite);
+      ("obs", Test_obs.suite);
     ]

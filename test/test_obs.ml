@@ -1,0 +1,300 @@
+(* The observability layer's contract: histograms agree with an exact
+   reference implementation on percentile rank, traces are well-formed
+   (matched, properly nested begin/end pairs with monotone timestamps, and
+   the parser rejects anything less), the metrics dump validates against
+   its own reader, and — the part the analysis cares about — turning all of
+   it on changes no output byte and the deterministic statistics rendering
+   is byte-identical at any --jobs setting. *)
+
+let corpus_files = function
+  | "lu" -> Corpus.Nas_lu.files ()
+  | "matrix" -> [ Corpus.Small.matrix_c ]
+  | "fig1" -> [ Corpus.Small.fig1_f ]
+  | "stride" -> [ Corpus.Small.stride_f ]
+  | other -> Alcotest.failf "unknown corpus %s" other
+
+let lower files = Whirl.Lower.lower (Lang.Frontend.load ~files)
+
+let render (r : Ipa.Analyze.result) =
+  let blocks =
+    List.concat_map
+      (fun (proc, cfg) ->
+        Array.to_list
+          (Array.map
+             (fun (b : Cfg.block) ->
+               {
+                 Rgnfile.Files.cb_proc = proc;
+                 cb_id = b.Cfg.id;
+                 cb_label = b.Cfg.label;
+                 cb_succs = b.Cfg.succs;
+               })
+             cfg.Cfg.blocks))
+      r.Ipa.Analyze.r_cfgs
+  in
+  ( Rgnfile.Files.write_rgn r.Ipa.Analyze.r_rows,
+    Rgnfile.Files.write_dgn r.Ipa.Analyze.r_dgn,
+    Rgnfile.Files.write_cfg blocks )
+
+(* ------------------------------------------------------------------ *)
+(* Histogram percentiles vs an exact reference *)
+
+(* deterministic pseudo-random stream (no Random: keep the test stable) *)
+let lcg_stream seed n =
+  let state = ref seed in
+  List.init n (fun _ ->
+      state := ((!state * 1103515245) + 12345) land 0x3FFFFFFF;
+      !state mod 1_000_000)
+
+let reference_rank_value samples p =
+  let sorted = List.sort compare samples in
+  let n = List.length sorted in
+  let rank = max 1 (int_of_float (ceil (p *. float_of_int n))) in
+  List.nth sorted (rank - 1)
+
+let test_hist_percentiles () =
+  List.iter
+    (fun (name, samples) ->
+      let h = Obs.Hist.create () in
+      List.iter (Obs.Hist.observe h) samples;
+      Alcotest.(check int)
+        (name ^ " count") (List.length samples) (Obs.Hist.count h);
+      Alcotest.(check int)
+        (name ^ " sum")
+        (List.fold_left ( + ) 0 (List.map (max 0) samples))
+        (Obs.Hist.sum h);
+      List.iter
+        (fun p ->
+          let v_ref = max 0 (reference_rank_value samples p) in
+          let lo, hi = Obs.Hist.bounds_of_value v_ref in
+          let est = Obs.Hist.percentile h p in
+          if not (float_of_int lo <= est && est <= float_of_int hi) then
+            Alcotest.failf
+              "%s p%.0f: estimate %.1f outside bucket [%d, %d] of reference %d"
+              name (100. *. p) est lo hi v_ref)
+        [ 0.5; 0.9; 0.95; 0.99; 1.0 ])
+    [
+      ("uniform", lcg_stream 42 5000);
+      ("small", [ 0; 1; 2; 3; 3; 3; 4; 100 ]);
+      ("constant", List.init 100 (fun _ -> 777));
+      ("wide", List.map (fun v -> v * 4096) (lcg_stream 7 2000));
+      ("negative-clamped", [ -5; -1; 0; 2 ]);
+    ]
+
+let test_hist_buckets () =
+  let h = Obs.Hist.create () in
+  List.iter (Obs.Hist.observe h) [ 0; 1; 5; 5; 1000; 1_000_000_000 ];
+  let total =
+    List.fold_left (fun acc (_, _, c) -> acc + c) 0 (Obs.Hist.nonzero_buckets h)
+  in
+  Alcotest.(check int) "bucket counts sum to count" (Obs.Hist.count h) total;
+  List.iter
+    (fun (lo, hi, _) ->
+      if hi < lo then Alcotest.failf "bucket [%d, %d] inverted" lo hi)
+    (Obs.Hist.nonzero_buckets h);
+  (* buckets ascend and partition: each value maps into exactly one *)
+  List.iter
+    (fun v ->
+      let lo, hi = Obs.Hist.bounds_of_value v in
+      if not (lo <= v && v <= hi) then
+        Alcotest.failf "value %d outside its bucket [%d, %d]" v lo hi)
+    [ 0; 1; 2; 3; 4; 7; 8; 100; 12345; 999_999_999; max_int ]
+
+(* ------------------------------------------------------------------ *)
+(* Span nesting and trace well-formedness *)
+
+let with_tracing f =
+  Obs.Trace.clear ();
+  Obs.Span.set_enabled true;
+  Fun.protect ~finally:(fun () -> Obs.Span.set_enabled false) f
+
+let test_span_nesting () =
+  with_tracing (fun () ->
+      Obs.Span.with_ ~name:"outer" (fun () ->
+          Obs.Span.with_ ~cat:"pu" ~name:"inner-1" (fun () -> ());
+          Obs.Span.with_ ~cat:"pu" ~name:"inner-2" (fun () ->
+              Obs.Span.with_ ~name:"leaf" (fun () -> ())));
+      (* exception safety: the span must close when f raises *)
+      (try Obs.Span.with_ ~name:"raises" (fun () -> failwith "boom")
+       with Failure _ -> ()));
+  let spans =
+    match Obs.Trace.parse (Obs.Trace.export ()) with
+    | Ok s -> s
+    | Error e -> Alcotest.failf "trace does not parse: %s" e
+  in
+  Alcotest.(check int) "span count" 5 (List.length spans);
+  let find name =
+    List.find (fun s -> s.Obs.Trace.sp_name = name) spans
+  in
+  Alcotest.(check int) "outer depth" 0 (find "outer").Obs.Trace.sp_depth;
+  Alcotest.(check int) "inner depth" 1 (find "inner-1").Obs.Trace.sp_depth;
+  Alcotest.(check int) "leaf depth" 2 (find "leaf").Obs.Trace.sp_depth;
+  Alcotest.(check int) "raises depth" 0 (find "raises").Obs.Trace.sp_depth;
+  Alcotest.(check string) "category" "pu" (find "inner-2").Obs.Trace.sp_cat;
+  (* children nest inside their parent's interval *)
+  let outer = find "outer" in
+  List.iter
+    (fun name ->
+      let c = find name in
+      let fits =
+        c.Obs.Trace.sp_ts_us >= outer.Obs.Trace.sp_ts_us
+        && c.Obs.Trace.sp_ts_us +. c.Obs.Trace.sp_dur_us
+           <= outer.Obs.Trace.sp_ts_us +. outer.Obs.Trace.sp_dur_us +. 0.0001
+      in
+      Alcotest.(check bool) (name ^ " inside outer") true fits)
+    [ "inner-1"; "inner-2"; "leaf" ]
+
+let test_trace_rejects_malformed () =
+  let cases =
+    [
+      ("bad json", "{\"traceEvents\": [");
+      ( "unmatched end",
+        {|{"traceEvents": [{"ph":"E","name":"x","ts":1.0,"pid":1,"tid":1}]}|}
+      );
+      ( "misnested pair",
+        {|{"traceEvents": [
+            {"ph":"B","name":"a","cat":"t","ts":1.0,"pid":1,"tid":1},
+            {"ph":"B","name":"b","cat":"t","ts":2.0,"pid":1,"tid":1},
+            {"ph":"E","name":"a","ts":3.0,"pid":1,"tid":1},
+            {"ph":"E","name":"b","ts":4.0,"pid":1,"tid":1}]}|} );
+      ( "backwards clock",
+        {|{"traceEvents": [
+            {"ph":"B","name":"a","cat":"t","ts":5.0,"pid":1,"tid":1},
+            {"ph":"E","name":"a","ts":3.0,"pid":1,"tid":1}]}|} );
+      ( "unknown phase",
+        {|{"traceEvents": [{"ph":"Q","name":"x","ts":1.0,"pid":1,"tid":1}]}|}
+      );
+    ]
+  in
+  List.iter
+    (fun (name, raw) ->
+      match Obs.Trace.parse raw with
+      | Ok _ -> Alcotest.failf "%s accepted" name
+      | Error _ -> ())
+    cases
+
+let test_disabled_records_nothing () =
+  Obs.Trace.clear ();
+  Obs.Span.with_ ~name:"invisible" (fun () -> ());
+  match Obs.Trace.parse (Obs.Trace.export ()) with
+  | Ok [] -> ()
+  | Ok spans -> Alcotest.failf "%d spans recorded while disabled" (List.length spans)
+  | Error e -> Alcotest.failf "empty trace does not parse: %s" e
+
+(* ------------------------------------------------------------------ *)
+(* Metrics registry *)
+
+let test_metrics_registry () =
+  let c = Obs.Metrics.counter "test.obs.counter" in
+  let c' = Obs.Metrics.counter "test.obs.counter" in
+  Obs.Metrics.Counter.set c 0;
+  Obs.Metrics.Counter.incr c;
+  Obs.Metrics.Counter.add c' 2;
+  Alcotest.(check int) "same instrument" 3 (Obs.Metrics.Counter.get c);
+  (match Obs.Metrics.gauge "test.obs.counter" with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "kind mismatch not rejected");
+  (* the dump parses and carries the counter *)
+  match Obs.Json.parse (Obs.Metrics.dump_json ()) with
+  | Error e -> Alcotest.failf "metrics dump does not parse: %s" e
+  | Ok doc ->
+    let entries =
+      Option.get (Option.bind (Obs.Json.member "metrics" doc) Obs.Json.to_list)
+    in
+    let mine =
+      List.find
+        (fun e ->
+          Option.bind (Obs.Json.member "name" e) Obs.Json.to_string
+          = Some "test.obs.counter")
+        entries
+    in
+    Alcotest.(check (option int))
+      "dumped value" (Some 3)
+      (Option.bind (Obs.Json.member "value" mine) Obs.Json.to_int)
+
+(* ------------------------------------------------------------------ *)
+(* Tracing on vs off: byte-identical analysis outputs *)
+
+let test_outputs_unchanged () =
+  List.iter
+    (fun corpus ->
+      let files = corpus_files corpus in
+      let plain =
+        render (Engine.run (Engine.config ~jobs:2 ()) (lower files)).Engine.e_result
+      in
+      Obs.Metrics.set_enabled true;
+      let traced =
+        with_tracing (fun () ->
+            render
+              (Engine.run (Engine.config ~jobs:2 ()) (lower files)).Engine.e_result)
+      in
+      Obs.Metrics.set_enabled false;
+      Obs.Trace.clear ();
+      let (rgn_a, dgn_a, cfg_a) = plain and (rgn_b, dgn_b, cfg_b) = traced in
+      Alcotest.(check bool) (corpus ^ " .rgn byte-identical") true (rgn_a = rgn_b);
+      Alcotest.(check bool) (corpus ^ " .dgn byte-identical") true (dgn_a = dgn_b);
+      Alcotest.(check bool) (corpus ^ " .cfg byte-identical") true (cfg_a = cfg_b))
+    [ "lu"; "matrix"; "fig1"; "stride" ]
+
+(* ------------------------------------------------------------------ *)
+(* Deterministic statistics: --jobs must not change the rendering *)
+
+let det_stats jobs files =
+  Linear.System.clear_cache ();
+  Linear.Solver_stats.reset ();
+  let r = Engine.run (Engine.config ~jobs ()) (lower files) in
+  Format.asprintf "%a" Engine.Stats.pp_deterministic r.Engine.e_stats
+
+let test_stats_deterministic () =
+  List.iter
+    (fun corpus ->
+      let files = corpus_files corpus in
+      let serial = det_stats 1 files in
+      let parallel = det_stats 4 files in
+      Alcotest.(check string) (corpus ^ " stats-det jobs-invariant") serial
+        parallel;
+      (* and stable across repetition at the same setting *)
+      Alcotest.(check string)
+        (corpus ^ " stats-det repeatable") parallel (det_stats 4 files))
+    [ "lu"; "matrix" ]
+
+(* ------------------------------------------------------------------ *)
+(* Worker allocation attribution *)
+
+let test_worker_alloc_attributed () =
+  (* same analysis, serial vs 4 domains: with worker sinks merged, the
+     parallel run's total attributed allocation cannot collapse to a tiny
+     fraction of the serial one (it used to, when only the coordinator's
+     delta was counted) *)
+  let files = corpus_files "lu" in
+  let alloc_of jobs =
+    let r = Engine.run (Engine.config ~jobs ()) (lower files) in
+    List.fold_left
+      (fun acc p -> acc +. p.Engine.Stats.ph_alloc)
+      0. r.Engine.e_stats.Engine.Stats.s_phases
+  in
+  let serial = alloc_of 1 in
+  let parallel = alloc_of 4 in
+  Alcotest.(check bool)
+    (Printf.sprintf "parallel alloc %.0f within 2x of serial %.0f" parallel
+       serial)
+    true
+    (parallel >= serial /. 2. && parallel <= serial *. 2.)
+
+let suite =
+  [
+    Alcotest.test_case "hist percentiles vs reference" `Quick
+      test_hist_percentiles;
+    Alcotest.test_case "hist buckets partition" `Quick test_hist_buckets;
+    Alcotest.test_case "span nesting" `Quick test_span_nesting;
+    Alcotest.test_case "trace rejects malformed" `Quick
+      test_trace_rejects_malformed;
+    Alcotest.test_case "disabled records nothing" `Quick
+      test_disabled_records_nothing;
+    Alcotest.test_case "metrics registry" `Quick test_metrics_registry;
+    Alcotest.test_case "outputs unchanged under tracing" `Slow
+      test_outputs_unchanged;
+    Alcotest.test_case "stats deterministic across jobs" `Slow
+      test_stats_deterministic;
+    Alcotest.test_case "worker allocation attributed" `Slow
+      test_worker_alloc_attributed;
+  ]
