@@ -1012,6 +1012,31 @@ let check_metrics_json path entries =
     entries;
   Printf.printf "check-json: %s OK (metrics, %d instruments)\n" path !n
 
+let check_diagnostics_json path entries =
+  let severities = [ "error"; "warning" ] in
+  let n = ref 0 in
+  List.iter
+    (fun entry ->
+      incr n;
+      let str field =
+        match Option.bind (Obs.Json.member field entry) Obs.Json.to_string with
+        | Some s -> s
+        | None -> check_fail "diagnostic %d without %S string" !n field
+      in
+      let site = str "site" in
+      if site = "" then check_fail "diagnostic %d has empty site" !n;
+      let severity = str "severity" in
+      if not (List.mem severity severities) then
+        check_fail "diagnostic %d (site %S) has unknown severity %S" !n site
+          severity;
+      if str "pu" = "" then
+        check_fail "diagnostic %d (site %S) has empty pu" !n site;
+      if str "action" = "" then
+        check_fail "diagnostic %d (site %S) has empty recovery action" !n site;
+      ignore (str "detail"))
+    entries;
+  Printf.printf "check-json: %s OK (diagnostics, %d entries)\n" path !n
+
 let check_json_file path =
   let ic = open_in_bin path in
   let len = in_channel_length ic in
@@ -1027,17 +1052,21 @@ let check_json_file path =
           ( Obs.Json.member "solver" v,
             Obs.Json.member "traceEvents" v,
             Obs.Json.member "metrics" v,
-            Obs.Json.member "obs" v )
+            Obs.Json.member "obs" v,
+            Obs.Json.member "diagnostics" v )
         with
-        | Some (Obs.Json.Obj _ as doc), _, _, _ -> check_solver_json path doc
-        | _, Some (Obs.Json.List _), _, _ -> check_trace_json path raw
-        | _, _, Some (Obs.Json.List entries), _ ->
+        | Some (Obs.Json.Obj _ as doc), _, _, _, _ -> check_solver_json path doc
+        | _, Some (Obs.Json.List _), _, _, _ -> check_trace_json path raw
+        | _, _, Some (Obs.Json.List entries), _, _ ->
           check_metrics_json path entries
-        | _, _, _, Some (Obs.Json.Obj _) ->
+        | _, _, _, Some (Obs.Json.Obj _), _ ->
           Printf.printf "check-json: %s OK (obs section present)\n" path
+        | _, _, _, _, Some (Obs.Json.List entries) ->
+          check_diagnostics_json path entries
         | _ ->
           check_fail
-            "no recognized top-level section (solver/traceEvents/metrics/obs)")
+            "no recognized top-level section \
+             (solver/traceEvents/metrics/obs/diagnostics)")
       | _ -> check_fail "top-level value is not an object")
   with Check_fail msg ->
     Printf.eprintf "check-json: %s in %s\n" msg path;

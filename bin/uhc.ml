@@ -7,12 +7,14 @@
 
 let run paths corpus out_dir project dump_whirl dump_src dump_callgraph
     dump_summaries execute wopt ipl_dir fuse autopar emit_whirl loop_summaries
-    jobs cache_dir stats stats_det trace metrics log_level =
+    jobs cache_dir stats stats_det trace metrics log_level keep_going
+    fault_specs diagnostics solver_budget =
   Pipeline.exec
     (Pipeline.make ~paths ?corpus ?out_dir ~project ~dump_whirl ~dump_src
        ~dump_callgraph ~dump_summaries ~execute ~wopt ?ipl_dir ~fuse ~autopar
        ?emit_whirl ~loop_summaries ~jobs ?cache_dir ~stats ~stats_det ?trace
-       ?metrics ~log_level ())
+       ?metrics ~log_level ~keep_going ~fault_specs ?diagnostics ?solver_budget
+       ())
 
 open Cmdliner
 
@@ -166,6 +168,45 @@ let log_level =
         ~doc:"Structured key=value logging on stderr: quiet (default), \
               info, or debug.")
 
+let keep_going =
+  Arg.(
+    value & flag
+    & info [ "k"; "keep-going" ]
+        ~doc:"Fault tolerance: skip unreadable or unparsable input files and \
+              isolate procedures whose analysis fails to a conservative \
+              opaque summary (whole-extent USE+DEF) instead of aborting; \
+              every recovery is recorded as a diagnostic.")
+
+let fault_specs =
+  Arg.(
+    value
+    & opt_all string []
+    & info [ "fault-spec" ] ~docv:"SITE:RATE:SEED[:ONLY]"
+        ~doc:"Deterministic fault injection for testing the recovery paths \
+              (repeatable).  SITE is store.read, store.write, store.marshal, \
+              pool, solver, or all; RATE in [0,1]; SEED any integer; ONLY \
+              restricts to injection keys containing the substring.  The \
+              firing decision is a pure function of (seed, site, key), so \
+              runs are reproducible at any --jobs setting.")
+
+let diagnostics =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "diagnostics" ] ~docv:"FILE"
+        ~doc:"Write every recovery diagnostic of the run to FILE as JSON \
+              (validate with bench check-json FILE).")
+
+let solver_budget =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "solver-budget" ] ~docv:"N"
+        ~doc:"Per-query step budget for the linear solver; a query whose \
+              cost (constraints times variables) exceeds N answers \
+              conservatively from the interval box instead of running \
+              Fourier-Motzkin.")
+
 let cmd =
   let doc = "analyze array regions in MiniF/MiniC programs (OpenUH-style)" in
   Cmd.v
@@ -174,6 +215,7 @@ let cmd =
       const run $ paths $ corpus $ out_dir $ project $ dump_whirl $ dump_src
       $ dump_callgraph $ dump_summaries $ execute $ wopt $ ipl_dir $ fuse
       $ autopar $ emit_whirl $ loop_summaries $ jobs $ cache_dir $ stats
-      $ stats_det $ trace $ metrics $ log_level)
+      $ stats_det $ trace $ metrics $ log_level $ keep_going $ fault_specs
+      $ diagnostics $ solver_budget)
 
 let () = exit (Cmd.eval' cmd)

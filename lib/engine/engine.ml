@@ -22,9 +22,14 @@
 
 open Whirl
 
-type config = { jobs : int; store : Engine_store.t option }
+type config = {
+  jobs : int;
+  store : Engine_store.t option;
+  keep_going : bool;
+}
 
-let config ?(jobs = 1) ?store () = { jobs; store }
+let config ?(jobs = 1) ?store ?(keep_going = false) () =
+  { jobs; store; keep_going }
 
 module Stats = struct
   type phase = { ph_name : string; ph_wall : float; ph_alloc : float }
@@ -69,10 +74,44 @@ module Stats = struct
     Linear.Solver_stats.pp_deterministic ppf t.s_solver
 end
 
-type result = { e_result : Ipa.Analyze.result; e_stats : Stats.t }
+type result = {
+  e_result : Ipa.Analyze.result;
+  e_stats : Stats.t;
+  e_diags : Fault.Diag.t list;
+}
 
 let count_true a =
   Array.fold_left (fun acc b -> if b then acc + 1 else acc) 0 a
+
+(* Conservative stand-ins for a PU whose analysis failed under
+   [keep_going]: collection degrades to "no locally provable accesses"
+   (the interprocedural layer stays sound because the PU's summary is
+   forced to {!Ipa.Summary.opaque} below), the CFG to a bare
+   entry->exit skeleton. *)
+let empty_info pu =
+  { Ipa.Collect.p_pu = pu; p_accesses = []; p_sites = [] }
+
+let skeleton_cfg name =
+  let entry =
+    { Cfg.id = 0; stmts = []; label = "entry"; succs = [ 1 ]; preds = [] }
+  in
+  let exit_ =
+    { Cfg.id = 1; stmts = []; label = "exit"; succs = []; preds = [ 0 ] }
+  in
+  { Cfg.proc = name; blocks = [| entry; exit_ |]; entry = 0; exit_ = 1 }
+
+let c_isolated = Obs.Metrics.counter "engine.pu_isolated"
+
+let diag_site_of_exn = function
+  | Fault.Injected (site, _) -> Fault.site_name site
+  | _ -> "engine"
+
+let isolation_diag ~stage ~pu ~action e =
+  Obs.Metrics.Counter.incr c_isolated;
+  Obs.Log.info "engine.pu_isolated"
+    [ ("stage", stage); ("pu", pu); ("error", Printexc.to_string e) ];
+  Fault.Diag.make ~site:(diag_site_of_exn e) ~pu ~action
+    (Printf.sprintf "%s failed (%s); %s" stage (Printexc.to_string e) action)
 
 (* Cumulative registry mirrors of the per-run cache counters, plus one
    latency histogram per pipeline phase. *)
@@ -158,26 +197,48 @@ let run (cfg : config) (m : Ir.module_) : result =
   let infos : Ipa.Collect.pu_info option array = Array.make n None in
   let cfgs : Cfg.t option array = Array.make n None in
   let collect_hit = Array.make n false in
+  (* per-PU fault isolation (only under [keep_going]): a poisoned PU gets
+     conservative stand-ins and a structured diagnostic instead of killing
+     the whole run.  Every slot is written only by the PU's own task, so
+     diagnostics are deterministic whatever the pool schedule. *)
+  let poisoned = Array.make n false in
+  let pu_diags : Fault.Diag.t list array = Array.make n [] in
   timed "collect" (fun () ->
       let task i () =
         let pu = pus.(i) in
         Obs.Span.with_ ~cat:"pu" ~name:("collect:" ^ pu.Ir.pu_name)
         @@ fun () ->
-        (match cfg.store with
-        | Some store -> (
-          match Engine_store.find_collect store ~m ~key:key1.(i) with
-          | Some p ->
-            collect_hit.(i) <- true;
-            infos.(i) <-
-              Some
-                {
-                  Ipa.Collect.p_pu = pu;
-                  p_accesses = p.Engine_store.cp_accesses;
-                  p_sites = p.Engine_store.cp_sites;
-                }
-          | None -> infos.(i) <- Some (Ipa.Collect.run_pu m pu))
-        | None -> infos.(i) <- Some (Ipa.Collect.run_pu m pu));
-        cfgs.(i) <- Some (Cfg.build pu)
+        (try
+           Fault.inject Fault.Pool ~key:("collect:" ^ pu.Ir.pu_name);
+           match cfg.store with
+           | Some store -> (
+             match Engine_store.find_collect store ~m ~key:key1.(i) with
+             | Some p ->
+               collect_hit.(i) <- true;
+               infos.(i) <-
+                 Some
+                   {
+                     Ipa.Collect.p_pu = pu;
+                     p_accesses = p.Engine_store.cp_accesses;
+                     p_sites = p.Engine_store.cp_sites;
+                   }
+             | None -> infos.(i) <- Some (Ipa.Collect.run_pu m pu))
+           | None -> infos.(i) <- Some (Ipa.Collect.run_pu m pu)
+         with e when cfg.keep_going ->
+           poisoned.(i) <- true;
+           infos.(i) <- Some (empty_info pu);
+           pu_diags.(i) <-
+             isolation_diag ~stage:"collect" ~pu:pu.Ir.pu_name
+               ~action:"opaque-summary" e
+             :: pu_diags.(i));
+        try cfgs.(i) <- Some (Cfg.build pu)
+        with e when cfg.keep_going ->
+          poisoned.(i) <- true;
+          cfgs.(i) <- Some (skeleton_cfg pu.Ir.pu_name);
+          pu_diags.(i) <-
+            isolation_diag ~stage:"cfg" ~pu:pu.Ir.pu_name
+              ~action:"skeleton-cfg" e
+            :: pu_diags.(i)
       in
       Engine_pool.run ~jobs (Array.init n task);
       match cfg.store with
@@ -185,7 +246,8 @@ let run (cfg : config) (m : Ir.module_) : result =
       | Some store ->
         Array.iteri
           (fun i hit ->
-            if not hit then
+            (* never persist a degraded collection result *)
+            if (not hit) && not poisoned.(i) then
               match infos.(i) with
               | Some info ->
                 Engine_store.add_collect store ~key:key1.(i)
@@ -295,13 +357,32 @@ let run (cfg : config) (m : Ir.module_) : result =
                 match infos.(i) with
                 | None -> ()
                 | Some info ->
-                  let exported, extra =
-                    Obs.Span.with_ ~cat:"pu" ~name:("summarize:" ^ name)
-                      (fun () -> Ipa.Analyze.summarize_pu m ~lookup info)
-                  in
-                  summaries.(i) <- Some exported;
-                  propagated.(i) <- extra;
-                  computed.(i) <- true))
+                  let pu = pus.(i) in
+                  if poisoned.(i) then begin
+                    (* collection already degraded: the only sound summary
+                       is the worst-case one (whole-extent USE+DEF of every
+                       global and formal array) *)
+                    summaries.(i) <- Some (Ipa.Summary.opaque m pu);
+                    propagated.(i) <- []
+                  end
+                  else
+                    try
+                      Fault.inject Fault.Pool ~key:("summarize:" ^ name);
+                      let exported, extra =
+                        Obs.Span.with_ ~cat:"pu" ~name:("summarize:" ^ name)
+                          (fun () -> Ipa.Analyze.summarize_pu m ~lookup info)
+                      in
+                      summaries.(i) <- Some exported;
+                      propagated.(i) <- extra;
+                      computed.(i) <- true
+                    with e when cfg.keep_going ->
+                      poisoned.(i) <- true;
+                      summaries.(i) <- Some (Ipa.Summary.opaque m pu);
+                      propagated.(i) <- [];
+                      pu_diags.(i) <-
+                        isolation_diag ~stage:"summarize" ~pu:name
+                          ~action:"opaque-summary" e
+                        :: pu_diags.(i)))
           scc
       in
       let needs_work scc =
@@ -366,6 +447,18 @@ let run (cfg : config) (m : Ir.module_) : result =
             match idx name with Some i -> propagated.(i) | None -> [])
           ~cfgs:cfgs_l)
   in
+  let diags =
+    let per_pu =
+      Array.to_list (Array.map (fun ds -> List.rev ds) pu_diags)
+      |> List.concat
+    in
+    let store_diags =
+      match cfg.store with
+      | Some store -> Engine_store.drain_diags store
+      | None -> []
+    in
+    per_pu @ store_diags
+  in
   let collect_hits = count_true collect_hit in
   let summary_hits = count_true summary_hit in
   Obs.Metrics.Counter.incr c_runs;
@@ -387,4 +480,4 @@ let run (cfg : config) (m : Ir.module_) : result =
         Linear.Solver_stats.diff (Linear.Solver_stats.snapshot ()) solver0;
     }
   in
-  { e_result = res; e_stats = stats }
+  { e_result = res; e_stats = stats; e_diags = diags }

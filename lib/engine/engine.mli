@@ -14,12 +14,26 @@
     With an on-disk store ({!Engine_store.create} [~dir]), the cache
     survives across tool invocations. *)
 
-type config = { jobs : int; store : Engine_store.t option }
+type config = {
+  jobs : int;
+  store : Engine_store.t option;
+  keep_going : bool;
+}
 
-val config : ?jobs:int -> ?store:Engine_store.t -> unit -> config
+val config :
+  ?jobs:int -> ?store:Engine_store.t -> ?keep_going:bool -> unit -> config
 (** [jobs] defaults to [1] (serial); [0] means
     [Domain.recommended_domain_count ()].  Without [store], nothing is
-    cached. *)
+    cached.
+
+    [keep_going] (default [false]) turns on per-PU error isolation: a PU
+    whose collection or summarization raises — an injected {!Fault} or a
+    genuine bug — degrades to conservative stand-ins (empty local
+    collection, worst-case {!Ipa.Summary.opaque} summary, skeleton CFG)
+    with a structured diagnostic in [e_diags], instead of aborting the
+    run.  Degraded results are never persisted to the store.  Store-level
+    faults (corrupt entries, I/O errors) are tolerated regardless of this
+    flag — they self-heal inside {!Engine_store}. *)
 
 module Stats : sig
   type phase = {
@@ -55,7 +69,14 @@ module Stats : sig
       are kept.  Suitable for diffing in CI. *)
 end
 
-type result = { e_result : Ipa.Analyze.result; e_stats : Stats.t }
+type result = {
+  e_result : Ipa.Analyze.result;
+  e_stats : Stats.t;
+  e_diags : Fault.Diag.t list;
+      (** degradation diagnostics from this run: isolated PUs (in PU
+          order) followed by store-level events; empty on a fault-free
+          run *)
+}
 
 val run : config -> Whirl.Ir.module_ -> result
 (** Also assigns the memory layout (Mem_Loc) if not yet done, like the

@@ -45,6 +45,7 @@ type t = {
   dir : string option;
   mem : (string, string) Hashtbl.t; (* full key -> marshaled entry *)
   mutex : Mutex.t;
+  mutable diags : Fault.Diag.t list; (* degradation events, newest first *)
 }
 
 let schema_token =
@@ -59,7 +60,7 @@ let create ?dir () =
     let sub = Filename.concat d (Lazy.force schema_token) in
     if not (Sys.file_exists sub) then Sys.mkdir sub 0o755
   | None -> ());
-  { dir; mem = Hashtbl.create 64; mutex = Mutex.create () }
+  { dir; mem = Hashtbl.create 64; mutex = Mutex.create (); diags = [] }
 
 let in_memory () = create ()
 
@@ -193,21 +194,10 @@ let mem_add t k v =
   Hashtbl.replace t.mem k v;
   Mutex.unlock t.mutex
 
-let read_file path =
-  try
-    let ic = open_in_bin path in
-    let len = in_channel_length ic in
-    let s = really_input_string ic len in
-    close_in ic;
-    Some s
-  with Sys_error _ | End_of_file -> None
-
-let write_file path contents =
-  let tmp = path ^ ".tmp." ^ string_of_int (Unix.getpid ()) in
-  let oc = open_out_bin tmp in
-  output_string oc contents;
-  close_out oc;
-  Sys.rename tmp path
+let mem_remove t k =
+  Mutex.lock t.mutex;
+  Hashtbl.remove t.mem k;
+  Mutex.unlock t.mutex
 
 (* store-layer observability: hit/miss counters per tier plus I/O latency
    histograms (the disk timings are only observed when metrics are on) *)
@@ -216,8 +206,138 @@ let c_disk_hits = Obs.Metrics.counter "store.disk.hits"
 let c_misses = Obs.Metrics.counter "store.misses"
 let c_disk_reads = Obs.Metrics.counter "store.disk.read_bytes"
 let c_disk_writes = Obs.Metrics.counter "store.disk.write_bytes"
+let c_write_errors = Obs.Metrics.counter "store.write_errors"
+let c_read_errors = Obs.Metrics.counter "store.read_errors"
+let c_retries = Obs.Metrics.counter "store.retries"
+let c_quarantined = Obs.Metrics.counter "store.quarantined"
 let h_find = Obs.Metrics.histogram "store.find.ns"
 let h_add = Obs.Metrics.histogram "store.add.ns"
+
+let record_diag t d =
+  Mutex.lock t.mutex;
+  t.diags <- d :: t.diags;
+  Mutex.unlock t.mutex
+
+let drain_diags t =
+  Mutex.lock t.mutex;
+  let ds = t.diags in
+  t.diags <- [];
+  Mutex.unlock t.mutex;
+  List.rev ds
+
+(* ------------------------------------------------------------------ *)
+(* Checksummed on-disk entries with bounded retry.
+
+   An entry is [magic | md5(payload) | payload]: truncation and bit-rot
+   are caught by the digest check, not by Marshal blowing up mid-decode.
+   A corrupt file is quarantined (renamed aside, so the evidence survives
+   and the slot reads as a miss from then on) and the caller transparently
+   recomputes.  Transient I/O errors — injected or real — are retried a
+   few times with a short backoff; read exhaustion degrades to a cache
+   miss, write exhaustion to an unpersisted (memory-only) entry.  Either
+   way the analysis proceeds. *)
+
+let entry_magic = "UHCS1\n"
+let header_len = String.length entry_magic + 16
+let max_attempts = 3
+let backoff_s attempt = 0.0005 *. float_of_int (1 lsl attempt)
+
+let seal payload = entry_magic ^ Digest.string payload ^ payload
+
+let unseal blob =
+  if
+    String.length blob >= header_len
+    && String.sub blob 0 (String.length entry_magic) = entry_magic
+  then begin
+    let payload = String.sub blob header_len (String.length blob - header_len) in
+    let stored = String.sub blob (String.length entry_magic) 16 in
+    if Digest.string payload = stored then Some payload else None
+  end
+  else None
+
+let quarantine t ~path ~basename reason =
+  Obs.Metrics.Counter.incr c_quarantined;
+  (try Sys.rename path (path ^ ".quarantined")
+   with Sys_error _ -> ( try Sys.remove path with Sys_error _ -> ()));
+  Obs.Log.info "store.quarantined" [ ("entry", basename); ("reason", reason) ];
+  record_diag t
+    (Fault.Diag.make ~site:"store.marshal" ~pu:"*" ~action:"quarantined"
+       (Printf.sprintf "cache entry %s: %s; recomputing" basename reason))
+
+let read_file_once path =
+  (* distinguishes "unreadable" (retryable) from "absent" (a plain miss) *)
+  Fault.inject Fault.Io_read ~key:(Filename.basename path);
+  if not (Sys.file_exists path) then `Absent
+  else begin
+    let ic = open_in_bin path in
+    let len = in_channel_length ic in
+    let s = really_input_string ic len in
+    close_in ic;
+    `Read s
+  end
+
+let read_file t path =
+  let basename = Filename.basename path in
+  let rec attempt k =
+    match read_file_once path with
+    | `Absent -> None
+    | `Read s -> Some s
+    | exception (Sys_error _ | End_of_file | Fault.Injected _) ->
+      if k + 1 < max_attempts then begin
+        Obs.Metrics.Counter.incr c_retries;
+        Unix.sleepf (backoff_s k);
+        attempt (k + 1)
+      end
+      else begin
+        Obs.Metrics.Counter.incr c_read_errors;
+        Obs.Log.info "store.read_failed"
+          [ ("entry", basename); ("attempts", string_of_int max_attempts) ];
+        record_diag t
+          (Fault.Diag.make ~site:"store.read" ~pu:"*" ~action:"recomputed"
+             (Printf.sprintf "cache read of %s failed after %d attempts"
+                basename max_attempts));
+        None
+      end
+  in
+  attempt 0
+
+let write_file_once path contents =
+  Fault.inject Fault.Io_write ~key:(Filename.basename path);
+  let tmp = path ^ ".tmp." ^ string_of_int (Unix.getpid ()) in
+  let oc = open_out_bin tmp in
+  (try output_string oc contents
+   with e ->
+     close_out_noerr oc;
+     (try Sys.remove tmp with Sys_error _ -> ());
+     raise e);
+  close_out oc;
+  Sys.rename tmp path
+
+let write_file t path contents =
+  let basename = Filename.basename path in
+  let rec attempt k =
+    match write_file_once path contents with
+    | () -> true
+    | exception (Sys_error _ | Fault.Injected _) ->
+      if k + 1 < max_attempts then begin
+        Obs.Metrics.Counter.incr c_retries;
+        Unix.sleepf (backoff_s k);
+        attempt (k + 1)
+      end
+      else begin
+        Obs.Metrics.Counter.incr c_write_errors;
+        Obs.Log.info "store.write_failed"
+          [ ("entry", basename); ("attempts", string_of_int max_attempts) ];
+        record_diag t
+          (Fault.Diag.make ~site:"store.write" ~pu:"*" ~action:"unpersisted"
+             (Printf.sprintf
+                "cache write of %s failed after %d attempts; entry kept in \
+                 memory only"
+                basename max_attempts));
+        false
+      end
+  in
+  attempt 0
 
 let observed h f =
   if not (Obs.Metrics.enabled ()) then f ()
@@ -228,39 +348,71 @@ let observed h f =
     r
   end
 
+(* [find_raw] returns verified Marshal payloads: the in-memory tier holds
+   payloads that already passed the digest check, and a disk read whose
+   seal does not verify quarantines the file and reads as a miss. *)
 let find_raw t ns key =
   observed h_find @@ fun () ->
   let k = full_key ns key in
   match mem_find t k with
   | Some bytes ->
     Obs.Metrics.Counter.incr c_mem_hits;
-    Some bytes
+    Some (k, bytes)
   | None -> (
     match path_of t ns key with
     | None ->
       Obs.Metrics.Counter.incr c_misses;
       None
     | Some path -> (
-      match read_file path with
+      match read_file t path with
       | None ->
         Obs.Metrics.Counter.incr c_misses;
         None
-      | Some bytes ->
-        Obs.Metrics.Counter.incr c_disk_hits;
-        Obs.Metrics.Counter.add c_disk_reads (String.length bytes);
-        mem_add t k bytes;
-        Some bytes))
+      | Some blob -> (
+        Obs.Metrics.Counter.add c_disk_reads (String.length blob);
+        match unseal blob with
+        | None ->
+          quarantine t ~path ~basename:(Filename.basename path)
+            "checksum mismatch (corrupt or truncated)";
+          Obs.Metrics.Counter.incr c_misses;
+          None
+        | Some payload ->
+          Obs.Metrics.Counter.incr c_disk_hits;
+          mem_add t k payload;
+          Some (k, payload))))
 
 let add_raw t ns key bytes =
   observed h_add @@ fun () ->
   mem_add t (full_key ns key) bytes;
   match path_of t ns key with
   | None -> ()
-  | Some path -> (
-    try
-      write_file path bytes;
-      Obs.Metrics.Counter.add c_disk_writes (String.length bytes)
-    with Sys_error _ -> ())
+  | Some path ->
+    let blob = seal bytes in
+    if write_file t path blob then
+      Obs.Metrics.Counter.add c_disk_writes (String.length blob)
+
+(* Decode a verified payload; a decode failure (an injected marshal fault,
+   or corruption the checksum cannot see such as a stale schema) evicts the
+   memory entry, quarantines the disk file, and reads as a miss. *)
+let decode_entry (type a) t ns key (k : string) (bytes : string) :
+    a entry option =
+  match
+    Fault.inject Fault.Marshal ~key:(full_key ns key);
+    (Marshal.from_string bytes 0 : a entry)
+  with
+  | entry -> Some entry
+  | exception (Failure _ | Invalid_argument _ | Fault.Injected _) ->
+    mem_remove t k;
+    (match path_of t ns key with
+    | Some path when Sys.file_exists path ->
+      quarantine t ~path ~basename:(Filename.basename path) "undecodable entry"
+    | _ ->
+      Obs.Metrics.Counter.incr c_quarantined;
+      record_diag t
+        (Fault.Diag.make ~site:"store.marshal" ~pu:"*" ~action:"recomputed"
+           (Printf.sprintf "cache entry %s undecodable; recomputing"
+              (full_key ns key))));
+    None
 
 (* ------------------------------------------------------------------ *)
 (* Typed views *)
@@ -281,10 +433,10 @@ let add_collect t ~key (p : collect_payload) =
 let find_collect t ~m ~key : collect_payload option =
   match find_raw t "c" key with
   | None -> None
-  | Some bytes -> (
-    match (Marshal.from_string bytes 0 : collect_payload entry) with
-    | exception (Failure _ | Invalid_argument _) -> None
-    | entry ->
+  | Some (k, bytes) -> (
+    match (decode_entry t "c" key k bytes : collect_payload entry option) with
+    | None -> None
+    | Some entry ->
       Linear.Var.advance_past entry.en_counter;
       let f = remap_fn m entry.en_syms in
       let p = entry.en_value in
@@ -309,10 +461,10 @@ let add_summary t ~key (p : summary_payload) =
 let find_summary t ~m ~key : summary_payload option =
   match find_raw t "s" key with
   | None -> None
-  | Some bytes -> (
-    match (Marshal.from_string bytes 0 : summary_payload entry) with
-    | exception (Failure _ | Invalid_argument _) -> None
-    | entry ->
+  | Some (k, bytes) -> (
+    match (decode_entry t "s" key k bytes : summary_payload entry option) with
+    | None -> None
+    | Some entry ->
       Linear.Var.advance_past entry.en_counter;
       let f = remap_fn m entry.en_syms in
       let p = entry.en_value in

@@ -39,7 +39,16 @@ val add_collect : t -> key:Digest.t -> collect_payload -> unit
 
 val find_collect :
   t -> m:Whirl.Ir.module_ -> key:Digest.t -> collect_payload option
-(** [None] on a genuine miss and on any unreadable/corrupt entry. *)
+(** [None] on a genuine miss and on any unreadable/corrupt entry.
+
+    The store self-heals: on-disk entries carry a checksum header, and an
+    entry that fails the checksum or cannot be decoded is quarantined
+    (renamed aside, counted in the [store.quarantined] metric, recorded as
+    a {!Fault.Diag.t}) so the caller transparently recomputes it.
+    Transient read/write failures are retried up to 3 times with a short
+    backoff ([store.retries]); exhaustion degrades a read to a miss
+    ([store.read_errors]) and a write to a memory-only entry
+    ([store.write_errors]), never an exception. *)
 
 val add_summary : t -> key:Digest.t -> summary_payload -> unit
 
@@ -48,3 +57,7 @@ val find_summary :
 
 val entry_count : t -> int
 (** Number of entries currently held in memory (loaded or added). *)
+
+val drain_diags : t -> Fault.Diag.t list
+(** Degradation events (quarantines, retry exhaustions) recorded since the
+    last drain, oldest first.  {!Engine.run} drains them into its result. *)

@@ -30,6 +30,10 @@ type config = {
   trace : string option;
   metrics : string option;
   log_level : Obs.Log.level;
+  keep_going : bool;
+  fault_specs : string list;
+  diagnostics : string option;
+  solver_budget : int option;
 }
 
 let make ?(paths = []) ?corpus ?out_dir ?(project = "project")
@@ -37,7 +41,8 @@ let make ?(paths = []) ?corpus ?out_dir ?(project = "project")
     ?(dump_summaries = false) ?(loop_summaries = false) ?(execute = false)
     ?(wopt = false) ?(fuse = false) ?(autopar = false) ?ipl_dir ?emit_whirl
     ?(jobs = 1) ?cache_dir ?(stats = false) ?(stats_det = false) ?trace
-    ?metrics ?(log_level = Obs.Log.Quiet) () =
+    ?metrics ?(log_level = Obs.Log.Quiet) ?(keep_going = false)
+    ?(fault_specs = []) ?diagnostics ?solver_budget () =
   {
     paths;
     corpus;
@@ -61,6 +66,10 @@ let make ?(paths = []) ?corpus ?out_dir ?(project = "project")
     trace;
     metrics;
     log_level;
+    keep_going;
+    fault_specs;
+    diagnostics;
+    solver_budget;
   }
 
 let read_file path =
@@ -77,7 +86,7 @@ let copy_sources ~dir files =
       Rgnfile.Files.save ~path:dst contents)
     files
 
-let load_inputs paths corpus =
+let load_inputs ~keep_going ~diags paths corpus =
   match corpus with
   | Some "lu" -> Corpus.Nas_lu.files ()
   | Some "matrix" -> [ Corpus.Small.matrix_c ]
@@ -85,9 +94,22 @@ let load_inputs paths corpus =
   | Some "stride" -> [ Corpus.Small.stride_f ]
   | Some other ->
     failwith (Printf.sprintf "unknown corpus %S (lu|matrix|fig1|stride)" other)
-  | None -> List.map (fun p -> (p, read_file p)) paths
+  | None ->
+    List.filter_map
+      (fun p ->
+        match read_file p with
+        | contents -> Some (p, contents)
+        | exception Sys_error msg ->
+          if not keep_going then failwith msg;
+          Printf.eprintf "uhc: %s (skipped under --keep-going)\n" msg;
+          diags :=
+            Fault.Diag.make ~severity:Fault.Diag.Error ~site:"io.read"
+              ~pu:(Filename.basename p) ~action:"skipped-file" msg
+            :: !diags;
+          None)
+      paths
 
-let exec_body (cfg : config) =
+let exec_body ~diags (cfg : config) =
   try
     (* a single .B input resumes from a serialized WHIRL file, skipping the
        front ends entirely -- the paper's multi-phase pipeline *)
@@ -99,11 +121,15 @@ let exec_body (cfg : config) =
     let files =
       match from_whirl with
       | Some _ -> []
-      | None -> load_inputs cfg.paths cfg.corpus
+      | None -> load_inputs ~keep_going:cfg.keep_going ~diags cfg.paths cfg.corpus
     in
     if files = [] && from_whirl = None then begin
       prerr_endline "uhc: no input files";
-      exit 2
+      if cfg.keep_going && (cfg.paths <> [] || cfg.corpus <> None) then
+        (* every input was skipped by a tolerated fault: degraded, not a
+           usage error *)
+        failwith "no analyzable input files survived"
+      else exit 2
     end;
     let m0 =
       match from_whirl with
@@ -111,7 +137,24 @@ let exec_body (cfg : config) =
         match Whirl.Whirl_io.load ~path with
         | Ok m -> m
         | Error e -> failwith (Printf.sprintf "%s: %s" path e))
-      | None -> Whirl.Lower.lower (Lang.Frontend.load ~files)
+      | None ->
+        if not cfg.keep_going then Whirl.Lower.lower (Lang.Frontend.load ~files)
+        else begin
+          let prog, bad = Lang.Frontend.load_isolated ~files in
+          List.iter
+            (fun (file, d) ->
+              Printf.eprintf "%s (skipped under --keep-going)\n"
+                (Lang.Diag.to_string d);
+              diags :=
+                Fault.Diag.make ~severity:Fault.Diag.Error
+                  ~site:"frontend.parse" ~pu:(Filename.basename file)
+                  ~action:"skipped-file" (Lang.Diag.to_string d)
+                :: !diags)
+            bad;
+          if bad <> [] && List.length bad = List.length files then
+            failwith "all input files failed to parse";
+          Whirl.Lower.lower prog
+        end
     in
     let m0 =
       if cfg.wopt then begin
@@ -139,9 +182,12 @@ let exec_body (cfg : config) =
       | Some dir -> Some (Engine_store.create ~dir ())
       | None -> if cfg.fuse then Some (Engine_store.in_memory ()) else None
     in
-    let engine_cfg = Engine.config ~jobs:cfg.jobs ?store () in
+    let engine_cfg =
+      Engine.config ~jobs:cfg.jobs ?store ~keep_going:cfg.keep_going ()
+    in
     let analyze m =
       let r = Engine.run engine_cfg m in
+      diags := List.rev_append r.Engine.e_diags !diags;
       if cfg.stats then Format.printf "%a" Engine.Stats.pp r.Engine.e_stats;
       if cfg.stats_det then
         Format.printf "%a" Engine.Stats.pp_deterministic r.Engine.e_stats;
@@ -283,14 +329,43 @@ let exec_body (cfg : config) =
   | Failure msg ->
     Printf.eprintf "uhc: %s\n" msg;
     1
+  | Fault.Injected (site, key) ->
+    (* an injected fault escaped every recovery layer (only possible
+       without --keep-going, or at a site with no isolation boundary) *)
+    Printf.eprintf "uhc: injected fault at %s (%s)\n" (Fault.site_name site)
+      key;
+    1
+  | Sys_error msg ->
+    Printf.eprintf "uhc: %s\n" msg;
+    1
 
-let exec (cfg : config) =
+let exec_full (cfg : config) =
   Obs.Log.set_level cfg.log_level;
   if cfg.trace <> None then begin
     Obs.Trace.clear ();
     Obs.Span.set_enabled true
   end;
   if cfg.metrics <> None then Obs.Metrics.set_enabled true;
+  (* fault injection and the solver budget are process-global knobs: set
+     them up front, tear them down in [finally] so a library caller's next
+     run starts clean *)
+  let specs_ok =
+    match Fault.parse_specs cfg.fault_specs with
+    | Ok specs ->
+      Fault.configure specs;
+      true
+    | Error msg ->
+      Printf.eprintf "uhc: %s\n" msg;
+      false
+  in
+  Linear.System.set_step_budget cfg.solver_budget;
+  if cfg.fault_specs <> [] || cfg.solver_budget <> None then
+    (* degraded answers are never memoized, but an earlier in-process run
+       may have cached exact answers the faulted run should recompute (and
+       vice versa for the run after) -- start from a cold solver cache *)
+    Linear.System.clear_cache ();
+  let c_degraded = Obs.Metrics.counter "solver.degraded" in
+  let degraded0 = Obs.Metrics.Counter.get c_degraded in
   Obs.Log.info "pipeline.start"
     [
       ("inputs", string_of_int (List.length cfg.paths));
@@ -298,8 +373,13 @@ let exec (cfg : config) =
       ("jobs", string_of_int cfg.jobs);
     ];
   let t0 = Obs.Trace.now_ns () in
+  let diags = ref [] in
   Fun.protect
     ~finally:(fun () ->
+      Fault.clear ();
+      Linear.System.set_step_budget None;
+      if cfg.fault_specs <> [] || cfg.solver_budget <> None then
+        Linear.System.clear_cache ();
       (* flush observation files even when the pipeline failed: a trace of a
          crashed run is exactly what one wants to look at *)
       (match cfg.trace with
@@ -314,14 +394,40 @@ let exec (cfg : config) =
         Obs.Metrics.save ~path;
         Obs.Log.info "metrics.written" [ ("path", path) ])
     (fun () ->
-      let code = Obs.Span.with_ ~cat:"phase" ~name:"pipeline" (fun () ->
-          exec_body cfg)
+      let code =
+        if not specs_ok then 2
+        else
+          Obs.Span.with_ ~cat:"phase" ~name:"pipeline" (fun () ->
+              exec_body ~diags cfg)
       in
+      let degraded = Obs.Metrics.Counter.get c_degraded - degraded0 in
+      if degraded > 0 then
+        diags :=
+          Fault.Diag.make ~site:"solver" ~pu:"*" ~action:"interval-box"
+            (Printf.sprintf "%d quer%s answered from the interval box"
+               degraded
+               (if degraded = 1 then "y" else "ies"))
+          :: !diags;
+      let diags = List.rev !diags in
+      (match cfg.diagnostics with
+      | None -> ()
+      | Some path ->
+        Fault.Diag.save ~path diags;
+        Printf.printf "wrote %s\n" path);
+      if diags <> [] then
+        Printf.eprintf "uhc: %d diagnostic(s) recorded%s\n"
+          (List.length diags)
+          (match cfg.diagnostics with
+          | Some p -> Printf.sprintf " (see %s)" p
+          | None -> "");
       Obs.Log.info "pipeline.done"
         [
           ("exit", string_of_int code);
+          ("diagnostics", string_of_int (List.length diags));
           ( "wall_ms",
             Printf.sprintf "%.1f"
               (float_of_int (Obs.Trace.now_ns () - t0) /. 1e6) );
         ];
-      code)
+      (code, diags))
+
+let exec (cfg : config) = fst (exec_full cfg)

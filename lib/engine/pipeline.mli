@@ -39,6 +39,23 @@ type config = {
           this path as JSON; also enables timed-histogram observation *)
   log_level : Obs.Log.level;
       (** structured [key=value] logging on stderr; default [Quiet] *)
+  keep_going : bool;
+      (** fault tolerance: unreadable/unparsable input files are skipped
+          (with a diagnostic) and a procedure whose analysis fails is
+          isolated to a conservative opaque summary instead of aborting
+          the run ([uhc --keep-going]) *)
+  fault_specs : string list;
+      (** deterministic fault injection, [SITE:RATE:SEED[:ONLY]] per entry
+          ({!Fault.parse_specs}); test/bench only — a malformed spec makes
+          {!exec} return 2 without running anything *)
+  diagnostics : string option;
+      (** write every recovery diagnostic of the run to this path as JSON
+          ([{"diagnostics":[...]}], sorted; validated by
+          [bench check-json]) *)
+  solver_budget : int option;
+      (** per-query step budget for {!Linear.System.feasible}; over-budget
+          queries degrade to the interval-box answer
+          ({!Linear.System.set_step_budget}) *)
 }
 
 val make :
@@ -64,6 +81,10 @@ val make :
   ?trace:string ->
   ?metrics:string ->
   ?log_level:Obs.Log.level ->
+  ?keep_going:bool ->
+  ?fault_specs:string list ->
+  ?diagnostics:string ->
+  ?solver_budget:int ->
   unit ->
   config
 (** Everything defaults to off/empty; [project] defaults to ["project"],
@@ -71,5 +92,13 @@ val make :
 
 val exec : config -> int
 (** Runs the pipeline, printing to stdout/stderr like the [uhc] tool;
-    returns the process exit code (0 ok, 1 failure; exits with 2 on empty
-    input, matching the CLI contract). *)
+    returns the process exit code (0 ok, 1 failure, 2 on a malformed
+    [fault_specs] entry; exits with 2 on empty input, matching the CLI
+    contract). *)
+
+val exec_full : config -> int * Fault.Diag.t list
+(** Like {!exec}, also returning the run's recovery diagnostics in a
+    stable order (chronological per producer; the [diagnostics] file, by
+    contrast, is sorted with {!Fault.Diag.compare}).  Fault injection, the
+    solver budget and the solver memo cache are reset on exit — including
+    on exceptions — so subsequent in-process runs are unaffected. *)

@@ -139,9 +139,48 @@ let reference_mode () = Atomic.get use_reference
 let use_cache = Atomic.make true
 let set_cache_enabled b = Atomic.set use_cache b
 
-(* Memo table for [feasible], one per domain (no locks, deterministic). *)
+(* Step budget: a per-query cost cap (constraint count x variable count, a
+   deterministic proxy for elimination work).  A query over budget — or one
+   the fault layer targets — degrades to the interval-box answer instead of
+   running an eliminator: [true] unless the box alone refutes the system.
+   That direction is conservative everywhere feasibility is consumed
+   (implies/disjoint degrade to "cannot prove", so regions only grow).
+   Degraded answers are never memoized, so turning the budget off restores
+   exact answers immediately. *)
+let step_budget = Atomic.make (-1)
+
+let set_step_budget = function
+  | None -> Atomic.set step_budget (-1)
+  | Some n -> Atomic.set step_budget (max 0 n)
+
+let query_cost t = List.length t * (1 + Var.Set.cardinal (vars t))
+
+let over_budget t =
+  let b = Atomic.get step_budget in
+  b >= 0 && query_cost t > b
+
+let c_degraded = Obs.Metrics.counter "solver.degraded"
+
+let box_feasible t =
+  match Packed.pack t with
+  | exception (Packed.Not_packable | Rat.Overflow) -> true
+  | rows -> ( match Packed.box_of rows with None -> false | Some _ -> true)
+
+(* Memo table for [feasible], one per domain (no locks, deterministic).
+   Every table ever handed out is kept in a registry so [clear_cache] can
+   drop them all: the engine's worker domains are persistent, and a clear
+   that only reached the calling domain would leave answers from earlier
+   runs influencing the hit/miss accounting of later ones. *)
+let all_tables : (string, bool) Hashtbl.t list ref = ref []
+let all_tables_mutex = Mutex.create ()
+
 let cache_key : (string, bool) Hashtbl.t Domain.DLS.key =
-  Domain.DLS.new_key (fun () -> Hashtbl.create 512)
+  Domain.DLS.new_key (fun () ->
+      let tbl = Hashtbl.create 512 in
+      Mutex.lock all_tables_mutex;
+      all_tables := tbl :: !all_tables;
+      Mutex.unlock all_tables_mutex;
+      tbl)
 
 (* Global registry of systems ever computed.  A local memo miss consults it
    (one mutex round-trip, dwarfed by the elimination it precedes) so that
@@ -160,7 +199,12 @@ let seen_add key =
   fresh
 
 let clear_cache () =
-  Hashtbl.reset (Domain.DLS.get cache_key);
+  (* only sound while no worker is mid-query (tests, bench, and the
+     pipeline's run boundaries); Hashtbl.reset on a table another domain
+     reads concurrently would race *)
+  Mutex.lock all_tables_mutex;
+  List.iter Hashtbl.reset !all_tables;
+  Mutex.unlock all_tables_mutex;
   Mutex.lock seen_mutex;
   Hashtbl.reset seen;
   Mutex.unlock seen_mutex
@@ -258,28 +302,44 @@ let feasible t =
   end
   else begin
     let t0 = now_ns () in
+    (* Degradation test, checked BEFORE the memo: deterministic in the
+       system's content (and the fault seed), never in scheduling or in
+       whatever answers previous runs left in the per-domain memo tables.
+       Degraded answers are not memoized either, so lifting the budget (or
+       the fault spec) restores exact answers immediately. *)
+    let degrades key =
+      over_budget t || (Fault.enabled () && Fault.fires Fault.Solver ~key)
+    in
+    let degraded fresh =
+      if fresh then Obs.Metrics.Counter.incr c_degraded;
+      (box_feasible t, `Prefilter)
+    in
     let r, tag =
       if Atomic.get use_cache then begin
         let tbl = Domain.DLS.get cache_key in
         let key = key_of t in
-        match Hashtbl.find_opt tbl key with
-        | Some r ->
-          Solver_stats.cache_hit ();
-          (r, `Hit)
-        | None ->
-          (* first domain to reach this system counts (and computes
-             loudly); later domains recompute quietly and count a hit, so
-             counters do not depend on pool scheduling *)
-          let fresh = seen_add key in
-          if fresh then Solver_stats.cache_miss ()
-          else Solver_stats.cache_hit ();
-          let r, tag =
-            if fresh then compute_feasible t
-            else Solver_stats.quiet (fun () -> compute_feasible t)
-          in
-          Hashtbl.replace tbl key r;
-          (r, tag)
+        if degrades key then degraded (seen_add key)
+        else
+          match Hashtbl.find_opt tbl key with
+          | Some r ->
+            Solver_stats.cache_hit ();
+            (r, `Hit)
+          | None ->
+            (* first domain to reach this system counts (and computes
+               loudly); later domains recompute quietly and count a hit, so
+               counters do not depend on pool scheduling *)
+            let fresh = seen_add key in
+            if fresh then Solver_stats.cache_miss ()
+            else Solver_stats.cache_hit ();
+            let r, tag =
+              if fresh then compute_feasible t
+              else Solver_stats.quiet (fun () -> compute_feasible t)
+            in
+            Hashtbl.replace tbl key r;
+            (r, tag)
       end
+      else if degrades (if Fault.enabled () then key_of t else "") then
+        degraded true
       else compute_feasible t
     in
     let ns = now_ns () - t0 in

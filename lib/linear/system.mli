@@ -93,13 +93,28 @@ val sample : t -> (Var.t -> Rat.t) option
 val set_reference_mode : bool -> unit
 val reference_mode : unit -> bool
 
+val set_step_budget : int option -> unit
+(** Degradation valve for {!feasible} (and through it {!implies} /
+    {!includes} / {!disjoint}): a query whose cost — constraint count
+    times variable count, a deterministic proxy for elimination work —
+    exceeds the budget answers from the interval box alone ([false] only
+    when the single-variable rows are already contradictory).  The
+    degraded direction is conservative everywhere the engine consumes it
+    (entailment and disjointness degrade to "cannot prove", so regions
+    only grow).  Degraded answers are counted in the [solver.degraded]
+    metric and never memoized; [None] (the default) restores exact
+    answers.  Reference mode ignores the budget.  The fault-injection
+    site ["solver"] ({!Fault.Solver}) forces the same degradation on the
+    targeted queries. *)
+
 val set_cache_enabled : bool -> unit
 (** The memo cache for {!feasible} is per-domain (domain-local storage), so
     parallel engine workers never contend on it. *)
 
 val clear_cache : unit -> unit
-(** Drop the calling domain's memo table (benchmarks; never required for
-    correctness since cached answers are immutable facts). *)
+(** Drop every domain's memo table and the global seen-set (benchmarks and
+    run boundaries; never required for correctness since cached answers
+    are immutable facts).  Only call while no other domain is querying. *)
 
 (** The pristine pre-optimization query paths, used as ground truth by the
     solver equivalence tests and the before/after benchmarks.  [bounds] and

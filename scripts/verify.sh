@@ -39,6 +39,20 @@ grep -q "^info pipeline.done" "$out/log.err"
 dune exec bench/main.exe -- check-json "$out/trace.json" "$out/metrics.json"
 dune exec bin/dragon.exe -- profile "$out/trace.json" | grep -q "^phases"
 
+echo "== smoke: uhc --keep-going --fault-spec + diagnostics JSON =="
+dune exec bin/uhc.exe -- --corpus lu --keep-going \
+  --fault-spec all:0.1:42 --diagnostics "$out/diag.json" \
+  -o "$out/faulted" --jobs 2 --cache-dir "$out/fcache"
+test -s "$out/diag.json"
+dune exec bench/main.exe -- check-json "$out/diag.json"
+# rate 0 under --keep-going must be byte-identical to the plain run
+dune exec bin/uhc.exe -- --corpus lu -o "$out/plain" --jobs 4 >/dev/null
+dune exec bin/uhc.exe -- --corpus lu --keep-going --fault-spec all:0.0:1 \
+  -o "$out/zero" --jobs 4 >/dev/null
+cmp "$out/plain/project.rgn" "$out/zero/project.rgn"
+cmp "$out/plain/project.dgn" "$out/zero/project.dgn"
+cmp "$out/plain/project.cfg" "$out/zero/project.cfg"
+
 echo "== obs: duplicate metric registration is rejected =="
 # the "metrics registry" case re-registers a name as a different instrument
 # kind and fails unless Obs.Metrics raises Invalid_argument

@@ -221,10 +221,61 @@ let prop_rgn_roundtrip =
         && List.for_all2 Rgnfile.Row.equal rows rows'
       | Error _ -> false)
 
+(* ------------------------------------------------------------------ *)
+(* Fault tolerance: whatever fault spec is installed, [Pipeline.exec] under
+   --keep-going terminates with an exit code — no exception escapes any
+   recovery layer. *)
+
+let gen_fault_spec =
+  Gen.(
+    let* site =
+      oneofl
+        [ "store.read"; "store.write"; "store.marshal"; "pool"; "solver"; "all" ]
+    in
+    let* rate = oneofl [ 0.0; 0.1; 0.5; 1.0 ] in
+    let* seed = int_range 0 99 in
+    return (Printf.sprintf "%s:%g:%d" site rate seed))
+
+(* the pipeline prints its reports to stdout; silence them without losing
+   the QCheck progress output (stderr) *)
+let with_quiet_stdout f =
+  flush stdout;
+  let saved = Unix.dup Unix.stdout in
+  let devnull = Unix.openfile "/dev/null" [ Unix.O_WRONLY ] 0 in
+  Unix.dup2 devnull Unix.stdout;
+  Unix.close devnull;
+  Fun.protect
+    ~finally:(fun () ->
+      flush stdout;
+      Unix.dup2 saved Unix.stdout;
+      Unix.close saved)
+    f
+
+let prop_faults_never_escape =
+  Test.make ~name:"injected faults never escape Pipeline.exec" ~count:25
+    Gen.(pair gen_program gen_fault_spec)
+    ~print:(fun (src, spec) -> spec ^ "\n" ^ src)
+    (fun (src, spec) ->
+      let tmp = Filename.temp_file "fuzz" ".f" in
+      let oc = open_out_bin tmp in
+      output_string oc src;
+      close_out oc;
+      Fun.protect ~finally:(fun () -> Sys.remove tmp) @@ fun () ->
+      let cfg =
+        Pipeline.make ~paths:[ tmp ] ~keep_going:true ~fault_specs:[ spec ]
+          ~cache_dir:(Test_engine.fresh_dir ()) ~jobs:2 ()
+      in
+      match with_quiet_stdout (fun () -> Pipeline.exec cfg) with
+      | 0 | 1 -> true
+      | code ->
+        Printf.eprintf "Pipeline.exec returned %d under %s\n" code spec;
+        false)
+
 let suite =
   [
     QCheck_alcotest.to_alcotest prop_rgn_roundtrip;
     QCheck_alcotest.to_alcotest prop_static_covers_dynamic;
     QCheck_alcotest.to_alcotest prop_wopt_preserves_output;
     QCheck_alcotest.to_alcotest prop_analysis_deterministic;
+    QCheck_alcotest.to_alcotest prop_faults_never_escape;
   ]
