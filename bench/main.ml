@@ -926,6 +926,216 @@ let bench_solver ~json ~out () =
   end
 
 (* ------------------------------------------------------------------ *)
+(* Regions: hash-consed join path (interned systems, n-way unions, the
+   implies memo) against the pre-interning reference fold, on the joins
+   the NAS LU summary construction actually performs *)
+
+let bench_regions ~json ~out () =
+  header "Regions: interned terms, n-way joins, implies memo (NAS LU)";
+  let files = Corpus.Nas_lu.files () in
+  let lower () = Whirl.Lower.lower (Lang.Frontend.load ~files) in
+  let res = analyze_module (lower ()) in
+  (* join workload: every (procedure, array, mode) bucket of harvested
+     access regions with at least two members — the groups the summary
+     layer unions (and collapses past the per-slot cap) *)
+  let groups : (string * int * Regions.Mode.t, Regions.Region.t list) Hashtbl.t
+      =
+    Hashtbl.create 64
+  in
+  let order = ref [] in
+  List.iter
+    (fun (pu, (info : Ipa.Collect.pu_info)) ->
+      List.iter
+        (fun (a : Ipa.Collect.access) ->
+          let k = (pu, a.Ipa.Collect.ac_st, a.Ipa.Collect.ac_mode) in
+          match Hashtbl.find_opt groups k with
+          | None ->
+            order := k :: !order;
+            Hashtbl.replace groups k [ a.Ipa.Collect.ac_region ]
+          | Some rs ->
+            Hashtbl.replace groups k (a.Ipa.Collect.ac_region :: rs))
+        info.Ipa.Collect.p_accesses)
+    res.Ipa.Analyze.r_infos;
+  let buckets =
+    List.filter_map
+      (fun k ->
+        match Hashtbl.find groups k with
+        | [] | [ _ ] -> None
+        | rs -> Some (List.rev rs))
+      (List.rev !order)
+  in
+  let total_regions = List.fold_left (fun a rs -> a + List.length rs) 0 buckets in
+  let passes = 5 in
+  let fold_joins () =
+    List.map
+      (fun rs ->
+        List.fold_left Regions.Region.union_approx (List.hd rs) (List.tl rs))
+      buckets
+  in
+  let many_joins () = List.map Regions.Region.union_many buckets in
+  let set_mode fast =
+    Regions.Region.set_fast_join fast;
+    Linear.System.set_implies_memo_enabled fast
+  in
+  let cget name = Obs.Metrics.Counter.get (Obs.Metrics.counter name) in
+  let run_mode ~fast f =
+    set_mode fast;
+    Linear.System.clear_cache ();
+    let s0 = Linear.Solver_stats.snapshot () in
+    let u0 = cget "regions.union.calls" in
+    let m0 = cget "regions.union_many.calls" in
+    let sv0 = cget "regions.union.implies_saved" in
+    let t0 = Unix.gettimeofday () in
+    let r = ref [] in
+    for _ = 1 to passes do
+      r := f ()
+    done;
+    let wall = Unix.gettimeofday () -. t0 in
+    let d = Linear.Solver_stats.diff (Linear.Solver_stats.snapshot ()) s0 in
+    let counters =
+      ( cget "regions.union.calls" - u0,
+        cget "regions.union_many.calls" - m0,
+        cget "regions.union.implies_saved" - sv0 )
+    in
+    set_mode true;
+    (!r, wall, d, counters)
+  in
+  let ref_res, ref_wall, d_ref, _ = run_mode ~fast:false fold_joins in
+  let fast_res, fast_wall, d_fast, (unions, many, saved) =
+    run_mode ~fast:true many_joins
+  in
+  (* the knob trades nothing for speed: both paths must build the very
+     same regions (interning makes that one id comparison per system) *)
+  let identical =
+    List.for_all2
+      (fun (a : Regions.Region.t) (b : Regions.Region.t) ->
+        Regions.Region.equal_display a b
+        && Linear.System.equal a.Regions.Region.sys b.Regions.Region.sys
+        && a.Regions.Region.exact = b.Regions.Region.exact)
+      ref_res fast_res
+  in
+  let open Linear.Solver_stats in
+  let speedup =
+    float_of_int d_ref.implies_wall_ns
+    /. float_of_int (max 1 d_fast.implies_wall_ns)
+  in
+  Printf.printf
+    "join workload: %d buckets, %d regions, %d passes\n"
+    (List.length buckets) total_regions passes;
+  Printf.printf
+    "reference fold: %d implies queries, %.3f ms implies wall (%.4fs total)\n"
+    d_ref.implies_queries
+    (float_of_int d_ref.implies_wall_ns /. 1e6)
+    ref_wall;
+  Printf.printf
+    "fast path:      %d implies queries (%d memo hits, %d saved by interned \
+     ids), %.3f ms implies wall (%.4fs total) => %.1fx%s\n"
+    d_fast.implies_queries d_fast.implies_memo_hits saved
+    (float_of_int d_fast.implies_wall_ns /. 1e6)
+    fast_wall speedup
+    (if speedup >= 2. then "" else "  (< 2x!)");
+  Printf.printf "union_approx calls: %d via %d union_many; results %s\n" unions
+    many
+    (if identical then "identical" else "DIFFER");
+  (* ---- end-to-end: whole NAS LU analysis under each join path *)
+  let run_analysis fast =
+    set_mode fast;
+    Linear.System.clear_cache ();
+    let s0 = Linear.Solver_stats.snapshot () in
+    let t0 = Unix.gettimeofday () in
+    ignore (analyze_module (lower ()));
+    let wall = Unix.gettimeofday () -. t0 in
+    let d = Linear.Solver_stats.diff (Linear.Solver_stats.snapshot ()) s0 in
+    set_mode true;
+    (wall, d)
+  in
+  let e2e_ref_wall, e2e_ref = run_analysis false in
+  let e2e_fast_wall, e2e_fast = run_analysis true in
+  Printf.printf
+    "end-to-end: reference %d implies queries %.3f ms (%.4fs), fast %d \
+     queries %.3f ms (%.4fs)\n"
+    e2e_ref.implies_queries
+    (float_of_int e2e_ref.implies_wall_ns /. 1e6)
+    e2e_ref_wall e2e_fast.implies_queries
+    (float_of_int e2e_fast.implies_wall_ns /. 1e6)
+    e2e_fast_wall;
+  (* ---- interner effectiveness (process lifetime: tables never drop) *)
+  let intern name =
+    let h = cget (Printf.sprintf "linear.intern.%s.hits" name) in
+    let m = cget (Printf.sprintf "linear.intern.%s.misses" name) in
+    let rate = float_of_int h /. float_of_int (max 1 (h + m)) in
+    (h, m, rate)
+  in
+  let eh, em, er = intern "expr" in
+  let ch, cm, cr = intern "constr" in
+  let sh, sm, sr = intern "system" in
+  Printf.printf
+    "intern hit rates: expr %.1f%% (%d/%d), constr %.1f%% (%d/%d), system \
+     %.1f%% (%d/%d)\n"
+    (100. *. er) eh (eh + em) (100. *. cr) ch (ch + cm) (100. *. sr) sh
+    (sh + sm);
+  if json || out <> None then begin
+    let path = Option.value out ~default:"BENCH_regions.json" in
+    let b = Buffer.create 2048 in
+    let bpf fmt = Printf.ksprintf (Buffer.add_string b) fmt in
+    bpf "{\n";
+    bpf "  \"bench\": \"%s\",\n" (json_escape "regions");
+    bpf "  \"corpus\": \"nas-lu\",\n";
+    bpf "  \"regions\": {\n";
+    bpf "    \"join\": {\n";
+    bpf "      \"buckets\": %d,\n" (List.length buckets);
+    bpf "      \"regions\": %d,\n" total_regions;
+    bpf "      \"passes\": %d,\n" passes;
+    bpf "      \"reference\": {\n";
+    bpf "        \"implies_queries\": %d,\n" d_ref.implies_queries;
+    bpf "        \"implies_wall_ns\": %d,\n" d_ref.implies_wall_ns;
+    bpf "        \"wall_s\": %.6f\n" ref_wall;
+    bpf "      },\n";
+    bpf "      \"fast\": {\n";
+    bpf "        \"implies_queries\": %d,\n" d_fast.implies_queries;
+    bpf "        \"implies_memo_hits\": %d,\n" d_fast.implies_memo_hits;
+    bpf "        \"implies_wall_ns\": %d,\n" d_fast.implies_wall_ns;
+    bpf "        \"implies_saved\": %d,\n" saved;
+    bpf "        \"union_calls\": %d,\n" unions;
+    bpf "        \"union_many_calls\": %d,\n" many;
+    bpf "        \"wall_s\": %.6f\n" fast_wall;
+    bpf "      },\n";
+    bpf "      \"implies_speedup\": %.2f,\n" speedup;
+    bpf "      \"speedup_ok\": %b,\n" (speedup >= 2.);
+    bpf "      \"identical\": %b\n" identical;
+    bpf "    },\n";
+    bpf "    \"end_to_end\": {\n";
+    bpf "      \"reference\": {\n";
+    bpf "        \"implies_queries\": %d,\n" e2e_ref.implies_queries;
+    bpf "        \"implies_wall_ns\": %d,\n" e2e_ref.implies_wall_ns;
+    bpf "        \"analysis_wall_s\": %.6f\n" e2e_ref_wall;
+    bpf "      },\n";
+    bpf "      \"fast\": {\n";
+    bpf "        \"implies_queries\": %d,\n" e2e_fast.implies_queries;
+    bpf "        \"implies_memo_hits\": %d,\n" e2e_fast.implies_memo_hits;
+    bpf "        \"implies_wall_ns\": %d,\n" e2e_fast.implies_wall_ns;
+    bpf "        \"analysis_wall_s\": %.6f\n" e2e_fast_wall;
+    bpf "      }\n";
+    bpf "    },\n";
+    bpf "    \"intern\": {\n";
+    bpf "      \"expr\": { \"hits\": %d, \"misses\": %d, \"hit_rate\": %.4f },\n"
+      eh em er;
+    bpf
+      "      \"constr\": { \"hits\": %d, \"misses\": %d, \"hit_rate\": %.4f \
+       },\n"
+      ch cm cr;
+    bpf "      \"system\": { \"hits\": %d, \"misses\": %d, \"hit_rate\": %.4f }\n"
+      sh sm sr;
+    bpf "    }\n";
+    bpf "  }\n";
+    bpf "}\n";
+    let oc = open_out path in
+    output_string oc (Buffer.contents b);
+    close_out oc;
+    Printf.printf "wrote %s\n" path
+  end
+
+(* ------------------------------------------------------------------ *)
 (* check-json: validate emitted JSON files (bench records, uhc --trace
    traces, uhc --metrics dumps) without external deps.  The shape is
    detected from the top-level key; traces additionally go through
@@ -941,6 +1151,20 @@ let check_solver_json path doc =
   | Some (Obs.Json.Obj _), Some (Obs.Json.Obj _) ->
     Printf.printf "check-json: %s OK (solver section present)\n" path
   | _ -> check_fail "solver.end_to_end / solver.micro missing"
+
+let check_regions_json path doc =
+  match
+    ( Obs.Json.member "join" doc,
+      Obs.Json.member "end_to_end" doc,
+      Obs.Json.member "intern" doc )
+  with
+  | Some (Obs.Json.Obj _ as join), Some (Obs.Json.Obj _), Some (Obs.Json.Obj _)
+    -> (
+    match Obs.Json.member "identical" join with
+    | Some (Obs.Json.Bool true) ->
+      Printf.printf "check-json: %s OK (regions section present)\n" path
+    | _ -> check_fail "regions.join.identical is not true")
+  | _ -> check_fail "regions.join / regions.end_to_end / regions.intern missing"
 
 let check_trace_json path raw =
   match Obs.Trace.parse raw with
@@ -1050,23 +1274,27 @@ let check_json_file path =
       | Obs.Json.Obj _ -> (
         match
           ( Obs.Json.member "solver" v,
+            Obs.Json.member "regions" v,
             Obs.Json.member "traceEvents" v,
             Obs.Json.member "metrics" v,
             Obs.Json.member "obs" v,
             Obs.Json.member "diagnostics" v )
         with
-        | Some (Obs.Json.Obj _ as doc), _, _, _, _ -> check_solver_json path doc
-        | _, Some (Obs.Json.List _), _, _, _ -> check_trace_json path raw
-        | _, _, Some (Obs.Json.List entries), _, _ ->
+        | Some (Obs.Json.Obj _ as doc), _, _, _, _, _ ->
+          check_solver_json path doc
+        | _, Some (Obs.Json.Obj _ as doc), _, _, _, _ ->
+          check_regions_json path doc
+        | _, _, Some (Obs.Json.List _), _, _, _ -> check_trace_json path raw
+        | _, _, _, Some (Obs.Json.List entries), _, _ ->
           check_metrics_json path entries
-        | _, _, _, Some (Obs.Json.Obj _), _ ->
+        | _, _, _, _, Some (Obs.Json.Obj _), _ ->
           Printf.printf "check-json: %s OK (obs section present)\n" path
-        | _, _, _, _, Some (Obs.Json.List entries) ->
+        | _, _, _, _, _, Some (Obs.Json.List entries) ->
           check_diagnostics_json path entries
         | _ ->
           check_fail
             "no recognized top-level section \
-             (solver/traceEvents/metrics/obs/diagnostics)")
+             (solver/regions/traceEvents/metrics/obs/diagnostics)")
       | _ -> check_fail "top-level value is not an object")
   with Check_fail msg ->
     Printf.eprintf "check-json: %s in %s\n" msg path;
@@ -1263,5 +1491,6 @@ let () =
     if all || only "locality" then bench_locality ();
     if all || only "engine" then bench_engine ();
     if all || only "solver" then bench_solver ~json ~out ();
+    if all || only "regions" then bench_regions ~json ~out ();
     if all || only "obs" then bench_obs ~json ~out ();
     if all || only "timing" then timing_suite ()

@@ -8,13 +8,13 @@
 let run paths corpus out_dir project dump_whirl dump_src dump_callgraph
     dump_summaries execute wopt ipl_dir fuse autopar emit_whirl loop_summaries
     jobs cache_dir stats stats_det trace metrics log_level keep_going
-    fault_specs diagnostics solver_budget =
+    fault_specs diagnostics solver_budget join_path =
   Pipeline.exec
     (Pipeline.make ~paths ?corpus ?out_dir ~project ~dump_whirl ~dump_src
        ~dump_callgraph ~dump_summaries ~execute ~wopt ?ipl_dir ~fuse ~autopar
        ?emit_whirl ~loop_summaries ~jobs ?cache_dir ~stats ~stats_det ?trace
        ?metrics ~log_level ~keep_going ~fault_specs ?diagnostics ?solver_budget
-       ())
+       ~join_path ())
 
 open Cmdliner
 
@@ -207,6 +207,17 @@ let solver_budget =
               conservatively from the interval box instead of running \
               Fourier-Motzkin.")
 
+let join_path =
+  Arg.(
+    value
+    & opt (enum [ ("fast", `Fast); ("reference", `Reference) ]) `Fast
+    & info [ "join-path" ] ~docv:"PATH"
+        ~doc:"Region-join implementation: fast (default) uses the \
+              hash-consed short-circuits, bucketed summaries and the \
+              entailment memo; reference restores the pre-interning join. \
+              Outputs are byte-identical either way (the knob exists for \
+              differential testing and bench regions).")
+
 let cmd =
   let doc = "analyze array regions in MiniF/MiniC programs (OpenUH-style)" in
   Cmd.v
@@ -216,6 +227,6 @@ let cmd =
       $ dump_callgraph $ dump_summaries $ execute $ wopt $ ipl_dir $ fuse
       $ autopar $ emit_whirl $ loop_summaries $ jobs $ cache_dir $ stats
       $ stats_det $ trace $ metrics $ log_level $ keep_going $ fault_specs
-      $ diagnostics $ solver_budget)
+      $ diagnostics $ solver_budget $ join_path)
 
 let () = exit (Cmd.eval' cmd)

@@ -320,26 +320,7 @@ let run (cfg : config) (m : Ir.module_) : result =
          looks up was finished at level [< l].  Members of one SCC run
          sequentially in call-graph order; a not-yet-summarized member of
          the same cycle reads as [None] — the serial path's schedule. *)
-      let nscc = Array.length scc_arr in
-      let scc_of = Hashtbl.create (2 * n) in
-      Array.iteri
-        (fun si scc -> List.iter (fun p -> Hashtbl.replace scc_of p si) scc)
-        scc_arr;
-      let level = Array.make nscc 0 in
-      Array.iteri
-        (fun si scc ->
-          level.(si) <-
-            List.fold_left
-              (fun acc p ->
-                List.fold_left
-                  (fun acc c ->
-                    match Hashtbl.find_opt scc_of c with
-                    | Some cj when cj <> si -> max acc (level.(cj) + 1)
-                    | _ -> acc)
-                  acc
-                  (Ipa.Callgraph.callees cg p))
-              0 scc)
-        scc_arr;
+      let level = Ipa.Callgraph.scc_levels cg in
       let lookup name =
         match idx name with Some j -> summaries.(j) | None -> None
       in

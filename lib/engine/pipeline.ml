@@ -34,6 +34,7 @@ type config = {
   fault_specs : string list;
   diagnostics : string option;
   solver_budget : int option;
+  join_path : [ `Fast | `Reference ];
 }
 
 let make ?(paths = []) ?corpus ?out_dir ?(project = "project")
@@ -42,7 +43,7 @@ let make ?(paths = []) ?corpus ?out_dir ?(project = "project")
     ?(wopt = false) ?(fuse = false) ?(autopar = false) ?ipl_dir ?emit_whirl
     ?(jobs = 1) ?cache_dir ?(stats = false) ?(stats_det = false) ?trace
     ?metrics ?(log_level = Obs.Log.Quiet) ?(keep_going = false)
-    ?(fault_specs = []) ?diagnostics ?solver_budget () =
+    ?(fault_specs = []) ?diagnostics ?solver_budget ?(join_path = `Fast) () =
   {
     paths;
     corpus;
@@ -70,6 +71,7 @@ let make ?(paths = []) ?corpus ?out_dir ?(project = "project")
     fault_specs;
     diagnostics;
     solver_budget;
+    join_path;
   }
 
 let read_file path =
@@ -359,6 +361,16 @@ let exec_full (cfg : config) =
       false
   in
   Linear.System.set_step_budget cfg.solver_budget;
+  (* join-path selection: [`Reference] measures the pre-interning join
+     (per-entry summary folds, no id short-circuit, no implies memo);
+     outputs are byte-identical either way *)
+  (match cfg.join_path with
+  | `Fast ->
+    Regions.Region.set_fast_join true;
+    Linear.System.set_implies_memo_enabled true
+  | `Reference ->
+    Regions.Region.set_fast_join false;
+    Linear.System.set_implies_memo_enabled false);
   if cfg.fault_specs <> [] || cfg.solver_budget <> None then
     (* degraded answers are never memoized, but an earlier in-process run
        may have cached exact answers the faulted run should recompute (and
@@ -378,6 +390,8 @@ let exec_full (cfg : config) =
     ~finally:(fun () ->
       Fault.clear ();
       Linear.System.set_step_budget None;
+      Regions.Region.set_fast_join true;
+      Linear.System.set_implies_memo_enabled true;
       if cfg.fault_specs <> [] || cfg.solver_budget <> None then
         Linear.System.clear_cache ();
       (* flush observation files even when the pipeline failed: a trace of a

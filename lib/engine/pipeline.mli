@@ -56,6 +56,14 @@ type config = {
       (** per-query step budget for {!Linear.System.feasible}; over-budget
           queries degrade to the interval-box answer
           ({!Linear.System.set_step_budget}) *)
+  join_path : [ `Fast | `Reference ];
+      (** region-join implementation: [`Fast] (default) uses the
+          hash-consed short-circuits, bucketed summary construction and
+          the global implies memo; [`Reference] restores the pre-interning
+          path ({!Regions.Region.set_fast_join},
+          {!Linear.System.set_implies_memo_enabled}).  Outputs are
+          byte-identical — the knob exists for differential tests and the
+          [bench regions] before/after comparison ([uhc --join-path]) *)
 }
 
 val make :
@@ -85,6 +93,7 @@ val make :
   ?fault_specs:string list ->
   ?diagnostics:string ->
   ?solver_budget:int ->
+  ?join_path:[ `Fast | `Reference ] ->
   unit ->
   config
 (** Everything defaults to off/empty; [project] defaults to ["project"],

@@ -72,7 +72,7 @@ let summarize_pu (m : Ir.module_) ~lookup (info : Collect.pu_info) =
   let pu = info.Collect.p_pu in
   let local = Summary.of_local m pu info.Collect.p_accesses in
   let extra = ref [] in
-  let summary = ref local in
+  let entries = ref [] in
   List.iter
     (fun (site : Collect.site) ->
       match Ir.find_pu m site.Collect.s_callee with
@@ -99,37 +99,39 @@ let summarize_pu (m : Ir.module_) ~lookup (info : Collect.pu_info) =
                 ac_via = Some site.Collect.s_callee;
               }
               :: !extra;
-            summary :=
-              Summary.add_entry !summary
-                (let key =
-                   if Ir.is_global_idx tr.Summary.t_st then
-                     Summary.Kglobal tr.Summary.t_st
-                   else
-                     match
-                       let rec pos i = function
-                         | [] -> None
-                         | f :: rest ->
-                           if f = tr.Summary.t_st then Some i
-                           else pos (i + 1) rest
-                       in
-                       pos 0 pu.Ir.pu_formals
-                     with
-                     | Some p -> Summary.Kformal p
-                     | None -> Summary.Kglobal (-1)
-                 in
-                 {
-                   Summary.e_key = key;
-                   e_mode = tr.Summary.t_mode;
-                   e_region = tr.Summary.t_region;
-                   e_count = tr.Summary.t_count;
-                 }))
+            let key =
+              if Ir.is_global_idx tr.Summary.t_st then
+                Summary.Kglobal tr.Summary.t_st
+              else
+                match
+                  let rec pos i = function
+                    | [] -> None
+                    | f :: rest ->
+                      if f = tr.Summary.t_st then Some i else pos (i + 1) rest
+                  in
+                  pos 0 pu.Ir.pu_formals
+                with
+                | Some p -> Summary.Kformal p
+                | None -> Summary.Kglobal (-1)
+            in
+            entries :=
+              {
+                Summary.e_key = key;
+                e_mode = tr.Summary.t_mode;
+                e_region = tr.Summary.t_region;
+                e_count = tr.Summary.t_count;
+              }
+              :: !entries)
           translated)
     info.Collect.p_sites;
+  (* one bucketed pass over all call-site contributions (same result as the
+     per-entry add_entry fold: entries are replayed in collection order) *)
+  let summary = Summary.add_entries local (List.rev !entries) in
   (* entries that target caller locals (key Kglobal (-1)) don't escape *)
   let exported =
     List.filter
       (fun (e : Summary.entry) -> e.Summary.e_key <> Summary.Kglobal (-1))
-      !summary
+      summary
   in
   (exported, List.rev !extra)
 

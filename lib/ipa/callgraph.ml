@@ -13,7 +13,57 @@ type t = {
   callee_map : (string, string list) Hashtbl.t;
   caller_map : (string, string list) Hashtbl.t;
   site_map : (string, callsite list) Hashtbl.t;
+  (* derived structure, computed once at build time (the record is
+     immutable afterwards, so parallel engine workers can share it): *)
+  scc_list : string list list;  (** reverse topological (callees first) *)
+  scc_index_tbl : (string, int) Hashtbl.t;  (** proc -> index in scc_list *)
+  levels : int array;  (** per SCC index: DAG depth from the leaves *)
+  recursive_set : (string, unit) Hashtbl.t;
 }
+
+(* Tarjan SCC; result in reverse topological order (callees first).  Note
+   the recursion follows every callee name, so procedures that are called
+   but never defined get their own singleton components too — downstream
+   consumers (the engine's Merkle keys, the level schedule) rely on that. *)
+let compute_sccs order callees_of =
+  let index = Hashtbl.create 16 in
+  let lowlink = Hashtbl.create 16 in
+  let on_stack = Hashtbl.create 16 in
+  let stack = ref [] in
+  let counter = ref 0 in
+  let components = ref [] in
+  let rec strongconnect v =
+    Hashtbl.replace index v !counter;
+    Hashtbl.replace lowlink v !counter;
+    incr counter;
+    stack := v :: !stack;
+    Hashtbl.replace on_stack v ();
+    List.iter
+      (fun w ->
+        if not (Hashtbl.mem index w) then begin
+          strongconnect w;
+          Hashtbl.replace lowlink v
+            (min (Hashtbl.find lowlink v) (Hashtbl.find lowlink w))
+        end
+        else if Hashtbl.mem on_stack w then
+          Hashtbl.replace lowlink v
+            (min (Hashtbl.find lowlink v) (Hashtbl.find index w)))
+      (callees_of v);
+    if Hashtbl.find lowlink v = Hashtbl.find index v then begin
+      let rec pop acc =
+        match !stack with
+        | [] -> acc
+        | w :: rest ->
+          stack := rest;
+          Hashtbl.remove on_stack w;
+          if String.equal w v then w :: acc else pop (w :: acc)
+      in
+      components := pop [] :: !components
+    end
+  in
+  List.iter (fun v -> if not (Hashtbl.mem index v) then strongconnect v) order;
+  (* Tarjan emits components in reverse topological order already *)
+  List.rev !components
 
 let build (m : Ir.module_) =
   let order = List.map (fun pu -> pu.Ir.pu_name) m.Ir.m_pus in
@@ -56,7 +106,49 @@ let build (m : Ir.module_) =
       let cur = try Hashtbl.find site_map cs.cs_caller with Not_found -> [] in
       Hashtbl.replace site_map cs.cs_caller (cur @ [ cs ]))
     sites;
-  { order; sites; callee_map; caller_map; site_map }
+  let callees_of name =
+    try Hashtbl.find callee_map name with Not_found -> []
+  in
+  let scc_list = compute_sccs order callees_of in
+  let scc_arr = Array.of_list scc_list in
+  let scc_index_tbl = Hashtbl.create 16 in
+  Array.iteri
+    (fun si scc -> List.iter (fun p -> Hashtbl.replace scc_index_tbl p si) scc)
+    scc_arr;
+  (* an SCC's level is one more than its deepest callee SCC: reverse
+     topological order guarantees every callee SCC index is already done *)
+  let levels = Array.make (Array.length scc_arr) 0 in
+  Array.iteri
+    (fun si scc ->
+      levels.(si) <-
+        List.fold_left
+          (fun acc p ->
+            List.fold_left
+              (fun acc c ->
+                match Hashtbl.find_opt scc_index_tbl c with
+                | Some cj when cj <> si -> max acc (levels.(cj) + 1)
+                | _ -> acc)
+              acc (callees_of p))
+          0 scc)
+    scc_arr;
+  let recursive_set = Hashtbl.create 16 in
+  Array.iter
+    (fun scc ->
+      match scc with
+      | [ p ] -> if List.mem p (callees_of p) then Hashtbl.replace recursive_set p ()
+      | _ -> List.iter (fun p -> Hashtbl.replace recursive_set p ()) scc)
+    scc_arr;
+  {
+    order;
+    sites;
+    callee_map;
+    caller_map;
+    site_map;
+    scc_list;
+    scc_index_tbl;
+    levels;
+    recursive_set;
+  }
 
 let procs t = t.order
 let callsites t = t.sites
@@ -87,52 +179,11 @@ let preorder t =
   List.iter dfs t.order;
   List.rev !out
 
-(* Tarjan SCC; result in reverse topological order (callees first). *)
-let sccs t =
-  let index = Hashtbl.create 16 in
-  let lowlink = Hashtbl.create 16 in
-  let on_stack = Hashtbl.create 16 in
-  let stack = ref [] in
-  let counter = ref 0 in
-  let components = ref [] in
-  let rec strongconnect v =
-    Hashtbl.replace index v !counter;
-    Hashtbl.replace lowlink v !counter;
-    incr counter;
-    stack := v :: !stack;
-    Hashtbl.replace on_stack v ();
-    List.iter
-      (fun w ->
-        if not (Hashtbl.mem index w) then begin
-          strongconnect w;
-          Hashtbl.replace lowlink v
-            (min (Hashtbl.find lowlink v) (Hashtbl.find lowlink w))
-        end
-        else if Hashtbl.mem on_stack w then
-          Hashtbl.replace lowlink v
-            (min (Hashtbl.find lowlink v) (Hashtbl.find index w)))
-      (callees t v);
-    if Hashtbl.find lowlink v = Hashtbl.find index v then begin
-      let rec pop acc =
-        match !stack with
-        | [] -> acc
-        | w :: rest ->
-          stack := rest;
-          Hashtbl.remove on_stack w;
-          if String.equal w v then w :: acc else pop (w :: acc)
-      in
-      components := pop [] :: !components
-    end
-  in
-  List.iter (fun v -> if not (Hashtbl.mem index v) then strongconnect v) t.order;
-  (* Tarjan emits components in reverse topological order already *)
-  List.rev !components
-
-let bottom_up t = List.concat (sccs t)
-
-let is_recursive t name =
-  List.mem name (callees t name)
-  || List.exists (fun c -> List.length c > 1 && List.mem name c) (sccs t)
+let sccs t = t.scc_list
+let scc_index t name = Hashtbl.find_opt t.scc_index_tbl name
+let scc_levels t = t.levels
+let bottom_up t = List.concat t.scc_list
+let is_recursive t name = Hashtbl.mem t.recursive_set name
 
 let to_dot t =
   let buf = Buffer.create 512 in

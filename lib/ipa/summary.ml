@@ -53,6 +53,89 @@ let add_entry summary entry =
     end
   end
 
+(* Bucketed construction: the same summary [add_entry] builds, without the
+   O(n) whole-list scan per insertion.  Entries live in a growable array in
+   insertion order (a [None] is a tombstone left by a cap collapse); a
+   hashtable maps each (key, mode) slot to its live indices in increasing
+   order.  "First display-equal entry in the list" is then "first
+   display-equal index in the bucket", and a cap collapse tombstones the
+   bucket and appends the merged entry at the end — the exact positions
+   [add_entry] produces. *)
+module Builder = struct
+  type b = {
+    mutable arr : entry option array;
+    mutable len : int;
+    index : (key * Mode.t, int list) Hashtbl.t;
+  }
+
+  let create () =
+    { arr = Array.make 16 None; len = 0; index = Hashtbl.create 16 }
+
+  let push b entry =
+    if b.len = Array.length b.arr then begin
+      let arr' = Array.make (2 * b.len) None in
+      Array.blit b.arr 0 arr' 0 b.len;
+      b.arr <- arr'
+    end;
+    let i = b.len in
+    b.arr.(i) <- Some entry;
+    b.len <- b.len + 1;
+    i
+
+  let add b entry =
+    let k = (entry.e_key, entry.e_mode) in
+    let idxs = try Hashtbl.find b.index k with Not_found -> [] in
+    let rec try_merge = function
+      | [] -> false
+      | i :: rest -> (
+        match b.arr.(i) with
+        | Some e when Region.equal_display e.e_region entry.e_region ->
+          b.arr.(i) <- Some { e with e_count = e.e_count + entry.e_count };
+          true
+        | _ -> try_merge rest)
+    in
+    if try_merge idxs then ()
+    else if List.length idxs < max_regions_per_key then begin
+      let i = push b entry in
+      Hashtbl.replace b.index k (idxs @ [ i ])
+    end
+    else begin
+      let slot = List.filter_map (fun i -> b.arr.(i)) idxs in
+      let union =
+        Region.union_many (entry.e_region :: List.map (fun e -> e.e_region) slot)
+      in
+      let count =
+        List.fold_left (fun acc e -> acc + e.e_count) entry.e_count slot
+      in
+      List.iter (fun i -> b.arr.(i) <- None) idxs;
+      let i = push b { entry with e_region = union; e_count = count } in
+      Hashtbl.replace b.index k [ i ]
+    end
+
+  (* A well-formed summary replays through [add] as pure appends (slots are
+     display-distinct and within the cap), so this is the identity on the
+     entry list — it just rebuilds the bucket index. *)
+  let of_summary (s : t) =
+    let b = create () in
+    List.iter (add b) s;
+    b
+
+  let to_summary b =
+    let out = ref [] in
+    for i = b.len - 1 downto 0 do
+      match b.arr.(i) with Some e -> out := e :: !out | None -> ()
+    done;
+    !out
+end
+
+let add_entries summary entries =
+  if Region.fast_join_enabled () then begin
+    let b = Builder.of_summary summary in
+    List.iter (Builder.add b) entries;
+    Builder.to_summary b
+  end
+  else List.fold_left add_entry summary entries
+
 let formal_position pu st =
   let rec go i = function
     | [] -> None
@@ -62,29 +145,31 @@ let formal_position pu st =
 
 let of_local m pu accesses =
   ignore m;
-  List.fold_left
-    (fun acc (a : Collect.access) ->
-      match a.Collect.ac_mode with
-      | Mode.FORMAL | Mode.PASSED -> acc
-      | Mode.RUSE | Mode.RDEF ->
-        (* remote accesses target another image's copy: they are displayed
-           per-procedure but do not contribute to local side effects *)
-        acc
-      | (Mode.USE | Mode.DEF) as mode ->
-        let key =
-          if Ir.is_global_idx a.Collect.ac_st then
-            Some (Kglobal a.Collect.ac_st)
-          else
-            match formal_position pu a.Collect.ac_st with
-            | Some p -> Some (Kformal p)
-            | None -> None (* locals do not escape *)
-        in
-        (match key with
-        | None -> acc
-        | Some e_key ->
-          add_entry acc
-            { e_key; e_mode = mode; e_region = a.Collect.ac_region; e_count = 1 }))
-    [] accesses
+  let entries =
+    List.filter_map
+      (fun (a : Collect.access) ->
+        match a.Collect.ac_mode with
+        | Mode.FORMAL | Mode.PASSED -> None
+        | Mode.RUSE | Mode.RDEF ->
+          (* remote accesses target another image's copy: they are displayed
+             per-procedure but do not contribute to local side effects *)
+          None
+        | (Mode.USE | Mode.DEF) as mode ->
+          let key =
+            if Ir.is_global_idx a.Collect.ac_st then
+              Some (Kglobal a.Collect.ac_st)
+            else
+              match formal_position pu a.Collect.ac_st with
+              | Some p -> Some (Kformal p)
+              | None -> None (* locals do not escape *)
+          in
+          Option.map
+            (fun e_key ->
+              { e_key; e_mode = mode; e_region = a.Collect.ac_region; e_count = 1 })
+            key)
+      accesses
+  in
+  add_entries [] entries
 
 let opaque m pu =
   let entries = ref [] in

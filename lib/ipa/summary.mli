@@ -29,6 +29,14 @@ val max_regions_per_key : int
 val add_entry : t -> entry -> t
 (** Merges with an existing display-equal region, respects the cap. *)
 
+val add_entries : t -> entry list -> t
+(** Same result as folding {!add_entry} left-to-right (that fold is the
+    definition, and the path taken when {!Regions.Region.fast_join_enabled}
+    is off).  The default fast path builds the summary through a
+    (key, mode)-bucketed index, replacing the per-insertion whole-list scan
+    with a bucket lookup, and collapses capped slots through
+    {!Regions.Region.union_many}. *)
+
 val of_local :
   Whirl.Ir.module_ -> Whirl.Ir.pu -> Collect.access list -> t
 (** Direct accesses only: local arrays are dropped, FORMAL/PASSED modes are

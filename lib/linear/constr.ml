@@ -2,7 +2,23 @@ open Numeric
 
 type op = Le | Eq
 
-type t = { expr : Expr.t; op : op }
+(* Hash-consed on (op, expr): [Expr.t] is itself interned, so the content
+   key is the pair of the op tag and the expression's id. *)
+type t = { id : int; expr : Expr.t; op : op }
+
+module I = Intern.Make (struct
+  type nonrec t = t
+
+  let equal a b = a.op = b.op && Expr.equal a.expr b.expr
+
+  let hash t =
+    Intern.mix (match t.op with Le -> 3 | Eq -> 5) (Expr.id t.expr)
+
+  let with_id t id = { t with id }
+  let name = "constr"
+end)
+
+let mk expr op = I.intern { id = -1; expr; op }
 
 (* Scale to integer coefficients with gcd 1 so that structurally equal
    constraints compare equal and the integer-negation trick in
@@ -25,7 +41,7 @@ let normalize expr op =
       | [] -> if Rat.sign (Expr.constant expr) < 0 then Expr.neg expr else expr
       | v :: _ -> if Rat.sign (Expr.coeff v expr) < 0 then Expr.neg expr else expr)
   in
-  { expr; op }
+  mk expr op
 
 let make expr op = normalize expr op
 
@@ -35,6 +51,7 @@ let eq a b = make (Expr.sub a b) Eq
 
 let expr t = t.expr
 let op t = t.op
+let id t = t.id
 
 let is_trivial t =
   if not (Expr.is_const t.expr) then None
@@ -55,11 +72,13 @@ let holds valuation t =
 let vars t = Expr.vars t.expr
 let mem v t = Expr.mem v t.expr
 
-let equal a b = a.op = b.op && Expr.equal a.expr b.expr
+let equal a b = a.id = b.id
 
 let compare a b =
-  let c = Stdlib.compare a.op b.op in
-  if c <> 0 then c else Expr.compare a.expr b.expr
+  if a.id = b.id then 0
+  else
+    let c = Stdlib.compare a.op b.op in
+    if c <> 0 then c else Expr.compare a.expr b.expr
 
 let pp ppf t =
   let opstr = match t.op with Le -> "<=" | Eq -> "=" in

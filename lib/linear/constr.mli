@@ -4,7 +4,9 @@ open Numeric
 
 type op = Le | Eq
 
-type t = private { expr : Expr.t; op : op }
+type t
+(** Hash-consed: structurally equal constraints (after {!make}'s
+    normalization) are the same value with the same {!id}. *)
 
 val make : Expr.t -> op -> t
 (** Normalizes coefficients: scaled to coprime integers, and for [Eq] the
@@ -18,6 +20,10 @@ val eq : Expr.t -> Expr.t -> t
 
 val expr : t -> Expr.t
 val op : t -> op
+
+val id : t -> int
+(** Unique intern id (equality/memo keys only; never ordering or
+    persistence — see {!Expr.id}). *)
 
 val is_trivial : t -> bool option
 (** For a constant constraint, [Some true] if always satisfied, [Some false]
@@ -34,5 +40,9 @@ val vars : t -> Var.t list
 val mem : Var.t -> t -> bool
 
 val equal : t -> t -> bool
+(** One integer comparison (intern ids). *)
+
 val compare : t -> t -> int
+(** Structural order (scheduling-independent). *)
+
 val pp : Format.formatter -> t -> unit

@@ -1,10 +1,35 @@
 open Numeric
 
-type t = { terms : Rat.t Var.Map.t; constant : Rat.t }
+(* Hash-consed: [id] is the process-unique intern id of the (terms,
+   constant) content, [hash] its structural hash.  Every constructor routes
+   through [mk]/[intern], so two structurally equal expressions are always
+   the same value and [equal] is one integer comparison.  [compare] stays
+   structural (ids are allocation-order dependent) so that every canonical
+   ordering downstream is independent of scheduling. *)
+type t = { id : int; hash : int; terms : Rat.t Var.Map.t; constant : Rat.t }
 
-let zero = { terms = Var.Map.empty; constant = Rat.zero }
+let content_hash terms constant =
+  let rat acc r = Intern.mix (Intern.mix acc (Rat.num r)) (Rat.den r) in
+  Var.Map.fold (fun v c acc -> rat (Intern.mix acc (Var.id v)) c) terms
+    (rat 0x811c9dc5 constant)
 
-let const c = { terms = Var.Map.empty; constant = c }
+module I = Intern.Make (struct
+  type nonrec t = t
+
+  let equal a b =
+    Rat.equal a.constant b.constant && Var.Map.equal Rat.equal a.terms b.terms
+
+  let hash t = t.hash
+  let with_id t id = { t with id }
+  let name = "expr"
+end)
+
+let mk terms constant =
+  I.intern { id = -1; hash = content_hash terms constant; terms; constant }
+
+let zero = mk Var.Map.empty Rat.zero
+
+let const c = mk Var.Map.empty c
 
 let of_int n = const (Rat.of_int n)
 
@@ -13,7 +38,7 @@ let norm_coeff c = if Rat.equal c Rat.zero then None else Some c
 let monom c v =
   match norm_coeff c with
   | None -> zero
-  | Some c -> { terms = Var.Map.singleton v c; constant = Rat.zero }
+  | Some c -> mk (Var.Map.singleton v c) Rat.zero
 
 let var v = monom Rat.one v
 
@@ -21,18 +46,17 @@ let add a b =
   let terms =
     Var.Map.union (fun _ ca cb -> norm_coeff (Rat.add ca cb)) a.terms b.terms
   in
-  { terms; constant = Rat.add a.constant b.constant }
+  mk terms (Rat.add a.constant b.constant)
 
 let scale k t =
   if Rat.equal k Rat.zero then zero
-  else
-    { terms = Var.Map.map (Rat.mul k) t.terms; constant = Rat.mul k t.constant }
+  else mk (Var.Map.map (Rat.mul k) t.terms) (Rat.mul k t.constant)
 
 let neg t = scale Rat.minus_one t
 
 let sub a b = add a (neg b)
 
-let add_const c t = { t with constant = Rat.add c t.constant }
+let add_const c t = mk t.terms (Rat.add c t.constant)
 
 let coeff v t =
   match Var.Map.find_opt v t.terms with Some c -> c | None -> Rat.zero
@@ -49,7 +73,7 @@ let subst v e t =
   let c = coeff v t in
   if Rat.equal c Rat.zero then t
   else
-    let without = { t with terms = Var.Map.remove v t.terms } in
+    let without = mk (Var.Map.remove v t.terms) t.constant in
     add without (scale c e)
 
 let map_vars f t =
@@ -64,7 +88,7 @@ let map_vars f t =
           acc)
       t.terms Var.Map.empty
   in
-  { t with terms }
+  mk terms t.constant
 
 let eval valuation t =
   Var.Map.fold
@@ -86,12 +110,16 @@ let denominator_lcm t =
     (fun _ c acc -> Rat.lcm acc (Rat.den c))
     t.terms (Rat.den t.constant)
 
-let equal a b =
-  Rat.equal a.constant b.constant && Var.Map.equal Rat.equal a.terms b.terms
+let id t = t.id
+let hash t = t.hash
+
+let equal a b = a.id = b.id
 
 let compare a b =
-  let c = Rat.compare a.constant b.constant in
-  if c <> 0 then c else Var.Map.compare Rat.compare a.terms b.terms
+  if a.id = b.id then 0
+  else
+    let c = Rat.compare a.constant b.constant in
+    if c <> 0 then c else Var.Map.compare Rat.compare a.terms b.terms
 
 let pp ppf t =
   let first = ref true in

@@ -4,7 +4,9 @@
 open Numeric
 
 type t
-(** Immutable; variables with zero coefficient are never stored. *)
+(** Immutable and hash-consed: structurally equal expressions are the same
+    value with the same {!id}.  Variables with zero coefficient are never
+    stored. *)
 
 val zero : t
 val const : Rat.t -> t
@@ -46,7 +48,20 @@ val fold : (Var.t -> Rat.t -> 'a -> 'a) -> t -> 'a -> 'a
 val denominator_lcm : t -> int
 (** Positive lcm of all coefficient denominators (including the constant). *)
 
+val id : t -> int
+(** Unique intern id of this content (positive).  Allocation-order
+    dependent: valid for equality and memo keys within the process, never
+    for ordering or persistence. *)
+
+val hash : t -> int
+(** Precomputed structural hash (O(1)). *)
+
 val equal : t -> t -> bool
+(** One integer comparison (intern ids). *)
+
 val compare : t -> t -> int
+(** Structural order (scheduling-independent), with an id fast path for the
+    equal case. *)
+
 val pp : Format.formatter -> t -> unit
 val to_string : t -> string

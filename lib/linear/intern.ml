@@ -1,0 +1,47 @@
+let mix acc h = (acc * 0x01000193) lxor (h land max_int)
+
+let shards = 64 (* power of two; indexed by the low bits of the hash *)
+
+module Make (H : sig
+  type t
+
+  val equal : t -> t -> bool
+  val hash : t -> int
+  val with_id : t -> int -> t
+  val name : string
+end) =
+struct
+  module Tbl = Hashtbl.Make (struct
+    type t = H.t
+
+    let equal = H.equal
+    let hash t = H.hash t land max_int
+  end)
+
+  type shard = { mutex : Mutex.t; tbl : H.t Tbl.t }
+
+  let table =
+    Array.init shards (fun _ ->
+        { mutex = Mutex.create (); tbl = Tbl.create 256 })
+
+  (* ids are unique across shards; 0 is never handed out so that freshly
+     built candidates (id -1) can never collide with a canonical id *)
+  let next_id = Atomic.make 1
+  let c_hits = Obs.Metrics.counter ("linear.intern." ^ H.name ^ ".hits")
+  let c_misses = Obs.Metrics.counter ("linear.intern." ^ H.name ^ ".misses")
+
+  let intern node =
+    let s = table.(H.hash node land (shards - 1)) in
+    Mutex.lock s.mutex;
+    match Tbl.find_opt s.tbl node with
+    | Some v ->
+      Mutex.unlock s.mutex;
+      Obs.Metrics.Counter.incr c_hits;
+      v
+    | None ->
+      let v = H.with_id node (Atomic.fetch_and_add next_id 1) in
+      Tbl.add s.tbl v v;
+      Mutex.unlock s.mutex;
+      Obs.Metrics.Counter.incr c_misses;
+      v
+end

@@ -1,0 +1,41 @@
+(** Hash-consing support for the linear-algebra terms.
+
+    Each syntactic class ({!Expr}, {!Constr}, {!System}) keeps one global
+    intern table mapping a node's content to its unique representative; the
+    representative carries a process-unique integer id, so equality of
+    interned values is one integer comparison and hashing is O(1).
+
+    Ids are allocation-order dependent (hence scheduling-dependent under
+    the parallel engine and unstable across processes): they may back
+    equality tests and memo keys, but never anything rendered, persisted,
+    or used to order output — canonical orderings stay structural.
+
+    Tables are sharded by content hash to keep lock contention negligible
+    under the engine's worker domains, and are never cleared: dropping a
+    table while live values still carry its ids would let two structurally
+    equal terms intern to different ids. *)
+
+module Make (H : sig
+  type t
+
+  val equal : t -> t -> bool
+  (** Structural equality of the content, ignoring the id field. *)
+
+  val hash : t -> int
+  (** Structural hash of the content, ignoring the id field. *)
+
+  val with_id : t -> int -> t
+  (** The same node carrying its freshly assigned id. *)
+
+  val name : string
+  (** Metric suffix: hit/miss counters register as
+      ["linear.intern.<name>.hits"] / [".misses"]. *)
+end) : sig
+  val intern : H.t -> H.t
+  (** [intern node] returns the canonical representative of [node]'s
+      content: the previously interned value if one exists (the candidate
+      is dropped), otherwise [node] with a fresh id, now canonical. *)
+end
+
+val mix : int -> int -> int
+(** Hash combinator: [mix acc h] folds [h] into [acc] (FNV-style). *)

@@ -25,6 +25,9 @@ type t = {
   reference_runs : int;  (* queries answered by the reference path *)
   wall_fast_ns : int;  (* time inside fast-path feasible queries *)
   wall_reference_ns : int;  (* time inside reference-path feasible queries *)
+  implies_queries : int;  (* System.implies entry points answered *)
+  implies_memo_hits : int;  (* answered by the global (system, constraint) memo *)
+  implies_wall_ns : int;  (* time inside implies queries, memo hits included *)
 }
 
 let c_queries = Obs.Metrics.counter "solver.queries"
@@ -40,13 +43,17 @@ let c_overflow_fallbacks = Obs.Metrics.counter "solver.fallback.overflow"
 let c_reference_runs = Obs.Metrics.counter "solver.reference.runs"
 let c_wall_fast_ns = Obs.Metrics.counter "solver.wall.fast_ns"
 let c_wall_reference_ns = Obs.Metrics.counter "solver.wall.reference_ns"
+let c_implies_queries = Obs.Metrics.counter "solver.implies.queries"
+let c_implies_memo_hits = Obs.Metrics.counter "solver.implies.memo_hits"
+let c_implies_wall_ns = Obs.Metrics.counter "solver.implies.wall_ns"
 
 let all =
   [
     c_queries; c_cache_hits; c_cache_misses; c_box_refutations;
     c_syntactic_hits; c_fm_runs; c_fm_rows_built; c_fm_rows_pruned;
     c_tighten_fallbacks; c_overflow_fallbacks; c_reference_runs;
-    c_wall_fast_ns; c_wall_reference_ns;
+    c_wall_fast_ns; c_wall_reference_ns; c_implies_queries;
+    c_implies_memo_hits; c_implies_wall_ns;
   ]
 
 (* Per-domain suppression flag for [quiet]. *)
@@ -76,6 +83,9 @@ let overflow_fallback () = bump c_overflow_fallbacks
 let reference_run () = bump c_reference_runs
 let add_fast_ns n = add c_wall_fast_ns n
 let add_reference_ns n = add c_wall_reference_ns n
+let implies_query () = bump c_implies_queries
+let implies_memo_hit () = bump c_implies_memo_hits
+let add_implies_ns n = add c_implies_wall_ns n
 
 let get = Obs.Metrics.Counter.get
 
@@ -94,6 +104,9 @@ let snapshot () =
     reference_runs = get c_reference_runs;
     wall_fast_ns = get c_wall_fast_ns;
     wall_reference_ns = get c_wall_reference_ns;
+    implies_queries = get c_implies_queries;
+    implies_memo_hits = get c_implies_memo_hits;
+    implies_wall_ns = get c_implies_wall_ns;
   }
 
 let diff a b =
@@ -111,6 +124,9 @@ let diff a b =
     reference_runs = a.reference_runs - b.reference_runs;
     wall_fast_ns = a.wall_fast_ns - b.wall_fast_ns;
     wall_reference_ns = a.wall_reference_ns - b.wall_reference_ns;
+    implies_queries = a.implies_queries - b.implies_queries;
+    implies_memo_hits = a.implies_memo_hits - b.implies_memo_hits;
+    implies_wall_ns = a.implies_wall_ns - b.implies_wall_ns;
   }
 
 let reset () = List.iter (fun c -> Obs.Metrics.Counter.set c 0) all
@@ -125,9 +141,14 @@ let pp ppf t =
      overflow, %d reference@\n"
     t.fm_runs t.fm_rows_built t.fm_rows_pruned t.tighten_fallbacks
     t.overflow_fallbacks t.reference_runs;
-  Format.fprintf ppf "  feasible wall: fast %.3f ms, reference %.3f ms@\n"
+  Format.fprintf ppf "  implies: %d queries (%d memo hit)@\n" t.implies_queries
+    t.implies_memo_hits;
+  Format.fprintf ppf
+    "  feasible wall: fast %.3f ms, reference %.3f ms; implies wall %.3f \
+     ms@\n"
     (float_of_int t.wall_fast_ns /. 1e6)
     (float_of_int t.wall_reference_ns /. 1e6)
+    (float_of_int t.implies_wall_ns /. 1e6)
 
 let pp_deterministic ppf t =
   (* everything but the wall-clock sums: counters are
@@ -140,4 +161,6 @@ let pp_deterministic ppf t =
     "  FM: %d runs, %d rows built, %d pruned; fallbacks: %d tighten, %d \
      overflow, %d reference@\n"
     t.fm_runs t.fm_rows_built t.fm_rows_pruned t.tighten_fallbacks
-    t.overflow_fallbacks t.reference_runs
+    t.overflow_fallbacks t.reference_runs;
+  Format.fprintf ppf "  implies: %d queries (%d memo hit)@\n" t.implies_queries
+    t.implies_memo_hits

@@ -31,6 +31,14 @@ type t = {
   wall_fast_ns : int;  (** nanoseconds inside fast-path feasible queries *)
   wall_reference_ns : int;
       (** nanoseconds inside reference-path feasible queries *)
+  implies_queries : int;  (** [System.implies] entry points answered *)
+  implies_memo_hits : int;
+      (** implies queries answered by the global (system id, constraint id)
+          memo — scheduling-independent: hits are counted against the seen
+          registry, so every distinct pair counts one miss however the pool
+          races *)
+  implies_wall_ns : int;
+      (** nanoseconds inside [System.implies], memo hits included *)
 }
 
 val query : unit -> unit
@@ -46,6 +54,9 @@ val overflow_fallback : unit -> unit
 val reference_run : unit -> unit
 val add_fast_ns : int -> unit
 val add_reference_ns : int -> unit
+val implies_query : unit -> unit
+val implies_memo_hit : unit -> unit
+val add_implies_ns : int -> unit
 
 val snapshot : unit -> t
 (** Current counter values. *)

@@ -1,33 +1,73 @@
 open Numeric
 
-type t = Constr.t list
-(* sorted by Constr.compare, deduplicated, no trivially-true members *)
+(* Hash-consed canonical form: [cs] is sorted by Constr.compare,
+   deduplicated, free of trivially-true members; [id] is the intern id of
+   that constraint list, so equality of systems is one integer comparison
+   and the solver memos key on ints instead of serialized strings.  [pk]
+   caches the packed-row translation of [cs] (immutable once built): it is
+   computed at most once per process instead of once per query.
+
+   Ids are allocation-order dependent (parallel domains intern in racy
+   order), so nothing rendered, persisted or ordered may depend on them:
+   [compare]-based sorting stays structural in Constr/Expr, fault keys
+   stay content-serialized ([key_of]), and the engine's cache digests stay
+   content-based. *)
+
+type pk_state =
+  | Pk_unknown
+  | Pk_rows of Packed.t
+  | Pk_unpackable  (* non-integer coefficient or overflow at pack time *)
+
+type t = { id : int; cs : Constr.t list; pk : pk_state Atomic.t }
+
+module I = Intern.Make (struct
+  type nonrec t = t
+
+  let equal a b = List.equal Constr.equal a.cs b.cs
+
+  let hash t =
+    List.fold_left (fun acc c -> Intern.mix acc (Constr.id c)) 0x2545f491 t.cs
+
+  let with_id t id = { t with id }
+  let name = "system"
+end)
+
+(* [cs] must already be in canonical (normalized) form. *)
+let intern_norm cs = I.intern { id = -1; cs; pk = Atomic.make Pk_unknown }
 
 let false_constraint = Constr.make (Expr.of_int 1) Constr.Le
 
-let normalize cs =
+(* List-level canonicalization.  The eliminator pipeline below works on
+   plain constraint lists and interns only at the public API boundary, so
+   intermediate Fourier-Motzkin systems do not pay an intern round-trip. *)
+let norm_l cs =
   let cs = List.filter (fun c -> Constr.is_trivial c <> Some true) cs in
   if List.exists (fun c -> Constr.is_trivial c = Some false) cs then
     [ false_constraint ]
   else List.sort_uniq Constr.compare cs
 
-let top = []
-let bottom = [ false_constraint ]
+let of_list cs = intern_norm (norm_l cs)
 
-let of_list cs = normalize cs
-let to_list t = t
-let add c t = normalize (c :: t)
-let meet a b = normalize (List.rev_append a b)
-let size t = List.length t
+let top = of_list []
+let bottom = of_list [ false_constraint ]
 
-let vars t =
+let to_list t = t.cs
+let id t = t.id
+let equal a b = a.id = b.id
+let add c t = of_list (c :: t.cs)
+let meet a b = of_list (List.rev_append a.cs b.cs)
+let size t = List.length t.cs
+
+let vars_l cs =
   List.fold_left
     (fun acc c -> List.fold_left (fun s v -> Var.Set.add v s) acc (Constr.vars c))
-    Var.Set.empty t
+    Var.Set.empty cs
 
-let subst v e t = normalize (List.map (Constr.subst v e) t)
+let vars t = vars_l t.cs
 
-let map_vars f t = normalize (List.map (Constr.map_vars f) t)
+let subst v e t = of_list (List.map (Constr.subst v e) t.cs)
+
+let map_vars f t = of_list (List.map (Constr.map_vars f) t.cs)
 
 (* Fourier-Motzkin step.  An equality mentioning [v] gives an exact
    substitution; otherwise lower bounds (coeff < 0) pair with upper bounds
@@ -37,8 +77,8 @@ let map_vars f t = normalize (List.map (Constr.map_vars f) t)
    results are rendered into .rgn files — it stays the single source of
    truth for anything output-sensitive.  Only answer-only queries below go
    through the packed fast path. *)
-let eliminate v t =
-  let mentions, free = List.partition (Constr.mem v) t in
+let elim_l v cs =
+  let mentions, free = List.partition (Constr.mem v) cs in
   match
     List.find_opt (fun c -> Constr.op c = Constr.Eq) mentions
   with
@@ -48,7 +88,7 @@ let eliminate v t =
     let rest = Expr.subst v Expr.zero (Constr.expr e) in
     let solution = Expr.scale (Rat.div Rat.minus_one c) rest in
     let others = List.filter (fun c -> not (Constr.equal c e)) mentions in
-    normalize (free @ List.map (Constr.subst v solution) others)
+    norm_l (free @ List.map (Constr.subst v solution) others)
   | None ->
     let uppers, lowers =
       List.partition (fun c -> Rat.sign (Expr.coeff v (Constr.expr c)) > 0) mentions
@@ -70,23 +110,29 @@ let eliminate v t =
             uppers)
         lowers
     in
-    normalize (free @ combined)
+    norm_l (free @ combined)
 
-let eliminate_all vs t = List.fold_left (fun t v -> eliminate v t) t vs
+let eliminate_all_l vs cs = List.fold_left (fun cs v -> elim_l v cs) cs vs
 
-let project_onto keep t =
-  let doomed = Var.Set.diff (vars t) keep in
-  eliminate_all (Var.Set.elements doomed) t
+let eliminate v t = intern_norm (elim_l v t.cs)
+
+let eliminate_all vs t = intern_norm (eliminate_all_l vs t.cs)
+
+let project_onto_l keep cs =
+  let doomed = Var.Set.diff (vars_l cs) keep in
+  eliminate_all_l (Var.Set.elements doomed) cs
+
+let project_onto keep t = intern_norm (project_onto_l keep t.cs)
 
 (* The exact rational eliminator, kept verbatim as the reference answer for
    every fast path below (and exposed as [Reference.feasible] for
    differential tests and before/after benchmarking). *)
-let ref_feasible t =
-  let t = eliminate_all (Var.Set.elements (vars t)) t in
-  not (List.exists (fun c -> Constr.is_trivial c = Some false) t)
+let ref_feasible_l cs =
+  let cs = eliminate_all_l (Var.Set.elements (vars_l cs)) cs in
+  not (List.exists (fun c -> Constr.is_trivial c = Some false) cs)
 
 (* Constant bounds on [v] once every constraint mentions only [v]. *)
-let local_bounds v t =
+let local_bounds_l v cs =
   List.fold_left
     (fun (lo, hi) c ->
       let e = Constr.expr c in
@@ -105,14 +151,14 @@ let local_bounds v t =
         | Constr.Eq -> (tighten_lo lo, tighten_hi hi)
         | Constr.Le ->
           if Rat.sign cv > 0 then (lo, tighten_hi hi) else (tighten_lo lo, hi))
-    (None, None) t
+    (None, None) cs
 
 let bounds v t =
-  let t = project_onto (Var.Set.singleton v) t in
-  if List.exists (fun c -> Constr.is_trivial c = Some false) t then
+  let cs = project_onto_l (Var.Set.singleton v) t.cs in
+  if List.exists (fun c -> Constr.is_trivial c = Some false) cs then
     (* infeasible system: conventionally empty bounds *)
     (Some Rat.one, Some Rat.zero)
-  else local_bounds v t
+  else local_bounds_l v cs
 
 (* Negation of [e <= 0] over integer points (integer coefficients assured by
    Constr normalization) is [1 - e <= 0]. *)
@@ -125,10 +171,12 @@ let negations c =
       Constr.make (Expr.add_const Rat.one e) Constr.Le ]
 
 let ref_implies t c =
-  List.for_all (fun n -> not (ref_feasible (add n t))) (negations c)
+  List.for_all
+    (fun n -> not (ref_feasible_l (norm_l (n :: t.cs))))
+    (negations c)
 
-let ref_includes a b = List.for_all (fun c -> ref_implies b c) a
-let ref_disjoint a b = not (ref_feasible (meet a b))
+let ref_includes a b = List.for_all (fun c -> ref_implies b c) a.cs
+let ref_disjoint a b = not (ref_feasible_l (norm_l (List.rev_append a.cs b.cs)))
 let ref_equal_semantic a b = ref_includes a b && ref_includes b a
 
 (* ---------- fast query layer ---------- *)
@@ -153,7 +201,7 @@ let set_step_budget = function
   | None -> Atomic.set step_budget (-1)
   | Some n -> Atomic.set step_budget (max 0 n)
 
-let query_cost t = List.length t * (1 + Var.Set.cardinal (vars t))
+let query_cost t = List.length t.cs * (1 + Var.Set.cardinal (vars t))
 
 let over_budget t =
   let b = Atomic.get step_budget in
@@ -161,20 +209,39 @@ let over_budget t =
 
 let c_degraded = Obs.Metrics.counter "solver.degraded"
 
-let box_feasible t =
-  match Packed.pack t with
-  | exception (Packed.Not_packable | Rat.Overflow) -> true
-  | rows -> ( match Packed.box_of rows with None -> false | Some _ -> true)
+(* Packed rows, computed once per interned system.  Rows are immutable
+   after [Packed.pack]; a racing duplicate compute stores an equivalent
+   value, so a plain atomic set suffices.  [None] = not packable (cached
+   too).  [Packed.pack] maintains no Solver_stats counters, so caching it
+   does not change any counted totals. *)
+let packed_rows t =
+  match Atomic.get t.pk with
+  | Pk_rows rows -> Some rows
+  | Pk_unpackable -> None
+  | Pk_unknown -> (
+    match Packed.pack t.cs with
+    | rows ->
+      Atomic.set t.pk (Pk_rows rows);
+      Some rows
+    | exception (Packed.Not_packable | Rat.Overflow) ->
+      Atomic.set t.pk Pk_unpackable;
+      None)
 
-(* Memo table for [feasible], one per domain (no locks, deterministic).
-   Every table ever handed out is kept in a registry so [clear_cache] can
-   drop them all: the engine's worker domains are persistent, and a clear
-   that only reached the calling domain would leave answers from earlier
-   runs influencing the hit/miss accounting of later ones. *)
-let all_tables : (string, bool) Hashtbl.t list ref = ref []
+let box_feasible t =
+  match packed_rows t with
+  | None -> true
+  | Some rows -> ( match Packed.box_of rows with None -> false | Some _ -> true)
+
+(* Memo table for [feasible], one per domain (no locks, deterministic),
+   keyed by intern id.  Every table ever handed out is kept in a registry
+   so [clear_cache] can drop them all: the engine's worker domains are
+   persistent, and a clear that only reached the calling domain would
+   leave answers from earlier runs influencing the hit/miss accounting of
+   later ones. *)
+let all_tables : (int, bool) Hashtbl.t list ref = ref []
 let all_tables_mutex = Mutex.create ()
 
-let cache_key : (string, bool) Hashtbl.t Domain.DLS.key =
+let cache_key : (int, bool) Hashtbl.t Domain.DLS.key =
   Domain.DLS.new_key (fun () ->
       let tbl = Hashtbl.create 512 in
       Mutex.lock all_tables_mutex;
@@ -186,17 +253,45 @@ let cache_key : (string, bool) Hashtbl.t Domain.DLS.key =
    (one mutex round-trip, dwarfed by the elimination it precedes) so that
    hit/miss and the compute-path counters count each distinct system once,
    independent of how the pool schedules queries across domains: the first
-   domain to reach a key counts a miss and computes loudly, later domains
+   domain to reach an id counts a miss and computes loudly, later domains
    recompute under [Solver_stats.quiet] and count a hit. *)
-let seen : (string, unit) Hashtbl.t = Hashtbl.create 4096
+let seen : (int, unit) Hashtbl.t = Hashtbl.create 4096
 let seen_mutex = Mutex.create ()
 
-let seen_add key =
+let seen_add sid =
   Mutex.lock seen_mutex;
-  let fresh = not (Hashtbl.mem seen key) in
-  if fresh then Hashtbl.add seen key ();
+  let fresh = not (Hashtbl.mem seen sid) in
+  if fresh then Hashtbl.add seen sid ();
   Mutex.unlock seen_mutex;
   fresh
+
+(* Global memo for [implies], keyed by (system id, constraint id).  One
+   shared mutex-guarded table rather than per-domain storage: an implies
+   answer is the product of several feasibility eliminations, so sharing
+   hits across domains is worth the lock, and the seen-registry discipline
+   below keeps the hit/miss counts scheduling-independent.  Bypassed (and
+   not consulted) whenever answers could be degraded (budget / fault
+   injection) or the run wants raw paths (reference mode, cache off). *)
+let use_implies_memo = Atomic.make true
+let set_implies_memo_enabled b = Atomic.set use_implies_memo b
+let implies_memo_enabled () = Atomic.get use_implies_memo
+
+let implies_memo : (int * int, bool) Hashtbl.t = Hashtbl.create 4096
+let implies_seen : (int * int, unit) Hashtbl.t = Hashtbl.create 4096
+let implies_mutex = Mutex.create ()
+
+let implies_memo_find key =
+  Mutex.lock implies_mutex;
+  let cached = Hashtbl.find_opt implies_memo key in
+  let fresh = not (Hashtbl.mem implies_seen key) in
+  if fresh then Hashtbl.add implies_seen key ();
+  Mutex.unlock implies_mutex;
+  (cached, fresh)
+
+let implies_memo_store key r =
+  Mutex.lock implies_mutex;
+  Hashtbl.replace implies_memo key r;
+  Mutex.unlock implies_mutex
 
 let clear_cache () =
   (* only sound while no worker is mid-query (tests, bench, and the
@@ -207,10 +302,17 @@ let clear_cache () =
   Mutex.unlock all_tables_mutex;
   Mutex.lock seen_mutex;
   Hashtbl.reset seen;
-  Mutex.unlock seen_mutex
+  Mutex.unlock seen_mutex;
+  Mutex.lock implies_mutex;
+  Hashtbl.reset implies_memo;
+  Hashtbl.reset implies_seen;
+  Mutex.unlock implies_mutex
 
-(* Canonical key: [t] is already sorted and deduplicated, so serializing
-   (op, var ids, coefficients, constant) in order is injective. *)
+(* Canonical content key: [t.cs] is sorted and deduplicated, so serializing
+   (op, var ids, coefficients, constant) in order is injective.  Only the
+   fault-injection layer still needs this (fault firing must be a pure
+   function of the system's content, not of scheduling-dependent intern
+   ids); the memo tables key on ids. *)
 let key_of t =
   let b = Buffer.create 128 in
   let add_rat r =
@@ -234,7 +336,7 @@ let key_of t =
       Buffer.add_char b '=';
       add_rat (Expr.constant e);
       Buffer.add_char b ';')
-    t;
+    t.cs;
   Buffer.contents b
 
 let now_ns () = int_of_float (Unix.gettimeofday () *. 1e9)
@@ -258,31 +360,35 @@ let h_disjoint_eliminated =
 
 (* Packed feasibility: GCD-tightened first; a refutation that involved
    strict tightening is re-checked exactly so the answer always equals
-   [ref_feasible].  Overflow and unpackable coefficients fall back to the
+   [ref_feasible_l].  Overflow and unpackable coefficients fall back to the
    reference eliminator.  Also returns which histogram the query belongs
    to: [`Prefilter] when the box check decided it, [`Eliminated] when an
    eliminator ran. *)
 let compute_feasible t =
-  try
-    let rows = Packed.pack t in
-    match Packed.box_of rows with
-    | None ->
-      Solver_stats.box_refutation ();
-      (false, `Prefilter)
-    | Some _ -> (
-      match Packed.feasible ~tighten:true rows with
-      | Packed.Feasible -> (true, `Eliminated)
-      | Packed.Infeasible -> (false, `Eliminated)
-      | Packed.Infeasible_tightened -> (
-        Solver_stats.tighten_fallback ();
-        match Packed.feasible ~tighten:false rows with
-        | Packed.Feasible -> (true, `Eliminated)
-        | Packed.Infeasible | Packed.Infeasible_tightened ->
-          (false, `Eliminated)))
-  with Packed.Not_packable | Rat.Overflow ->
+  let fallback () =
     Solver_stats.overflow_fallback ();
     Solver_stats.reference_run ();
-    (ref_feasible t, `Eliminated)
+    (ref_feasible_l t.cs, `Eliminated)
+  in
+  match packed_rows t with
+  | None -> fallback ()
+  | Some rows -> (
+    try
+      match Packed.box_of rows with
+      | None ->
+        Solver_stats.box_refutation ();
+        (false, `Prefilter)
+      | Some _ -> (
+        match Packed.feasible ~tighten:true rows with
+        | Packed.Feasible -> (true, `Eliminated)
+        | Packed.Infeasible -> (false, `Eliminated)
+        | Packed.Infeasible_tightened -> (
+          Solver_stats.tighten_fallback ();
+          match Packed.feasible ~tighten:false rows with
+          | Packed.Feasible -> (true, `Eliminated)
+          | Packed.Infeasible | Packed.Infeasible_tightened ->
+            (false, `Eliminated)))
+    with Packed.Not_packable | Rat.Overflow -> fallback ())
 
 let feasible_hist = function
   | `Hit -> h_feasible_hit
@@ -294,7 +400,7 @@ let feasible t =
   if Atomic.get use_reference then begin
     Solver_stats.reference_run ();
     let t0 = now_ns () in
-    let r = ref_feasible t in
+    let r = ref_feasible_l t.cs in
     let ns = now_ns () - t0 in
     Solver_stats.add_reference_ns ns;
     if Obs.Metrics.enabled () then Obs.Hist.observe h_feasible_eliminated ns;
@@ -306,9 +412,12 @@ let feasible t =
        system's content (and the fault seed), never in scheduling or in
        whatever answers previous runs left in the per-domain memo tables.
        Degraded answers are not memoized either, so lifting the budget (or
-       the fault spec) restores exact answers immediately. *)
-    let degrades key =
-      over_budget t || (Fault.enabled () && Fault.fires Fault.Solver ~key)
+       the fault spec) restores exact answers immediately.  The fault key
+       stays the content serialization — intern ids differ across runs —
+       and is only built when a fault spec is active. *)
+    let degrades () =
+      over_budget t
+      || (Fault.enabled () && Fault.fires Fault.Solver ~key:(key_of t))
     in
     let degraded fresh =
       if fresh then Obs.Metrics.Counter.incr c_degraded;
@@ -317,10 +426,9 @@ let feasible t =
     let r, tag =
       if Atomic.get use_cache then begin
         let tbl = Domain.DLS.get cache_key in
-        let key = key_of t in
-        if degrades key then degraded (seen_add key)
+        if degrades () then degraded (seen_add t.id)
         else
-          match Hashtbl.find_opt tbl key with
+          match Hashtbl.find_opt tbl t.id with
           | Some r ->
             Solver_stats.cache_hit ();
             (r, `Hit)
@@ -328,18 +436,17 @@ let feasible t =
             (* first domain to reach this system counts (and computes
                loudly); later domains recompute quietly and count a hit, so
                counters do not depend on pool scheduling *)
-            let fresh = seen_add key in
+            let fresh = seen_add t.id in
             if fresh then Solver_stats.cache_miss ()
             else Solver_stats.cache_hit ();
             let r, tag =
               if fresh then compute_feasible t
               else Solver_stats.quiet (fun () -> compute_feasible t)
             in
-            Hashtbl.replace tbl key r;
+            Hashtbl.replace tbl t.id r;
             (r, tag)
       end
-      else if degrades (if Fault.enabled () then key_of t else "") then
-        degraded true
+      else if degrades () then degraded true
       else compute_feasible t
     in
     let ns = now_ns () - t0 in
@@ -352,14 +459,14 @@ let feasible t =
    [feasible] — in reference mode included — so the per-mode wall-clock
    counters cover the same set of underlying queries in both modes. *)
 
-let implies t c =
+let implies_uncached t c =
   if Atomic.get use_reference then
     List.for_all (fun n -> not (feasible (add n t))) (negations c)
   else begin
     let mt = Obs.Metrics.enabled () in
     let t0 = if mt then now_ns () else 0 in
     let observe h = if mt then Obs.Hist.observe h (now_ns () - t0) in
-    if List.exists (Constr.equal c) t then begin
+    if List.exists (Constr.equal c) t.cs then begin
       (* quasi-syntactic entailment: [c] is literally one of the
          constraints *)
       Solver_stats.syntactic_hit ();
@@ -368,20 +475,22 @@ let implies t c =
     end
     else begin
       let fast =
-        try
-          let rows = Packed.pack t in
-          match Packed.box_of rows with
-          | None ->
-            (* [t] itself is infeasible, so it entails anything *)
-            Solver_stats.box_refutation ();
-            Some true
-          | Some box ->
-            if Packed.box_implies box [| Packed.pack_constr c |] then begin
-              Solver_stats.syntactic_hit ();
+        match packed_rows t with
+        | None -> None
+        | Some rows -> (
+          try
+            match Packed.box_of rows with
+            | None ->
+              (* [t] itself is infeasible, so it entails anything *)
+              Solver_stats.box_refutation ();
               Some true
-            end
-            else None
-        with Packed.Not_packable | Rat.Overflow -> None
+            | Some box ->
+              if Packed.box_implies box [| Packed.pack_constr c |] then begin
+                Solver_stats.syntactic_hit ();
+                Some true
+              end
+              else None
+          with Packed.Not_packable | Rat.Overflow -> None)
       in
       match fast with
       | Some r ->
@@ -396,9 +505,47 @@ let implies t c =
     end
   end
 
+(* The memo only applies when every answer underneath is exact and the run
+   is not deliberately measuring raw paths: degraded answers (budget /
+   fault) must not be frozen, and reference / cache-off modes exist to
+   time the unmemoized paths. *)
+let implies_memo_ok () =
+  Atomic.get use_implies_memo
+  && Atomic.get use_cache
+  && (not (Atomic.get use_reference))
+  && Atomic.get step_budget < 0
+  && not (Fault.enabled ())
+
+let implies t c =
+  Solver_stats.implies_query ();
+  let t0 = now_ns () in
+  let r =
+    if not (implies_memo_ok ()) then implies_uncached t c
+    else begin
+      let key = (t.id, Constr.id c) in
+      let cached, fresh = implies_memo_find key in
+      (* hits are counted against the seen registry, not the memo lookup:
+         two domains racing on a fresh pair both miss the memo, but only
+         the first is fresh — so hit/miss totals are exactly (calls -
+         distinct pairs) / (distinct pairs) at every --jobs setting *)
+      if not fresh then Solver_stats.implies_memo_hit ();
+      match cached with
+      | Some r -> r
+      | None ->
+        let r =
+          if fresh then implies_uncached t c
+          else Solver_stats.quiet (fun () -> implies_uncached t c)
+        in
+        implies_memo_store key r;
+        r
+    end
+  in
+  Solver_stats.add_implies_ns (now_ns () - t0);
+  r
+
 let includes a b =
-  if Atomic.get use_reference then List.for_all (fun c -> implies b c) a
-  else a == b || List.for_all (fun c -> implies b c) a
+  if Atomic.get use_reference then List.for_all (fun c -> implies b c) a.cs
+  else equal a b || List.for_all (fun c -> implies b c) a.cs
 
 let disjoint a b =
   if Atomic.get use_reference then not (feasible (meet a b))
@@ -407,19 +554,21 @@ let disjoint a b =
     let t0 = if mt then now_ns () else 0 in
     let observe h = if mt then Obs.Hist.observe h (now_ns () - t0) in
     let fast =
-      try
-        let ra = Packed.pack a and rb = Packed.pack b in
-        match (Packed.box_of ra, Packed.box_of rb) with
-        | None, _ | _, None ->
-          Solver_stats.box_refutation ();
-          Some true
-        | Some ba, Some bb ->
-          if Packed.boxes_disjoint ba bb then begin
+      match (packed_rows a, packed_rows b) with
+      | Some ra, Some rb -> (
+        try
+          match (Packed.box_of ra, Packed.box_of rb) with
+          | None, _ | _, None ->
             Solver_stats.box_refutation ();
             Some true
-          end
-          else None
-      with Packed.Not_packable | Rat.Overflow -> None
+          | Some ba, Some bb ->
+            if Packed.boxes_disjoint ba bb then begin
+              Solver_stats.box_refutation ();
+              Some true
+            end
+            else None
+        with Packed.Not_packable | Rat.Overflow -> None)
+      | _ -> None
     in
     match fast with
     | Some r ->
@@ -439,10 +588,10 @@ let simplify t =
     | [] -> kept
     | c :: rest ->
       let others = List.rev_append kept rest in
-      if others <> [] && implies others c then go kept rest
+      if others <> [] && implies (of_list others) c then go kept rest
       else go (c :: kept) rest
   in
-  normalize (go [] t)
+  of_list (go [] t.cs)
 
 let pick_in_range lo hi =
   match lo, hi with
@@ -459,27 +608,28 @@ let pick_in_range lo hi =
     else Rat.div (Rat.add l h) (Rat.of_int 2)
 
 let sample t =
+  let subst_l v e cs = norm_l (List.map (Constr.subst v e) cs) in
   let rec solve sys = function
     | [] ->
       if List.exists (fun c -> Constr.is_trivial c = Some false) sys then None
       else Some Var.Map.empty
     | v :: rest -> (
-      let sys' = eliminate v sys in
+      let sys' = elim_l v sys in
       match solve sys' rest with
       | None -> None
       | Some m ->
         let sysv =
-          Var.Map.fold (fun u r s -> subst u (Expr.const r) s) m sys
+          Var.Map.fold (fun u r s -> subst_l u (Expr.const r) s) m sys
         in
-        let lo, hi = local_bounds v sysv in
+        let lo, hi = local_bounds_l v sysv in
         Some (Var.Map.add v (pick_in_range lo hi) m))
   in
-  match solve t (Var.Set.elements (vars t)) with
+  match solve t.cs (Var.Set.elements (vars t)) with
   | None -> None
   | Some m -> Some (fun v -> Var.Map.find v m)
 
 module Reference = struct
-  let feasible = ref_feasible
+  let feasible t = ref_feasible_l t.cs
   let implies = ref_implies
   let includes = ref_includes
   let disjoint = ref_disjoint
@@ -489,10 +639,10 @@ module Reference = struct
 end
 
 let pp ppf t =
-  if t = [] then Format.pp_print_string ppf "{true}"
+  if t.cs = [] then Format.pp_print_string ppf "{true}"
   else
     Format.fprintf ppf "{@[%a@]}"
       (Format.pp_print_list
          ~pp_sep:(fun ppf () -> Format.fprintf ppf ",@ ")
          Constr.pp)
-      t
+      t.cs

@@ -11,7 +11,21 @@ open Numeric
 type t
 (** A set of constraints, kept deduplicated and free of trivially-true
     members.  An unsatisfiable constant constraint is retained so that
-    infeasibility is observable. *)
+    infeasibility is observable.
+
+    Hash-consed: the canonical constraint list is interned, so structurally
+    equal systems are the same value, {!equal} is one integer comparison,
+    and the solver memos key on {!id}.  The packed-row translation backing
+    the fast queries is cached inside the interned node (computed at most
+    once per process). *)
+
+val id : t -> int
+(** Unique intern id of the canonical form.  Allocation-order dependent —
+    valid for equality and memo keys within the process, never for
+    ordering or persistence. *)
+
+val equal : t -> t -> bool
+(** Structural equality of the canonical forms, answered by id. *)
 
 val top : t
 (** The unconstrained system (whole space). *)
@@ -110,6 +124,17 @@ val set_step_budget : int option -> unit
 val set_cache_enabled : bool -> unit
 (** The memo cache for {!feasible} is per-domain (domain-local storage), so
     parallel engine workers never contend on it. *)
+
+val set_implies_memo_enabled : bool -> unit
+(** The {!implies} memo is global, keyed by (system id, constraint id) —
+    an implies answer amortizes several eliminations, so hits are shared
+    across domains.  It is bypassed automatically whenever answers could
+    be degraded (step budget, fault injection) or the run measures raw
+    paths (reference mode, cache off); this knob additionally disables it
+    for the reference join path ([--join-path reference] and the regions
+    bench).  Answers are identical either way. *)
+
+val implies_memo_enabled : unit -> bool
 
 val clear_cache : unit -> unit
 (** Drop every domain's memo table and the global seen-set (benchmarks and

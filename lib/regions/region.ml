@@ -24,6 +24,20 @@ type loop_ctx = {
   lc_step : int option;
 }
 
+(* Join-path selector.  [true] (the default) lets {!union_approx} skip the
+   per-constraint implies sweep when both operands carry the same interned
+   system — provably the same result, since an exact [System.implies]
+   entails every inequality of a system against itself.  [false] is the
+   pre-interning reference path, kept runtime-selectable for differential
+   tests and the regions bench ([--join-path reference]). *)
+let fast_join = Atomic.make true
+let set_fast_join b = Atomic.set fast_join b
+let fast_join_enabled () = Atomic.get fast_join
+
+let c_union_calls = Obs.Metrics.counter "regions.union.calls"
+let c_union_many_calls = Obs.Metrics.counter "regions.union_many.calls"
+let c_implies_saved = Obs.Metrics.counter "regions.union.implies_saved"
+
 (* ------------------------------------------------------------------ *)
 (* Triplet projection *)
 
@@ -63,6 +77,8 @@ let bound_of_side side v projected (clo, chi) =
     | None -> Bunknown)
 
 let triplets_of_sys ~ndims ~strides sys =
+  (* indexed per dimension below; List.nth would make the loop O(ndims^2) *)
+  let strides = Array.of_list strides in
   List.init ndims (fun k ->
       let v = Var.subscript k in
       let cb = System.bounds v sys in
@@ -78,8 +94,7 @@ let triplets_of_sys ~ndims ~strides sys =
       in
       let lb = bound_of_side `Lower v projected cb in
       let ub = bound_of_side `Upper v projected cb in
-      let stride = List.nth strides k in
-      { lb; ub; stride })
+      { lb; ub; stride = strides.(k) })
 
 let make ~ndims ~sys ~strides ~exact =
   if List.length strides <> ndims then
@@ -123,6 +138,7 @@ let of_subscripts ~extents ~loops subscripts =
   let exact = ref true in
   let constraints = ref [] in
   let addc c = constraints := c :: !constraints in
+  let extents_a = Array.of_list extents in
   (* subscript equations *)
   List.iteri
     (fun k sub ->
@@ -131,7 +147,7 @@ let of_subscripts ~extents ~loops subscripts =
       | Affine.Affine e -> addc (Constr.eq d e)
       | Affine.Messy -> (
         exact := false;
-        match List.nth extents k with
+        match extents_a.(k) with
         | Some ext ->
           addc (Constr.ge d Expr.zero);
           addc (Constr.le d (Expr.of_int (ext - 1)))
@@ -229,6 +245,7 @@ let union_strides la sa lb sb =
 
 let union_approx a b =
   if a.ndims <> b.ndims then invalid_arg "Region.union_approx: rank mismatch";
+  Obs.Metrics.Counter.incr c_union_calls;
   (* weak join: constraints of one side entailed by the other.  Equalities
      are split into inequality pairs first, otherwise joining two distinct
      points would keep nothing instead of their hull. *)
@@ -243,7 +260,16 @@ let union_approx a b =
       (System.to_list sys)
   in
   let keep_entailed src other =
-    List.filter (fun c -> System.implies other c) (inequalities src)
+    let ineqs = inequalities src in
+    if Atomic.get fast_join && System.equal src other then begin
+      (* joining a system with itself: [implies] is exact and complete, so
+         every inequality derived from [src] is entailed by [other] — keep
+         them all without a single solver query (same result by
+         construction, counted as saved work) *)
+      Obs.Metrics.Counter.add c_implies_saved (List.length ineqs);
+      ineqs
+    end
+    else List.filter (fun c -> System.implies other c) ineqs
   in
   let sys =
     System.of_list
@@ -260,8 +286,21 @@ let union_approx a b =
     { r with exact = a.exact && b.exact }
   else r
 
+let union_many = function
+  | [] -> invalid_arg "Region.union_many: empty list"
+  | r :: rest ->
+    (* [union_approx] is not associative (the weak join and the
+       symbolic-bound choice depend on operand order), so the n-way join is
+       defined as the left fold — byte-identical to folding by hand.  The
+       win comes from the interned-id short-circuit firing per step inside
+       [union_approx], which the summary cap-collapse path hits constantly
+       (display-equal accesses carry the very same interned system). *)
+    Obs.Metrics.Counter.incr c_union_many_calls;
+    List.fold_left union_approx r rest
+
 let includes a b =
-  a.ndims = b.ndims && (a.sys == b.sys || System.includes a.sys b.sys)
+  a.ndims = b.ndims
+  && (System.equal a.sys b.sys || System.includes a.sys b.sys)
 
 (* Stride-lattice separation: when both regions are exact, every access of a
    dimension lies on the lattice { lb + stride * k }; two lattices with

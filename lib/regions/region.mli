@@ -65,6 +65,24 @@ val union_approx : t -> t -> t
     approximated since in some cases it does not form a convex hull").
     Strides combine by gcd, including the lower-bound phase difference. *)
 
+val union_many : t list -> t
+(** Left fold of {!union_approx} over the list (which is exactly its
+    definition — the approximate join is not associative, so no tree
+    reduction is attempted).  The n-way entry point exists so callers
+    collapsing whole buckets at once go through the interned-system
+    short-circuit and the [regions.union_many.calls] metric.
+    @raise Invalid_argument on the empty list. *)
+
+val set_fast_join : bool -> unit
+(** Selects the join path.  [true] (default) lets {!union_approx} skip the
+    entailment sweep when both operands carry the same interned constraint
+    system, and lets the summary layer bucket entries by (array, mode)
+    instead of scanning linearly.  [false] restores the pre-interning
+    reference path; results are byte-identical either way (differential
+    tests and the regions bench rely on this knob). *)
+
+val fast_join_enabled : unit -> bool
+
 val includes : t -> t -> bool
 (** Convex inclusion (ignores strides, hence conservative: [includes a b]
     guarantees every element of [b] is inside [a]'s convex hull). *)

@@ -29,6 +29,19 @@ dune exec bench/main.exe -- solver --json --out "$out/BENCH_solver.json"
 test -s "$out/BENCH_solver.json"
 dune exec bench/main.exe -- check-json "$out/BENCH_solver.json"
 
+echo "== smoke: bench regions --json =="
+dune exec bench/main.exe -- regions --json --out "$out/BENCH_regions.json"
+test -s "$out/BENCH_regions.json"
+dune exec bench/main.exe -- check-json "$out/BENCH_regions.json"
+
+echo "== smoke: uhc --join-path reference is byte-identical =="
+dune exec bin/uhc.exe -- --corpus lu -o "$out/jfast" --jobs 4 >/dev/null
+dune exec bin/uhc.exe -- --corpus lu --join-path reference -o "$out/jref" \
+  --jobs 4 >/dev/null
+cmp "$out/jfast/project.rgn" "$out/jref/project.rgn"
+cmp "$out/jfast/project.dgn" "$out/jref/project.dgn"
+cmp "$out/jfast/project.cfg" "$out/jref/project.cfg"
+
 echo "== smoke: uhc --trace/--metrics + dragon profile =="
 dune exec bin/uhc.exe -- --corpus matrix --jobs 2 \
   --trace "$out/trace.json" --metrics "$out/metrics.json" \

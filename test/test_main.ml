@@ -30,5 +30,6 @@ let () =
       ("cli", Test_cli.suite);
       ("engine", Test_engine.suite);
       ("solver", Test_solver.suite);
+      ("regions-join", Test_regions_join.suite);
       ("obs", Test_obs.suite);
     ]
