@@ -926,6 +926,90 @@ let bench_solver ~json ~out () =
   end
 
 (* ------------------------------------------------------------------ *)
+(* Bounds: the bounds-checking client on every corpus — verdict counts
+   (how many runtime checks the analysis eliminates) and what the extra
+   implies queries cost *)
+
+let bench_bounds ~json ~out () =
+  header "Bounds: three-valued verdicts and check elimination (all corpora)";
+  let corpora =
+    [
+      ("fig1", [ Corpus.Small.fig1_f ]);
+      ("matrix", [ Corpus.Small.matrix_c ]);
+      ("stride", [ Corpus.Small.stride_f ]);
+      ("lu", Corpus.Nas_lu.files ());
+    ]
+  in
+  let per_corpus =
+    List.map
+      (fun (name, files) ->
+        let m = Whirl.Lower.lower (Lang.Frontend.load ~files) in
+        let result = analyze_module m in
+        let ctx =
+          { Analyses.Analysis.ctx_module = m; Analyses.Analysis.ctx_result = result }
+        in
+        let s0 = Linear.Solver_stats.snapshot () in
+        let t0 = Unix.gettimeofday () in
+        let report, _diags = Analyses.Bounds.run ctx in
+        let wall = Unix.gettimeofday () -. t0 in
+        let d = Linear.Solver_stats.diff (Linear.Solver_stats.snapshot ()) s0 in
+        let count key =
+          match List.assoc_opt key report.Analyses.Report.r_summary with
+          | Some v -> int_of_string v
+          | None -> 0
+        in
+        (name, count, wall, d))
+      corpora
+  in
+  Printf.printf
+    "corpus  accesses safe unsafe maybe eliminated residual  implies  implies_ms  wall_ms\n";
+  List.iter
+    (fun (name, count, wall, (d : Linear.Solver_stats.t)) ->
+      Printf.printf "%-7s %8d %4d %6d %5d %10d %8d %8d %11.3f %8.3f\n" name
+        (count "accesses") (count "safe") (count "unsafe") (count "maybe")
+        (count "checks_eliminated") (count "residual_checks")
+        d.Linear.Solver_stats.implies_queries
+        (float_of_int d.Linear.Solver_stats.implies_wall_ns /. 1e6)
+        (wall *. 1e3))
+    per_corpus;
+  if json || out <> None then begin
+    let path = Option.value out ~default:"BENCH_bounds.json" in
+    let b = Buffer.create 2048 in
+    let bpf fmt = Printf.ksprintf (Buffer.add_string b) fmt in
+    bpf "{\n";
+    bpf "  \"bench\": \"%s\",\n" (json_escape "bounds");
+    bpf "  \"schema_version\": %d,\n" Analyses.Report.schema_version;
+    bpf "  \"bounds\": {\n";
+    bpf "    \"corpora\": [\n";
+    let n = List.length per_corpus in
+    List.iteri
+      (fun i (name, count, wall, (d : Linear.Solver_stats.t)) ->
+        bpf "      {\n";
+        bpf "        \"corpus\": \"%s\",\n" (json_escape name);
+        bpf "        \"accesses\": %d,\n" (count "accesses");
+        bpf "        \"safe\": %d,\n" (count "safe");
+        bpf "        \"unsafe\": %d,\n" (count "unsafe");
+        bpf "        \"maybe\": %d,\n" (count "maybe");
+        bpf "        \"checks_eliminated\": %d,\n" (count "checks_eliminated");
+        bpf "        \"residual_checks\": %d,\n" (count "residual_checks");
+        bpf "        \"implies_queries\": %d,\n"
+          d.Linear.Solver_stats.implies_queries;
+        bpf "        \"implies_wall_ns\": %d,\n"
+          d.Linear.Solver_stats.implies_wall_ns;
+        bpf "        \"analysis_wall_s\": %.6f\n" wall;
+        bpf "      }%s\n" (if i = n - 1 then "" else ",")
+      )
+      per_corpus;
+    bpf "    ]\n";
+    bpf "  }\n";
+    bpf "}\n";
+    let oc = open_out path in
+    output_string oc (Buffer.contents b);
+    close_out oc;
+    Printf.printf "wrote %s\n" path
+  end
+
+(* ------------------------------------------------------------------ *)
 (* Regions: hash-consed join path (interned systems, n-way unions, the
    implies memo) against the pre-interning reference fold, on the joins
    the NAS LU summary construction actually performs *)
@@ -1236,6 +1320,93 @@ let check_metrics_json path entries =
     entries;
   Printf.printf "check-json: %s OK (metrics, %d instruments)\n" path !n
 
+let check_schema_version ~what ~expected doc =
+  match Option.bind (Obs.Json.member "schema_version" doc) Obs.Json.to_int with
+  | None -> check_fail "%s file without schema_version" what
+  | Some v when v <> expected ->
+    check_fail "%s file has unknown schema_version %d (expected %d)" what v
+      expected
+  | Some _ -> ()
+
+let check_bounds_json path top doc =
+  check_schema_version ~what:"bounds" ~expected:Analyses.Report.schema_version
+    top;
+  match Option.bind (Obs.Json.member "corpora" doc) Obs.Json.to_list with
+  | None | Some [] -> check_fail "bounds.corpora missing or empty"
+  | Some entries ->
+    List.iter
+      (fun entry ->
+        let corpus =
+          match
+            Option.bind (Obs.Json.member "corpus" entry) Obs.Json.to_string
+          with
+          | Some s -> s
+          | None -> check_fail "bounds corpus entry without corpus name"
+        in
+        let num field =
+          match Option.bind (Obs.Json.member field entry) Obs.Json.to_int with
+          | Some n when n >= 0 -> n
+          | Some n -> check_fail "bounds %s: %s is negative (%d)" corpus field n
+          | None -> check_fail "bounds %s: missing %s" corpus field
+        in
+        let accesses = num "accesses" in
+        let safe = num "safe" and unsafe = num "unsafe" and maybe = num "maybe" in
+        if safe + unsafe + maybe <> accesses then
+          check_fail "bounds %s: safe+unsafe+maybe = %d, accesses = %d" corpus
+            (safe + unsafe + maybe) accesses;
+        if num "checks_eliminated" <> safe then
+          check_fail "bounds %s: checks_eliminated disagrees with safe" corpus;
+        if num "residual_checks" <> maybe then
+          check_fail "bounds %s: residual_checks disagrees with maybe" corpus;
+        ignore (num "implies_queries");
+        ignore (num "implies_wall_ns"))
+      entries;
+    Printf.printf "check-json: %s OK (bounds, %d corpora)\n" path
+      (List.length entries)
+
+let check_reports_json path top entries =
+  check_schema_version ~what:"reports" ~expected:Analyses.Report.schema_version
+    top;
+  List.iter
+    (fun report ->
+      let analysis =
+        match
+          Option.bind (Obs.Json.member "analysis" report) Obs.Json.to_string
+        with
+        | Some s when s <> "" -> s
+        | _ -> check_fail "report without analysis name"
+      in
+      (match Obs.Json.member "summary" report with
+      | Some (Obs.Json.Obj kvs) ->
+        List.iter
+          (fun (k, v) ->
+            match Obs.Json.to_string v with
+            | Some _ -> ()
+            | None ->
+              check_fail "report %s: summary %S is not a string" analysis k)
+          kvs
+      | _ -> check_fail "report %s: missing summary object" analysis);
+      let columns =
+        match Option.bind (Obs.Json.member "columns" report) Obs.Json.to_list with
+        | Some cs when cs <> [] -> cs
+        | _ -> check_fail "report %s: missing columns" analysis
+      in
+      match Option.bind (Obs.Json.member "rows" report) Obs.Json.to_list with
+      | None -> check_fail "report %s: missing rows" analysis
+      | Some rows ->
+        List.iteri
+          (fun i row ->
+            match Obs.Json.to_list row with
+            | Some cells when List.length cells = List.length columns -> ()
+            | Some cells ->
+              check_fail "report %s: row %d has %d cells for %d columns"
+                analysis i (List.length cells) (List.length columns)
+            | None -> check_fail "report %s: row %d is not a list" analysis i)
+          rows)
+    entries;
+  Printf.printf "check-json: %s OK (reports, %d analyses)\n" path
+    (List.length entries)
+
 let check_diagnostics_json path entries =
   let severities = [ "error"; "warning" ] in
   let n = ref 0 in
@@ -1278,23 +1449,31 @@ let check_json_file path =
             Obs.Json.member "traceEvents" v,
             Obs.Json.member "metrics" v,
             Obs.Json.member "obs" v,
+            Obs.Json.member "bounds" v,
+            Obs.Json.member "reports" v,
             Obs.Json.member "diagnostics" v )
         with
-        | Some (Obs.Json.Obj _ as doc), _, _, _, _, _ ->
+        | Some (Obs.Json.Obj _ as doc), _, _, _, _, _, _, _ ->
           check_solver_json path doc
-        | _, Some (Obs.Json.Obj _ as doc), _, _, _, _ ->
+        | _, Some (Obs.Json.Obj _ as doc), _, _, _, _, _, _ ->
           check_regions_json path doc
-        | _, _, Some (Obs.Json.List _), _, _, _ -> check_trace_json path raw
-        | _, _, _, Some (Obs.Json.List entries), _, _ ->
+        | _, _, Some (Obs.Json.List _), _, _, _, _, _ -> check_trace_json path raw
+        | _, _, _, Some (Obs.Json.List entries), _, _, _, _ ->
           check_metrics_json path entries
-        | _, _, _, _, Some (Obs.Json.Obj _), _ ->
+        | _, _, _, _, Some (Obs.Json.Obj _), _, _, _ ->
           Printf.printf "check-json: %s OK (obs section present)\n" path
-        | _, _, _, _, _, Some (Obs.Json.List entries) ->
+        | _, _, _, _, _, Some (Obs.Json.Obj _ as doc), _, _ ->
+          check_bounds_json path v doc
+        | _, _, _, _, _, _, Some (Obs.Json.List entries), _ ->
+          check_reports_json path v entries
+        | _, _, _, _, _, _, _, Some (Obs.Json.List entries) ->
+          check_schema_version ~what:"diagnostics"
+            ~expected:Fault.Diag.schema_version v;
           check_diagnostics_json path entries
         | _ ->
           check_fail
             "no recognized top-level section \
-             (solver/regions/traceEvents/metrics/obs/diagnostics)")
+             (solver/regions/traceEvents/metrics/obs/bounds/reports/diagnostics)")
       | _ -> check_fail "top-level value is not an object")
   with Check_fail msg ->
     Printf.eprintf "check-json: %s in %s\n" msg path;
@@ -1491,6 +1670,7 @@ let () =
     if all || only "locality" then bench_locality ();
     if all || only "engine" then bench_engine ();
     if all || only "solver" then bench_solver ~json ~out ();
+    if all || only "bounds" then bench_bounds ~json ~out ();
     if all || only "regions" then bench_regions ~json ~out ();
     if all || only "obs" then bench_obs ~json ~out ();
     if all || only "timing" then timing_suite ()

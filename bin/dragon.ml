@@ -211,6 +211,44 @@ let profile_cmd =
        ~doc:"Render a uhc --trace file as sorted per-phase/per-PU tables.")
     Term.(const run $ trace_file $ top)
 
+let report_cmd =
+  let report_file =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"REPORT.json")
+  in
+  let only =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "analysis" ] ~docv:"NAME"
+          ~doc:"Show only this analysis (e.g. bounds); default all.")
+  in
+  let list_only =
+    Arg.(value & flag & info [ "list" ] ~doc:"List the analyses present.")
+  in
+  let run path only list_only =
+    match Dragon.Reportview.parse_file ~path with
+    | Error e ->
+      Printf.eprintf "dragon: %s: %s\n" path e;
+      exit 1
+    | Ok t ->
+      if list_only then
+        List.iter print_endline (Dragon.Reportview.names t)
+      else begin
+        (match only with
+        | Some name when not (List.mem name (Dragon.Reportview.names t)) ->
+          Printf.eprintf "dragon: no %S report in %s (have: %s)\n" name path
+            (String.concat ", " (Dragon.Reportview.names t));
+          exit 1
+        | _ -> ());
+        print_string (Dragon.Reportview.render ?only t)
+      end
+  in
+  Cmd.v
+    (Cmd.info "report"
+       ~doc:"Render a uhc --report JSON file (client-analysis verdicts and \
+             permission preconditions) as tables.")
+    Term.(const run $ report_file $ only $ list_only)
+
 let advise_cmd =
   let run dir project =
     let p = load dir project in
@@ -225,6 +263,6 @@ let main =
   Cmd.group
     (Cmd.info "dragon" ~doc)
     [ table_cmd; callgraph_cmd; cfg_cmd; grep_cmd; locate_cmd; advise_cmd; html_cmd;
-      browse_cmd; diff_cmd; profile_cmd ]
+      browse_cmd; diff_cmd; profile_cmd; report_cmd ]
 
 let () = exit (Cmd.eval main)

@@ -2,19 +2,22 @@
 
    Mirrors the paper's usage step 1-2: compile the application with
    interprocedural array analysis enabled and obtain the .dgn/.cfg/.rgn
-   files that Dragon loads.  All driver logic lives in [Pipeline.exec];
+   files that Dragon loads.  All driver logic lives in [Pipeline.run];
    this file only maps flags onto [Pipeline.config]. *)
 
 let run paths corpus out_dir project dump_whirl dump_src dump_callgraph
     dump_summaries execute wopt ipl_dir fuse autopar emit_whirl loop_summaries
     jobs cache_dir stats stats_det trace metrics log_level keep_going
-    fault_specs diagnostics solver_budget join_path =
-  Pipeline.exec
-    (Pipeline.make ~paths ?corpus ?out_dir ~project ~dump_whirl ~dump_src
-       ~dump_callgraph ~dump_summaries ~execute ~wopt ?ipl_dir ~fuse ~autopar
-       ?emit_whirl ~loop_summaries ~jobs ?cache_dir ~stats ~stats_det ?trace
-       ?metrics ~log_level ~keep_going ~fault_specs ?diagnostics ?solver_budget
-       ~join_path ())
+    fault_specs diagnostics solver_budget join_path analyses report =
+  let result =
+    Pipeline.run
+      (Pipeline.make ~paths ?corpus ?out_dir ~project ~dump_whirl ~dump_src
+         ~dump_callgraph ~dump_summaries ~execute ~wopt ?ipl_dir ~fuse ~autopar
+         ?emit_whirl ~loop_summaries ~jobs ?cache_dir ~stats ~stats_det ?trace
+         ?metrics ~log_level ~keep_going ~fault_specs ?diagnostics
+         ?solver_budget ~join_path ~analyses ?report ())
+  in
+  result.Pipeline.r_code
 
 open Cmdliner
 
@@ -218,6 +221,33 @@ let join_path =
               Outputs are byte-identical either way (the knob exists for \
               differential testing and bench regions).")
 
+let analyses =
+  let parse s =
+    match Analyses.Registry.parse_selection s with
+    | Ok tokens -> Ok tokens
+    | Error msg -> Error (`Msg msg)
+  in
+  let print ppf tokens = Format.pp_print_string ppf (String.concat "," tokens) in
+  Arg.(
+    value
+    & opt (conv (parse, print)) []
+    & info [ "analyses" ] ~docv:"NAMES"
+        ~doc:"Comma-separated client analyses to run over the finished \
+              interprocedural result: bounds (three-valued array bounds \
+              verdicts + check elimination), permissions (per-procedure \
+              read/write permission preconditions), regions (the .rgn \
+              table as a report).  Each prints a table; see --report for \
+              the JSON form.")
+
+let report =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "report" ] ~docv:"FILE"
+        ~doc:"Write the --analyses reports to FILE as schema-versioned \
+              JSON (validate with bench check-json FILE); byte-identical \
+              at any --jobs setting.")
+
 let cmd =
   let doc = "analyze array regions in MiniF/MiniC programs (OpenUH-style)" in
   Cmd.v
@@ -227,6 +257,6 @@ let cmd =
       $ dump_callgraph $ dump_summaries $ execute $ wopt $ ipl_dir $ fuse
       $ autopar $ emit_whirl $ loop_summaries $ jobs $ cache_dir $ stats
       $ stats_det $ trace $ metrics $ log_level $ keep_going $ fault_specs
-      $ diagnostics $ solver_budget $ join_path)
+      $ diagnostics $ solver_budget $ join_path $ analyses $ report)
 
 let () = exit (Cmd.eval' cmd)

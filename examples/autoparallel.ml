@@ -5,7 +5,7 @@
    Run with: dune exec examples/autoparallel.exe *)
 
 let () =
-  let result = Ipa.Analyze.analyze_sources [ Corpus.Small.fig1_f ] in
+  let result = Engine.analyze_sources [ Corpus.Small.fig1_f ] in
   let m = result.Ipa.Analyze.r_module in
   let summaries = result.Ipa.Analyze.r_summaries in
 

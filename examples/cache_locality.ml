@@ -76,7 +76,7 @@ let misses_of source =
 
 let () =
   (* the tool's own evidence: same region at two lines = fusion candidate *)
-  let result = Ipa.Analyze.analyze_sources [ unfused ] in
+  let result = Engine.analyze_sources [ unfused ] in
   let project =
     Dragon.Project.make ~name:"case1" ~dgn:result.Ipa.Analyze.r_dgn
       ~rows:result.Ipa.Analyze.r_rows ~sources:[ unfused ] ()

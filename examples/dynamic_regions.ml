@@ -29,7 +29,7 @@ c     conditional touches only even elements up to 20
 |} )
 
 let () =
-  let result = Ipa.Analyze.analyze_sources [ source ] in
+  let result = Engine.analyze_sources [ source ] in
   let m = result.Ipa.Analyze.r_module in
 
   print_endline "### Static regions (compile time)";

@@ -20,7 +20,7 @@ let corner_rows rows =
 let () =
   List.iter
     (fun cls ->
-      let result = Ipa.Analyze.analyze_sources (Corpus.Nas_lu.files ~cls ()) in
+      let result = Engine.analyze_sources (Corpus.Nas_lu.files ~cls ()) in
       let rows = result.Ipa.Analyze.r_rows in
       let project =
         Dragon.Project.make ~name:"lu" ~dgn:result.Ipa.Analyze.r_dgn ~rows

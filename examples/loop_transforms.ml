@@ -33,7 +33,7 @@ c     a reduction
 |} )
 
 let () =
-  let result = Ipa.Analyze.analyze_sources [ source ] in
+  let result = Engine.analyze_sources [ source ] in
   let m = result.Ipa.Analyze.r_module in
   let summaries = result.Ipa.Analyze.r_summaries in
   let pu = Option.get (Whirl.Ir.find_pu m "transforms") in

@@ -7,7 +7,7 @@
    Run with: dune exec examples/pgas_remote.exe *)
 
 let () =
-  let result = Ipa.Analyze.analyze_sources [ Corpus.Small.caf_f ] in
+  let result = Engine.analyze_sources [ Corpus.Small.caf_f ] in
   let project =
     Dragon.Project.make ~name:"caf" ~dgn:result.Ipa.Analyze.r_dgn
       ~rows:result.Ipa.Analyze.r_rows

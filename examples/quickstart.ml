@@ -33,7 +33,7 @@ let source =
 
 let () =
   (* 1. front end + WHIRL lowering + region analysis in one call *)
-  let result = Ipa.Analyze.analyze_sources [ source ] in
+  let result = Engine.analyze_sources [ source ] in
 
   (* 2. the array-analysis table (what Dragon displays) *)
   let project =

@@ -1,0 +1,9 @@
+type ctx = {
+  ctx_module : Whirl.Ir.module_;
+  ctx_result : Ipa.Analyze.result;
+}
+
+module type CLIENT = sig
+  val name : string
+  val run : ctx -> Report.t * Fault.Diag.t list
+end

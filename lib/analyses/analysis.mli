@@ -1,0 +1,27 @@
+(** The client-analysis interface: what a consumer of the region core must
+    provide to run inside the pipeline and report through the versioned
+    {!Report} surface.
+
+    A client sees the finished interprocedural analysis — the lowered
+    module plus the {!Ipa.Analyze.result} with per-PU access tables
+    (direct accesses and call-propagated ones, already substituted
+    formal-to-actual) and per-procedure summaries — and derives its own
+    verdicts from it.  Clients must be deterministic functions of that
+    input: the pipeline promises byte-identical reports at any [--jobs]
+    setting, which holds exactly because the engine's result is itself
+    schedule-invariant. *)
+
+type ctx = {
+  ctx_module : Whirl.Ir.module_;
+  ctx_result : Ipa.Analyze.result;
+}
+
+module type CLIENT = sig
+  val name : string
+  (** Selector token for [uhc --analyses <name>,...]; unique. *)
+
+  val run : ctx -> Report.t * Fault.Diag.t list
+  (** One report plus any diagnostics to merge into the pipeline's
+      diagnostics stream (e.g. a proven out-of-bounds access, or a
+      residual runtime-check location). *)
+end

@@ -1,0 +1,20 @@
+(** Bounds checking / check elimination client (three-valued verdicts in
+    the style of Gange et al., over the interprocedurally substituted
+    DEF/USE regions).  Registered as ["bounds"]. *)
+
+val name : string
+
+type verdict = Safe | Unsafe | Maybe
+
+val verdict_name : verdict -> string
+
+val classify : extents:int option list -> Regions.Region.t -> verdict
+(** {!Regions.Region.extent_check} first, then the solver-free triplet
+    bounding-box fallback for verdicts the (possibly budget-degraded)
+    entailment path left unknown. *)
+
+val run : Analysis.ctx -> Report.t * Fault.Diag.t list
+(** Columns: Proc, Array, Mode, Line, Via (callee for call-propagated
+    accesses), Verdict, LB, UB, Stride.  Every [unsafe] verdict emits an
+    error diagnostic, every [maybe] a ["runtime-check"] warning — the
+    residual checks a bounds-checking compiler must keep. *)

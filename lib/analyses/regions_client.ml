@@ -1,0 +1,20 @@
+(* The classic .rgn table, re-published through the client-analysis report
+   surface so all three consumers of the region core share one output
+   path (and Dragon can render any of them with the same view). *)
+
+let name = "regions"
+
+let run (ctx : Analysis.ctx) =
+  Obs.Span.with_ ~cat:"analysis" ~name:"analysis:regions" @@ fun () ->
+  let r = ctx.Analysis.ctx_result in
+  let rows = List.map Rgnfile.Row.to_fields r.Ipa.Analyze.r_rows in
+  let report =
+    Report.make ~analysis:name
+      ~summary:
+        [
+          ("rows", string_of_int (List.length rows));
+          ("procedures", string_of_int (List.length r.Ipa.Analyze.r_infos));
+        ]
+      ~columns:Rgnfile.Row.header rows
+  in
+  (report, [])

@@ -1,0 +1,5 @@
+(** The array-region table itself, as a client report (same rows as the
+    [.rgn] file).  Registered as ["regions"]. *)
+
+val name : string
+val run : Analysis.ctx -> Report.t * Fault.Diag.t list

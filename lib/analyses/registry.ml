@@ -1,0 +1,45 @@
+(* Explicit builtin list: side-effect registration from library
+   initializers is link-order dependent in wrapped libraries, so the three
+   shipped clients are enumerated here and [register] exists for
+   out-of-tree ones. *)
+
+let builtin : (module Analysis.CLIENT) list =
+  [ (module Bounds); (module Permissions); (module Regions_client) ]
+
+let extra : (module Analysis.CLIENT) list ref = ref []
+
+let all () = builtin @ List.rev !extra
+
+let find name =
+  List.find_opt
+    (fun (module C : Analysis.CLIENT) -> String.equal C.name name)
+    (all ())
+
+let names () = List.map (fun (module C : Analysis.CLIENT) -> C.name) (all ())
+
+let register (module C : Analysis.CLIENT) =
+  if find C.name <> None then
+    invalid_arg (Printf.sprintf "Registry.register: duplicate client %S" C.name);
+  extra := (module C : Analysis.CLIENT) :: !extra
+
+let parse_selection s =
+  let tokens =
+    String.split_on_char ',' s
+    |> List.map String.trim
+    |> List.filter (fun t -> t <> "")
+  in
+  let unknown = List.filter (fun t -> find t = None) tokens in
+  if unknown <> [] then
+    Error
+      (Printf.sprintf "unknown analyses: %s (available: %s)"
+         (String.concat ", " unknown)
+         (String.concat ", " (names ())))
+  else Ok tokens
+
+let run_selected ~selection ctx =
+  List.map
+    (fun token ->
+      match find token with
+      | Some (module C : Analysis.CLIENT) -> C.run ctx
+      | None -> invalid_arg ("Registry.run_selected: unknown client " ^ token))
+    selection

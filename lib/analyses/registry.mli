@@ -1,0 +1,22 @@
+(** Client registry: the shipped analyses ([bounds], [permissions],
+    [regions]) plus any {!register}ed out-of-tree clients. *)
+
+val find : string -> (module Analysis.CLIENT) option
+val names : unit -> string list
+(** Builtins first (bounds, permissions, regions), then registration
+    order. *)
+
+val register : (module Analysis.CLIENT) -> unit
+(** @raise Invalid_argument on a duplicate name. *)
+
+val parse_selection : string -> (string list, string) result
+(** Parse a [--analyses] comma list ("bounds,permissions"); rejects unknown
+    names with a message listing the available ones. *)
+
+val run_selected :
+  selection:string list ->
+  Analysis.ctx ->
+  (Report.t * Fault.Diag.t list) list
+(** Run the named clients in the given order.
+    @raise Invalid_argument on an unknown name (validate with
+    {!parse_selection} first). *)

@@ -1,0 +1,103 @@
+let schema_version = 1
+
+type t = {
+  r_analysis : string;
+  r_summary : (string * string) list;
+  r_columns : string list;
+  r_rows : string list list;
+}
+
+let make ~analysis ~summary ~columns rows =
+  let width = List.length columns in
+  List.iter
+    (fun row ->
+      if List.length row <> width then
+        invalid_arg
+          (Printf.sprintf "Report.make: %s row has %d cells for %d columns"
+             analysis (List.length row) width))
+    rows;
+  { r_analysis = analysis; r_summary = summary; r_columns = columns;
+    r_rows = rows }
+
+(* ------------------------------------------------------------------ *)
+(* JSON *)
+
+let bpf b fmt = Printf.ksprintf (Buffer.add_string b) fmt
+
+let add_string_array b cells =
+  Buffer.add_char b '[';
+  List.iteri
+    (fun i c ->
+      if i > 0 then Buffer.add_string b ", ";
+      bpf b "\"%s\"" (Obs.Json.escape c))
+    cells;
+  Buffer.add_char b ']'
+
+let add_report b t =
+  bpf b "    {\n      \"analysis\": \"%s\",\n" (Obs.Json.escape t.r_analysis);
+  Buffer.add_string b "      \"summary\": {";
+  List.iteri
+    (fun i (k, v) ->
+      if i > 0 then Buffer.add_string b ", ";
+      bpf b "\"%s\": \"%s\"" (Obs.Json.escape k) (Obs.Json.escape v))
+    t.r_summary;
+  Buffer.add_string b "},\n      \"columns\": ";
+  add_string_array b t.r_columns;
+  Buffer.add_string b ",\n      \"rows\": [";
+  List.iteri
+    (fun i row ->
+      if i > 0 then Buffer.add_char b ',';
+      Buffer.add_string b "\n        ";
+      add_string_array b row)
+    t.r_rows;
+  if t.r_rows <> [] then Buffer.add_string b "\n      ";
+  Buffer.add_string b "]\n    }"
+
+let json_of_reports reports =
+  let b = Buffer.create 4096 in
+  bpf b "{\n  \"schema_version\": %d,\n  \"reports\": [" schema_version;
+  List.iteri
+    (fun i r ->
+      if i > 0 then Buffer.add_char b ',';
+      Buffer.add_char b '\n';
+      add_report b r)
+    reports;
+  if reports <> [] then Buffer.add_string b "\n  ";
+  Buffer.add_string b "]\n}\n";
+  Buffer.contents b
+
+let save ~path reports =
+  let oc = open_out_bin path in
+  output_string oc (json_of_reports reports);
+  close_out oc
+
+(* ------------------------------------------------------------------ *)
+(* Text table *)
+
+let render ppf t =
+  Format.fprintf ppf "== analysis: %s ==@," t.r_analysis;
+  if t.r_summary <> [] then
+    Format.fprintf ppf "%s@,"
+      (String.concat "  "
+         (List.map (fun (k, v) -> Printf.sprintf "%s=%s" k v) t.r_summary));
+  if t.r_columns <> [] then begin
+    let ncols = List.length t.r_columns in
+    let widths = Array.make ncols 0 in
+    let measure row =
+      List.iteri
+        (fun i c -> if i < ncols then widths.(i) <- max widths.(i) (String.length c))
+        row
+    in
+    measure t.r_columns;
+    List.iter measure t.r_rows;
+    let pad i c =
+      (* last column unpadded: keeps lines free of trailing spaces *)
+      if i = ncols - 1 then c
+      else c ^ String.make (widths.(i) - String.length c) ' '
+    in
+    let line row =
+      String.concat "  " (List.mapi pad row)
+    in
+    Format.fprintf ppf "%s@," (line t.r_columns);
+    List.iter (fun row -> Format.fprintf ppf "%s@," (line row)) t.r_rows
+  end

@@ -1,0 +1,39 @@
+(** The versioned results surface every client analysis reports through.
+
+    A report is one table plus a few scalar summary facts; a run of the
+    pipeline yields one report per selected client.  The JSON rendering is
+    deterministic (insertion order everywhere, no timestamps, no wall-clock
+    numbers) so that reports are byte-identical at any [--jobs] setting —
+    the same contract the [.rgn]/[.dgn] outputs honor. *)
+
+val schema_version : int
+(** Version stamped into the top-level JSON object.  Bump on any change to
+    the shape below; [bench check-json] rejects unknown or missing
+    versions. *)
+
+type t = {
+  r_analysis : string;  (** client name, e.g. ["bounds"] *)
+  r_summary : (string * string) list;
+      (** ordered scalar facts, e.g. [("safe", "12")] *)
+  r_columns : string list;
+  r_rows : string list list;  (** each row has [List.length r_columns] cells *)
+}
+
+val make :
+  analysis:string ->
+  summary:(string * string) list ->
+  columns:string list ->
+  string list list ->
+  t
+(** @raise Invalid_argument when some row's width disagrees with
+    [columns]. *)
+
+val json_of_reports : t list -> string
+(** [{"schema_version": N, "reports": [{"analysis": ..., "summary": {...},
+    "columns": [...], "rows": [[...] ...]}, ...]}] *)
+
+val save : path:string -> t list -> unit
+(** Writes {!json_of_reports} (reports in the given order). *)
+
+val render : Format.formatter -> t -> unit
+(** Human-readable table: summary line, then aligned columns. *)

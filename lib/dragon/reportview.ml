@@ -1,0 +1,119 @@
+(* Render a uhc --report JSON file (Analyses.Report.json_of_reports) as
+   the same aligned tables uhc prints, without depending on lib/analyses:
+   dragon only needs the serialized shape, which Obs.Json parses. *)
+
+type report = {
+  rv_analysis : string;
+  rv_summary : (string * string) list;
+  rv_columns : string list;
+  rv_rows : string list list;
+}
+
+type t = { rv_schema_version : int; rv_reports : report list }
+
+let known_schema_version = 1
+
+let string_items j =
+  match Obs.Json.to_list j with
+  | None -> None
+  | Some items ->
+    let strs = List.filter_map Obs.Json.to_string items in
+    if List.length strs = List.length items then Some strs else None
+
+let parse_report j =
+  let ( let* ) = Option.bind in
+  let* analysis = Option.bind (Obs.Json.member "analysis" j) Obs.Json.to_string in
+  let* summary =
+    match Obs.Json.member "summary" j with
+    | Some (Obs.Json.Obj kvs) ->
+      let pairs =
+        List.filter_map
+          (fun (k, v) -> Option.map (fun s -> (k, s)) (Obs.Json.to_string v))
+          kvs
+      in
+      if List.length pairs = List.length kvs then Some pairs else None
+    | _ -> None
+  in
+  let* columns = Option.bind (Obs.Json.member "columns" j) string_items in
+  let* rows =
+    match Option.bind (Obs.Json.member "rows" j) Obs.Json.to_list with
+    | None -> None
+    | Some items ->
+      let rows = List.filter_map string_items items in
+      if List.length rows = List.length items then Some rows else None
+  in
+  if List.for_all (fun r -> List.length r = List.length columns) rows then
+    Some { rv_analysis = analysis; rv_summary = summary;
+           rv_columns = columns; rv_rows = rows }
+  else None
+
+let parse text =
+  match Obs.Json.parse text with
+  | Error e -> Error e
+  | Ok j -> (
+    match Option.bind (Obs.Json.member "schema_version" j) Obs.Json.to_int with
+    | None -> Error "missing schema_version"
+    | Some v when v <> known_schema_version ->
+      Error (Printf.sprintf "unknown schema_version %d (expected %d)" v
+               known_schema_version)
+    | Some v -> (
+      match Option.bind (Obs.Json.member "reports" j) Obs.Json.to_list with
+      | None -> Error "missing reports array"
+      | Some items -> (
+        let reports = List.filter_map parse_report items in
+        if List.length reports <> List.length items then
+          Error "malformed report entry"
+        else Ok { rv_schema_version = v; rv_reports = reports })))
+
+let parse_file ~path =
+  match In_channel.with_open_bin path In_channel.input_all with
+  | exception Sys_error e -> Error e
+  | text -> parse text
+
+let render_report buf (r : report) =
+  Buffer.add_string buf (Printf.sprintf "== analysis: %s ==\n" r.rv_analysis);
+  if r.rv_summary <> [] then begin
+    Buffer.add_string buf
+      (String.concat "  "
+         (List.map (fun (k, v) -> Printf.sprintf "%s=%s" k v) r.rv_summary));
+    Buffer.add_char buf '\n'
+  end;
+  if r.rv_rows <> [] then begin
+    let widths =
+      List.fold_left
+        (fun acc row -> List.map2 (fun w c -> max w (String.length c)) acc row)
+        (List.map String.length r.rv_columns)
+        r.rv_rows
+    in
+    let n = List.length widths in
+    let emit row =
+      List.iteri
+        (fun i (w, c) ->
+          if i = n - 1 then Buffer.add_string buf c
+          else begin
+            Buffer.add_string buf c;
+            Buffer.add_string buf (String.make (max 0 (w - String.length c)) ' ');
+            Buffer.add_string buf "  "
+          end)
+        (List.combine widths row);
+      Buffer.add_char buf '\n'
+    in
+    emit r.rv_columns;
+    List.iter emit r.rv_rows
+  end
+
+let render ?only t =
+  let reports =
+    match only with
+    | None -> t.rv_reports
+    | Some name -> List.filter (fun r -> String.equal r.rv_analysis name) t.rv_reports
+  in
+  let buf = Buffer.create 1024 in
+  List.iteri
+    (fun i r ->
+      if i > 0 then Buffer.add_char buf '\n';
+      render_report buf r)
+    reports;
+  Buffer.contents buf
+
+let names t = List.map (fun r -> r.rv_analysis) t.rv_reports

@@ -462,3 +462,11 @@ let run (cfg : config) (m : Ir.module_) : result =
     }
   in
   { e_result = res; e_stats = stats; e_diags = diags }
+
+(* Drop-in successors of the removed [Ipa.Analyze.analyze{,_sources}]
+   reference entry points: one engine run, no store, serial by default. *)
+
+let analyze ?(jobs = 1) m = (run (config ~jobs ()) m).e_result
+
+let analyze_sources ?(jobs = 1) files =
+  analyze ~jobs (Whirl.Lower.lower (Lang.Frontend.load ~files))

@@ -81,3 +81,12 @@ type result = {
 val run : config -> Whirl.Ir.module_ -> result
 (** Also assigns the memory layout (Mem_Loc) if not yet done, like the
     serial path. *)
+
+val analyze : ?jobs:int -> Whirl.Ir.module_ -> Ipa.Analyze.result
+(** One uncached engine run, returning just the analysis result —
+    the successor of the removed [Ipa.Analyze.analyze].  [jobs] defaults
+    to [1]: the serial reference schedule. *)
+
+val analyze_sources : ?jobs:int -> (string * string) list -> Ipa.Analyze.result
+(** Front end + lowering + {!analyze} over [(filename, contents)] pairs —
+    the successor of the removed [Ipa.Analyze.analyze_sources]. *)

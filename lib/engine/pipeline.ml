@@ -35,6 +35,16 @@ type config = {
   diagnostics : string option;
   solver_budget : int option;
   join_path : [ `Fast | `Reference ];
+  analyses : string list;
+  report : string option;
+}
+
+type result = {
+  r_code : int;
+  r_outputs : string list;
+  r_stats : Engine.Stats.t option;
+  r_diags : Fault.Diag.t list;
+  r_reports : Analyses.Report.t list;
 }
 
 let make ?(paths = []) ?corpus ?out_dir ?(project = "project")
@@ -43,7 +53,8 @@ let make ?(paths = []) ?corpus ?out_dir ?(project = "project")
     ?(wopt = false) ?(fuse = false) ?(autopar = false) ?ipl_dir ?emit_whirl
     ?(jobs = 1) ?cache_dir ?(stats = false) ?(stats_det = false) ?trace
     ?metrics ?(log_level = Obs.Log.Quiet) ?(keep_going = false)
-    ?(fault_specs = []) ?diagnostics ?solver_budget ?(join_path = `Fast) () =
+    ?(fault_specs = []) ?diagnostics ?solver_budget ?(join_path = `Fast)
+    ?(analyses = []) ?report () =
   {
     paths;
     corpus;
@@ -72,6 +83,8 @@ let make ?(paths = []) ?corpus ?out_dir ?(project = "project")
     diagnostics;
     solver_budget;
     join_path;
+    analyses;
+    report;
   }
 
 let read_file path =
@@ -111,8 +124,17 @@ let load_inputs ~keep_going ~diags paths corpus =
           None)
       paths
 
-let exec_body ~diags (cfg : config) =
+let exec_body ~diags ~outputs ~stats ~reports (cfg : config) =
   try
+    (match
+       List.filter (fun n -> Analyses.Registry.find n = None) cfg.analyses
+     with
+    | [] -> ()
+    | unknown ->
+      failwith
+        (Printf.sprintf "unknown analyses: %s (available: %s)"
+           (String.concat ", " unknown)
+           (String.concat ", " (Analyses.Registry.names ()))));
     (* a single .B input resumes from a serialized WHIRL file, skipping the
        front ends entirely -- the paper's multi-phase pipeline *)
     let from_whirl =
@@ -190,6 +212,7 @@ let exec_body ~diags (cfg : config) =
     let analyze m =
       let r = Engine.run engine_cfg m in
       diags := List.rev_append r.Engine.e_diags !diags;
+      stats := Some r.Engine.e_stats;
       if cfg.stats then Format.printf "%a" Engine.Stats.pp r.Engine.e_stats;
       if cfg.stats_det then
         Format.printf "%a" Engine.Stats.pp_deterministic r.Engine.e_stats;
@@ -255,6 +278,26 @@ let exec_body ~diags (cfg : config) =
           end)
         files
     end;
+    (* client analyses over the finished interprocedural result *)
+    (match cfg.analyses with
+    | [] -> ()
+    | selection ->
+      let ctx =
+        {
+          Analyses.Analysis.ctx_module = m;
+          Analyses.Analysis.ctx_result = result;
+        }
+      in
+      let outcomes =
+        Obs.Span.with_ ~cat:"phase" ~name:"analyses" (fun () ->
+            Analyses.Registry.run_selected ~selection ctx)
+      in
+      List.iter
+        (fun (report, ds) ->
+          reports := report :: !reports;
+          diags := List.rev_append ds !diags;
+          Format.printf "@[<v>%a@]@?" Analyses.Report.render report)
+        outcomes);
     if cfg.execute then begin
       let outcome =
         Obs.Span.with_ ~cat:"phase" ~name:"execute" (fun () -> Interp.run m)
@@ -281,6 +324,7 @@ let exec_body ~diags (cfg : config) =
             Ipa.Analyze.write_outputs result ~dir ~project:cfg.project)
       in
       copy_sources ~dir files;
+      outputs := List.rev_append written !outputs;
       List.iter (Printf.printf "wrote %s\n") written);
     (match cfg.ipl_dir with
     | None -> ()
@@ -311,6 +355,7 @@ let exec_body ~diags (cfg : config) =
             Ipa.Iplfile.save ~dir ~unit_name
               (Ipa.Iplfile.write_unit m summaries)
           in
+          outputs := path :: !outputs;
           Printf.printf "wrote %s\n" path)
         by_unit);
     (match cfg.emit_whirl with
@@ -318,6 +363,14 @@ let exec_body ~diags (cfg : config) =
     | Some path ->
       Obs.Span.with_ ~cat:"io" ~name:"emit_whirl" (fun () ->
           Whirl.Whirl_io.save ~path m);
+      outputs := path :: !outputs;
+      Printf.printf "wrote %s\n" path);
+    (match cfg.report with
+    | None -> ()
+    | Some path ->
+      Obs.Span.with_ ~cat:"io" ~name:"emit:report" (fun () ->
+          Analyses.Report.save ~path (List.rev !reports));
+      outputs := path :: !outputs;
       Printf.printf "wrote %s\n" path);
     Printf.printf "analyzed %d procedures, %d call edges, %d array-region rows\n"
       (Ipa.Callgraph.node_count result.Ipa.Analyze.r_callgraph)
@@ -341,7 +394,7 @@ let exec_body ~diags (cfg : config) =
     Printf.eprintf "uhc: %s\n" msg;
     1
 
-let exec_full (cfg : config) =
+let run (cfg : config) =
   Obs.Log.set_level cfg.log_level;
   if cfg.trace <> None then begin
     Obs.Trace.clear ();
@@ -386,6 +439,9 @@ let exec_full (cfg : config) =
     ];
   let t0 = Obs.Trace.now_ns () in
   let diags = ref [] in
+  let outputs = ref [] in
+  let stats = ref None in
+  let reports = ref [] in
   Fun.protect
     ~finally:(fun () ->
       Fault.clear ();
@@ -412,7 +468,7 @@ let exec_full (cfg : config) =
         if not specs_ok then 2
         else
           Obs.Span.with_ ~cat:"phase" ~name:"pipeline" (fun () ->
-              exec_body ~diags cfg)
+              exec_body ~diags ~outputs ~stats ~reports cfg)
       in
       let degraded = Obs.Metrics.Counter.get c_degraded - degraded0 in
       if degraded > 0 then
@@ -427,6 +483,7 @@ let exec_full (cfg : config) =
       | None -> ()
       | Some path ->
         Fault.Diag.save ~path diags;
+        outputs := path :: !outputs;
         Printf.printf "wrote %s\n" path);
       if diags <> [] then
         Printf.eprintf "uhc: %d diagnostic(s) recorded%s\n"
@@ -442,6 +499,15 @@ let exec_full (cfg : config) =
             Printf.sprintf "%.1f"
               (float_of_int (Obs.Trace.now_ns () - t0) /. 1e6) );
         ];
-      (code, diags))
+      {
+        r_code = code;
+        r_outputs = List.rev !outputs;
+        r_stats = !stats;
+        r_diags = diags;
+        r_reports = List.rev !reports;
+      })
 
-let exec (cfg : config) = fst (exec_full cfg)
+let exec (cfg : config) = (run cfg).r_code
+let exec_full (cfg : config) =
+  let r = run cfg in
+  (r.r_code, r.r_diags)

@@ -64,6 +64,34 @@ type config = {
           {!Linear.System.set_implies_memo_enabled}).  Outputs are
           byte-identical — the knob exists for differential tests and the
           [bench regions] before/after comparison ([uhc --join-path]) *)
+  analyses : string list;
+      (** client analyses to run over the finished interprocedural result,
+          in order ([uhc --analyses bounds,permissions,regions]); names
+          from {!Analyses.Registry.names}.  Each prints its report table
+          and contributes to {!result.r_reports} / the [report] file *)
+  report : string option;
+      (** write the analysis reports to this path as schema-versioned JSON
+          ({!Analyses.Report.json_of_reports}); byte-identical at any
+          [jobs] setting *)
+}
+
+(** What a pipeline invocation produced, beyond its console output. *)
+type result = {
+  r_code : int;
+      (** process exit code (0 ok, 1 failure, 2 on a malformed
+          [fault_specs] entry; the empty-input [exit 2] still exits) *)
+  r_outputs : string list;
+      (** files written, in write order: project [.rgn]/[.dgn]/[.cfg],
+          [.ipl] units, emitted WHIRL, report JSON, diagnostics JSON *)
+  r_stats : Engine.Stats.t option;
+      (** statistics of the last engine run ([None] when analysis never
+          ran, e.g. parse failure) *)
+  r_diags : Fault.Diag.t list;
+      (** recovery diagnostics plus client-analysis findings, in a stable
+          chronological order (the [diagnostics] file, by contrast, is
+          sorted with {!Fault.Diag.compare}) *)
+  r_reports : Analyses.Report.t list;
+      (** one report per entry of [analyses], in selection order *)
 }
 
 val make :
@@ -94,20 +122,26 @@ val make :
   ?diagnostics:string ->
   ?solver_budget:int ->
   ?join_path:[ `Fast | `Reference ] ->
+  ?analyses:string list ->
+  ?report:string ->
   unit ->
   config
 (** Everything defaults to off/empty; [project] defaults to ["project"],
     [jobs] to [1]. *)
 
+val run : config -> result
+(** Runs the pipeline, printing to stdout/stderr like the [uhc] tool, and
+    returns everything it produced as one {!result} record.  Fault
+    injection, the solver budget and the solver memo cache are reset on
+    exit — including on exceptions — so subsequent in-process runs are
+    unaffected. *)
+
 val exec : config -> int
-(** Runs the pipeline, printing to stdout/stderr like the [uhc] tool;
-    returns the process exit code (0 ok, 1 failure, 2 on a malformed
-    [fault_specs] entry; exits with 2 on empty input, matching the CLI
-    contract). *)
+  [@@deprecated "use Pipeline.run; exec cfg = (run cfg).r_code"]
+(** @deprecated Thin wrapper kept for one release: [(run cfg).r_code]. *)
 
 val exec_full : config -> int * Fault.Diag.t list
-(** Like {!exec}, also returning the run's recovery diagnostics in a
-    stable order (chronological per producer; the [diagnostics] file, by
-    contrast, is sorted with {!Fault.Diag.compare}).  Fault injection, the
-    solver budget and the solver memo cache are reset on exit — including
-    on exceptions — so subsequent in-process runs are unaffected. *)
+  [@@deprecated
+    "use Pipeline.run; exec_full cfg = ((run cfg).r_code, (run cfg).r_diags)"]
+(** @deprecated Thin wrapper kept for one release:
+    [((run cfg).r_code, (run cfg).r_diags)]. *)

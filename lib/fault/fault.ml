@@ -196,9 +196,13 @@ module Diag = struct
       (Obs.Json.escape d.d_pu) (Obs.Json.escape d.d_action)
       (Obs.Json.escape d.d_detail)
 
+  let schema_version = 1
+
   let dump_json diags =
     let b = Buffer.create 1024 in
-    Buffer.add_string b "{\n  \"diagnostics\": [";
+    Buffer.add_string b
+      (Printf.sprintf "{\n  \"schema_version\": %d,\n  \"diagnostics\": ["
+         schema_version);
     List.iteri
       (fun i d ->
         if i > 0 then Buffer.add_char b ',';

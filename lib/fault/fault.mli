@@ -90,6 +90,11 @@ module Diag : sig
       byte-stable across domain-pool schedules. *)
 
   val pp : Format.formatter -> t -> unit
+
+  val schema_version : int
+  (** Version stamped into {!dump_json}'s top-level object; consumers
+      ([bench check-json], Dragon) reject unknown or missing versions. *)
+
   val dump_json : t list -> string
   val save : path:string -> t list -> unit
 end

@@ -254,43 +254,6 @@ let assemble (m : Ir.module_) cg ~infos ~summaries ~propagated ~cfgs : result =
     r_cfgs = cfgs;
   }
 
-(* The serial reference pipeline.  [Engine.run] composes the same stages
-   ({!Collect.run_pu}, {!summarize_pu}, {!assemble}) with a domain pool and
-   the content-addressed summary cache; keeping a single copy of each stage
-   is what guarantees the two paths produce byte-identical outputs. *)
-let analyze (m : Ir.module_) : result =
-  Layout.assign m;
-  Collect.intern_module_syms m;
-  let cg = Callgraph.build m in
-  let raw_infos = Collect.run m in
-  let infos =
-    List.map (fun (i : Collect.pu_info) -> (i.Collect.p_pu.Ir.pu_name, i)) raw_infos
-  in
-  let summaries : (string, Summary.t) Hashtbl.t = Hashtbl.create 16 in
-  let propagated : (string, Collect.access list) Hashtbl.t = Hashtbl.create 16 in
-  (* bottom-up over the call graph *)
-  List.iter
-    (fun proc ->
-      match List.assoc_opt proc infos with
-      | None -> ()
-      | Some info ->
-        let exported, extra =
-          summarize_pu m ~lookup:(Hashtbl.find_opt summaries) info
-        in
-        Hashtbl.replace summaries proc exported;
-        Hashtbl.replace propagated proc extra)
-    (Callgraph.bottom_up cg);
-  let cfgs = List.map (fun pu -> (pu.Ir.pu_name, Cfg.build pu)) m.Ir.m_pus in
-  assemble m cg ~infos
-    ~summaries:(Hashtbl.find_opt summaries)
-    ~propagated:(fun name ->
-      match Hashtbl.find_opt propagated name with Some l -> l | None -> [])
-    ~cfgs
-
-let analyze_sources files =
-  let prog = Lang.Frontend.load ~files in
-  analyze (Lower.lower prog)
-
 let summary_of result name = List.assoc name result.r_summaries
 
 let write_outputs result ~dir ~project =

@@ -31,23 +31,11 @@ type result = {
   r_cfgs : (string * Cfg.t) list;
 }
 
-val analyze : Whirl.Ir.module_ -> result
-  [@@deprecated
-    "use Engine.run (lib/engine): the parallel, incremental engine produces \
-     byte-identical results and exposes caching and per-phase stats. This \
-     serial reference path is kept for compatibility."]
-(** Also assigns the memory layout (Mem_Loc) if not yet done.
-
-    @deprecated Use [Engine.run] — same outputs, plus parallelism, the
-    content-addressed summary cache, and [Engine.Stats]. *)
-
-val analyze_sources : (string * string) list -> result
-  [@@deprecated
-    "use Pipeline.make/Pipeline.exec or Engine.run (lib/engine) instead"]
-(** Front end + lowering + analysis over [(filename, contents)] pairs.
-
-    @deprecated Use [Engine.run] on a lowered module (or the [Pipeline] API
-    for the full driver). *)
+(** The former [analyze]/[analyze_sources] entry points (the serial
+    reference pipeline) are gone: [Engine.run] at [~jobs:1] {e is} the
+    serial path, composed from the same building blocks below, and
+    [Engine.analyze]/[Engine.analyze_sources] are the drop-in
+    conveniences. *)
 
 (** {2 Building blocks}
 

@@ -149,11 +149,12 @@ let decode_key m s =
 let write_entry m buf (e : Summary.entry) =
   let r = e.Summary.e_region in
   Buffer.add_string buf
-    (Printf.sprintf "entry %s ; %s ; %d ; %d ; %d\n"
+    (Printf.sprintf "entry %s ; %s ; %d ; %d ; %d ; %d\n"
        (encode_key m e.Summary.e_key)
        (Mode.to_string e.Summary.e_mode)
        e.Summary.e_count (r : Region.t).Region.ndims
-       (if Region.is_exact r then 1 else 0));
+       (if Region.is_exact r then 1 else 0)
+       (if Region.is_clamped r then 1 else 0));
   Buffer.add_string buf
     (Printf.sprintf "strides %s\n"
        (String.concat " "
@@ -182,7 +183,13 @@ let parse_unit m text =
   let current_entries = ref [] in
   (* entry being assembled *)
   let pending :
-      (Summary.key * Mode.t * int * int * bool * Region.stride list * Constr.t list)
+      (Summary.key
+      * Mode.t
+      * int
+      * int
+      * (bool * bool) (* exact, clamped *)
+      * Region.stride list
+      * Constr.t list)
       option
       ref =
     ref None
@@ -192,7 +199,7 @@ let parse_unit m text =
   let finish_entry () =
     match !pending with
     | None -> ()
-    | Some (key, mode, count, ndims, exact, strides, constrs) ->
+    | Some (key, mode, count, ndims, (exact, clamped), strides, constrs) ->
       if List.length strides <> ndims then
         fail (Printf.sprintf "entry has %d strides for %d dims"
                 (List.length strides) ndims)
@@ -201,6 +208,7 @@ let parse_unit m text =
           Region.make ~ndims ~sys:(System.of_list (List.rev constrs)) ~strides
             ~exact
         in
+        let region = if clamped then Region.mark_clamped region else region in
         current_entries :=
           {
             Summary.e_key = key;
@@ -231,19 +239,30 @@ let parse_unit m text =
           if !current_proc = None then fail "entry outside proc";
           if !pending <> None then fail "entry while another entry is open (missing endentry)";
           let body = String.sub line 6 (String.length line - 6) in
-          match String.split_on_char ';' body |> List.map String.trim with
-          | [ key; mode; count; ndims; exact ] -> (
+          let parse_fields key mode count ndims exact clamped =
             match
               ( decode_key m key,
                 Mode.of_string mode,
                 int_of_string_opt count,
                 int_of_string_opt ndims,
-                exact )
+                exact,
+                clamped )
             with
-            | Ok key, Some mode, Some count, Some ndims, ("0" | "1") ->
-              pending := Some (key, mode, count, ndims, exact = "1", [], [])
-            | Error e, _, _, _, _ -> fail e
-            | _ -> fail (Printf.sprintf "bad entry line %S" line))
+            | Ok key, Some mode, Some count, Some ndims, ("0" | "1"), ("0" | "1")
+              ->
+              pending :=
+                Some
+                  (key, mode, count, ndims, (exact = "1", clamped = "1"), [], [])
+            | Error e, _, _, _, _, _ -> fail e
+            | _ -> fail (Printf.sprintf "bad entry line %S" line)
+          in
+          match String.split_on_char ';' body |> List.map String.trim with
+          | [ key; mode; count; ndims; exact; clamped ] ->
+            parse_fields key mode count ndims exact clamped
+          | [ key; mode; count; ndims; exact ] ->
+            (* legacy 5-field entry predating clamp tracking: read it
+               conservatively, as a region that cannot prove in-bounds *)
+            parse_fields key mode count ndims exact "1"
           | _ -> fail (Printf.sprintf "bad entry line %S" line)
         end
         else if String.length line > 8 && String.sub line 0 8 = "strides " then begin

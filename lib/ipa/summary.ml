@@ -179,7 +179,10 @@ let opaque m pu =
       | Symtab.Ty_array _ ->
         let code = Ir.encode_global idx in
         let region =
-          Region.whole ~extents:(Collect.extents_of m pu code)
+          (* worst-case: the callee's real accesses are unknown, so the
+             whole-extent fallback is a clamp, not a proof of in-bounds *)
+          Region.mark_clamped
+            (Region.whole ~extents:(Collect.extents_of m pu code))
         in
         entries :=
           { e_key = Kglobal code; e_mode = Mode.USE; e_region = region; e_count = 1 }
@@ -192,7 +195,10 @@ let opaque m pu =
       let st_entry = Symtab.st pu.Ir.pu_symtab idx in
       match Symtab.ty pu.Ir.pu_symtab st_entry.Symtab.st_ty with
       | Symtab.Ty_array _ ->
-        let region = Region.whole ~extents:(Collect.extents_of m pu idx) in
+        let region =
+          Region.mark_clamped
+            (Region.whole ~extents:(Collect.extents_of m pu idx))
+        in
         entries :=
           { e_key = Kformal p; e_mode = Mode.USE; e_region = region; e_count = 1 }
           :: { e_key = Kformal p; e_mode = Mode.DEF; e_region = region; e_count = 1 }
@@ -265,14 +271,16 @@ let translate m ~caller ~callee ~site summary =
             (* element passing re-bases the callee's view of the array
                (Fortran sequence association): fall back to the whole
                actual array, flagged approximate *)
-            Region.approximate
-              (Region.whole ~extents:(Collect.extents_of m caller st'))
+            Region.mark_clamped
+              (Region.approximate
+                 (Region.whole ~extents:(Collect.extents_of m caller st')))
           | `Exact ->
             let callee_ndims = (e.e_region : Region.t).Region.ndims in
             let caller_ndims = List.length (Collect.extents_of m caller st') in
             if callee_ndims <> caller_ndims then
-              Region.approximate
-                (Region.whole ~extents:(Collect.extents_of m caller st'))
+              Region.mark_clamped
+                (Region.approximate
+                   (Region.whole ~extents:(Collect.extents_of m caller st')))
             else
               e.e_region
               |> Region.subst_sym subst

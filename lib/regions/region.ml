@@ -15,6 +15,7 @@ type t = {
   sys : System.t;
   dims : dim list;
   exact : bool;
+  clamped : bool;
 }
 
 type loop_ctx = {
@@ -100,7 +101,10 @@ let make ~ndims ~sys ~strides ~exact =
   if List.length strides <> ndims then
     invalid_arg "Region.make: strides length mismatch";
   let dims = triplets_of_sys ~ndims ~strides sys in
-  { ndims; sys; dims; exact }
+  { ndims; sys; dims; exact; clamped = false }
+
+let mark_clamped t = if t.clamped then t else { t with clamped = true }
+let with_clamp_of src t = if src.clamped then mark_clamped t else t
 
 (* ------------------------------------------------------------------ *)
 (* Construction from a reference *)
@@ -136,6 +140,7 @@ let of_subscripts ~extents ~loops subscripts =
   if List.length extents <> ndims then
     invalid_arg "Region.of_subscripts: extents length mismatch";
   let exact = ref true in
+  let clamped = ref false in
   let constraints = ref [] in
   let addc c = constraints := c :: !constraints in
   let extents_a = Array.of_list extents in
@@ -149,6 +154,11 @@ let of_subscripts ~extents ~loops subscripts =
         exact := false;
         match extents_a.(k) with
         | Some ext ->
+          (* the clamp keeps the region inside the declared extent even
+             though the runtime subscript might not be: an
+             under-approximation in the bounds-checking direction, recorded
+             in [clamped] so clients never prove safety from it *)
+          clamped := true;
           addc (Constr.ge d Expr.zero);
           addc (Constr.le d (Expr.of_int (ext - 1)))
         | None -> ()))
@@ -196,7 +206,8 @@ let of_subscripts ~extents ~loops subscripts =
   let ivars = Var.Set.filter Var.is_ivar (System.vars sys) in
   let sys = System.eliminate_all (Var.Set.elements ivars) sys in
   let strides = List.map (stride_of_subscript loops) subscripts in
-  make ~ndims ~sys ~strides ~exact:!exact
+  let r = make ~ndims ~sys ~strides ~exact:!exact in
+  if !clamped then mark_clamped r else r
 
 let whole ~extents =
   let ndims = List.length extents in
@@ -214,7 +225,8 @@ let whole ~extents =
              [ Constr.ge d Expr.zero ])
          extents)
   in
-  make ~ndims ~sys:(System.of_list constraints)
+  make ~ndims
+    ~sys:(System.of_list constraints)
     ~strides:(List.init ndims (fun _ -> Sconst 1))
     ~exact:!exact
 
@@ -281,6 +293,7 @@ let union_approx a b =
       a.dims b.dims
   in
   let r = make ~ndims:a.ndims ~sys ~strides ~exact:false in
+  let r = { r with clamped = a.clamped || b.clamped } in
   (* the join of two identical regions is that region, exactly *)
   if System.equal_semantic a.sys b.sys && a.dims = b.dims then
     { r with exact = a.exact && b.exact }
@@ -390,7 +403,7 @@ let subst_sym substs t =
       t.sys substs
   in
   let strides = List.map (fun d -> d.stride) t.dims in
-  make ~ndims:t.ndims ~sys ~strides ~exact:t.exact
+  with_clamp_of t (make ~ndims:t.ndims ~sys ~strides ~exact:t.exact)
 
 let close_under_loops loops t =
   let ivars = Var.Set.filter Var.is_ivar (System.vars t.sys) in
@@ -417,7 +430,7 @@ let close_under_loops loops t =
     let sys = System.of_list !constraints in
     let sys = System.eliminate_all (Var.Set.elements ivars) sys in
     let strides = List.map (fun d -> d.stride) t.dims in
-    make ~ndims:t.ndims ~sys ~strides ~exact:!exact
+    with_clamp_of t (make ~ndims:t.ndims ~sys ~strides ~exact:!exact)
   end
 
 let shift_dim k off t =
@@ -429,13 +442,56 @@ let shift_dim k off t =
       System.subst v (Expr.add (Expr.var v) (Expr.of_int (-off))) t.sys
     in
     let strides = List.map (fun d -> d.stride) t.dims in
-    make ~ndims:t.ndims ~sys ~strides ~exact:t.exact
+    with_clamp_of t (make ~ndims:t.ndims ~sys ~strides ~exact:t.exact)
   end
 
 let approximate t = { t with exact = false }
 
 let dim_list t = t.dims
 let is_exact t = t.exact
+let is_clamped t = t.clamped
+
+(* ------------------------------------------------------------------ *)
+(* Extent-vs-region queries (the bounds-checking client's core question) *)
+
+type extent_verdict = In_bounds | Out_of_bounds | Unknown_bounds
+
+let extent_check ~extents t =
+  if List.length extents <> t.ndims then
+    invalid_arg "Region.extent_check: rank mismatch";
+  (* an empty region describes no access at all: trivially in bounds *)
+  if not (System.feasible t.sys) then In_bounds
+  else begin
+    let extents_a = Array.of_list extents in
+    let all_in = ref true in
+    let some_out = ref false in
+    for k = 0 to t.ndims - 1 do
+      let d = Expr.var (Var.subscript k) in
+      (* proven inside: 0 <= d <= ext-1 entailed by the system.  Under a
+         solver step budget [implies] degrades to "cannot prove", which
+         lands the access in the Unknown (residual runtime check) bucket. *)
+      let low_in = System.implies t.sys (Constr.ge d Expr.zero) in
+      let low_out =
+        System.implies t.sys (Constr.le d (Expr.of_int (-1)))
+      in
+      let high_in, high_out =
+        match extents_a.(k) with
+        | Some e ->
+          ( System.implies t.sys (Constr.le d (Expr.of_int (e - 1))),
+            System.implies t.sys (Constr.ge d (Expr.of_int e)) )
+        | None -> (false, false)
+      in
+      if not (low_in && high_in) then all_in := false;
+      if low_out || high_out then some_out := true
+    done;
+    (* entirely-out on one dimension condemns every access the region
+       describes, so over-approximation does not weaken the verdict;
+       proving In_bounds additionally requires the region not to have been
+       clamped (the clamp under-approximates in exactly this direction) *)
+    if !some_out then Out_of_bounds
+    else if !all_in && not t.clamped then In_bounds
+    else Unknown_bounds
+  end
 
 let bound_equal a b =
   match a, b with

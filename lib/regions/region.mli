@@ -28,6 +28,12 @@ type t = private {
   sys : Linear.System.t;
   dims : dim list;  (** internal (row-major) order, length [ndims] *)
   exact : bool;     (** false once any approximation was taken *)
+  clamped : bool;
+      (** true when some step {e under}-approximated the runtime access set
+          by clamping it into the declared extents (MESSY subscripts,
+          opaque-callee summaries).  Such a region still over-approximates
+          every {e valid} access, but can no longer witness that all
+          runtime accesses are in bounds. *)
 }
 
 (** Description of one enclosing loop for {!of_subscripts}. *)
@@ -50,11 +56,14 @@ val of_subscripts :
 val make :
   ndims:int -> sys:Linear.System.t -> strides:stride list -> exact:bool -> t
 (** Rebuild a region from an arbitrary system (used by the interprocedural
-    translation); triplets are recomputed by projection. *)
+    translation); triplets are recomputed by projection.  The result is not
+    clamped; apply {!mark_clamped} when the source region was. *)
 
 val whole : extents:int option list -> t
 (** The entire array: what a whole-array argument or an unanalyzable
-    reference summarizes to. *)
+    reference summarizes to.  Compose with {!mark_clamped} when the
+    underlying accesses are unknown (opaque callee), so bounds clients
+    cannot read the clamp back as proof of safety. *)
 
 val point : int list -> t
 (** Single concrete element. *)
@@ -122,8 +131,33 @@ val approximate : t -> t
 (** Same region, with the exact flag cleared — used when a translation step
     had to over-approximate (element-argument passing, rank mismatch). *)
 
+val mark_clamped : t -> t
+(** Same region, with the clamped flag set — used when a translation step
+    fell back to the declared extents without knowing the real accesses. *)
+
 val dim_list : t -> dim list
 val is_exact : t -> bool
+
+val is_clamped : t -> bool
+(** Whether any construction or translation step clamped the region into
+    the declared extents (see {!type:t}). *)
+
+type extent_verdict =
+  | In_bounds      (** every access the region admits is provably valid *)
+  | Out_of_bounds  (** the region is non-empty and some dimension lies
+                       entirely outside the declared extent — every access
+                       it describes faults *)
+  | Unknown_bounds (** neither proof went through: residual runtime check *)
+
+val extent_check : extents:int option list -> t -> extent_verdict
+(** Compare a region against the (row-major, zero-based) declared extents
+    with the packed Fourier-Motzkin [implies] path.  [In_bounds] needs
+    [0 <= d_k <= extent_k - 1] entailed for every dimension {e and} an
+    unclamped region; [Out_of_bounds] needs some known-extent dimension
+    entailed entirely outside ([d_k <= -1] or [d_k >= extent_k]) — sound
+    even on over-approximated regions.  A solver step budget degrades
+    failed entailments to [Unknown_bounds], never to a wrong verdict.
+    @raise Invalid_argument on rank mismatch. *)
 
 val equal_display : t -> t -> bool
 (** Same triplet view (used to merge duplicate rows). *)

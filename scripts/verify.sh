@@ -34,6 +34,20 @@ dune exec bench/main.exe -- regions --json --out "$out/BENCH_regions.json"
 test -s "$out/BENCH_regions.json"
 dune exec bench/main.exe -- check-json "$out/BENCH_regions.json"
 
+echo "== smoke: bench bounds --json =="
+dune exec bench/main.exe -- bounds --json --out "$out/BENCH_bounds.json"
+test -s "$out/BENCH_bounds.json"
+dune exec bench/main.exe -- check-json "$out/BENCH_bounds.json"
+
+echo "== smoke: uhc --analyses report is jobs-invariant =="
+dune exec bin/uhc.exe -- --corpus lu --analyses bounds,permissions \
+  --report "$out/report1.json" --jobs 1 >/dev/null
+dune exec bin/uhc.exe -- --corpus lu --analyses bounds,permissions \
+  --report "$out/report4.json" --jobs 4 >/dev/null
+cmp "$out/report1.json" "$out/report4.json"
+dune exec bench/main.exe -- check-json "$out/report1.json"
+dune exec bin/dragon.exe -- report "$out/report1.json" | grep -q "== analysis: bounds =="
+
 echo "== smoke: uhc --join-path reference is byte-identical =="
 dune exec bin/uhc.exe -- --corpus lu -o "$out/jfast" --jobs 4 >/dev/null
 dune exec bin/uhc.exe -- --corpus lu --join-path reference -o "$out/jref" \

@@ -1,7 +1,7 @@
 (* The additional HPC workloads: analysis sanity, parallelism verdicts,
    interpretation, and advisor output on each. *)
 
-let analyze files = Ipa.Analyze.analyze_sources files
+let analyze files = Engine.analyze_sources files
 
 let first_loop pu =
   let loop = ref None in

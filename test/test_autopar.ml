@@ -2,7 +2,7 @@
    annotation. *)
 
 let plan_of files =
-  let r = Ipa.Analyze.analyze_sources files in
+  let r = Engine.analyze_sources files in
   (r, Ipa.Autopar.plan r.Ipa.Analyze.r_module r.Ipa.Analyze.r_summaries)
 
 let contains hay needle =

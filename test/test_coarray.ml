@@ -1,7 +1,7 @@
 (* The PGAS extension (the paper's future work): coarray declarations,
    remote accesses, RUSE/RDEF rows, and single-image execution. *)
 
-let result = lazy (Ipa.Analyze.analyze_sources [ Corpus.Small.caf_f ])
+let result = lazy (Engine.analyze_sources [ Corpus.Small.caf_f ])
 
 let rows pred = List.filter pred (Lazy.force result).Ipa.Analyze.r_rows
 

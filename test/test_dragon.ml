@@ -1,7 +1,7 @@
 (* Dragon viewer: table rendering, find, browsing, graphs, advisor. *)
 
 let project_of files =
-  let result = Ipa.Analyze.analyze_sources files in
+  let result = Engine.analyze_sources files in
   ( result,
     Dragon.Project.make ~name:"t" ~dgn:result.Ipa.Analyze.r_dgn
       ~rows:result.Ipa.Analyze.r_rows ~sources:files () )
@@ -91,7 +91,7 @@ let test_callgraph_views () =
   Alcotest.(check bool) "dot edge" true (contains dot "\"add\" -> \"p1\"")
 
 let test_cfg_views () =
-  let result = Ipa.Analyze.analyze_sources [ Corpus.Small.fig1_f ] in
+  let result = Engine.analyze_sources [ Corpus.Small.fig1_f ] in
   let blocks =
     List.concat_map
       (fun (proc, cfg) ->
@@ -234,7 +234,7 @@ let test_diff () =
   let rows files wopt =
     let m = Whirl.Lower.lower (Lang.Frontend.load ~files) in
     let m = if wopt then fst (Wopt.Const_prop.run m) else m in
-    (Ipa.Analyze.analyze m).Ipa.Analyze.r_rows
+    (Engine.analyze m).Ipa.Analyze.r_rows
   in
   let before = rows [ Corpus.Small.stride_f ] false in
   let after = rows [ Corpus.Small.stride_f ] true in

@@ -42,7 +42,7 @@ let test_parallel_identical () =
   List.iter
     (fun corpus ->
       let files = corpus_files corpus in
-      let serial = render (Ipa.Analyze.analyze (lower files)) in
+      let serial = render (Engine.analyze (lower files)) in
       let par =
         Engine.run (Engine.config ~jobs:4 ()) (lower files)
       in
@@ -154,7 +154,7 @@ let test_invalidation_callers_only () =
     st.Engine.Stats.s_summary_hits;
   (* the incremental result equals a from-scratch analysis *)
   let fresh =
-    Ipa.Analyze.analyze (lower [ chain_src ~g_bound:30 ~f_bound:20 ])
+    Engine.analyze (lower [ chain_src ~g_bound:30 ~f_bound:20 ])
   in
   check_same_output "edit g" (render fresh) (render r2.Engine.e_result);
   (* edit f: f recollects; f, main re-summarize; g and h stay cached *)

@@ -146,7 +146,7 @@ let prop_static_covers_dynamic =
   Test.make ~name:"static regions cover dynamic accesses" ~count:60
     gen_program ~print:(fun s -> s)
     (fun src ->
-      let result = Ipa.Analyze.analyze_sources [ ("fuzz.f", src) ] in
+      let result = Engine.analyze_sources [ ("fuzz.f", src) ] in
       let m = result.Ipa.Analyze.r_module in
       (* static accesses by (name, is_write) *)
       let static =
@@ -203,7 +203,7 @@ let prop_analysis_deterministic =
     ~print:(fun s -> s)
     (fun src ->
       let rows () =
-        (Ipa.Analyze.analyze_sources [ ("fuzz.f", src) ]).Ipa.Analyze.r_rows
+        (Engine.analyze_sources [ ("fuzz.f", src) ]).Ipa.Analyze.r_rows
         |> List.map Rgnfile.Row.to_fields
       in
       rows () = rows ())
@@ -213,7 +213,7 @@ let prop_rgn_roundtrip =
     ~print:(fun s -> s)
     (fun src ->
       let rows =
-        (Ipa.Analyze.analyze_sources [ ("fuzz.f", src) ]).Ipa.Analyze.r_rows
+        (Engine.analyze_sources [ ("fuzz.f", src) ]).Ipa.Analyze.r_rows
       in
       match Rgnfile.Files.parse_rgn (Rgnfile.Files.write_rgn rows) with
       | Ok rows' ->
@@ -222,7 +222,7 @@ let prop_rgn_roundtrip =
       | Error _ -> false)
 
 (* ------------------------------------------------------------------ *)
-(* Fault tolerance: whatever fault spec is installed, [Pipeline.exec] under
+(* Fault tolerance: whatever fault spec is installed, [Pipeline.run] under
    --keep-going terminates with an exit code — no exception escapes any
    recovery layer. *)
 
@@ -252,7 +252,7 @@ let with_quiet_stdout f =
     f
 
 let prop_faults_never_escape =
-  Test.make ~name:"injected faults never escape Pipeline.exec" ~count:25
+  Test.make ~name:"injected faults never escape Pipeline.run" ~count:25
     Gen.(pair gen_program gen_fault_spec)
     ~print:(fun (src, spec) -> spec ^ "\n" ^ src)
     (fun (src, spec) ->
@@ -265,10 +265,10 @@ let prop_faults_never_escape =
         Pipeline.make ~paths:[ tmp ] ~keep_going:true ~fault_specs:[ spec ]
           ~cache_dir:(Test_engine.fresh_dir ()) ~jobs:2 ()
       in
-      match with_quiet_stdout (fun () -> Pipeline.exec cfg) with
+      match (with_quiet_stdout (fun () -> Pipeline.run cfg)).Pipeline.r_code with
       | 0 | 1 -> true
       | code ->
-        Printf.eprintf "Pipeline.exec returned %d under %s\n" code spec;
+        Printf.eprintf "Pipeline.run returned %d under %s\n" code spec;
         false)
 
 let suite =

@@ -206,7 +206,7 @@ let test_events_carry_layout_addresses () =
 (* dynamic sections must be covered by the static regions *)
 let test_static_covers_dynamic () =
   let files = [ Corpus.Small.matrix_c ] in
-  let result = Ipa.Analyze.analyze_sources files in
+  let result = Engine.analyze_sources files in
   let m = result.Ipa.Analyze.r_module in
   let outcome = Interp.run m in
   List.iter

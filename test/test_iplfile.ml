@@ -2,7 +2,7 @@
    the textual .ipl format, including symbolic bounds, and still translate
    identically at call sites. *)
 
-let result = lazy (Ipa.Analyze.analyze_sources [ Corpus.Small.fig1_f ])
+let result = lazy (Engine.analyze_sources [ Corpus.Small.fig1_f ])
 
 let roundtrip () =
   let r = Lazy.force result in
@@ -92,7 +92,7 @@ let test_symbolic_bounds_roundtrip () =
       end
 |} )
   in
-  let r = Ipa.Analyze.analyze_sources [ src ] in
+  let r = Engine.analyze_sources [ src ] in
   let m = r.Ipa.Analyze.r_module in
   let text = Ipa.Iplfile.write_unit m r.Ipa.Analyze.r_summaries in
   match Ipa.Iplfile.parse_unit m text with

@@ -1,6 +1,6 @@
 (* Dependence tests and the loop-nest transformations built on them. *)
 
-let analyze files = Ipa.Analyze.analyze_sources files
+let analyze files = Engine.analyze_sources files
 
 let find_loops pu =
   let loops = ref [] in
@@ -349,7 +349,7 @@ let test_locality_interchange_reduces_misses () =
     in
     Cache.misses (Cache.stats cache)
   in
-  let result = Ipa.Analyze.analyze_sources [ ("loc.f", locality_bad_src) ] in
+  let result = Engine.analyze_sources [ ("loc.f", locality_bad_src) ] in
   let m = result.Ipa.Analyze.r_module in
   let before = misses None in
   let after =

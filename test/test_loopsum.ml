@@ -2,7 +2,7 @@
    loop-level and statement level". *)
 
 let setup files =
-  let r = Ipa.Analyze.analyze_sources files in
+  let r = Engine.analyze_sources files in
   (r, r.Ipa.Analyze.r_module)
 
 let find_ls lss proc line_pred =

@@ -19,6 +19,7 @@ let () =
       ("lno", Test_lno.suite);
       ("coarray", Test_coarray.suite);
       ("fuzz", Test_fuzz.suite);
+      ("analyses", Test_analyses.suite);
       ("fault", Test_fault.suite);
       ("iplfile", Test_iplfile.suite);
       ("apps", Test_apps.suite);

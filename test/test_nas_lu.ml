@@ -2,7 +2,7 @@
    paper reports in Fig 11, Fig 12/Table II, Fig 14/Table III and the Case 2
    directive. *)
 
-let result = lazy (Ipa.Analyze.analyze_sources (Corpus.Nas_lu.files ()))
+let result = lazy (Engine.analyze_sources (Corpus.Nas_lu.files ()))
 
 let rows pred = List.filter pred (Lazy.force result).Ipa.Analyze.r_rows
 
@@ -140,7 +140,7 @@ let test_tab4_shape () =
   let speedups =
     List.filter_map
       (fun cls ->
-        let r = Ipa.Analyze.analyze_sources (Corpus.Nas_lu.files ~cls ()) in
+        let r = Engine.analyze_sources (Corpus.Nas_lu.files ~cls ()) in
         let u_row =
           List.find_opt
             (fun (row : Rgnfile.Row.t) ->
@@ -176,7 +176,7 @@ let test_no_recursion () =
 
 let test_class_parametrization () =
   (* class S shrinks the grid to 12^3: u(5,13,13,12) = 10140 elems *)
-  let r = Ipa.Analyze.analyze_sources (Corpus.Nas_lu.files ~cls:'S' ()) in
+  let r = Engine.analyze_sources (Corpus.Nas_lu.files ~cls:'S' ()) in
   let u_row =
     List.find
       (fun (row : Rgnfile.Row.t) ->
@@ -219,7 +219,7 @@ let test_outputs_loadable_by_dragon () =
 let test_analysis_speed () =
   (* regression guard: the whole class-A pipeline stays interactive *)
   let t0 = Unix.gettimeofday () in
-  ignore (Ipa.Analyze.analyze_sources (Corpus.Nas_lu.files ()));
+  ignore (Engine.analyze_sources (Corpus.Nas_lu.files ()));
   let dt = Unix.gettimeofday () -. t0 in
   Alcotest.(check bool)
     (Printf.sprintf "class A analysis under 2s (took %.2fs)" dt)

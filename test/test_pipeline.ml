@@ -3,7 +3,7 @@
 
 open Ipa
 
-let analyze files = Analyze.analyze_sources files
+let analyze files = Engine.analyze_sources files
 
 let rows_of result ~scope ~array ~mode =
   List.filter

@@ -1,7 +1,7 @@
 (* Edge cases and failure behaviour across the pipeline: recursion, parser
    diagnostics, CSV quoting, empty programs, deep nesting. *)
 
-let analyze files = Ipa.Analyze.analyze_sources files
+let analyze files = Engine.analyze_sources files
 
 let test_recursion_handled () =
   (* direct recursion: the analysis must terminate and fall back to the

@@ -153,12 +153,12 @@ let test_corpora_identical () =
   List.iter
     (fun corpus ->
       let files = corpus_files corpus in
-      let fast = render (Ipa.Analyze.analyze (lower files)) in
+      let fast = render (Engine.analyze (lower files)) in
       System.set_reference_mode true;
       let reference =
         Fun.protect
           ~finally:(fun () -> System.set_reference_mode false)
-          (fun () -> render (Ipa.Analyze.analyze (lower files)))
+          (fun () -> render (Engine.analyze (lower files)))
       in
       check_same_output (corpus ^ " reference vs fast") reference fast)
     [ "lu"; "matrix"; "fig1"; "stride" ]

@@ -4,7 +4,7 @@
 open Ipa
 
 let setup src =
-  let r = Analyze.analyze_sources [ ("t.f", src) ] in
+  let r = Engine.analyze_sources [ ("t.f", src) ] in
   (r, r.Analyze.r_module)
 
 (* effects propagated into a procedure's table from its call sites (the

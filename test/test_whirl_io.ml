@@ -39,7 +39,7 @@ let test_symtab_roundtrip () =
 let test_analysis_equal_after_reload () =
   let m, m' = roundtrip (Corpus.Nas_lu.files ()) in
   let rows mm =
-    (Ipa.Analyze.analyze mm).Ipa.Analyze.r_rows |> List.map Rgnfile.Row.to_fields
+    (Engine.analyze mm).Ipa.Analyze.r_rows |> List.map Rgnfile.Row.to_fields
   in
   Alcotest.(check bool) "identical .rgn rows from reloaded WHIRL" true
     (rows m = rows m')

@@ -3,7 +3,7 @@
 let lower files = Whirl.Lower.lower (Lang.Frontend.load ~files)
 
 let rows_of_module m =
-  (Ipa.Analyze.analyze m).Ipa.Analyze.r_rows
+  (Engine.analyze m).Ipa.Analyze.r_rows
 
 let find_row rows array mode =
   List.find_opt
@@ -186,7 +186,7 @@ let test_call_in_rhs_kills_globals () =
   let m, _ = Wopt.Const_prop.run (lower [ src ]) in
   (* the DEF effect of `use` propagated into t must keep g symbolic: with
      the stale fold it would be the constant region 0:7 *)
-  let r = Ipa.Analyze.analyze m in
+  let r = Engine.analyze m in
   let table =
     List.find (fun t -> t.Ipa.Analyze.t_proc = "t") r.Ipa.Analyze.r_tables
   in
