@@ -762,55 +762,64 @@ let bench_solver ~json ~out () =
   let lower () = Whirl.Lower.lower (Lang.Frontend.load ~files) in
   (* throwaway run so frontend/layout paths are hot *)
   ignore (analyze_module (lower ()));
-  (* ---- end-to-end: total feasible-query wall time, reference vs fast *)
-  let run_mode reference =
-    Linear.System.set_reference_mode reference;
+  (* ---- end-to-end: total feasible-query wall time per solver core *)
+  let run_mode core =
+    Linear.System.set_solver_core core;
     Linear.System.clear_cache ();
     let s0 = Linear.Solver_stats.snapshot () in
     let t0 = Unix.gettimeofday () in
     let res = analyze_module (lower ()) in
     let wall = Unix.gettimeofday () -. t0 in
     let d = Linear.Solver_stats.diff (Linear.Solver_stats.snapshot ()) s0 in
-    Linear.System.set_reference_mode false;
+    Linear.System.set_solver_core `Learned;
     (res, wall, d)
   in
-  let query_ns reference (d : Linear.Solver_stats.t) =
-    if reference then d.Linear.Solver_stats.wall_reference_ns
+  let query_ns core (d : Linear.Solver_stats.t) =
+    if core = `Reference then d.Linear.Solver_stats.wall_reference_ns
     else d.Linear.Solver_stats.wall_fast_ns
   in
-  let best_run reference =
+  let best_run core =
     let best = ref None in
     for _ = 1 to 3 do
-      let (_, _, d) as r = run_mode reference in
+      let (_, _, d) as r = run_mode core in
       match !best with
-      | Some (_, _, d') when query_ns reference d' <= query_ns reference d ->
-        ()
+      | Some (_, _, d') when query_ns core d' <= query_ns core d -> ()
       | _ -> best := Some r
     done;
     Option.get !best
   in
-  let _, wall_ref, d_ref = best_run true in
-  let res, wall_fast, d_fast = best_run false in
+  let _, wall_ref, d_ref = best_run `Reference in
+  let _, wall_fast, d_fast = best_run `Packed in
+  let res, wall_learned, d_learned = best_run `Learned in
   let open Linear.Solver_stats in
   let ref_ns = d_ref.wall_reference_ns and fast_ns = d_fast.wall_fast_ns in
+  let learned_ns = d_learned.wall_fast_ns in
   let speedup = float_of_int ref_ns /. float_of_int (max 1 fast_ns) in
   Printf.printf
-    "end-to-end (feasible queries): reference %d queries %.3f ms, fast %d \
-     queries %.3f ms => %.1fx\n"
+    "end-to-end (feasible queries): reference %d queries %.3f ms, packed %d \
+     queries %.3f ms => %.1fx, learned %d queries %.3f ms\n"
     d_ref.queries
     (float_of_int ref_ns /. 1e6)
     d_fast.queries
     (float_of_int fast_ns /. 1e6)
-    speedup;
+    speedup d_learned.queries
+    (float_of_int learned_ns /. 1e6);
   Printf.printf
     "fast-path breakdown: %d cache hit / %d miss, %d box-refuted, %d \
      syntactic, %d FM runs (%d rows built, %d pruned), fallbacks: %d \
-     tighten / %d overflow\n"
+     tighten / %d overflow; small path: %d\n"
     d_fast.cache_hits d_fast.cache_misses d_fast.box_refutations
     d_fast.syntactic_hits d_fast.fm_runs d_fast.fm_rows_built
-    d_fast.fm_rows_pruned d_fast.tighten_fallbacks d_fast.overflow_fallbacks;
-  Printf.printf "analysis wall: reference %.4fs, fast %.4fs\n" wall_ref
-    wall_fast;
+    d_fast.fm_rows_pruned d_fast.tighten_fallbacks d_fast.overflow_fallbacks
+    d_fast.small_runs;
+  Printf.printf
+    "learned core: %d contexts, %d cut hits, %d bound hits, %d proj hits, \
+     %d elims, %d reorders, %d L1 hits\n"
+    d_learned.ctx_contexts d_learned.ctx_cut_hits d_learned.ctx_bound_hits
+    d_learned.ctx_proj_hits d_learned.ctx_elims
+    d_learned.ctx_activity_reorders d_learned.implies_l1_hits;
+  Printf.printf "analysis wall: reference %.4fs, packed %.4fs, learned %.4fs\n"
+    wall_ref wall_fast wall_learned;
   (* ---- micro: harvested region systems through each query, each mode *)
   let systems =
     List.concat_map
@@ -834,14 +843,16 @@ let bench_solver ~json ~out () =
     done;
     Unix.gettimeofday () -. t0
   in
-  let timed_mode ~reference ~cache f =
-    Linear.System.set_reference_mode reference;
+  let timed_mode ~core ~cache f =
+    Linear.System.set_solver_core core;
     Linear.System.set_cache_enabled cache;
     Linear.System.clear_cache ();
+    let s0 = Linear.Solver_stats.snapshot () in
     let t = wall f in
-    Linear.System.set_reference_mode false;
+    let d = Linear.Solver_stats.diff (Linear.Solver_stats.snapshot ()) s0 in
+    Linear.System.set_solver_core `Learned;
     Linear.System.set_cache_enabled true;
-    t
+    (t, d)
   in
   let feas_run () =
     List.iter (fun s -> ignore (Linear.System.feasible s)) systems
@@ -863,19 +874,29 @@ let bench_solver ~json ~out () =
         ignore (Linear.System.project_onto keep s))
       systems
   in
-  let feas_reference = timed_mode ~reference:true ~cache:false feas_run in
-  let feas_packed = timed_mode ~reference:false ~cache:false feas_run in
-  let feas_memo = timed_mode ~reference:false ~cache:true feas_run in
-  let impl_reference = timed_mode ~reference:true ~cache:false impl_run in
-  let impl_fast = timed_mode ~reference:false ~cache:true impl_run in
-  let proj = timed_mode ~reference:false ~cache:true proj_run in
+  let feas_reference, _ = timed_mode ~core:`Reference ~cache:false feas_run in
+  let feas_packed, d_feas_packed =
+    timed_mode ~core:`Packed ~cache:false feas_run
+  in
+  let feas_memo, _ = timed_mode ~core:`Packed ~cache:true feas_run in
+  let impl_reference, _ = timed_mode ~core:`Reference ~cache:false impl_run in
+  let impl_fast, _ = timed_mode ~core:`Packed ~cache:true impl_run in
+  let impl_learned, d_impl_learned =
+    timed_mode ~core:`Learned ~cache:true impl_run
+  in
+  let proj, _ = timed_mode ~core:`Learned ~cache:true proj_run in
+  let small_runs = d_feas_packed.small_runs in
   Printf.printf
     "micro (%d systems x %d passes):\n\
-    \  feasible: reference %.4fs, packed %.4fs, packed+memo %.4fs\n\
-    \  implies:  reference %.4fs, fast %.4fs\n\
-    \  project:  %.4fs (shared exact eliminator, unchanged)\n"
-    (List.length systems) passes feas_reference feas_packed feas_memo
-    impl_reference impl_fast proj;
+    \  feasible: reference %.4fs, packed %.4fs (%d small-path), packed+memo \
+     %.4fs\n\
+    \  implies:  reference %.4fs, packed %.4fs, learned %.4fs (%d cut hits, \
+     %d bound hits, %d L1 hits)\n\
+    \  project:  %.4fs (exact eliminator, context-memoized)\n"
+    (List.length systems) passes feas_reference feas_packed small_runs
+    feas_memo impl_reference impl_fast impl_learned
+    d_impl_learned.ctx_cut_hits d_impl_learned.ctx_bound_hits
+    d_impl_learned.implies_l1_hits proj;
   (* ---- machine-readable record *)
   if json || out <> None then begin
     let path = Option.value out ~default:"BENCH_solver.json" in
@@ -903,9 +924,25 @@ let bench_solver ~json ~out () =
     bpf "        \"fm_rows_built\": %d,\n" d_fast.fm_rows_built;
     bpf "        \"fm_rows_pruned\": %d,\n" d_fast.fm_rows_pruned;
     bpf "        \"tighten_fallbacks\": %d,\n" d_fast.tighten_fallbacks;
-    bpf "        \"overflow_fallbacks\": %d\n" d_fast.overflow_fallbacks;
+    bpf "        \"overflow_fallbacks\": %d,\n" d_fast.overflow_fallbacks;
+    bpf "        \"small_runs\": %d\n" d_fast.small_runs;
     bpf "      },\n";
-    bpf "      \"feasible_speedup\": %.2f\n" speedup;
+    bpf "      \"learned\": {\n";
+    bpf "        \"feasible_queries\": %d,\n" d_learned.queries;
+    bpf "        \"feasible_wall_ns\": %d,\n" learned_ns;
+    bpf "        \"analysis_wall_s\": %.6f,\n" wall_learned;
+    bpf "        \"small_runs\": %d,\n" d_learned.small_runs;
+    bpf "        \"implies_l1_hits\": %d,\n" d_learned.implies_l1_hits;
+    bpf "        \"ctx_contexts\": %d,\n" d_learned.ctx_contexts;
+    bpf "        \"ctx_cut_hits\": %d,\n" d_learned.ctx_cut_hits;
+    bpf "        \"ctx_bound_hits\": %d,\n" d_learned.ctx_bound_hits;
+    bpf "        \"ctx_proj_hits\": %d,\n" d_learned.ctx_proj_hits;
+    bpf "        \"ctx_elims\": %d,\n" d_learned.ctx_elims;
+    bpf "        \"ctx_activity_reorders\": %d\n"
+      d_learned.ctx_activity_reorders;
+    bpf "      },\n";
+    bpf "      \"feasible_speedup\": %.2f,\n" speedup;
+    bpf "      \"feasible_speedup_floor\": %.2f\n" 2.0;
     bpf "    },\n";
     bpf "    \"micro\": {\n";
     bpf "      \"systems\": %d,\n" (List.length systems);
@@ -913,8 +950,10 @@ let bench_solver ~json ~out () =
     bpf "      \"feasible_reference_s\": %.6f,\n" feas_reference;
     bpf "      \"feasible_packed_s\": %.6f,\n" feas_packed;
     bpf "      \"feasible_memo_s\": %.6f,\n" feas_memo;
+    bpf "      \"small_runs\": %d,\n" small_runs;
     bpf "      \"implies_reference_s\": %.6f,\n" impl_reference;
     bpf "      \"implies_fast_s\": %.6f,\n" impl_fast;
+    bpf "      \"implies_learned_s\": %.6f,\n" impl_learned;
     bpf "      \"project_s\": %.6f\n" proj;
     bpf "    }\n";
     bpf "  }\n";
@@ -1062,8 +1101,9 @@ let bench_regions ~json ~out () =
     Linear.System.set_implies_memo_enabled fast
   in
   let cget name = Obs.Metrics.Counter.get (Obs.Metrics.counter name) in
-  let run_mode ~fast f =
+  let run_mode ~fast ~core f =
     set_mode fast;
+    Linear.System.set_solver_core core;
     Linear.System.clear_cache ();
     let s0 = Linear.Solver_stats.snapshot () in
     let u0 = cget "regions.union.calls" in
@@ -1082,26 +1122,36 @@ let bench_regions ~json ~out () =
         cget "regions.union.implies_saved" - sv0 )
     in
     set_mode true;
+    Linear.System.set_solver_core `Learned;
     (!r, wall, d, counters)
   in
-  let ref_res, ref_wall, d_ref, _ = run_mode ~fast:false fold_joins in
-  let fast_res, fast_wall, d_fast, (unions, many, saved) =
-    run_mode ~fast:true many_joins
+  let ref_res, ref_wall, d_ref, _ =
+    run_mode ~fast:false ~core:`Packed fold_joins
   in
-  (* the knob trades nothing for speed: both paths must build the very
+  let fast_res, fast_wall, d_fast, (unions, many, saved) =
+    run_mode ~fast:true ~core:`Packed many_joins
+  in
+  let learned_res, learned_wall, d_learned, _ =
+    run_mode ~fast:true ~core:`Learned many_joins
+  in
+  (* the knobs trade nothing for speed: every path must build the very
      same regions (interning makes that one id comparison per system) *)
-  let identical =
+  let same =
     List.for_all2
       (fun (a : Regions.Region.t) (b : Regions.Region.t) ->
         Regions.Region.equal_display a b
         && Linear.System.equal a.Regions.Region.sys b.Regions.Region.sys
         && a.Regions.Region.exact = b.Regions.Region.exact)
-      ref_res fast_res
   in
+  let identical = same ref_res fast_res && same fast_res learned_res in
   let open Linear.Solver_stats in
   let speedup =
     float_of_int d_ref.implies_wall_ns
     /. float_of_int (max 1 d_fast.implies_wall_ns)
+  in
+  let learned_speedup =
+    float_of_int d_fast.implies_wall_ns
+    /. float_of_int (max 1 d_learned.implies_wall_ns)
   in
   Printf.printf
     "join workload: %d buckets, %d regions, %d passes\n"
@@ -1112,18 +1162,29 @@ let bench_regions ~json ~out () =
     (float_of_int d_ref.implies_wall_ns /. 1e6)
     ref_wall;
   Printf.printf
-    "fast path:      %d implies queries (%d memo hits, %d saved by interned \
+    "packed fast:    %d implies queries (%d memo hits, %d saved by interned \
      ids), %.3f ms implies wall (%.4fs total) => %.1fx%s\n"
     d_fast.implies_queries d_fast.implies_memo_hits saved
     (float_of_int d_fast.implies_wall_ns /. 1e6)
     fast_wall speedup
     (if speedup >= 2. then "" else "  (< 2x!)");
+  Printf.printf
+    "learned core:   %d implies queries (%d memo hits, %d L1 hits; %d cut \
+     hits, %d bound hits, %d elims, %d reorders), %.3f ms implies wall \
+     (%.4fs total) => %.1fx over packed%s\n"
+    d_learned.implies_queries d_learned.implies_memo_hits
+    d_learned.implies_l1_hits d_learned.ctx_cut_hits d_learned.ctx_bound_hits
+    d_learned.ctx_elims d_learned.ctx_activity_reorders
+    (float_of_int d_learned.implies_wall_ns /. 1e6)
+    learned_wall learned_speedup
+    (if learned_speedup >= 2. then "" else "  (< 2x!)");
   Printf.printf "union_approx calls: %d via %d union_many; results %s\n" unions
     many
     (if identical then "identical" else "DIFFER");
-  (* ---- end-to-end: whole NAS LU analysis under each join path *)
-  let run_analysis fast =
+  (* ---- end-to-end: whole NAS LU analysis under each join path/core *)
+  let run_analysis ~fast ~core =
     set_mode fast;
+    Linear.System.set_solver_core core;
     Linear.System.clear_cache ();
     let s0 = Linear.Solver_stats.snapshot () in
     let t0 = Unix.gettimeofday () in
@@ -1131,18 +1192,22 @@ let bench_regions ~json ~out () =
     let wall = Unix.gettimeofday () -. t0 in
     let d = Linear.Solver_stats.diff (Linear.Solver_stats.snapshot ()) s0 in
     set_mode true;
+    Linear.System.set_solver_core `Learned;
     (wall, d)
   in
-  let e2e_ref_wall, e2e_ref = run_analysis false in
-  let e2e_fast_wall, e2e_fast = run_analysis true in
+  let e2e_ref_wall, e2e_ref = run_analysis ~fast:false ~core:`Packed in
+  let e2e_fast_wall, e2e_fast = run_analysis ~fast:true ~core:`Packed in
+  let e2e_learned_wall, e2e_learned = run_analysis ~fast:true ~core:`Learned in
   Printf.printf
-    "end-to-end: reference %d implies queries %.3f ms (%.4fs), fast %d \
-     queries %.3f ms (%.4fs)\n"
+    "end-to-end: reference %d implies queries %.3f ms (%.4fs), packed %d \
+     queries %.3f ms (%.4fs), learned %d queries %.3f ms (%.4fs)\n"
     e2e_ref.implies_queries
     (float_of_int e2e_ref.implies_wall_ns /. 1e6)
     e2e_ref_wall e2e_fast.implies_queries
     (float_of_int e2e_fast.implies_wall_ns /. 1e6)
-    e2e_fast_wall;
+    e2e_fast_wall e2e_learned.implies_queries
+    (float_of_int e2e_learned.implies_wall_ns /. 1e6)
+    e2e_learned_wall;
   (* ---- interner effectiveness (process lifetime: tables never drop) *)
   let intern name =
     let h = cget (Printf.sprintf "linear.intern.%s.hits" name) in
@@ -1184,8 +1249,26 @@ let bench_regions ~json ~out () =
     bpf "        \"union_many_calls\": %d,\n" many;
     bpf "        \"wall_s\": %.6f\n" fast_wall;
     bpf "      },\n";
+    bpf "      \"learned\": {\n";
+    bpf "        \"implies_queries\": %d,\n" d_learned.implies_queries;
+    bpf "        \"implies_memo_hits\": %d,\n" d_learned.implies_memo_hits;
+    bpf "        \"implies_l1_hits\": %d,\n" d_learned.implies_l1_hits;
+    bpf "        \"implies_wall_ns\": %d,\n" d_learned.implies_wall_ns;
+    bpf "        \"ctx_contexts\": %d,\n" d_learned.ctx_contexts;
+    bpf "        \"ctx_cut_hits\": %d,\n" d_learned.ctx_cut_hits;
+    bpf "        \"ctx_bound_hits\": %d,\n" d_learned.ctx_bound_hits;
+    bpf "        \"ctx_proj_hits\": %d,\n" d_learned.ctx_proj_hits;
+    bpf "        \"ctx_elims\": %d,\n" d_learned.ctx_elims;
+    bpf "        \"ctx_activity_reorders\": %d,\n"
+      d_learned.ctx_activity_reorders;
+    bpf "        \"wall_s\": %.6f\n" learned_wall;
+    bpf "      },\n";
     bpf "      \"implies_speedup\": %.2f,\n" speedup;
+    bpf "      \"implies_speedup_floor\": %.2f,\n" 2.0;
+    bpf "      \"learned_speedup\": %.2f,\n" learned_speedup;
+    bpf "      \"learned_speedup_floor\": %.2f,\n" 2.0;
     bpf "      \"speedup_ok\": %b,\n" (speedup >= 2.);
+    bpf "      \"learned_speedup_ok\": %b,\n" (learned_speedup >= 2.);
     bpf "      \"identical\": %b\n" identical;
     bpf "    },\n";
     bpf "    \"end_to_end\": {\n";
@@ -1199,6 +1282,13 @@ let bench_regions ~json ~out () =
     bpf "        \"implies_memo_hits\": %d,\n" e2e_fast.implies_memo_hits;
     bpf "        \"implies_wall_ns\": %d,\n" e2e_fast.implies_wall_ns;
     bpf "        \"analysis_wall_s\": %.6f\n" e2e_fast_wall;
+    bpf "      },\n";
+    bpf "      \"learned\": {\n";
+    bpf "        \"implies_queries\": %d,\n" e2e_learned.implies_queries;
+    bpf "        \"implies_memo_hits\": %d,\n" e2e_learned.implies_memo_hits;
+    bpf "        \"implies_l1_hits\": %d,\n" e2e_learned.implies_l1_hits;
+    bpf "        \"implies_wall_ns\": %d,\n" e2e_learned.implies_wall_ns;
+    bpf "        \"analysis_wall_s\": %.6f\n" e2e_learned_wall;
     bpf "      }\n";
     bpf "    },\n";
     bpf "    \"intern\": {\n";
@@ -1230,10 +1320,47 @@ exception Check_fail of string
 
 let check_fail fmt = Printf.ksprintf (fun msg -> raise (Check_fail msg)) fmt
 
+(* a regression gate: the recorded speedup must stay at or above the floor
+   recorded next to it (the floor is part of the schema, so an old record
+   without one fails the check rather than silently passing) *)
+let check_gate obj ~where name =
+  let num field =
+    match Option.bind (Obs.Json.member field obj) Obs.Json.to_float with
+    | Some v -> v
+    | None -> check_fail "%s.%s missing" where field
+  in
+  let v = num name in
+  let floor = num (name ^ "_floor") in
+  if v < floor then
+    check_fail "%s.%s %.2f regressed below floor %.2f" where name v floor;
+  (v, floor)
+
 let check_solver_json path doc =
   match Obs.Json.member "end_to_end" doc, Obs.Json.member "micro" doc with
-  | Some (Obs.Json.Obj _), Some (Obs.Json.Obj _) ->
-    Printf.printf "check-json: %s OK (solver section present)\n" path
+  | Some (Obs.Json.Obj _ as e2e), Some (Obs.Json.Obj _ as micro) ->
+    (match Obs.Json.member "learned" e2e with
+    | Some (Obs.Json.Obj _ as l) ->
+      List.iter
+        (fun field ->
+          match Option.bind (Obs.Json.member field l) Obs.Json.to_float with
+          | Some _ -> ()
+          | None -> check_fail "solver.end_to_end.learned.%s missing" field)
+        [
+          "feasible_wall_ns"; "small_runs"; "implies_l1_hits"; "ctx_contexts";
+          "ctx_cut_hits"; "ctx_bound_hits"; "ctx_proj_hits"; "ctx_elims";
+          "ctx_activity_reorders";
+        ]
+    | _ -> check_fail "solver.end_to_end.learned missing");
+    (match Option.bind (Obs.Json.member "implies_learned_s" micro) Obs.Json.to_float with
+    | Some _ -> ()
+    | None -> check_fail "solver.micro.implies_learned_s missing");
+    let speedup, floor =
+      check_gate e2e ~where:"solver.end_to_end" "feasible_speedup"
+    in
+    Printf.printf
+      "check-json: %s OK (solver section; feasible_speedup %.2f >= floor \
+       %.2f)\n"
+      path speedup floor
   | _ -> check_fail "solver.end_to_end / solver.micro missing"
 
 let check_regions_json path doc =
@@ -1243,11 +1370,29 @@ let check_regions_json path doc =
       Obs.Json.member "intern" doc )
   with
   | Some (Obs.Json.Obj _ as join), Some (Obs.Json.Obj _), Some (Obs.Json.Obj _)
-    -> (
-    match Obs.Json.member "identical" join with
-    | Some (Obs.Json.Bool true) ->
-      Printf.printf "check-json: %s OK (regions section present)\n" path
-    | _ -> check_fail "regions.join.identical is not true")
+    ->
+    (match Obs.Json.member "identical" join with
+    | Some (Obs.Json.Bool true) -> ()
+    | _ -> check_fail "regions.join.identical is not true");
+    (match Obs.Json.member "learned" join with
+    | Some (Obs.Json.Obj _ as l) ->
+      List.iter
+        (fun field ->
+          match Option.bind (Obs.Json.member field l) Obs.Json.to_float with
+          | Some _ -> ()
+          | None -> check_fail "regions.join.learned.%s missing" field)
+        [
+          "implies_queries"; "implies_memo_hits"; "implies_l1_hits";
+          "implies_wall_ns"; "ctx_contexts"; "ctx_cut_hits"; "ctx_bound_hits";
+          "ctx_elims"; "ctx_activity_reorders";
+        ]
+    | _ -> check_fail "regions.join.learned missing");
+    let sp, spf = check_gate join ~where:"regions.join" "implies_speedup" in
+    let lsp, lspf = check_gate join ~where:"regions.join" "learned_speedup" in
+    Printf.printf
+      "check-json: %s OK (regions; implies_speedup %.2f >= floor %.2f, \
+       learned_speedup %.2f >= floor %.2f)\n"
+      path sp spf lsp lspf
   | _ -> check_fail "regions.join / regions.end_to_end / regions.intern missing"
 
 let check_trace_json path raw =

@@ -8,14 +8,14 @@
 let run paths corpus out_dir project dump_whirl dump_src dump_callgraph
     dump_summaries execute wopt ipl_dir fuse autopar emit_whirl loop_summaries
     jobs cache_dir stats stats_det trace metrics log_level keep_going
-    fault_specs diagnostics solver_budget join_path analyses report =
+    fault_specs diagnostics solver_budget join_path solver_core analyses report =
   let result =
     Pipeline.run
       (Pipeline.make ~paths ?corpus ?out_dir ~project ~dump_whirl ~dump_src
          ~dump_callgraph ~dump_summaries ~execute ~wopt ?ipl_dir ~fuse ~autopar
          ?emit_whirl ~loop_summaries ~jobs ?cache_dir ~stats ~stats_det ?trace
          ?metrics ~log_level ~keep_going ~fault_specs ?diagnostics
-         ?solver_budget ~join_path ~analyses ?report ())
+         ?solver_budget ~join_path ~solver_core ~analyses ?report ())
   in
   result.Pipeline.r_code
 
@@ -221,6 +221,22 @@ let join_path =
               Outputs are byte-identical either way (the knob exists for \
               differential testing and bench regions).")
 
+let solver_core =
+  Arg.(
+    value
+    & opt
+        (enum
+           [ ("learned", `Learned); ("packed", `Packed);
+             ("reference", `Reference) ])
+        `Learned
+    & info [ "solver-core" ] ~docv:"CORE"
+        ~doc:"Feasibility solver core: learned (default) adds persistent \
+              per-system contexts with Farkas-cut learning and \
+              activity-ordered elimination on top of the packed integer \
+              solver; packed is the packed solver alone; reference is the \
+              exact rational eliminator. Outputs are byte-identical across \
+              all three.")
+
 let analyses =
   let parse s =
     match Analyses.Registry.parse_selection s with
@@ -257,6 +273,7 @@ let cmd =
       $ dump_callgraph $ dump_summaries $ execute $ wopt $ ipl_dir $ fuse
       $ autopar $ emit_whirl $ loop_summaries $ jobs $ cache_dir $ stats
       $ stats_det $ trace $ metrics $ log_level $ keep_going $ fault_specs
-      $ diagnostics $ solver_budget $ join_path $ analyses $ report)
+      $ diagnostics $ solver_budget $ join_path $ solver_core $ analyses
+      $ report)
 
 let () = exit (Cmd.eval' cmd)

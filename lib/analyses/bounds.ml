@@ -18,6 +18,7 @@ let name = "bounds"
 let c_safe = Obs.Metrics.counter "analyses.bounds.safe"
 let c_unsafe = Obs.Metrics.counter "analyses.bounds.unsafe"
 let c_maybe = Obs.Metrics.counter "analyses.bounds.maybe"
+let c_memo = Obs.Metrics.counter "analyses.bounds.verdict_memo_hits"
 
 type verdict = Safe | Unsafe | Maybe
 
@@ -63,6 +64,28 @@ let run (ctx : Analysis.ctx) =
   Obs.Span.with_ ~cat:"analysis" ~name:"analysis:bounds" @@ fun () ->
   let m = ctx.Analysis.ctx_module in
   let r = ctx.Analysis.ctx_result in
+  (* Call-propagated accesses repeat the same (region, extents) pair at
+     every call site; the verdict is a pure function of the region's
+     canonical system, its triplets, the clamped flag and the declared
+     extents, so one solver round per distinct pair suffices.  The memo is
+     local to the run — no state survives into the next pipeline run. *)
+  let verdict_memo = Hashtbl.create 64 in
+  let classify_memo ~extents region =
+    let key =
+      ( Linear.System.id region.Region.sys,
+        Region.is_clamped region,
+        Region.dim_list region,
+        extents )
+    in
+    match Hashtbl.find_opt verdict_memo key with
+    | Some v ->
+      Obs.Metrics.Counter.incr c_memo;
+      v
+    | None ->
+      let v = classify ~extents region in
+      Hashtbl.add verdict_memo key v;
+      v
+  in
   let safe = ref 0 and unsafe = ref 0 and maybe = ref 0 in
   let rows = ref [] in
   let diags = ref [] in
@@ -78,7 +101,7 @@ let run (ctx : Analysis.ctx) =
               let st = a.Ipa.Collect.ac_st in
               let extents = Ipa.Collect.extents_of m pu st in
               let region = a.Ipa.Collect.ac_region in
-              let v = (classify ~extents region : verdict) in
+              let v = (classify_memo ~extents region : verdict) in
               (match v with
               | Safe -> incr safe
               | Unsafe -> incr unsafe

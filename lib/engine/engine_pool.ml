@@ -22,6 +22,7 @@ type batch = {
   next : int Atomic.t;  (* next unclaimed task index *)
   finished : int Atomic.t;  (* completed tasks *)
   slots : int Atomic.t;  (* worker-participation permits left *)
+  active : int Atomic.t;  (* workers drained but not yet published *)
   failure : (exn * Printexc.raw_backtrace) option Atomic.t;
 }
 
@@ -60,7 +61,14 @@ let drain pool (b : batch) =
    busy-time measurement reported to the ambient attribution sink (when the
    engine installed one for the current phase).  This is what lets
    [Engine.Stats] attribute worker-domain allocation: the coordinator's own
-   [Gc.allocated_bytes] delta only sees its own heap. *)
+   [Gc.allocated_bytes] delta only sees its own heap.
+
+   The [active] counter exists because finishing the batch's last task and
+   publishing this measurement are separate steps: the caller must not treat
+   the batch as complete until every participating worker has pushed its
+   delta into the sink, or the phase reads the sink while the slowest
+   worker — precisely the one holding most of the allocation — is still
+   between its final [finished] increment and its [Sink.add]. *)
 let drain_measured pool b =
   match Obs.Sink.current () with
   | None -> drain pool b
@@ -83,7 +91,14 @@ let worker pool () =
     if not stop then begin
       (match batch with
       | Some b when Atomic.fetch_and_add b.slots (-1) > 0 ->
-        drain_measured pool b
+        Atomic.incr b.active;
+        Fun.protect
+          ~finally:(fun () ->
+            Mutex.lock pool.mutex;
+            Atomic.decr b.active;
+            Condition.broadcast pool.done_;
+            Mutex.unlock pool.mutex)
+          (fun () -> drain_measured pool b)
       | _ -> ());
       wait_for_work epoch
     end
@@ -136,6 +151,7 @@ let run ~jobs (tasks : (unit -> unit) array) =
         next = Atomic.make 0;
         finished = Atomic.make 0;
         slots = Atomic.make (jobs - 1);
+        active = Atomic.make 0;
         failure = Atomic.make None;
       }
     in
@@ -146,7 +162,9 @@ let run ~jobs (tasks : (unit -> unit) array) =
     Mutex.unlock p.mutex;
     drain p b;
     Mutex.lock p.mutex;
-    while Atomic.get b.finished < n do
+    (* completion = every task done AND every joined worker has published
+       its measurement to the ambient sink (see [drain_measured]) *)
+    while Atomic.get b.finished < n || Atomic.get b.active > 0 do
       Condition.wait p.done_ p.mutex
     done;
     (match p.current with

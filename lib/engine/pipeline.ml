@@ -35,6 +35,7 @@ type config = {
   diagnostics : string option;
   solver_budget : int option;
   join_path : [ `Fast | `Reference ];
+  solver_core : [ `Learned | `Packed | `Reference ];
   analyses : string list;
   report : string option;
 }
@@ -54,7 +55,7 @@ let make ?(paths = []) ?corpus ?out_dir ?(project = "project")
     ?(jobs = 1) ?cache_dir ?(stats = false) ?(stats_det = false) ?trace
     ?metrics ?(log_level = Obs.Log.Quiet) ?(keep_going = false)
     ?(fault_specs = []) ?diagnostics ?solver_budget ?(join_path = `Fast)
-    ?(analyses = []) ?report () =
+    ?(solver_core = `Learned) ?(analyses = []) ?report () =
   {
     paths;
     corpus;
@@ -83,6 +84,7 @@ let make ?(paths = []) ?corpus ?out_dir ?(project = "project")
     diagnostics;
     solver_budget;
     join_path;
+    solver_core;
     analyses;
     report;
   }
@@ -424,7 +426,12 @@ let run (cfg : config) =
   | `Reference ->
     Regions.Region.set_fast_join false;
     Linear.System.set_implies_memo_enabled false);
-  if cfg.fault_specs <> [] || cfg.solver_budget <> None then
+  (* solver-core selection ([--solver-core]): learned (default), packed
+     (no learned contexts) or reference — outputs are byte-identical
+     across all three, enforced by verify.sh and the solver tests *)
+  Linear.System.set_solver_core cfg.solver_core;
+  if cfg.solver_core <> `Learned || cfg.fault_specs <> []
+     || cfg.solver_budget <> None then
     (* degraded answers are never memoized, but an earlier in-process run
        may have cached exact answers the faulted run should recompute (and
        vice versa for the run after) -- start from a cold solver cache *)
@@ -448,7 +455,9 @@ let run (cfg : config) =
       Linear.System.set_step_budget None;
       Regions.Region.set_fast_join true;
       Linear.System.set_implies_memo_enabled true;
-      if cfg.fault_specs <> [] || cfg.solver_budget <> None then
+      Linear.System.set_solver_core `Learned;
+      if cfg.solver_core <> `Learned || cfg.fault_specs <> []
+         || cfg.solver_budget <> None then
         Linear.System.clear_cache ();
       (* flush observation files even when the pipeline failed: a trace of a
          crashed run is exactly what one wants to look at *)

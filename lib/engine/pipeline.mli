@@ -64,6 +64,15 @@ type config = {
           {!Linear.System.set_implies_memo_enabled}).  Outputs are
           byte-identical — the knob exists for differential tests and the
           [bench regions] before/after comparison ([uhc --join-path]) *)
+  solver_core : [ `Learned | `Packed | `Reference ];
+      (** feasibility/implication solver core
+          ({!Linear.System.set_solver_core}): [`Learned] (default) adds
+          persistent per-system contexts — learned Farkas cuts, bound
+          witnesses, activity-ordered elimination and per-domain L1
+          implies tables — on top of the packed integer solver; [`Packed]
+          is the packed solver alone; [`Reference] the exact rational
+          eliminator.  Outputs are byte-identical across all three
+          ([uhc --solver-core], compared in verify.sh) *)
   analyses : string list;
       (** client analyses to run over the finished interprocedural result,
           in order ([uhc --analyses bounds,permissions,regions]); names
@@ -122,6 +131,7 @@ val make :
   ?diagnostics:string ->
   ?solver_budget:int ->
   ?join_path:[ `Fast | `Reference ] ->
+  ?solver_core:[ `Learned | `Packed | `Reference ] ->
   ?analyses:string list ->
   ?report:string ->
   unit ->

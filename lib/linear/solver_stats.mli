@@ -5,13 +5,17 @@
     update them without locks.  [snapshot]/[diff] let callers (the engine,
     the bench harness) attribute counter deltas to a particular run.
 
-    All counters except the wall-clock sums are scheduling-independent:
-    when a worker domain re-computes a query that another domain's memo
-    already answered, {!System} wraps the recompute in {!quiet}, so each
+    All counters except the wall-clock sums, [implies_l1_hits] and the
+    [ctx_*] group are scheduling-independent: when a worker domain
+    re-computes a query that another domain's memo already answered — or
+    when the learned core pays an elimination whose necessity depends on
+    query arrival order — {!System} wraps the compute in {!quiet}, so each
     distinct system contributes to [cache_misses], [fm_runs], the row
     counts and the fallback counters exactly once however the pool
     interleaves the work — [--stats] counter output is identical at any
-    [--jobs] setting. *)
+    [--jobs] setting.  The learned-core telemetry ([ctx_*],
+    [implies_l1_hits]) counts scheduling-dependent work by design and is
+    excluded from {!pp_deterministic}. *)
 
 type t = {
   queries : int;  (** [System.feasible] entry points answered *)
@@ -28,17 +32,38 @@ type t = {
   overflow_fallbacks : int;
       (** packed arithmetic overflowed; query used the reference path *)
   reference_runs : int;  (** queries answered by the reference path *)
+  small_runs : int;
+      (** feasibility queries routed straight to the reference eliminator
+          because the system is below the small-system threshold (packed
+          setup costs more than it saves there) *)
   wall_fast_ns : int;  (** nanoseconds inside fast-path feasible queries *)
   wall_reference_ns : int;
       (** nanoseconds inside reference-path feasible queries *)
   implies_queries : int;  (** [System.implies] entry points answered *)
   implies_memo_hits : int;
-      (** implies queries answered by the global (system id, constraint id)
-          memo — scheduling-independent: hits are counted against the seen
-          registry, so every distinct pair counts one miss however the pool
-          races *)
+      (** implies queries answered by a memo layer (the global
+          (system id, constraint id) memo or a per-domain L1 table).
+          Derived as [implies_queries - fresh computes], which keeps the
+          total scheduling-independent even though which layer answered a
+          racing query is not *)
   implies_wall_ns : int;
-      (** nanoseconds inside [System.implies], memo hits included *)
+      (** nanoseconds inside computed [System.implies] queries; L1 hits
+          are deliberately untimed (the clock reads would cost more than
+          the lookup) *)
+  implies_l1_hits : int;
+      (** implies queries answered by the calling domain's L1 table;
+          scheduling-dependent, excluded from {!pp_deterministic} *)
+  ctx_contexts : int;  (** learned solver contexts created *)
+  ctx_cut_hits : int;
+      (** assumption queries refuted by a learned Farkas cut (a recorded
+          infeasibility threshold dominating the query) *)
+  ctx_bound_hits : int;
+      (** assumption queries answered by a learned feasibility witness, or
+          bounds served from a context *)
+  ctx_proj_hits : int;  (** projections served from a context *)
+  ctx_elims : int;  (** eliminations paid inside learned contexts *)
+  ctx_activity_reorders : int;
+      (** FM variable picks where activity overrode the min-cost order *)
 }
 
 val query : unit -> unit
@@ -52,11 +77,27 @@ val fm_rows_pruned : int -> unit
 val tighten_fallback : unit -> unit
 val overflow_fallback : unit -> unit
 val reference_run : unit -> unit
+val small_run : unit -> unit
 val add_fast_ns : int -> unit
 val add_reference_ns : int -> unit
 val implies_query : unit -> unit
-val implies_memo_hit : unit -> unit
+
+val implies_fresh : unit -> unit
+(** A fresh implies compute (first arrival of a distinct (system,
+    constraint) pair when the memo is on; every call when it is off). *)
+
 val add_implies_ns : int -> unit
+
+(** Learned-core telemetry: bumped unconditionally, including under
+    {!quiet} (see the determinism note above). *)
+
+val implies_l1_hit : unit -> unit
+val ctx_context : unit -> unit
+val ctx_cut_hit : unit -> unit
+val ctx_bound_hit : unit -> unit
+val ctx_proj_hit : unit -> unit
+val ctx_elim : unit -> unit
+val ctx_activity_reorder : unit -> unit
 
 val snapshot : unit -> t
 (** Current counter values. *)
@@ -66,8 +107,8 @@ val diff : t -> t -> t
 
 val quiet : (unit -> 'a) -> 'a
 (** Run [f] with counting suppressed on the calling domain ({!System} uses
-    this for redundant cross-domain recomputes; see the determinism note
-    above). *)
+    this for redundant cross-domain recomputes and for learned-context
+    eliminations; see the determinism note above). *)
 
 val reset : unit -> unit
 (** Zero every counter (bench harness only; the engine uses [diff]). *)
@@ -75,5 +116,6 @@ val reset : unit -> unit
 val pp : Format.formatter -> t -> unit
 
 val pp_deterministic : Format.formatter -> t -> unit
-(** Like [pp] without the wall-clock line — every printed number is
-    scheduling-independent, so the output is diffable in CI. *)
+(** Like [pp] without the wall-clock and learned-core telemetry lines —
+    every printed number is scheduling-independent, so the output is
+    diffable in CI. *)

@@ -96,6 +96,41 @@ val sample : t -> (Var.t -> Rat.t) option
 (** A rational point satisfying the system, if feasible: found by
     back-substitution through the elimination order. *)
 
+(** {2 Solver cores}
+
+    Three interchangeable query cores, all byte-identical in answers and
+    outputs:
+
+    - [`Learned] (the default): the packed solver plus persistent
+      per-system {!Context}s — learned direction thresholds (Farkas cuts /
+      feasibility witnesses) answer repeat assumption queries by one
+      rational comparison, eliminations are ordered by conflict activity,
+      and bounds/projections are memoized per system.  A per-domain L1
+      table answers repeat implies queries without touching the global
+      memo's lock.
+    - [`Packed]: the packed integer Fourier-Motzkin fast path without the
+      learned layer (PR 5 behavior; kept for benchmarking the learned
+      layer's contribution).
+    - [`Reference]: the exact rational reference eliminator everywhere.
+
+    The learned layer only engages when the implies memo may (cache on, no
+    budget, no fault injection, not reference mode): it is a memo layer
+    itself, so the same exactness conditions apply. *)
+
+type core = [ `Learned | `Packed | `Reference ]
+
+val set_solver_core : core -> unit
+val solver_core : unit -> core
+
+val set_small_threshold : int -> unit
+(** Feasibility queries whose cost (constraint count times variable count,
+    as for {!set_step_budget}) is at or below this threshold skip packed
+    setup and run the reference eliminator directly — on tiny systems the
+    packing and box construction cost more than the elimination they
+    accelerate.  Routed queries are counted in [Solver_stats.small_runs].
+    Default 2, the crossover a threshold sweep over the NAS LU region
+    systems measured (the balance is host-dependent, hence the knob). *)
+
 (** {2 Solver knobs}
 
     The fast query layer can be disabled wholesale ([set_reference_mode
@@ -105,6 +140,10 @@ val sample : t -> (Var.t -> Rat.t) option
     testing and benchmarking; answers are identical in every configuration. *)
 
 val set_reference_mode : bool -> unit
+(** Equivalent to toggling between [`Reference] and the previously
+    selected non-reference core (the [`Learned]/[`Packed] choice is
+    remembered across toggles). *)
+
 val reference_mode : unit -> bool
 
 val set_step_budget : int option -> unit
@@ -137,9 +176,12 @@ val set_implies_memo_enabled : bool -> unit
 val implies_memo_enabled : unit -> bool
 
 val clear_cache : unit -> unit
-(** Drop every domain's memo table and the global seen-set (benchmarks and
-    run boundaries; never required for correctness since cached answers
-    are immutable facts).  Only call while no other domain is querying. *)
+(** Drop every domain's memo table (feasible memos and implies L1 tables),
+    the global seen-sets, the implies memo, and every learned
+    {!Context} — direction thresholds, activity tables, bounds and
+    projection memos (benchmarks and run boundaries; never required for
+    correctness since cached answers are immutable exact facts).  Only
+    call while no other domain is querying. *)
 
 (** The pristine pre-optimization query paths, used as ground truth by the
     solver equivalence tests and the before/after benchmarks.  [bounds] and

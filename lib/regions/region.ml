@@ -463,22 +463,53 @@ let extent_check ~extents t =
   if not (System.feasible t.sys) then In_bounds
   else begin
     let extents_a = Array.of_list extents in
+    let dims_a = Array.of_list t.dims in
     let all_in = ref true in
     let some_out = ref false in
     for k = 0 to t.ndims - 1 do
       let d = Expr.var (Var.subscript k) in
       (* proven inside: 0 <= d <= ext-1 entailed by the system.  Under a
          solver step budget [implies] degrades to "cannot prove", which
-         lands the access in the Unknown (residual runtime check) bucket. *)
-      let low_in = System.implies t.sys (Constr.ge d Expr.zero) in
+         lands the access in the Unknown (residual runtime check) bucket.
+
+         The triplet's constant bounds decide most of these queries
+         without a solver call: [Bconst l] is ceil of the exact rational
+         infimum of [d] over the system and [Bconst u] the floor of its
+         supremum ([System.bounds] projections), so e.g.
+         [implies (d >= 0)] — infeasibility of [sys /\ d <= -1], i.e.
+         inf > -1 — holds exactly when [l >= 0].  Each equivalence below
+         is exact in both directions, so verdicts are identical to the
+         implies-only path (under a step budget [bounds] stays exact, so
+         the constant path may prove what a degraded [implies] cannot —
+         strictly fewer residual checks, never a wrong verdict). *)
+      let { lb; ub; _ } = dims_a.(k) in
+      let low_in =
+        match lb with
+        | Bconst l -> l >= 0
+        | Bsym _ | Bunknown -> System.implies t.sys (Constr.ge d Expr.zero)
+      in
       let low_out =
-        System.implies t.sys (Constr.le d (Expr.of_int (-1)))
+        match ub with
+        | Bconst u -> u < 0
+        | Bsym _ | Bunknown ->
+          System.implies t.sys (Constr.le d (Expr.of_int (-1)))
       in
       let high_in, high_out =
         match extents_a.(k) with
         | Some e ->
-          ( System.implies t.sys (Constr.le d (Expr.of_int (e - 1))),
-            System.implies t.sys (Constr.ge d (Expr.of_int e)) )
+          let high_in =
+            match ub with
+            | Bconst u -> u <= e - 1
+            | Bsym _ | Bunknown ->
+              System.implies t.sys (Constr.le d (Expr.of_int (e - 1)))
+          in
+          let high_out =
+            match lb with
+            | Bconst l -> l >= e
+            | Bsym _ | Bunknown ->
+              System.implies t.sys (Constr.ge d (Expr.of_int e))
+          in
+          (high_in, high_out)
         | None -> (false, false)
       in
       if not (low_in && high_in) then all_in := false;

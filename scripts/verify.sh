@@ -56,6 +56,16 @@ cmp "$out/jfast/project.rgn" "$out/jref/project.rgn"
 cmp "$out/jfast/project.dgn" "$out/jref/project.dgn"
 cmp "$out/jfast/project.cfg" "$out/jref/project.cfg"
 
+echo "== smoke: uhc --solver-core {learned,packed,reference} byte-identical =="
+# jfast above is the learned default; the other two cores must match it
+for core in packed reference; do
+  dune exec bin/uhc.exe -- --corpus lu --solver-core "$core" \
+    -o "$out/core_$core" --jobs 4 >/dev/null
+  cmp "$out/jfast/project.rgn" "$out/core_$core/project.rgn"
+  cmp "$out/jfast/project.dgn" "$out/core_$core/project.dgn"
+  cmp "$out/jfast/project.cfg" "$out/core_$core/project.cfg"
+done
+
 echo "== smoke: uhc --trace/--metrics + dragon profile =="
 dune exec bin/uhc.exe -- --corpus matrix --jobs 2 \
   --trace "$out/trace.json" --metrics "$out/metrics.json" \

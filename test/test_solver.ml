@@ -163,6 +163,87 @@ let test_corpora_identical () =
       check_same_output (corpus ^ " reference vs fast") reference fast)
     [ "lu"; "matrix"; "fig1"; "stride" ]
 
+(* ---------- learned core: query sequences against shared systems ----------
+
+   The learned contexts answer later queries from facts recorded by earlier
+   ones (direction thresholds, variable bounds), so correctness depends on
+   the whole query *sequence*, not single queries: ask every constraint
+   twice against a shared feasible system and a shared infeasible one, and
+   require each answer to equal the reference eliminator's.  (Clamped
+   regions reuse these same systems through [Region.extent_check]; the
+   corpus test below covers that end to end.) *)
+
+let prop_learned_sequence =
+  QCheck2.Test.make ~name:"learned context sequences = reference" ~count:150
+    QCheck2.Gen.(pair gen_system (list_size (int_range 1 12) gen_constr))
+    ~print:QCheck2.Print.(pair print_system (list print_constr))
+    (fun (s, cs) ->
+      System.set_solver_core `Learned;
+      System.clear_cache ();
+      (* [s] contains [box] (x <= 6), so demanding x >= 10 is infeasible *)
+      let infeas = System.add (Constr.ge (Expr.var x) (e_of_int 10)) s in
+      List.for_all
+        (fun c ->
+          let expected = System.Reference.implies s c in
+          let expected_inf = System.Reference.implies infeas c in
+          System.implies s c = expected
+          && System.implies s c = expected
+          && System.implies infeas c = expected_inf
+          && System.implies infeas c = expected_inf
+          && System.feasible s = System.Reference.feasible s
+          && not (System.feasible infeas))
+        cs)
+
+(* every solver core, at jobs 1 and 4, must emit the same project bytes *)
+let test_cores_jobs_identical () =
+  List.iter
+    (fun corpus ->
+      let files = corpus_files corpus in
+      let base = ref None in
+      List.iter
+        (fun (core, core_name) ->
+          List.iter
+            (fun jobs ->
+              System.set_solver_core core;
+              System.clear_cache ();
+              let out =
+                Fun.protect
+                  ~finally:(fun () -> System.set_solver_core `Learned)
+                  (fun () -> render (Engine.analyze ~jobs (lower files)))
+              in
+              let name =
+                Printf.sprintf "%s %s jobs=%d vs baseline" corpus core_name
+                  jobs
+              in
+              match !base with
+              | None -> base := Some out
+              | Some b -> check_same_output name b out)
+            [ 1; 4 ])
+        [ (`Learned, "learned"); (`Packed, "packed"); (`Reference, "reference") ])
+    [ "lu"; "matrix" ]
+
+(* [clear_cache] must flush the learned contexts and activity tables along
+   with the memos: two identical runs from a cleared state produce the same
+   deterministic stats block and re-create the same number of contexts —
+   nothing carried over can shift either *)
+let test_no_cross_run_leak () =
+  let files = corpus_files "matrix" in
+  let run () =
+    System.clear_cache ();
+    Solver_stats.reset ();
+    ignore (render (Engine.analyze (lower files)));
+    let d = Solver_stats.snapshot () in
+    (Format.asprintf "%a" Solver_stats.pp_deterministic d,
+     d.Solver_stats.ctx_contexts)
+  in
+  let det1, ctx1 = run () in
+  let det2, ctx2 = run () in
+  let det3, ctx3 = run () in
+  Alcotest.(check string) "deterministic stats identical (run 2)" det1 det2;
+  Alcotest.(check string) "deterministic stats identical (run 3)" det1 det3;
+  Alcotest.(check int) "contexts re-created, not leaked (run 2)" ctx1 ctx2;
+  Alcotest.(check int) "contexts re-created, not leaked (run 3)" ctx1 ctx3
+
 let test_stats_move () =
   Solver_stats.reset ();
   System.clear_cache ();
@@ -181,8 +262,13 @@ let suite =
     QCheck_alcotest.to_alcotest prop_includes_agrees;
     QCheck_alcotest.to_alcotest prop_disjoint_agrees;
     QCheck_alcotest.to_alcotest prop_bounds_sample_agree;
+    QCheck_alcotest.to_alcotest prop_learned_sequence;
     Alcotest.test_case "corpora byte-identical (reference vs fast)" `Quick
       test_corpora_identical;
+    Alcotest.test_case "corpora byte-identical (3 cores x jobs 1/4)" `Quick
+      test_cores_jobs_identical;
+    Alcotest.test_case "clear_cache leaves no cross-run state" `Quick
+      test_no_cross_run_leak;
     Alcotest.test_case "solver stats count queries and memo hits" `Quick
       test_stats_move;
   ]
