@@ -1577,16 +1577,128 @@ let check_diagnostics_json path entries =
     entries;
   Printf.printf "check-json: %s OK (diagnostics, %d entries)\n" path !n
 
+(* One run-ledger record (a line of <cache-dir>/ledger/<run_id>.jsonl,
+   written by Pipeline whenever --cache-dir is set). *)
+let check_ledger_record idx record =
+  let ctx = Printf.sprintf "ledger record %d" idx in
+  let mem f = Obs.Json.member f record in
+  let str f =
+    match Option.bind (mem f) Obs.Json.to_string with
+    | Some s -> s
+    | None -> check_fail "%s lacks string %S" ctx f
+  in
+  let num f =
+    match Option.bind (mem f) Obs.Json.to_float with
+    | Some v -> v
+    | None -> check_fail "%s lacks number %S" ctx f
+  in
+  let int_ f =
+    match Option.bind (mem f) Obs.Json.to_int with
+    | Some v -> v
+    | None -> check_fail "%s lacks integer %S" ctx f
+  in
+  let list_ f =
+    match Option.bind (mem f) Obs.Json.to_list with
+    | Some l -> l
+    | None -> check_fail "%s lacks list %S" ctx f
+  in
+  check_schema_version ~what:ctx ~expected:Obs.Ledger.schema_version record;
+  if str "run_id" = "" then check_fail "%s has empty run_id" ctx;
+  ignore (num "ts");
+  if String.length (str "config_digest") <> 32 then
+    check_fail "%s config_digest is not a 32-char hex digest" ctx;
+  ignore (str "corpus_digest");
+  ignore (int_ "exit_code");
+  if num "wall_s" < 0. then check_fail "%s has negative wall_s" ctx;
+  ignore (int_ "jobs");
+  ignore (list_ "analyses");
+  ignore (list_ "outputs");
+  let analyzed =
+    match mem "analyzed" with
+    | Some (Obs.Json.Bool b) -> b
+    | _ -> check_fail "%s lacks boolean \"analyzed\"" ctx
+  in
+  if analyzed then begin
+    ignore (int_ "pus_analyzed");
+    List.iter
+      (fun p ->
+        match Option.bind (Obs.Json.member "name" p) Obs.Json.to_string with
+        | None -> check_fail "%s phase without name" ctx
+        | Some name -> (
+          match
+            Option.bind (Obs.Json.member "wall_s" p) Obs.Json.to_float
+          with
+          | Some w when w >= 0. -> ()
+          | _ -> check_fail "%s phase %S lacks wall_s" ctx name))
+      (list_ "phases");
+    let cache =
+      match mem "cache" with
+      | Some (Obs.Json.Obj _ as c) -> c
+      | _ -> check_fail "%s lacks cache section" ctx
+    in
+    List.iter
+      (fun f ->
+        match Option.bind (Obs.Json.member f cache) Obs.Json.to_int with
+        | Some n when n >= 0 -> ()
+        | _ -> check_fail "%s cache section lacks counter %S" ctx f)
+      [ "collect_hits"; "collect_misses"; "summary_hits"; "summary_misses" ];
+    match mem "solver" with
+    | Some (Obs.Json.Obj kvs) ->
+      List.iter
+        (fun (k, v) ->
+          if Obs.Json.to_int v = None then
+            check_fail "%s solver counter %S is not an integer" ctx k)
+        kvs
+    | _ -> check_fail "%s lacks solver section" ctx
+  end;
+  (match mem "verdicts" with
+  | Some (Obs.Json.Obj _) -> ()
+  | _ -> check_fail "%s lacks verdicts object" ctx);
+  if int_ "diagnostics" < 0 then check_fail "%s negative diagnostics" ctx;
+  ignore (list_ "metrics");
+  List.iter
+    (fun p ->
+      List.iter
+        (fun f -> ignore (Option.bind (Obs.Json.member f p) Obs.Json.to_string))
+        [ "name"; "file"; "key1"; "key2" ];
+      match Option.bind (Obs.Json.member "name" p) Obs.Json.to_string with
+      | Some _ -> ()
+      | None -> check_fail "%s pu entry without name" ctx)
+    (list_ "pus")
+
+let check_ledger_jsonl path raw =
+  let lines =
+    List.filter
+      (fun l -> String.trim l <> "")
+      (String.split_on_char '\n' raw)
+  in
+  if lines = [] then check_fail "empty ledger file";
+  List.iteri
+    (fun i line ->
+      match Obs.Json.parse line with
+      | Error e -> check_fail "ledger record %d: %s" (i + 1) e
+      | Ok record -> check_ledger_record (i + 1) record)
+    lines;
+  Printf.printf "check-json: %s OK (ledger, %d record(s))\n" path
+    (List.length lines)
+
 let check_json_file path =
   let ic = open_in_bin path in
   let len = in_channel_length ic in
   let raw = really_input_string ic len in
   close_in ic;
   try
+    if Filename.check_suffix path ".jsonl" then check_ledger_jsonl path raw
+    else
     match Obs.Json.parse raw with
     | Error e -> check_fail "%s" e
     | Ok v -> (
       match v with
+      | Obs.Json.Obj _ when Obs.Json.member "run_id" v <> None ->
+        (* a ledger record extracted to a plain .json file; the "solver"
+           counter section would otherwise shadow the dispatch below *)
+        check_ledger_record 1 v;
+        Printf.printf "check-json: %s OK (ledger, 1 record(s))\n" path
       | Obs.Json.Obj _ -> (
         match
           ( Obs.Json.member "solver" v,

@@ -199,8 +199,20 @@ let profile_cmd =
       & info [ "top" ] ~docv:"N"
           ~doc:"Rows per table (0 = all); the phase table is never cut.")
   in
-  let run path top =
-    match Dragon.Profile.of_file ~top ~path () with
+  let folded =
+    Arg.(
+      value & flag
+      & info [ "folded" ]
+          ~doc:"Emit collapsed stacks (one line per stack, \
+                $(i,phase;parent;leaf self_us)) instead of tables — the \
+                input format of flamegraph.pl / inferno / speedscope.")
+  in
+  let run path top folded =
+    let rendered =
+      if folded then Dragon.Profile.folded_of_file ~path
+      else Dragon.Profile.of_file ~top ~path ()
+    in
+    match rendered with
     | Ok s -> print_string s
     | Error e ->
       Printf.eprintf "dragon: %s: %s\n" path e;
@@ -208,8 +220,9 @@ let profile_cmd =
   in
   Cmd.v
     (Cmd.info "profile"
-       ~doc:"Render a uhc --trace file as sorted per-phase/per-PU tables.")
-    Term.(const run $ trace_file $ top)
+       ~doc:"Render a uhc --trace file as sorted per-phase/per-PU tables \
+             (or collapsed flamegraph stacks with $(b,--folded)).")
+    Term.(const run $ trace_file $ top $ folded)
 
 let report_cmd =
   let report_file =
@@ -249,6 +262,116 @@ let report_cmd =
              permission preconditions) as tables.")
     Term.(const run $ report_file $ only $ list_only)
 
+(* ---- run-ledger consumers (uhc --cache-dir writes the records) ------ *)
+
+let cache_dir_arg =
+  Arg.(
+    required
+    & opt (some dir) None
+    & info [ "cache-dir" ] ~docv:"DIR"
+        ~doc:"The uhc --cache-dir whose ledger/ subdirectory holds the run \
+              records.")
+
+let load_ledger cache_dir =
+  match Dragon.Ledgerview.load ~cache_dir with
+  | Ok runs -> runs
+  | Error e ->
+    Printf.eprintf "dragon: %s\n" e;
+    exit 1
+
+let history_cmd =
+  let metrics =
+    Arg.(
+      value & pos_all string []
+      & info [] ~docv:"METRIC"
+          ~doc:"Dotted paths into the records, e.g. wall_s, \
+                cache.summary_misses, solver.queries, \
+                verdicts.bounds.unsafe; default wall_s.")
+  in
+  let last =
+    Arg.(
+      value & opt int 10
+      & info [ "last" ] ~docv:"N" ~doc:"Show the newest N runs (default 10).")
+  in
+  let run cache_dir metrics last =
+    let runs = load_ledger cache_dir in
+    let metrics = if metrics = [] then [ "wall_s" ] else metrics in
+    print_string (Dragon.Ledgerview.history ~last ~metrics runs)
+  in
+  Cmd.v
+    (Cmd.info "history"
+       ~doc:"Trend tables with sparklines over the recorded runs of a uhc \
+             cache directory.")
+    Term.(const run $ cache_dir_arg $ metrics $ last)
+
+let regress_cmd =
+  let thresholds =
+    Arg.(
+      value
+      & opt_all string []
+      & info [ "threshold" ] ~docv:"PATH=PCT"
+          ~doc:"Allow metric PATH to exceed the baseline by PCT percent \
+                (repeatable); 0 forbids any increase, a negative value \
+                demands a decrease.  Default: the deterministic gates \
+                verdicts.bounds.unsafe=0, verdicts.bounds.maybe=0, \
+                diagnostics=0.")
+  in
+  let baseline =
+    Arg.(
+      value & opt int 1
+      & info [ "baseline" ] ~docv:"N"
+          ~doc:"Average the N same-config runs preceding the candidate \
+                (default 1).")
+  in
+  let run cache_dir thresholds baseline =
+    let rules =
+      List.map
+        (fun s ->
+          match Dragon.Ledgerview.parse_rule s with
+          | Ok r -> r
+          | Error e ->
+            Printf.eprintf "dragon: %s\n" e;
+            exit 2)
+        thresholds
+    in
+    let runs = load_ledger cache_dir in
+    match Dragon.Ledgerview.regress ~baseline ~rules runs with
+    | Error e ->
+      Printf.eprintf "dragon: %s\n" e;
+      exit 2
+    | Ok (report, breached) ->
+      print_string report;
+      exit (if breached then 1 else 0)
+  in
+  Cmd.v
+    (Cmd.info "regress"
+       ~doc:"Gate the newest recorded run against its predecessors: exits 1 \
+             when any threshold is breached, 0 otherwise (a CI gate).")
+    Term.(const run $ cache_dir_arg $ thresholds $ baseline)
+
+let explain_cmd =
+  let target =
+    Arg.(
+      required & pos 0 (some string) None
+      & info [] ~docv:"PU|FILE"
+          ~doc:"A procedure name, a recorded source path, or a file \
+                basename.")
+  in
+  let run cache_dir target =
+    let runs = load_ledger cache_dir in
+    match Dragon.Ledgerview.explain ~target runs with
+    | Ok s -> print_string s
+    | Error e ->
+      Printf.eprintf "dragon: %s\n" e;
+      exit 1
+  in
+  Cmd.v
+    (Cmd.info "explain"
+       ~doc:"Why was this procedure re-analyzed in the newest run?  Names \
+             the changed content key (own body vs which callee), the blast \
+             radius, and the verdict delta.")
+    Term.(const run $ cache_dir_arg $ target)
+
 let advise_cmd =
   let run dir project =
     let p = load dir project in
@@ -263,6 +386,7 @@ let main =
   Cmd.group
     (Cmd.info "dragon" ~doc)
     [ table_cmd; callgraph_cmd; cfg_cmd; grep_cmd; locate_cmd; advise_cmd; html_cmd;
-      browse_cmd; diff_cmd; profile_cmd; report_cmd ]
+      browse_cmd; diff_cmd; profile_cmd; report_cmd; history_cmd; regress_cmd;
+      explain_cmd ]
 
 let () = exit (Cmd.eval main)

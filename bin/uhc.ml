@@ -8,14 +8,18 @@
 let run paths corpus out_dir project dump_whirl dump_src dump_callgraph
     dump_summaries execute wopt ipl_dir fuse autopar emit_whirl loop_summaries
     jobs cache_dir stats stats_det trace metrics log_level keep_going
-    fault_specs diagnostics solver_budget join_path solver_core analyses report =
+    fault_specs diagnostics solver_budget join_path solver_core analyses report
+    ledger no_ledger =
+  let ledger =
+    if no_ledger then Some false else if ledger then Some true else None
+  in
   let result =
     Pipeline.run
       (Pipeline.make ~paths ?corpus ?out_dir ~project ~dump_whirl ~dump_src
          ~dump_callgraph ~dump_summaries ~execute ~wopt ?ipl_dir ~fuse ~autopar
          ?emit_whirl ~loop_summaries ~jobs ?cache_dir ~stats ~stats_det ?trace
          ?metrics ~log_level ~keep_going ~fault_specs ?diagnostics
-         ?solver_budget ~join_path ~solver_core ~analyses ?report ())
+         ?solver_budget ~join_path ~solver_core ~analyses ?report ?ledger ())
   in
   result.Pipeline.r_code
 
@@ -264,6 +268,24 @@ let report =
               JSON (validate with bench check-json FILE); byte-identical \
               at any --jobs setting.")
 
+let ledger =
+  Arg.(
+    value & flag
+    & info [ "ledger" ]
+        ~doc:"Append one schema-versioned run record (config/corpus \
+              digests, timings, cache and solver counters, verdict \
+              tallies, per-procedure content keys) to \
+              CACHE-DIR/ledger/ — the history behind dragon \
+              history/regress/explain.  On by default whenever \
+              --cache-dir is set; this flag only matters together with \
+              --no-ledger handling in scripts.")
+
+let no_ledger =
+  Arg.(
+    value & flag
+    & info [ "no-ledger" ]
+        ~doc:"Disable the run ledger even when --cache-dir is set.")
+
 let cmd =
   let doc = "analyze array regions in MiniF/MiniC programs (OpenUH-style)" in
   Cmd.v
@@ -274,6 +296,6 @@ let cmd =
       $ autopar $ emit_whirl $ loop_summaries $ jobs $ cache_dir $ stats
       $ stats_det $ trace $ metrics $ log_level $ keep_going $ fault_specs
       $ diagnostics $ solver_budget $ join_path $ solver_core $ analyses
-      $ report)
+      $ report $ ledger $ no_ledger)
 
 let () = exit (Cmd.eval' cmd)

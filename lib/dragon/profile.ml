@@ -92,3 +92,70 @@ let render ?(top = 20) (spans : Obs.Trace.span list) =
 
 let of_file ?top ~path () =
   Result.map (render ?top) (Obs.Trace.load ~path)
+
+(* ---- collapsed stacks ("folded" flamegraph input) ------------------- *)
+
+(* One line per distinct stack, [root;child;leaf <self_us>] — the input
+   format of flamegraph.pl / inferno / speedscope.  Stacks are rebuilt
+   per track from the parsed spans' timestamps and depths; a frame's
+   self time is its duration minus its direct children's, so the lines
+   of one track sum back to that track's wall time.  Lines are sorted by
+   stack for determinism (the folded format is order-insensitive). *)
+let folded (spans : Obs.Trace.span list) =
+  let spans =
+    List.sort
+      (fun (a : Obs.Trace.span) (b : Obs.Trace.span) ->
+        match compare a.Obs.Trace.sp_tid b.Obs.Trace.sp_tid with
+        | 0 -> (
+          match compare a.Obs.Trace.sp_ts_us b.Obs.Trace.sp_ts_us with
+          | 0 -> compare a.Obs.Trace.sp_depth b.Obs.Trace.sp_depth
+          | c -> c)
+        | c -> c)
+      spans
+  in
+  let totals = Hashtbl.create 64 in
+  let add path self =
+    if self > 0. then
+      let cur = try Hashtbl.find totals path with Not_found -> 0. in
+      Hashtbl.replace totals path (cur +. self)
+  in
+  (* open frames, innermost first: (stack-path, duration, children ref,
+     depth) *)
+  let stack = ref [] in
+  let rec pop_to depth =
+    match !stack with
+    | (path, dur, children, d) :: rest when d >= depth ->
+      add path (Float.max 0. (dur -. !children));
+      stack := rest;
+      pop_to depth
+    | _ -> ()
+  in
+  let last_tid = ref min_int in
+  List.iter
+    (fun (s : Obs.Trace.span) ->
+      if s.Obs.Trace.sp_tid <> !last_tid then begin
+        pop_to 0;
+        last_tid := s.Obs.Trace.sp_tid
+      end
+      else pop_to s.Obs.Trace.sp_depth;
+      let path =
+        match !stack with
+        | (parent, _, children, _) :: _ ->
+          children := !children +. s.Obs.Trace.sp_dur_us;
+          parent ^ ";" ^ s.Obs.Trace.sp_name
+        | [] -> s.Obs.Trace.sp_name
+      in
+      stack :=
+        (path, s.Obs.Trace.sp_dur_us, ref 0., s.Obs.Trace.sp_depth) :: !stack)
+    spans;
+  pop_to 0;
+  let lines =
+    Hashtbl.fold
+      (fun path us acc ->
+        let n = int_of_float (Float.round us) in
+        if n > 0 then Printf.sprintf "%s %d\n" path n :: acc else acc)
+      totals []
+  in
+  String.concat "" (List.sort compare lines)
+
+let folded_of_file ~path = Result.map folded (Obs.Trace.load ~path)

@@ -13,3 +13,14 @@ val render : ?top:int -> Obs.Trace.span list -> string
 val of_file : ?top:int -> path:string -> unit -> (string, string) result
 (** Parse a Chrome trace_event JSON file (via {!Obs.Trace.load}) and render
     it; [Error] carries the parse/validation failure. *)
+
+val folded : Obs.Trace.span list -> string
+(** Collapsed-stack rendering ([dragon profile --folded]): one line per
+    distinct stack, [phase;parent;leaf <self_us>] — the input format of
+    flamegraph.pl, inferno and speedscope.  Self time is the span's
+    duration minus its direct children's (clamped at 0), whole
+    microseconds; zero-self stacks are omitted and lines are sorted for
+    determinism. *)
+
+val folded_of_file : path:string -> (string, string) result
+(** {!folded} over a loaded trace file. *)

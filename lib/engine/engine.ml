@@ -74,10 +74,26 @@ module Stats = struct
     Linear.Solver_stats.pp_deterministic ppf t.s_solver
 end
 
+(* What the incrementality machinery knew about one PU this run — the raw
+   material for the run ledger and [dragon explain]: the content keys say
+   *why* a cache missed (key1 changed = the PU's own body or the global
+   symtab; key1 same but key2 changed = some transitive callee), the
+   callee list lets a reader walk blast radii without reloading sources. *)
+type pu_entry = {
+  p_name : string;
+  p_file : string;
+  p_key1 : string;  (* hex digest of global symtab + PU body *)
+  p_key2 : string;  (* hex Merkle digest folding in transitive callees *)
+  p_collect_hit : bool;
+  p_summary_hit : bool;
+  p_callees : string list;
+}
+
 type result = {
   e_result : Ipa.Analyze.result;
   e_stats : Stats.t;
   e_diags : Fault.Diag.t list;
+  e_pus : pu_entry list;
 }
 
 let count_true a =
@@ -262,13 +278,13 @@ let run (cfg : config) (m : Ir.module_) : result =
   let propagated : Ipa.Collect.access list array = Array.make n [] in
   let summary_hit = Array.make n false in
   let computed = Array.make n false in
+  let key2 : Digest.t option array = Array.make n None in
   timed "summarize" (fun () ->
       let scc_arr = Array.of_list (Ipa.Callgraph.sccs cg) in
       (* Merkle digests, bottom-up: [sccs] lists callee SCCs first.  The
          members of one SCC share their input digest (they are mutually
          recursive: any change to one member's inputs re-summarizes the
          whole cycle), differing only by a name suffix. *)
-      let key2 : Digest.t option array = Array.make n None in
       Array.iter
         (fun scc ->
           let buf = Buffer.create 256 in
@@ -461,7 +477,23 @@ let run (cfg : config) (m : Ir.module_) : result =
         Linear.Solver_stats.diff (Linear.Solver_stats.snapshot ()) solver0;
     }
   in
-  { e_result = res; e_stats = stats; e_diags = diags }
+  let e_pus =
+    Array.to_list
+      (Array.mapi
+         (fun i pu ->
+           {
+             p_name = pu.Ir.pu_name;
+             p_file = pu.Ir.pu_file;
+             p_key1 = Digest.to_hex key1.(i);
+             p_key2 =
+               (match key2.(i) with Some k -> Digest.to_hex k | None -> "");
+             p_collect_hit = collect_hit.(i);
+             p_summary_hit = summary_hit.(i);
+             p_callees = Ipa.Callgraph.callees cg pu.Ir.pu_name;
+           })
+         pus)
+  in
+  { e_result = res; e_stats = stats; e_diags = diags; e_pus }
 
 (* Drop-in successors of the removed [Ipa.Analyze.analyze{,_sources}]
    reference entry points: one engine run, no store, serial by default. *)

@@ -38,6 +38,7 @@ type config = {
   solver_core : [ `Learned | `Packed | `Reference ];
   analyses : string list;
   report : string option;
+  ledger : bool option;
 }
 
 type result = {
@@ -55,7 +56,7 @@ let make ?(paths = []) ?corpus ?out_dir ?(project = "project")
     ?(jobs = 1) ?cache_dir ?(stats = false) ?(stats_det = false) ?trace
     ?metrics ?(log_level = Obs.Log.Quiet) ?(keep_going = false)
     ?(fault_specs = []) ?diagnostics ?solver_budget ?(join_path = `Fast)
-    ?(solver_core = `Learned) ?(analyses = []) ?report () =
+    ?(solver_core = `Learned) ?(analyses = []) ?report ?ledger () =
   {
     paths;
     corpus;
@@ -87,6 +88,7 @@ let make ?(paths = []) ?corpus ?out_dir ?(project = "project")
     solver_core;
     analyses;
     report;
+    ledger;
   }
 
 let read_file path =
@@ -126,7 +128,15 @@ let load_inputs ~keep_going ~diags paths corpus =
           None)
       paths
 
-let exec_body ~diags ~outputs ~stats ~reports (cfg : config) =
+(* What the ledger record needs from inside the body: the digest of the
+   inputs actually analyzed and the engine's per-PU cache entries (of the
+   last analysis when --fuse re-analyzes). *)
+type ledger_acc = {
+  mutable la_corpus_digest : string;
+  mutable la_pus : Engine.pu_entry list;
+}
+
+let exec_body ~diags ~outputs ~stats ~reports ~ledger_acc (cfg : config) =
   try
     (match
        List.filter (fun n -> Analyses.Registry.find n = None) cfg.analyses
@@ -149,6 +159,20 @@ let exec_body ~diags ~outputs ~stats ~reports (cfg : config) =
       | Some _ -> []
       | None -> load_inputs ~keep_going:cfg.keep_going ~diags cfg.paths cfg.corpus
     in
+    ledger_acc.la_corpus_digest <-
+      (let b = Buffer.create 256 in
+       (match from_whirl with
+       | Some p -> (
+         Buffer.add_string b p;
+         try Buffer.add_string b (Digest.file p) with Sys_error _ -> ())
+       | None ->
+         List.iter
+           (fun (name, contents) ->
+             Buffer.add_string b name;
+             Buffer.add_char b '\000';
+             Buffer.add_string b (Digest.string contents))
+           files);
+       Digest.to_hex (Digest.string (Buffer.contents b)));
     if files = [] && from_whirl = None then begin
       prerr_endline "uhc: no input files";
       if cfg.keep_going && (cfg.paths <> [] || cfg.corpus <> None) then
@@ -215,6 +239,7 @@ let exec_body ~diags ~outputs ~stats ~reports (cfg : config) =
       let r = Engine.run engine_cfg m in
       diags := List.rev_append r.Engine.e_diags !diags;
       stats := Some r.Engine.e_stats;
+      ledger_acc.la_pus <- r.Engine.e_pus;
       if cfg.stats then Format.printf "%a" Engine.Stats.pp r.Engine.e_stats;
       if cfg.stats_det then
         Format.printf "%a" Engine.Stats.pp_deterministic r.Engine.e_stats;
@@ -396,13 +421,191 @@ let exec_body ~diags ~outputs ~stats ~reports (cfg : config) =
     Printf.eprintf "uhc: %s\n" msg;
     1
 
+let solver_core_name = function
+  | `Learned -> "learned"
+  | `Packed -> "packed"
+  | `Reference -> "reference"
+
+let join_path_name = function `Fast -> "fast" | `Reference -> "reference"
+
+(* Digest of the semantic configuration: two ledger records with equal
+   config and corpus digests analyzed the same inputs the same way, so
+   their deterministic counters are comparable.  [jobs] and the
+   observation/output paths are deliberately excluded — outputs are
+   byte-identical across those. *)
+let config_digest (cfg : config) =
+  let b = Buffer.create 256 in
+  let add s =
+    Buffer.add_string b s;
+    Buffer.add_char b '\000'
+  in
+  List.iter add cfg.paths;
+  add (Option.value cfg.corpus ~default:"");
+  add cfg.project;
+  add (string_of_bool cfg.wopt);
+  add (string_of_bool cfg.fuse);
+  add (string_of_bool cfg.autopar);
+  add (string_of_bool cfg.keep_going);
+  List.iter add cfg.fault_specs;
+  add (match cfg.solver_budget with Some n -> string_of_int n | None -> "");
+  add (join_path_name cfg.join_path);
+  add (solver_core_name cfg.solver_core);
+  List.iter add cfg.analyses;
+  Digest.to_hex (Digest.string (Buffer.contents b))
+
+(* The schema_version 1 ledger record, as a single JSONL line.  Everything
+   a later run (or dragon history/regress/explain) needs to compare itself
+   against this one: identity (config/corpus digests), cost (wall, phases,
+   metrics), cache effectiveness per phase, solver work, analysis verdict
+   tallies, and the per-PU content keys that explain invalidations. *)
+let ledger_record ~(cfg : config) ~run_id ~code ~wall_s ~corpus_digest ~pus
+    ~stats ~reports ~diag_count ~trace_path ~metrics_path ~outputs =
+  let b = Buffer.create 8192 in
+  let bpf fmt = Printf.ksprintf (Buffer.add_string b) fmt in
+  let str s = bpf "\"%s\"" (Obs.Json.escape s) in
+  let strings l =
+    Buffer.add_char b '[';
+    List.iteri
+      (fun i s ->
+        if i > 0 then Buffer.add_char b ',';
+        str s)
+      l;
+    Buffer.add_char b ']'
+  in
+  bpf "{\"schema_version\":%d," Obs.Ledger.schema_version;
+  bpf "\"run_id\":\"%s\"," (Obs.Json.escape run_id);
+  bpf "\"ts\":%.3f," (Unix.gettimeofday ());
+  bpf "\"project\":\"%s\"," (Obs.Json.escape cfg.project);
+  bpf "\"corpus\":\"%s\","
+    (Obs.Json.escape (Option.value cfg.corpus ~default:"-"));
+  bpf "\"jobs\":%d," cfg.jobs;
+  bpf "\"solver_core\":\"%s\"," (solver_core_name cfg.solver_core);
+  bpf "\"join_path\":\"%s\"," (join_path_name cfg.join_path);
+  bpf "\"analyses\":";
+  strings cfg.analyses;
+  bpf ",\"config_digest\":\"%s\"," (config_digest cfg);
+  bpf "\"corpus_digest\":\"%s\"," (Obs.Json.escape corpus_digest);
+  bpf "\"exit_code\":%d," code;
+  bpf "\"wall_s\":%.6f," wall_s;
+  (match trace_path with
+  | Some p -> bpf "\"trace_path\":\"%s\"," (Obs.Json.escape p)
+  | None -> ());
+  (match metrics_path with
+  | Some p -> bpf "\"metrics_path\":\"%s\"," (Obs.Json.escape p)
+  | None -> ());
+  bpf "\"outputs\":";
+  strings outputs;
+  (* engine statistics: phases, per-phase cache effectiveness, solver *)
+  (match stats with
+  | None -> bpf ",\"analyzed\":false"
+  | Some (s : Engine.Stats.t) ->
+    bpf ",\"analyzed\":true,\"pus_analyzed\":%d" s.Engine.Stats.s_pus;
+    bpf ",\"phases\":[";
+    List.iteri
+      (fun i (p : Engine.Stats.phase) ->
+        if i > 0 then Buffer.add_char b ',';
+        bpf "{\"name\":\"%s\",\"wall_s\":%.6f,\"alloc_bytes\":%.0f}"
+          (Obs.Json.escape p.Engine.Stats.ph_name)
+          p.Engine.Stats.ph_wall p.Engine.Stats.ph_alloc)
+      s.Engine.Stats.s_phases;
+    bpf "],\"cache\":{\"collect_hits\":%d,\"collect_misses\":%d,\"summary_hits\":%d,\"summary_misses\":%d}"
+      s.Engine.Stats.s_collect_hits s.Engine.Stats.s_collect_misses
+      s.Engine.Stats.s_summary_hits s.Engine.Stats.s_summary_misses;
+    bpf ",\"solver\":{";
+    List.iteri
+      (fun i (k, v) ->
+        if i > 0 then Buffer.add_char b ',';
+        bpf "\"%s\":%d" k v)
+      (Linear.Solver_stats.to_alist s.Engine.Stats.s_solver);
+    bpf "}");
+  (* verdict tallies: each analysis' summary lines, e.g.
+     verdicts.bounds.safe *)
+  bpf ",\"verdicts\":{";
+  List.iteri
+    (fun i (r : Analyses.Report.t) ->
+      if i > 0 then Buffer.add_char b ',';
+      bpf "\"%s\":{" (Obs.Json.escape r.Analyses.Report.r_analysis);
+      List.iteri
+        (fun j (k, v) ->
+          if j > 0 then Buffer.add_char b ',';
+          bpf "\"%s\":" (Obs.Json.escape k);
+          match int_of_string_opt v with
+          | Some n -> bpf "%d" n
+          | None -> str v)
+        r.Analyses.Report.r_summary;
+      Buffer.add_char b '}')
+    reports;
+  bpf "},\"diagnostics\":%d" diag_count;
+  (* the full metrics registry, same entry shape as uhc --metrics *)
+  bpf ",\"metrics\":[";
+  List.iteri
+    (fun i (name, snap) ->
+      if i > 0 then Buffer.add_char b ',';
+      bpf "{\"name\":\"%s\"," (Obs.Json.escape name);
+      match snap with
+      | Obs.Metrics.S_counter v -> bpf "\"kind\":\"counter\",\"value\":%d}" v
+      | Obs.Metrics.S_gauge v -> bpf "\"kind\":\"gauge\",\"value\":%d}" v
+      | Obs.Metrics.S_hist h ->
+        bpf
+          "\"kind\":\"histogram\",\"count\":%d,\"sum\":%d,\"p50\":%.1f,\"p95\":%.1f,\"p99\":%.1f,\"buckets\":["
+          h.Obs.Metrics.h_count h.Obs.Metrics.h_sum h.Obs.Metrics.h_p50
+          h.Obs.Metrics.h_p95 h.Obs.Metrics.h_p99;
+        List.iteri
+          (fun j (lo, hi, c) ->
+            if j > 0 then Buffer.add_char b ',';
+            bpf "{\"lo\":%d,\"hi\":%d,\"count\":%d}" lo
+              (if hi = max_int then -1 else hi)
+              c)
+          h.Obs.Metrics.h_buckets;
+        bpf "]}")
+    (Obs.Metrics.snapshot ());
+  (* per-PU incrementality record: the content keys and hit flags this
+     run saw, plus callee edges so a reader can walk blast radii *)
+  bpf "],\"pus\":[";
+  List.iteri
+    (fun i (p : Engine.pu_entry) ->
+      if i > 0 then Buffer.add_char b ',';
+      bpf
+        "{\"name\":\"%s\",\"file\":\"%s\",\"key1\":\"%s\",\"key2\":\"%s\",\"collect_hit\":%b,\"summary_hit\":%b,\"callees\":"
+        (Obs.Json.escape p.Engine.p_name)
+        (Obs.Json.escape p.Engine.p_file)
+        p.Engine.p_key1 p.Engine.p_key2 p.Engine.p_collect_hit
+        p.Engine.p_summary_hit;
+      strings p.Engine.p_callees;
+      Buffer.add_char b '}')
+    pus;
+  bpf "]}";
+  Buffer.contents b
+
 let run (cfg : config) =
   Obs.Log.set_level cfg.log_level;
-  if cfg.trace <> None then begin
+  (* the ledger is on by default whenever there is a cache directory to
+     put it in; --ledger without --cache-dir has nowhere to write *)
+  let ledger_on =
+    match (cfg.ledger, cfg.cache_dir) with
+    | Some false, _ | None, None -> false
+    | (Some true | None), Some _ -> true
+    | Some true, None ->
+      Printf.eprintf "uhc: --ledger requires --cache-dir; ledger disabled\n";
+      false
+  in
+  let run_id = if ledger_on then Some (Obs.Ledger.new_run_id ()) else None in
+  (* collision-safe observation paths: with the ledger active, --trace and
+     --metrics files are suffixed with the run id (trace.json ->
+     trace-<run_id>.json) so concurrent runs sharing a directory never
+     clobber each other; without it the user's exact path is kept *)
+  let obs_path path =
+    match run_id with
+    | Some id -> Obs.Ledger.suffixed_path ~run_id:id path
+    | None -> path
+  in
+  let trace_path = Option.map obs_path cfg.trace in
+  let metrics_path = Option.map obs_path cfg.metrics in
+  if trace_path <> None then begin
     Obs.Trace.clear ();
     Obs.Span.set_enabled true
   end;
-  if cfg.metrics <> None then Obs.Metrics.set_enabled true;
+  if metrics_path <> None || ledger_on then Obs.Metrics.set_enabled true;
   (* fault injection and the solver budget are process-global knobs: set
      them up front, tear them down in [finally] so a library caller's next
      run starts clean *)
@@ -449,6 +652,7 @@ let run (cfg : config) =
   let outputs = ref [] in
   let stats = ref None in
   let reports = ref [] in
+  let ledger_acc = { la_corpus_digest = ""; la_pus = [] } in
   Fun.protect
     ~finally:(fun () ->
       Fault.clear ();
@@ -461,13 +665,13 @@ let run (cfg : config) =
         Linear.System.clear_cache ();
       (* flush observation files even when the pipeline failed: a trace of a
          crashed run is exactly what one wants to look at *)
-      (match cfg.trace with
+      (match trace_path with
       | None -> ()
       | Some path ->
         Obs.Span.set_enabled false;
         Obs.Trace.save ~path;
         Obs.Log.info "trace.written" [ ("path", path) ]);
-      match cfg.metrics with
+      match metrics_path with
       | None -> ()
       | Some path ->
         Obs.Metrics.save ~path;
@@ -477,7 +681,7 @@ let run (cfg : config) =
         if not specs_ok then 2
         else
           Obs.Span.with_ ~cat:"phase" ~name:"pipeline" (fun () ->
-              exec_body ~diags ~outputs ~stats ~reports cfg)
+              exec_body ~diags ~outputs ~stats ~reports ~ledger_acc cfg)
       in
       let degraded = Obs.Metrics.Counter.get c_degraded - degraded0 in
       if degraded > 0 then
@@ -500,6 +704,22 @@ let run (cfg : config) =
           (match cfg.diagnostics with
           | Some p -> Printf.sprintf " (see %s)" p
           | None -> "");
+      (match (run_id, cfg.cache_dir) with
+      | Some id, Some cache_dir -> (
+        let wall_s = float_of_int (Obs.Trace.now_ns () - t0) /. 1e9 in
+        let record =
+          ledger_record ~cfg ~run_id:id ~code ~wall_s
+            ~corpus_digest:ledger_acc.la_corpus_digest
+            ~pus:ledger_acc.la_pus ~stats:!stats
+            ~reports:(List.rev !reports) ~diag_count:(List.length diags)
+            ~trace_path ~metrics_path ~outputs:(List.rev !outputs)
+        in
+        try
+          let path = Obs.Ledger.append ~cache_dir ~run_id:id record in
+          Obs.Log.info "ledger.written" [ ("path", path); ("run_id", id) ]
+        with Sys_error e ->
+          Printf.eprintf "uhc: ledger write failed: %s\n" e)
+      | _ -> ());
       Obs.Log.info "pipeline.done"
         [
           ("exit", string_of_int code);

@@ -82,6 +82,21 @@ type config = {
       (** write the analysis reports to this path as schema-versioned JSON
           ({!Analyses.Report.json_of_reports}); byte-identical at any
           [jobs] setting *)
+  ledger : bool option;
+      (** run-ledger control ([uhc --ledger]/[--no-ledger]): [None]
+          (default) enables the ledger exactly when [cache_dir] is set;
+          [Some true] forces it on (ignored with a warning when there is
+          no cache directory to write into); [Some false] disables it.
+          When active, every run appends one schema-versioned JSONL record
+          to [<cache_dir>/ledger/] — config/corpus digests, wall and phase
+          timings, the metrics snapshot, per-phase cache hit/miss counts,
+          solver counters, analysis verdict tallies, and per-PU content
+          keys — consumed by [dragon history]/[regress]/[explain].  The
+          [trace]/[metrics] output paths are then suffixed with the run id
+          ([trace.json] -> [trace-<run_id>.json],
+          {!Obs.Ledger.suffixed_path}) so concurrent runs sharing a
+          directory never collide.  Analysis outputs are byte-identical
+          with the ledger on or off. *)
 }
 
 (** What a pipeline invocation produced, beyond its console output. *)
@@ -134,6 +149,7 @@ val make :
   ?solver_core:[ `Learned | `Packed | `Reference ] ->
   ?analyses:string list ->
   ?report:string ->
+  ?ledger:bool ->
   unit ->
   config
 (** Everything defaults to off/empty; [project] defaults to ["project"],

@@ -189,6 +189,34 @@ let diff a b =
 
 let reset () = List.iter (fun c -> Obs.Metrics.Counter.set c 0) all
 
+let to_alist t =
+  [
+    ("queries", t.queries);
+    ("cache_hits", t.cache_hits);
+    ("cache_misses", t.cache_misses);
+    ("box_refutations", t.box_refutations);
+    ("syntactic_hits", t.syntactic_hits);
+    ("fm_runs", t.fm_runs);
+    ("fm_rows_built", t.fm_rows_built);
+    ("fm_rows_pruned", t.fm_rows_pruned);
+    ("tighten_fallbacks", t.tighten_fallbacks);
+    ("overflow_fallbacks", t.overflow_fallbacks);
+    ("reference_runs", t.reference_runs);
+    ("small_runs", t.small_runs);
+    ("wall_fast_ns", t.wall_fast_ns);
+    ("wall_reference_ns", t.wall_reference_ns);
+    ("implies_queries", t.implies_queries);
+    ("implies_memo_hits", t.implies_memo_hits);
+    ("implies_wall_ns", t.implies_wall_ns);
+    ("implies_l1_hits", t.implies_l1_hits);
+    ("ctx_contexts", t.ctx_contexts);
+    ("ctx_cut_hits", t.ctx_cut_hits);
+    ("ctx_bound_hits", t.ctx_bound_hits);
+    ("ctx_proj_hits", t.ctx_proj_hits);
+    ("ctx_elims", t.ctx_elims);
+    ("ctx_activity_reorders", t.ctx_activity_reorders);
+  ]
+
 let pp_counters ppf t =
   Format.fprintf ppf
     "solver: %d queries (%d cache hit / %d miss), %d box-refuted, %d \

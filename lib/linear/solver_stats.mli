@@ -105,6 +105,11 @@ val snapshot : unit -> t
 val diff : t -> t -> t
 (** [diff later earlier] is the per-field difference. *)
 
+val to_alist : t -> (string * int) list
+(** Every field as [(name, value)], in declaration order — the
+    serialization the run ledger and other exporters use, kept here so a
+    new counter can't be added without appearing in them. *)
+
 val quiet : (unit -> 'a) -> 'a
 (** Run [f] with counting suppressed on the calling domain ({!System} uses
     this for redundant cross-domain recomputes and for learned-context

@@ -85,6 +85,15 @@ let nonzero_buckets t =
   done;
   !out
 
+let merge a b =
+  let t = create () in
+  for i = 0 to nbuckets - 1 do
+    Atomic.set t.counts.(i) (Atomic.get a.counts.(i) + Atomic.get b.counts.(i))
+  done;
+  Atomic.set t.total (count a + count b);
+  Atomic.set t.sum (sum a + sum b);
+  t
+
 let reset t =
   Array.iter (fun c -> Atomic.set c 0) t.counts;
   Atomic.set t.total 0;

@@ -32,6 +32,12 @@ val bounds_of_value : int -> int * int
 val nonzero_buckets : t -> (int * int * int) list
 (** [(lo, hi, count)] for every bucket with a nonzero count, ascending. *)
 
+val merge : t -> t -> t
+(** A fresh histogram holding both inputs' samples: per-bucket counts,
+    total and sum are added bucket-wise (exact — both sides bucket values
+    identically), so percentiles of the merge are those of the combined
+    sample stream.  The inputs are left untouched. *)
+
 val reset : t -> unit
 (** Zero every bucket (tests / bench harness). *)
 

@@ -1,7 +1,9 @@
 (* Recursive-descent JSON reader over a string, reporting byte offsets on
-   error.  Escapes are decoded loosely (\uXXXX below 0x80 becomes the byte,
-   anything else keeps the escaped character verbatim) — the files this
-   parses are our own ASCII emissions. *)
+   error.  String escapes follow RFC 8259: only the nine escape characters
+   are accepted, and \uXXXX decodes to the UTF-8 encoding of the code
+   point — surrogate pairs (a \uD800-\uDBFF escape immediately followed by
+   a \uDC00-\uDFFF escape) combine into one supplementary-plane character;
+   a lone or misordered surrogate is a parse error, not a silent byte. *)
 
 type t =
   | Obj of (string * t) list
@@ -39,6 +41,43 @@ let parse s =
     end
     else fail "bad literal"
   in
+  (* exactly four hex digits after a \u; int_of_string would also accept
+     forms like "0x1_2" or a leading sign, so the digits are checked
+     explicitly *)
+  let read_hex4 () =
+    if !pos + 4 > len then fail "bad \\u escape";
+    let v = ref 0 in
+    for k = 0 to 3 do
+      let d =
+        match s.[!pos + k] with
+        | '0' .. '9' as c -> Char.code c - Char.code '0'
+        | 'a' .. 'f' as c -> Char.code c - Char.code 'a' + 10
+        | 'A' .. 'F' as c -> Char.code c - Char.code 'A' + 10
+        | _ -> fail "bad \\u escape"
+      in
+      v := (!v * 16) + d
+    done;
+    pos := !pos + 4;
+    !v
+  in
+  let add_utf8 b cp =
+    if cp < 0x80 then Buffer.add_char b (Char.chr cp)
+    else if cp < 0x800 then begin
+      Buffer.add_char b (Char.chr (0xC0 lor (cp lsr 6)));
+      Buffer.add_char b (Char.chr (0x80 lor (cp land 0x3F)))
+    end
+    else if cp < 0x10000 then begin
+      Buffer.add_char b (Char.chr (0xE0 lor (cp lsr 12)));
+      Buffer.add_char b (Char.chr (0x80 lor ((cp lsr 6) land 0x3F)));
+      Buffer.add_char b (Char.chr (0x80 lor (cp land 0x3F)))
+    end
+    else begin
+      Buffer.add_char b (Char.chr (0xF0 lor (cp lsr 18)));
+      Buffer.add_char b (Char.chr (0x80 lor ((cp lsr 12) land 0x3F)));
+      Buffer.add_char b (Char.chr (0x80 lor ((cp lsr 6) land 0x3F)));
+      Buffer.add_char b (Char.chr (0x80 lor (cp land 0x3F)))
+    end
+  in
   let parse_string () =
     skip_ws ();
     if peek () <> '"' then fail "expected string";
@@ -52,6 +91,21 @@ let parse s =
         advance ();
         (match peek () with
         | '\000' -> fail "bad escape"
+        | '"' ->
+          Buffer.add_char b '"';
+          advance ()
+        | '\\' ->
+          Buffer.add_char b '\\';
+          advance ()
+        | '/' ->
+          Buffer.add_char b '/';
+          advance ()
+        | 'b' ->
+          Buffer.add_char b '\b';
+          advance ()
+        | 'f' ->
+          Buffer.add_char b '\012';
+          advance ()
         | 'n' ->
           Buffer.add_char b '\n';
           advance ()
@@ -63,16 +117,24 @@ let parse s =
           advance ()
         | 'u' ->
           advance ();
-          if !pos + 4 > len then fail "bad \\u escape";
-          let hex = String.sub s !pos 4 in
-          (match int_of_string_opt ("0x" ^ hex) with
-          | Some code when code < 0x80 -> Buffer.add_char b (Char.chr code)
-          | Some _ -> Buffer.add_string b ("\\u" ^ hex)
-          | None -> fail "bad \\u escape");
-          pos := !pos + 4
-        | c ->
-          Buffer.add_char b c;
-          advance ());
+          let code = read_hex4 () in
+          if code >= 0xD800 && code <= 0xDBFF then begin
+            (* high surrogate: the low half must follow as another escape *)
+            if
+              not
+                (!pos + 2 <= len && s.[!pos] = '\\' && s.[!pos + 1] = 'u')
+            then fail "lone high surrogate";
+            pos := !pos + 2;
+            let low = read_hex4 () in
+            if not (low >= 0xDC00 && low <= 0xDFFF) then
+              fail "bad low surrogate";
+            add_utf8 b
+              (0x10000 + ((code - 0xD800) lsl 10) + (low - 0xDC00))
+          end
+          else if code >= 0xDC00 && code <= 0xDFFF then
+            fail "lone low surrogate"
+          else add_utf8 b code
+        | _ -> fail "bad escape character");
         go ()
       | c ->
         Buffer.add_char b c;

@@ -14,7 +14,11 @@ type t =
   | Null
 
 val parse : string -> (t, string) result
-(** The error string includes the byte offset of the failure. *)
+(** The error string includes the byte offset of the failure.  String
+    escapes are RFC 8259-strict: only the nine escape characters are
+    accepted, [\uXXXX] decodes to UTF-8 (surrogate pairs combine into one
+    supplementary-plane character), and a lone surrogate, bad hex digit or
+    unknown escape character is a parse error. *)
 
 val parse_file : string -> (t, string) result
 

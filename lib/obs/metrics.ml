@@ -85,6 +85,37 @@ let sorted_items () =
 
 let names () = List.map fst (sorted_items ())
 
+type hist_snapshot = {
+  h_count : int;
+  h_sum : int;
+  h_p50 : float;
+  h_p95 : float;
+  h_p99 : float;
+  h_buckets : (int * int * int) list;
+}
+
+type snapshot = S_counter of int | S_gauge of int | S_hist of hist_snapshot
+
+let snapshot_hist h =
+  {
+    h_count = Hist.count h;
+    h_sum = Hist.sum h;
+    h_p50 = Hist.percentile h 0.5;
+    h_p95 = Hist.percentile h 0.95;
+    h_p99 = Hist.percentile h 0.99;
+    h_buckets = Hist.nonzero_buckets h;
+  }
+
+let snapshot () =
+  List.map
+    (fun (name, i) ->
+      ( name,
+        match i with
+        | I_counter c -> S_counter (Counter.get c)
+        | I_gauge g -> S_gauge (Gauge.get g)
+        | I_hist h -> S_hist (snapshot_hist h) ))
+    (sorted_items ())
+
 let reset_all () =
   List.iter
     (fun (_, i) ->

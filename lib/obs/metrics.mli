@@ -41,6 +41,28 @@ val enabled : unit -> bool
 val names : unit -> string list
 (** Registered metric names, sorted. *)
 
+(** A point-in-time reading of one histogram: count/sum, the three standard
+    percentiles, and the nonzero [(lo, hi, count)] buckets (ascending;
+    [hi = max_int] on the overflow bucket). *)
+type hist_snapshot = {
+  h_count : int;
+  h_sum : int;
+  h_p50 : float;
+  h_p95 : float;
+  h_p99 : float;
+  h_buckets : (int * int * int) list;
+}
+
+type snapshot = S_counter of int | S_gauge of int | S_hist of hist_snapshot
+
+val snapshot : unit -> (string * snapshot) list
+(** Every registered instrument with its current value, sorted by name —
+    the enumeration behind {!dump_json}, exposed so the run ledger (and any
+    other exporter) can serialize the registry without re-parsing JSON. *)
+
+val snapshot_hist : Hist.t -> hist_snapshot
+(** Snapshot one histogram (shared by {!snapshot} and the ledger tests). *)
+
 val reset_all : unit -> unit
 (** Zero every registered instrument (tests / bench harness). *)
 

@@ -90,9 +90,40 @@ cmp "$out/plain/project.rgn" "$out/zero/project.rgn"
 cmp "$out/plain/project.dgn" "$out/zero/project.dgn"
 cmp "$out/plain/project.cfg" "$out/zero/project.cfg"
 
+echo "== smoke: run ledger + dragon history/explain/regress =="
+# two identical runs into one cache directory: the second is all cache
+# hits, and the default (deterministic-only) regress gates must pass
+dune exec bin/uhc.exe -- --corpus lu --analyses bounds \
+  --cache-dir "$out/lcache" -o "$out/lrun1" >/dev/null
+dune exec bin/uhc.exe -- --corpus lu --analyses bounds \
+  --cache-dir "$out/lcache" -o "$out/lrun2" >/dev/null
+cmp "$out/lrun1/project.rgn" "$out/lrun2/project.rgn"
+dune exec bench/main.exe -- check-json "$out/lcache"/ledger/*.jsonl
+dune exec bin/dragon.exe -- history --cache-dir "$out/lcache" \
+  wall_s cache.summary_hits | grep -q "^cache.summary_hits"
+dune exec bin/dragon.exe -- explain --cache-dir "$out/lcache" applu.f \
+  | grep -q "served from cache"
+dune exec bin/dragon.exe -- regress --cache-dir "$out/lcache"
+# an injected breach (a negative threshold demands a decrease, so the
+# identical rerun violates it) must flip the exit code to 1
+if dune exec bin/dragon.exe -- regress --cache-dir "$out/lcache" \
+    --threshold verdicts.bounds.safe=-50 >/dev/null; then
+  echo "regress failed to flag an injected breach" >&2
+  exit 1
+fi
+# ledger off (--no-ledger) leaves outputs byte-identical and writes nothing
+dune exec bin/uhc.exe -- --corpus lu --analyses bounds --no-ledger \
+  --cache-dir "$out/lcache" -o "$out/lrun3" >/dev/null
+cmp "$out/lrun1/project.rgn" "$out/lrun3/project.rgn"
+test "$(ls "$out/lcache/ledger" | wc -l)" = 2
+
+echo "== smoke: dragon profile --folded =="
+dune exec bin/dragon.exe -- profile --folded "$out/trace.json" \
+  | grep -q "^pipeline;"
+
 echo "== obs: duplicate metric registration is rejected =="
 # the "metrics registry" case re-registers a name as a different instrument
 # kind and fails unless Obs.Metrics raises Invalid_argument
-dune exec test/test_main.exe -- test obs 5
+dune exec test/test_main.exe -- test obs 8
 
 echo "verify: OK"

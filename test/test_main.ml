@@ -33,4 +33,5 @@ let () =
       ("solver", Test_solver.suite);
       ("regions-join", Test_regions_join.suite);
       ("obs", Test_obs.suite);
+      ("ledger", Test_ledger.suite);
     ]

@@ -99,6 +99,125 @@ let test_hist_buckets () =
         Alcotest.failf "value %d outside its bucket [%d, %d]" v lo hi)
     [ 0; 1; 2; 3; 4; 7; 8; 100; 12345; 999_999_999; max_int ]
 
+let test_hist_edge_cases () =
+  (* empty: every percentile is 0, not an exception *)
+  let h = Obs.Hist.create () in
+  Alcotest.(check int) "empty count" 0 (Obs.Hist.count h);
+  List.iter
+    (fun p ->
+      Alcotest.(check (float 0.)) "empty percentile" 0. (Obs.Hist.percentile h p))
+    [ 0.5; 0.95; 0.99 ];
+  (* a single sample: every percentile lands in that sample's bucket *)
+  Obs.Hist.observe h 42;
+  let lo, hi = Obs.Hist.bounds_of_value 42 in
+  List.iter
+    (fun p ->
+      let est = Obs.Hist.percentile h p in
+      if not (float_of_int lo <= est && est <= float_of_int hi) then
+        Alcotest.failf "single-sample p%.0f = %.1f outside [%d, %d]"
+          (100. *. p) est lo hi)
+    [ 0.5; 0.95; 0.99 ];
+  (* merging disjoint ranges: counts and sums add, the merged percentiles
+     straddle the gap, and neither input is mutated *)
+  let a = Obs.Hist.create () and b = Obs.Hist.create () in
+  List.iter (Obs.Hist.observe a) [ 1; 2; 3 ];
+  List.iter (Obs.Hist.observe b) [ 1000; 2000; 3000 ];
+  let m = Obs.Hist.merge a b in
+  Alcotest.(check int) "merged count" 6 (Obs.Hist.count m);
+  Alcotest.(check int) "merged sum" 6006 (Obs.Hist.sum m);
+  Alcotest.(check int) "merge leaves a alone" 3 (Obs.Hist.count a);
+  Alcotest.(check int) "merge leaves b alone" 3 (Obs.Hist.count b);
+  let p50 = Obs.Hist.percentile m 0.5 in
+  if p50 > 4. then Alcotest.failf "merged p50 %.1f not in the low range" p50;
+  let p99 = Obs.Hist.percentile m 0.99 in
+  if p99 < 1000. then Alcotest.failf "merged p99 %.1f not in the high range" p99
+
+(* ------------------------------------------------------------------ *)
+(* JSON string escapes: strict RFC 8259 \uXXXX decoding *)
+
+let parse_str raw =
+  match Obs.Json.parse (Printf.sprintf "{\"s\":\"%s\"}" raw) with
+  | Ok v -> (
+    match Option.bind (Obs.Json.member "s" v) Obs.Json.to_string with
+    | Some s -> Ok s
+    | None -> Error "no string member")
+  | Error e -> Error e
+
+let test_json_unicode_escapes () =
+  List.iter
+    (fun (name, raw, expect) ->
+      match parse_str raw with
+      | Ok got -> Alcotest.(check string) name expect got
+      | Error e -> Alcotest.failf "%s rejected: %s" name e)
+    [
+      ("ascii", {|\u0041|}, "A");
+      ("two-byte", {|\u00e9|}, "\xc3\xa9");
+      ("three-byte", {|\u20ac|}, "\xe2\x82\xac");
+      ("surrogate pair", {|\ud83d\ude00|}, "\xf0\x9f\x98\x80");
+      ("uppercase hex", {|\uD83D\uDE00|}, "\xf0\x9f\x98\x80");
+      ("nul", {|\u0000|}, "\000");
+      ("simple escapes", {|\b\f\n\r\t\/\\\"|}, "\b\012\n\r\t/\\\"");
+      ("embedded", {|a\u00e9b|}, "a\xc3\xa9b");
+    ];
+  List.iter
+    (fun (name, raw) ->
+      match parse_str raw with
+      | Ok got -> Alcotest.failf "%s accepted as %S" name got
+      | Error _ -> ())
+    [
+      ("truncated hex", {|\u12|});
+      ("non-hex digits", {|\uZZZZ|});
+      ("lone high surrogate", {|\ud83d|});
+      ("high surrogate then text", {|\ud83dAB|});
+      ("high surrogate, bad low", {|\ud83dA|});
+      ("lone low surrogate", {|\ude00|});
+      ("unknown escape", {|\q|});
+    ];
+  (* whatever the writer escapes, the reader recovers byte for byte *)
+  List.iter
+    (fun s ->
+      match parse_str (Obs.Json.escape s) with
+      | Ok got -> Alcotest.(check string) "escape round-trip" s got
+      | Error e -> Alcotest.failf "escaped form of %S rejected: %s" s e)
+    [
+      "plain";
+      "quote\"back\\slash";
+      "controls\x01\x02\n\t\x7f";
+      "utf8 \xc3\xa9 \xe2\x82\xac \xf0\x9f\x98\x80";
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* Ledger store round-trip *)
+
+let test_ledger_roundtrip () =
+  let cache_dir = Filename.temp_file "obs_ledger" "" in
+  Sys.remove cache_dir;
+  Sys.mkdir cache_dir 0o755;
+  let id1 = Obs.Ledger.new_run_id () in
+  let id2 = Obs.Ledger.new_run_id () in
+  Alcotest.(check bool) "run ids ascend" true (id1 < id2);
+  let record id n =
+    Printf.sprintf "{\"schema_version\":%d,\"run_id\":\"%s\",\"n\":%d}"
+      Obs.Ledger.schema_version id n
+  in
+  (* written newest first: read_all must still return run-id order *)
+  ignore (Obs.Ledger.append ~cache_dir ~run_id:id2 (record id2 2));
+  ignore (Obs.Ledger.append ~cache_dir ~run_id:id1 (record id1 1));
+  (match Obs.Ledger.read_all ~cache_dir with
+  | [ (a, va); (b, vb) ] ->
+    Alcotest.(check string) "oldest first" id1 a;
+    Alcotest.(check string) "newest last" id2 b;
+    let n v = Option.bind (Obs.Json.member "n" v) Obs.Json.to_int in
+    Alcotest.(check (option int)) "first payload" (Some 1) (n va);
+    Alcotest.(check (option int)) "second payload" (Some 2) (n vb)
+  | l -> Alcotest.failf "read_all returned %d record(s)" (List.length l));
+  Alcotest.(check string)
+    "suffixed path" "/x/trace-RUN.json"
+    (Obs.Ledger.suffixed_path ~run_id:"RUN" "/x/trace.json");
+  Alcotest.(check string)
+    "suffixed path without extension" "/x/trace-RUN"
+    (Obs.Ledger.suffixed_path ~run_id:"RUN" "/x/trace")
+
 (* ------------------------------------------------------------------ *)
 (* Span nesting and trace well-formedness *)
 
@@ -289,6 +408,9 @@ let suite =
     Alcotest.test_case "hist percentiles vs reference" `Quick
       test_hist_percentiles;
     Alcotest.test_case "hist buckets partition" `Quick test_hist_buckets;
+    Alcotest.test_case "hist edge cases and merge" `Quick test_hist_edge_cases;
+    Alcotest.test_case "json unicode escapes" `Quick test_json_unicode_escapes;
+    Alcotest.test_case "ledger store round-trip" `Quick test_ledger_roundtrip;
     Alcotest.test_case "span nesting" `Quick test_span_nesting;
     Alcotest.test_case "trace rejects malformed" `Quick
       test_trace_rejects_malformed;
