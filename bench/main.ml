@@ -977,8 +977,15 @@ let bench_bounds ~json ~out () =
       ("matrix", [ Corpus.Small.matrix_c ]);
       ("stride", [ Corpus.Small.stride_f ]);
       ("lu", Corpus.Nas_lu.files ());
+      (* the pinned seed-42 scale workload: hundreds of generated files,
+         thousands of PUs, with index-array property directives *)
+      ("gen", Corpus.Gen.(generate (standard ())));
     ]
   in
+  (* the regression floor for property-refined sparse accesses proven safe
+     on the gen corpus; recorded into the JSON next to the measured value
+     so check-json can gate on it *)
+  let sparse_proven_floor = 3000 in
   let per_corpus =
     List.map
       (fun (name, files) ->
@@ -1001,12 +1008,13 @@ let bench_bounds ~json ~out () =
       corpora
   in
   Printf.printf
-    "corpus  accesses safe unsafe maybe eliminated residual  implies  implies_ms  wall_ms\n";
+    "corpus  accesses safe unsafe maybe eliminated residual sparse proven  implies  implies_ms  wall_ms\n";
   List.iter
     (fun (name, count, wall, (d : Linear.Solver_stats.t)) ->
-      Printf.printf "%-7s %8d %4d %6d %5d %10d %8d %8d %11.3f %8.3f\n" name
-        (count "accesses") (count "safe") (count "unsafe") (count "maybe")
+      Printf.printf "%-7s %8d %4d %6d %5d %10d %8d %6d %6d %8d %11.3f %8.3f\n"
+        name (count "accesses") (count "safe") (count "unsafe") (count "maybe")
         (count "checks_eliminated") (count "residual_checks")
+        (count "sparse_accesses") (count "sparse_proven")
         d.Linear.Solver_stats.implies_queries
         (float_of_int d.Linear.Solver_stats.implies_wall_ns /. 1e6)
         (wall *. 1e3))
@@ -1031,6 +1039,11 @@ let bench_bounds ~json ~out () =
         bpf "        \"maybe\": %d,\n" (count "maybe");
         bpf "        \"checks_eliminated\": %d,\n" (count "checks_eliminated");
         bpf "        \"residual_checks\": %d,\n" (count "residual_checks");
+        bpf "        \"sparse_accesses\": %d,\n" (count "sparse_accesses");
+        bpf "        \"sparse_proven\": %d,\n" (count "sparse_proven");
+        bpf "        \"inspector_entries\": %d,\n" (count "inspector_entries");
+        if name = "gen" then
+          bpf "        \"sparse_proven_floor\": %d,\n" sparse_proven_floor;
         bpf "        \"implies_queries\": %d,\n"
           d.Linear.Solver_stats.implies_queries;
         bpf "        \"implies_wall_ns\": %d,\n"
@@ -1040,6 +1053,90 @@ let bench_bounds ~json ~out () =
       )
       per_corpus;
     bpf "    ]\n";
+    bpf "  }\n";
+    bpf "}\n";
+    let oc = open_out path in
+    output_string oc (Buffer.contents b);
+    close_out oc;
+    Printf.printf "wrote %s\n" path
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Gen: the seeded corpus generator — config, determinism digest, scale,
+   and the differential harness (static verdicts vs one interpreted run)
+   on the pinned seed-42 standard workload *)
+
+let bench_gen ~json ~out () =
+  header "Gen: pinned seed-42 scale corpus + differential harness";
+  let cfg = Corpus.Gen.standard () in
+  let t0 = Unix.gettimeofday () in
+  let files = Corpus.Gen.generate cfg in
+  let gen_wall = Unix.gettimeofday () -. t0 in
+  let bytes =
+    List.fold_left (fun acc (_, src) -> acc + String.length src) 0 files
+  in
+  let digest =
+    Digest.to_hex (Digest.string (String.concat "\x00" (List.map snd files)))
+  in
+  Printf.printf "%s\n" (Corpus.Gen.describe cfg);
+  Printf.printf "files %d  pus %d  bytes %d  digest %s  gen %.1f ms\n"
+    (List.length files) (Corpus.Gen.pu_count cfg) bytes digest
+    (gen_wall *. 1e3);
+  let t0 = Unix.gettimeofday () in
+  let m = Whirl.Lower.lower (Lang.Frontend.load ~files) in
+  let result = analyze_module m in
+  let analysis_wall = Unix.gettimeofday () -. t0 in
+  let ctx =
+    { Analyses.Analysis.ctx_module = m; Analyses.Analysis.ctx_result = result }
+  in
+  let bounds, _ = Analyses.Bounds.run ctx in
+  let diff, _ = Analyses.Diffcheck.run ctx in
+  let count (r : Analyses.Report.t) key =
+    match List.assoc_opt key r.Analyses.Report.r_summary with
+    | Some v -> v
+    | None -> "0"
+  in
+  let sparse_proven_floor = 3000 in
+  Printf.printf
+    "analysis %.1f ms  sparse %s/%s proven (floor %d)  inspector entries %s\n"
+    (analysis_wall *. 1e3)
+    (count bounds "sparse_proven")
+    (count bounds "sparse_accesses")
+    sparse_proven_floor
+    (count bounds "inspector_entries");
+  Printf.printf
+    "diffcheck: steps %s  oob %s  covered %s  uncovered %s  safe_faults %s  \
+     ok %s\n"
+    (count diff "steps") (count diff "oob_events") (count diff "covered")
+    (count diff "uncovered") (count diff "safe_faults") (count diff "ok");
+  if json || out <> None then begin
+    let path = Option.value out ~default:"BENCH_gen.json" in
+    let b = Buffer.create 2048 in
+    let bpf fmt = Printf.ksprintf (Buffer.add_string b) fmt in
+    bpf "{\n";
+    bpf "  \"bench\": \"%s\",\n" (json_escape "gen");
+    bpf "  \"schema_version\": %d,\n" Analyses.Report.schema_version;
+    bpf "  \"gen\": {\n";
+    bpf "    \"config\": \"%s\",\n" (json_escape (Corpus.Gen.describe cfg));
+    bpf "    \"seed\": %d,\n" cfg.Corpus.Gen.g_seed;
+    bpf "    \"files\": %d,\n" (List.length files);
+    bpf "    \"pus\": %d,\n" (Corpus.Gen.pu_count cfg);
+    bpf "    \"bytes\": %d,\n" bytes;
+    bpf "    \"digest\": \"%s\",\n" (json_escape digest);
+    bpf "    \"gen_wall_s\": %.6f,\n" gen_wall;
+    bpf "    \"analysis_wall_s\": %.6f,\n" analysis_wall;
+    bpf "    \"sparse_accesses\": %s,\n" (count bounds "sparse_accesses");
+    bpf "    \"sparse_proven\": %s,\n" (count bounds "sparse_proven");
+    bpf "    \"sparse_proven_floor\": %d,\n" sparse_proven_floor;
+    bpf "    \"inspector_entries\": %s,\n" (count bounds "inspector_entries");
+    bpf "    \"diffcheck\": {\n";
+    bpf "      \"steps\": %s,\n" (count diff "steps");
+    bpf "      \"oob_events\": %s,\n" (count diff "oob_events");
+    bpf "      \"covered\": %s,\n" (count diff "covered");
+    bpf "      \"uncovered\": %s,\n" (count diff "uncovered");
+    bpf "      \"safe_faults\": %s,\n" (count diff "safe_faults");
+    bpf "      \"ok\": %s\n" (count diff "ok");
+    bpf "    }\n";
     bpf "  }\n";
     bpf "}\n";
     let oc = open_out path in
@@ -1503,11 +1600,60 @@ let check_bounds_json path top doc =
           check_fail "bounds %s: checks_eliminated disagrees with safe" corpus;
         if num "residual_checks" <> maybe then
           check_fail "bounds %s: residual_checks disagrees with maybe" corpus;
+        let sparse = num "sparse_accesses" and proven = num "sparse_proven" in
+        if proven > sparse then
+          check_fail "bounds %s: sparse_proven %d exceeds sparse_accesses %d"
+            corpus proven sparse;
+        if num "inspector_entries" <> maybe then
+          check_fail
+            "bounds %s: inspector_entries disagrees with maybe (every \
+             undecidable access gets an inspector entry)"
+            corpus;
+        (* the gen corpus records a floor next to the measured value *)
+        if Obs.Json.member "sparse_proven_floor" entry <> None then
+          ignore (check_gate entry ~where:("bounds." ^ corpus) "sparse_proven");
         ignore (num "implies_queries");
         ignore (num "implies_wall_ns"))
       entries;
     Printf.printf "check-json: %s OK (bounds, %d corpora)\n" path
       (List.length entries)
+
+let check_gen_json path top doc =
+  check_schema_version ~what:"gen" ~expected:Analyses.Report.schema_version top;
+  let num field =
+    match Option.bind (Obs.Json.member field doc) Obs.Json.to_int with
+    | Some n -> n
+    | None -> check_fail "gen.%s missing" field
+  in
+  if num "files" < 200 then check_fail "gen.files below the 200-file scale floor";
+  if num "pus" < 2000 then check_fail "gen.pus below the 2000-PU scale floor";
+  (match Option.bind (Obs.Json.member "digest" doc) Obs.Json.to_string with
+  | Some d when String.length d = 32 -> ()
+  | _ -> check_fail "gen.digest missing or not an md5 hex string");
+  let proven, floor = check_gate doc ~where:"gen" "sparse_proven" in
+  let diff =
+    match Obs.Json.member "diffcheck" doc with
+    | Some (Obs.Json.Obj _ as d) -> d
+    | _ -> check_fail "gen.diffcheck missing"
+  in
+  let dnum field =
+    match Option.bind (Obs.Json.member field diff) Obs.Json.to_int with
+    | Some n -> n
+    | None -> check_fail "gen.diffcheck.%s missing" field
+  in
+  if dnum "safe_faults" <> 0 then
+    check_fail "gen.diffcheck.safe_faults: a proven-safe access faulted";
+  if dnum "uncovered" <> 0 then
+    check_fail "gen.diffcheck.uncovered: a runtime fault has no inspector row";
+  if dnum "covered" <> dnum "oob_events" then
+    check_fail "gen.diffcheck: covered disagrees with oob_events";
+  (match Obs.Json.member "ok" diff with
+  | Some (Obs.Json.Bool true) -> ()
+  | _ -> check_fail "gen.diffcheck.ok is not true");
+  Printf.printf
+    "check-json: %s OK (gen; sparse_proven %.0f >= floor %.0f, diffcheck \
+     clean over %d oob events)\n"
+    path proven floor (dnum "oob_events")
 
 let check_reports_json path top entries =
   check_schema_version ~what:"reports" ~expected:Analyses.Report.schema_version
@@ -1727,10 +1873,14 @@ let check_json_file path =
           check_schema_version ~what:"diagnostics"
             ~expected:Fault.Diag.schema_version v;
           check_diagnostics_json path entries
-        | _ ->
-          check_fail
-            "no recognized top-level section \
-             (solver/regions/traceEvents/metrics/obs/bounds/reports/diagnostics)")
+        | _ -> (
+          match Obs.Json.member "gen" v with
+          | Some (Obs.Json.Obj _ as doc) -> check_gen_json path v doc
+          | _ ->
+            check_fail
+              "no recognized top-level section \
+               (solver/regions/traceEvents/metrics/obs/bounds/gen/reports/\
+               diagnostics)"))
       | _ -> check_fail "top-level value is not an object")
   with Check_fail msg ->
     Printf.eprintf "check-json: %s in %s\n" msg path;
@@ -1928,6 +2078,7 @@ let () =
     if all || only "engine" then bench_engine ();
     if all || only "solver" then bench_solver ~json ~out ();
     if all || only "bounds" then bench_bounds ~json ~out ();
+    if all || only "gen" then bench_gen ~json ~out ();
     if all || only "regions" then bench_regions ~json ~out ();
     if all || only "obs" then bench_obs ~json ~out ();
     if all || only "timing" then timing_suite ()

@@ -33,7 +33,8 @@ let corpus =
     value
     & opt (some string) None
     & info [ "corpus" ] ~docv:"NAME"
-        ~doc:"Analyze a built-in example instead of files: lu, matrix, fig1, stride.")
+        ~doc:"Analyze a built-in example instead of files: lu, matrix, fig1, \
+              stride, gen (pinned seed-42 scale corpus), gen-small.")
 
 let out_dir =
   Arg.(
@@ -286,6 +287,121 @@ let no_ledger =
     & info [ "no-ledger" ]
         ~doc:"Disable the run ledger even when --cache-dir is set.")
 
+(* ------------------------------------------------------------------ *)
+(* uhc gen: emit a seeded corpus to a directory *)
+
+let run_gen seed files pus dag scc loop_depth ext_min ext_max sparsity oob
+    undeclared out =
+  let cfg =
+    {
+      Corpus.Gen.g_seed = seed;
+      g_files = files;
+      g_pus_per_file = pus;
+      g_dag_depth = dag;
+      g_scc_density = scc;
+      g_loop_depth = loop_depth;
+      g_ext_min = ext_min;
+      g_ext_max = ext_max;
+      g_sparsity = sparsity;
+      g_oob = oob;
+      g_undeclared = undeclared;
+    }
+  in
+  match Corpus.Gen.generate cfg with
+  | exception Invalid_argument msg ->
+    Printf.eprintf "uhc gen: %s\n" msg;
+    1
+  | sources ->
+    if not (Sys.file_exists out) then Sys.mkdir out 0o755;
+    List.iter
+      (fun (name, contents) ->
+        let oc = open_out_bin (Filename.concat out name) in
+        output_string oc contents;
+        close_out oc)
+      sources;
+    Printf.printf "wrote %d files (%s) to %s\n" (List.length sources)
+      (Corpus.Gen.describe cfg) out;
+    0
+
+let gen_cmd =
+  let d = Corpus.Gen.default in
+  let seed =
+    Arg.(
+      value & opt int d.Corpus.Gen.g_seed
+      & info [ "seed" ] ~docv:"N" ~doc:"PRNG seed; same seed, same bytes.")
+  in
+  let files =
+    Arg.(
+      value & opt int d.Corpus.Gen.g_files
+      & info [ "files" ] ~docv:"N" ~doc:"Source-file count.")
+  in
+  let pus =
+    Arg.(
+      value & opt int d.Corpus.Gen.g_pus_per_file
+      & info [ "pus-per-file" ] ~docv:"N"
+          ~doc:"Program units per file (main included).")
+  in
+  let dag =
+    Arg.(
+      value & opt int d.Corpus.Gen.g_dag_depth
+      & info [ "dag-depth" ] ~docv:"N"
+          ~doc:"Call-chain segment length / depth budget.")
+  in
+  let scc =
+    Arg.(
+      value & opt float d.Corpus.Gen.g_scc_density
+      & info [ "scc-density" ] ~docv:"P"
+          ~doc:"Probability of a recursion back-edge per chain link.")
+  in
+  let loop_depth =
+    Arg.(
+      value & opt int d.Corpus.Gen.g_loop_depth
+      & info [ "loop-depth" ] ~docv:"N" ~doc:"Dense loop-nest depth.")
+  in
+  let ext_min =
+    Arg.(
+      value & opt int d.Corpus.Gen.g_ext_min
+      & info [ "ext-min" ] ~docv:"N" ~doc:"Minimum per-file array extent.")
+  in
+  let ext_max =
+    Arg.(
+      value & opt int d.Corpus.Gen.g_ext_max
+      & info [ "ext-max" ] ~docv:"N" ~doc:"Maximum per-file array extent.")
+  in
+  let sparsity =
+    Arg.(
+      value & opt float d.Corpus.Gen.g_sparsity
+      & info [ "sparsity" ] ~docv:"P"
+          ~doc:"Fraction of PUs accessing through an index array.")
+  in
+  let oob =
+    Arg.(
+      value & opt float d.Corpus.Gen.g_oob
+      & info [ "oob" ] ~docv:"P"
+          ~doc:"Fraction of sparse PUs whose index array really goes out of \
+                bounds (runtime-inspector archetype).")
+  in
+  let undeclared =
+    Arg.(
+      value & opt float d.Corpus.Gen.g_undeclared
+      & info [ "undeclared" ] ~docv:"P"
+          ~doc:"Fraction of sparse PUs with no property directive.")
+  in
+  let out =
+    Arg.(
+      value & opt string "gen-corpus"
+      & info [ "o"; "output" ] ~docv:"DIR" ~doc:"Directory to write into.")
+  in
+  Cmd.v
+    (Cmd.info "gen"
+       ~doc:
+         "emit a seeded, deterministic Fortran scale corpus (same seed, \
+          byte-identical files); analyze the result with uhc *.f or use \
+          --corpus gen for the pinned standard workload")
+    Term.(
+      const run_gen $ seed $ files $ pus $ dag $ scc $ loop_depth $ ext_min
+      $ ext_max $ sparsity $ oob $ undeclared $ out)
+
 let cmd =
   let doc = "analyze array regions in MiniF/MiniC programs (OpenUH-style)" in
   Cmd.v
@@ -298,4 +414,14 @@ let cmd =
       $ diagnostics $ solver_budget $ join_path $ solver_core $ analyses
       $ report $ ledger $ no_ledger)
 
-let () = exit (Cmd.eval' cmd)
+(* [uhc gen ...] dispatches on the first word by hand: a [Cmd.group] with
+   a default term would swallow positional source paths as (unknown)
+   command names, and plain [uhc file.f] must keep working. *)
+let () =
+  if Array.length Sys.argv > 1 && Sys.argv.(1) = "gen" then begin
+    let argv =
+      Array.append [| "uhc gen" |] (Array.sub Sys.argv 2 (Array.length Sys.argv - 2))
+    in
+    exit (Cmd.eval' ~argv gen_cmd)
+  end
+  else exit (Cmd.eval' cmd)

@@ -87,6 +87,8 @@ let run (ctx : Analysis.ctx) =
       v
   in
   let safe = ref 0 and unsafe = ref 0 and maybe = ref 0 in
+  let sparse_accesses = ref 0 and sparse_proven = ref 0 in
+  let inspector_entries = ref 0 in
   let rows = ref [] in
   let diags = ref [] in
   List.iter
@@ -106,12 +108,26 @@ let run (ctx : Analysis.ctx) =
               | Safe -> incr safe
               | Unsafe -> incr unsafe
               | Maybe -> incr maybe);
+              if Region.is_assumed region then begin
+                incr sparse_accesses;
+                if v = Safe then incr sparse_proven
+              end;
               let arr = Ir.st_name m pu st in
               let line = Lang.Loc.line a.Ipa.Collect.ac_loc in
               let via =
                 match a.Ipa.Collect.ac_via with None -> "" | Some c -> c
               in
               let lb, ub, stride = Ipa.Analyze.display_bounds m pu st region in
+              (* undecidable access: a runtime-inspector entry naming what a
+                 dynamic checker would have to watch — the index array the
+                 subscript reads through, or the raw extent check *)
+              let inspector =
+                match v with
+                | Maybe ->
+                  incr inspector_entries;
+                  Option.value a.Ipa.Collect.ac_sparse ~default:"extent"
+                | Safe | Unsafe -> "-"
+              in
               rows :=
                 [
                   t.Ipa.Analyze.t_proc;
@@ -123,6 +139,7 @@ let run (ctx : Analysis.ctx) =
                   lb;
                   ub;
                   stride;
+                  inspector;
                 ]
                 :: !rows;
               let where =
@@ -164,11 +181,14 @@ let run (ctx : Analysis.ctx) =
           ("maybe", string_of_int !maybe);
           ("checks_eliminated", string_of_int !safe);
           ("residual_checks", string_of_int !maybe);
+          ("sparse_accesses", string_of_int !sparse_accesses);
+          ("sparse_proven", string_of_int !sparse_proven);
+          ("inspector_entries", string_of_int !inspector_entries);
         ]
       ~columns:
         [
           "Proc"; "Array"; "Mode"; "Line"; "Via"; "Verdict"; "LB"; "UB";
-          "Stride";
+          "Stride"; "Inspector";
         ]
       (List.rev !rows)
   in

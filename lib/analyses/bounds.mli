@@ -15,6 +15,12 @@ val classify : extents:int option list -> Regions.Region.t -> verdict
 
 val run : Analysis.ctx -> Report.t * Fault.Diag.t list
 (** Columns: Proc, Array, Mode, Line, Via (callee for call-propagated
-    accesses), Verdict, LB, UB, Stride.  Every [unsafe] verdict emits an
-    error diagnostic, every [maybe] a ["runtime-check"] warning — the
-    residual checks a bounds-checking compiler must keep. *)
+    accesses), Verdict, LB, UB, Stride, Inspector.  Every [unsafe]
+    verdict emits an error diagnostic, every [maybe] a ["runtime-check"]
+    warning — the residual checks a bounds-checking compiler must keep.
+    The Inspector column names the runtime-inspector target for every
+    undecidable access: the index array behind an [A(idx(i))] subscript
+    when one is known, ["extent"] otherwise, ["-"] on decided rows.  The
+    summary carries [sparse_accesses] (accesses through an index array),
+    [sparse_proven] (those proven safe via declared index-array
+    properties) and [inspector_entries] (= the maybe count). *)

@@ -1,0 +1,21 @@
+(** Differential harness: static bounds verdicts vs one interpreted run.
+
+    Executes the module under {!Interp.run} with [~record_oob:true] and
+    cross-checks every observed out-of-bounds access against the bounds
+    verdict table keyed by (executing procedure, array, direction, source
+    line):
+
+    - a fault whose every verdict row is safe is a [safe_fault] — the
+      static analysis proved an access the runtime refuted;
+    - a fault with no maybe/unsafe row is [uncovered] — no runtime
+      inspector was emitted for it.
+
+    Both must be zero for the summary's [ok] to read ["true"].  Columns:
+    Proc, Array, Mode, Line, Coords, Kind, Covered, SafeFault — one row
+    per out-of-bounds event in execution order.  Summary keys:
+    [verdict_rows], [steps], [oob_events], [covered], [uncovered],
+    [safe_faults], [ok]. *)
+
+val name : string
+
+val run : Analysis.ctx -> Report.t * Fault.Diag.t list

@@ -4,7 +4,12 @@
    out-of-tree ones. *)
 
 let builtin : (module Analysis.CLIENT) list =
-  [ (module Bounds); (module Permissions); (module Regions_client) ]
+  [
+    (module Bounds);
+    (module Permissions);
+    (module Regions_client);
+    (module Diffcheck);
+  ]
 
 let extra : (module Analysis.CLIENT) list ref = ref []
 

@@ -1,0 +1,284 @@
+(* Seeded scale-corpus generator.
+
+   Emits a deterministic multi-file Fortran program: file 0 holds the main
+   program, every other PU is a subroutine taking (data array, depth) and
+   chained into per-file call segments, with optional back-edges (bounded
+   recursion -> call-graph SCCs) and cross-file edges.  A configurable
+   fraction of PUs subscript the data array through an integer index array
+   [b(x(i))], annotated with index-array property directives drawn from a
+   small archetype set:
+
+   - exact:      x(i) = i             -> monotonic injective bounded(1,E)
+   - boxed:      x(i) = mod(3i,E)+1   -> bounded(1,E)
+   - inspector:  x(i) = i + c         -> monotonic only (no bounds; the top
+                                         c iterations really go out of
+                                         bounds -> runtime faults the
+                                         inspector entry must cover)
+   - undeclared: x(i) = mod(5i,E)+1   -> no directive (MESSY status quo)
+
+   Everything derives from a splitmix64 stream keyed on the seed: the same
+   config yields byte-identical files, which is what lets the generated
+   corpus serve as a pinned benchmark workload.  No OCaml [Random],
+   clock, or hashtable-order dependence anywhere. *)
+
+type config = {
+  g_seed : int;
+  g_files : int;
+  g_pus_per_file : int;
+  g_dag_depth : int;
+  g_scc_density : float;
+  g_loop_depth : int;
+  g_ext_min : int;
+  g_ext_max : int;
+  g_sparsity : float;
+  g_oob : float;
+  g_undeclared : float;
+}
+
+let default =
+  {
+    g_seed = 42;
+    g_files = 8;
+    g_pus_per_file = 4;
+    g_dag_depth = 3;
+    g_scc_density = 0.25;
+    g_loop_depth = 2;
+    g_ext_min = 16;
+    g_ext_max = 40;
+    g_sparsity = 0.6;
+    g_oob = 0.15;
+    g_undeclared = 0.2;
+  }
+
+let standard () = { default with g_files = 201; g_pus_per_file = 10 }
+
+(* ------------------------------------------------------------------ *)
+(* splitmix64 *)
+
+type rng = { mutable st : int64 }
+
+let mix64 z =
+  let z =
+    Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30))
+      0xbf58476d1ce4e5b9L
+  in
+  let z =
+    Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27))
+      0x94d049bb133111ebL
+  in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let rng_make seed = { st = Int64.of_int seed }
+
+let next r =
+  r.st <- Int64.add r.st 0x9e3779b97f4a7c15L;
+  mix64 r.st
+
+let rand_int r n =
+  if n <= 0 then invalid_arg "Gen.rand_int";
+  Int64.to_int (Int64.rem (Int64.shift_right_logical (next r) 1) (Int64.of_int n))
+
+let rand_float r =
+  Int64.to_float (Int64.shift_right_logical (next r) 11) /. 9007199254740992.0
+
+let chance r p = rand_float r < p
+
+(* ------------------------------------------------------------------ *)
+(* Program plan *)
+
+type archetype = Exact | Boxed | Inspector | Undeclared
+
+type pu_plan = {
+  pp_name : string;
+  pp_sparse : archetype option;
+  pp_stride_loop : bool;
+  pp_chain_next : string option;   (* forward edge within the segment *)
+  pp_back_edge : string option;    (* SCC back-edge to the predecessor *)
+  pp_cross_edge : string option;   (* edge into the next file's head *)
+}
+
+type file_plan = {
+  fp_name : string;
+  fp_ext : int;
+  fp_pus : pu_plan list;  (* subroutines only; main is rendered separately *)
+}
+
+let sub_name k j = Printf.sprintf "s%d_%d" k j
+let head_positions ~start ~count ~depth =
+  let rec go acc j = if j >= start + count then List.rev acc
+    else go (j :: acc) (j + depth)
+  in
+  go [] start
+
+let plan cfg =
+  if cfg.g_files < 1 then invalid_arg "Gen: need at least one file";
+  if cfg.g_pus_per_file < 2 then invalid_arg "Gen: need at least two PUs per file";
+  if cfg.g_dag_depth < 1 then invalid_arg "Gen: dag depth must be positive";
+  if cfg.g_ext_min < 8 || cfg.g_ext_max < cfg.g_ext_min then
+    invalid_arg "Gen: bad extent range";
+  let r = rng_make cfg.g_seed in
+  (* pass 1: per-file extents (cross-file edges need them all up front) *)
+  let exts =
+    Array.init cfg.g_files (fun _ ->
+        cfg.g_ext_min + rand_int r (cfg.g_ext_max - cfg.g_ext_min + 1))
+  in
+  (* pass 2: per-PU structure, in deterministic file-major order *)
+  let archetype r cfg =
+    if chance r cfg.g_oob then Inspector
+    else if chance r cfg.g_undeclared then Undeclared
+    else if rand_int r 2 = 0 then Exact
+    else Boxed
+  in
+  let files =
+    List.init cfg.g_files (fun k ->
+        let start = if k = 0 then 1 else 0 in
+        let count = cfg.g_pus_per_file - start in
+        let last = start + count - 1 in
+        let seg_len j = cfg.g_dag_depth - ((j - start) mod cfg.g_dag_depth) in
+        let pus =
+          List.init count (fun o ->
+              let j = start + o in
+              let sparse =
+                if chance r cfg.g_sparsity then Some (archetype r cfg) else None
+              in
+              let stride_loop = chance r 0.4 in
+              let chain_next =
+                if seg_len j > 1 && j < last then Some (sub_name k (j + 1))
+                else None
+              in
+              let back_edge =
+                (* only from a segment continuation back to its predecessor *)
+                if (j - start) mod cfg.g_dag_depth > 0
+                   && chance r cfg.g_scc_density
+                then Some (sub_name k (j - 1))
+                else None
+              in
+              let cross_edge =
+                if j = last && k + 1 < cfg.g_files
+                   && exts.(k) >= exts.(k + 1)
+                   && chance r 0.5
+                then Some (sub_name (k + 1) (if k + 1 = 0 then 1 else 0))
+                else None
+              in
+              {
+                pp_name = sub_name k j;
+                pp_sparse = sparse;
+                pp_stride_loop = stride_loop;
+                pp_chain_next = chain_next;
+                pp_back_edge = back_edge;
+                pp_cross_edge = cross_edge;
+              })
+        in
+        { fp_name = Printf.sprintf "gen_%03d.f" k; fp_ext = exts.(k); fp_pus = pus })
+  in
+  (exts, files)
+
+(* ------------------------------------------------------------------ *)
+(* Rendering *)
+
+let bpf b fmt = Printf.ksprintf (Buffer.add_string b) fmt
+
+let render_call b callee depth_expr =
+  bpf b "      if (d .gt. 0) then\n";
+  bpf b "        call %s(b, %s)\n" callee depth_expr;
+  bpf b "      endif\n"
+
+let render_sub b cfg ~ext (p : pu_plan) =
+  (* "s<k>_<j>" -> "x<k>_<j>" *)
+  let x = "x" ^ String.sub p.pp_name 1 (String.length p.pp_name - 1) in
+  bpf b "      subroutine %s(b, d)\n" p.pp_name;
+  bpf b "      real b(1:%d)\n" ext;
+  bpf b "      integer d, i\n";
+  (match p.pp_sparse with
+  | None -> ()
+  | Some a ->
+    (* a local: the fill and the access live in the same PU, and a local
+       index array does not propagate into every transitive caller's
+       access table the way a COMMON would (the scale corpus would blow
+       up quadratically otherwise) *)
+    bpf b "      integer %s(1:%d)\n" x ext;
+    (match a with
+    | Exact ->
+      bpf b "!$uhc index %s monotonic injective bounded(1,%d)\n" x ext
+    | Boxed -> bpf b "!$uhc index %s bounded(1,%d)\n" x ext
+    | Inspector -> bpf b "!$uhc index %s monotonic\n" x
+    | Undeclared -> ()));
+  if cfg.g_loop_depth > 1 then begin
+    let names =
+      List.init (cfg.g_loop_depth - 1) (fun i -> Printf.sprintf "j%d" i)
+    in
+    bpf b "      integer %s\n" (String.concat ", " names)
+  end;
+  (* index-array fill + sparse access *)
+  (match p.pp_sparse with
+  | None -> ()
+  | Some a ->
+    bpf b "      do i = 1, %d\n" ext;
+    (match a with
+    | Exact -> bpf b "        %s(i) = i\n" x
+    | Boxed -> bpf b "        %s(i) = mod(i * 3, %d) + 1\n" x ext
+    | Inspector -> bpf b "        %s(i) = i + 2\n" x
+    | Undeclared -> bpf b "        %s(i) = mod(i * 5, %d) + 1\n" x ext);
+    bpf b "      end do\n";
+    bpf b "      do i = 1, %d\n" ext;
+    bpf b "        b(%s(i)) = b(%s(i)) + 1.0\n" x x;
+    bpf b "      end do\n");
+  (* dense nest of the configured depth *)
+  for l = 0 to cfg.g_loop_depth - 2 do
+    bpf b "%s      do j%d = 1, 2\n" (String.make (2 * l) ' ') l
+  done;
+  let pad = String.make (2 * max 0 (cfg.g_loop_depth - 1)) ' ' in
+  bpf b "%s      do i = 1, %d\n" pad ext;
+  bpf b "%s        b(i) = b(i) * 0.5 + 1.0\n" pad;
+  bpf b "%s      end do\n" pad;
+  for l = cfg.g_loop_depth - 2 downto 0 do
+    bpf b "%s      end do\n" (String.make (2 * l) ' ')
+  done;
+  if p.pp_stride_loop then begin
+    bpf b "      do i = 2, %d, 2\n" ext;
+    bpf b "        b(i) = b(i) + 2.0\n";
+    bpf b "      end do\n"
+  end;
+  Option.iter (fun c -> render_call b c "d - 1") p.pp_chain_next;
+  Option.iter (fun c -> render_call b c "d - 2") p.pp_back_edge;
+  Option.iter (fun c -> render_call b c "d - 1") p.pp_cross_edge;
+  bpf b "      end\n\n"
+
+let render_main b cfg exts =
+  bpf b "      program main\n";
+  Array.iteri (fun k e -> bpf b "      real w%d(1:%d)\n" k e) exts;
+  bpf b "      integer i\n";
+  bpf b "      do i = 1, %d\n" exts.(0);
+  bpf b "        w0(i) = 0.0\n";
+  bpf b "      end do\n";
+  Array.iteri
+    (fun k _ ->
+      let start = if k = 0 then 1 else 0 in
+      let count = cfg.g_pus_per_file - start in
+      List.iter
+        (fun h -> bpf b "      call %s(w%d, %d)\n" (sub_name k h) k cfg.g_dag_depth)
+        (head_positions ~start ~count ~depth:cfg.g_dag_depth))
+    exts;
+  bpf b "      print *, w0(1)\n";
+  bpf b "      end\n\n"
+
+let generate cfg =
+  let exts, files = plan cfg in
+  List.mapi
+    (fun k (fp : file_plan) ->
+      let b = Buffer.create 4096 in
+      if k = 0 then render_main b cfg exts;
+      List.iter (render_sub b cfg ~ext:fp.fp_ext) fp.fp_pus;
+      (fp.fp_name, Buffer.contents b))
+    files
+
+(* ------------------------------------------------------------------ *)
+
+let pu_count cfg = cfg.g_files * cfg.g_pus_per_file
+
+let describe cfg =
+  Printf.sprintf
+    "seed=%d files=%d pus=%d dag=%d scc=%.2f nest=%d ext=[%d,%d] sparsity=%.2f oob=%.2f undeclared=%.2f"
+    cfg.g_seed cfg.g_files (pu_count cfg) cfg.g_dag_depth cfg.g_scc_density
+    cfg.g_loop_depth cfg.g_ext_min cfg.g_ext_max cfg.g_sparsity cfg.g_oob
+    cfg.g_undeclared

@@ -1,0 +1,49 @@
+(** Seeded, fully deterministic scale-corpus generator.
+
+    Produces a multi-file Fortran program: [main] in file 0 calls the head
+    of every call-chain segment; subroutines chain within their file (DAG
+    depth), optionally back-call their predecessor under a depth guard
+    (bounded recursion: call-graph SCCs) or jump into the next file.  A
+    configurable fraction of PUs access the shared data array through an
+    integer index array, with declared index-array properties drawn from
+    four archetypes — exact (monotonic injective bounded), boxed (bounded
+    only), inspector (monotonic only, genuinely out of bounds at runtime)
+    and undeclared.
+
+    All randomness comes from a splitmix64 stream keyed on [g_seed]: the
+    same config yields byte-identical files on every host, so a pinned
+    config can serve as a benchmark workload and as the subject of the
+    differential interpreter harness. *)
+
+type config = {
+  g_seed : int;
+  g_files : int;          (** source-file count; file 0 also holds [main] *)
+  g_pus_per_file : int;   (** PUs per file, [main] included (>= 2) *)
+  g_dag_depth : int;      (** call-chain segment length; also the depth
+                              budget [main] passes to each segment head *)
+  g_scc_density : float;  (** probability of a back-edge per chain link *)
+  g_loop_depth : int;     (** dense loop-nest depth (>= 1) *)
+  g_ext_min : int;        (** minimum per-file array extent (>= 8) *)
+  g_ext_max : int;
+  g_sparsity : float;     (** fraction of PUs with an [b(x(i))] access *)
+  g_oob : float;          (** of those, fraction whose index array really
+                              leaves the extents (inspector archetype) *)
+  g_undeclared : float;   (** of the rest, fraction with no directive *)
+}
+
+val default : config
+(** Small smoke-scale config (seed 42, 8 files x 4 PUs). *)
+
+val standard : unit -> config
+(** The pinned scale workload: seed 42, 201 files x 10 PUs (2010 PUs). *)
+
+val generate : config -> (string * string) list
+(** [(filename, contents)] pairs, file-major deterministic order.
+    @raise Invalid_argument on degenerate configs (no files, < 2 PUs per
+    file, extents below 8, empty extent range, non-positive DAG depth). *)
+
+val pu_count : config -> int
+(** [g_files * g_pus_per_file] — the PU total of the generated program. *)
+
+val describe : config -> string
+(** One-line human-readable config summary (stable; used by [bench gen]). *)

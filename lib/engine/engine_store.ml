@@ -81,7 +81,10 @@ let add_expr e acc =
   List.fold_left (fun a v -> Linear.Var.Set.add v a) acc (Linear.Expr.vars e)
 
 let add_affine r acc =
-  match r with Affine.Affine e -> add_expr e acc | Affine.Messy -> acc
+  match r with
+  | Affine.Affine e -> add_expr e acc
+  | Affine.Sparse { Affine.sp_inner = Some e; _ } -> add_expr e acc
+  | Affine.Sparse _ | Affine.Messy -> acc
 
 let add_region (r : Region.t) acc =
   let acc = Linear.Var.Set.union (Linear.System.vars r.Region.sys) acc in
@@ -145,6 +148,12 @@ let remap_fn m syms =
 
 let map_affine f = function
   | Affine.Affine e -> Affine.Affine (Linear.Expr.map_vars f e)
+  | Affine.Sparse s ->
+    Affine.Sparse
+      {
+        s with
+        Affine.sp_inner = Option.map (Linear.Expr.map_vars f) s.Affine.sp_inner;
+      }
   | Affine.Messy -> Affine.Messy
 
 let map_loop f ((st, lc) : int * Region.loop_ctx) =

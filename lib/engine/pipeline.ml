@@ -111,8 +111,12 @@ let load_inputs ~keep_going ~diags paths corpus =
   | Some "matrix" -> [ Corpus.Small.matrix_c ]
   | Some "fig1" -> [ Corpus.Small.fig1_f ]
   | Some "stride" -> [ Corpus.Small.stride_f ]
+  | Some "gen" -> Corpus.Gen.(generate (standard ()))
+  | Some "gen-small" -> Corpus.Gen.(generate default)
   | Some other ->
-    failwith (Printf.sprintf "unknown corpus %S (lu|matrix|fig1|stride)" other)
+    failwith
+      (Printf.sprintf "unknown corpus %S (lu|matrix|fig1|stride|gen|gen-small)"
+         other)
   | None ->
     List.filter_map
       (fun p ->

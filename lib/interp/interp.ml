@@ -24,11 +24,20 @@ type dynamic_region = {
   dr_count : int;
 }
 
+type oob = {
+  oob_pu : string;
+  oob_array : string;
+  oob_coords : int list;
+  oob_write : bool;
+  oob_line : int;
+}
+
 type outcome = {
   out_text : string;
   out_steps : int;
   out_regions : dynamic_region list;
   out_calls : ((string * string) * int) list;
+  out_oob : oob list;
 }
 
 let error loc fmt = Format.kasprintf (fun s -> raise (Runtime_error (s, loc))) fmt
@@ -58,6 +67,8 @@ type state = {
   fuel : int;
   sections : (string * string * Mode.t, Methods.Section.t * int) Hashtbl.t;
   calls : (string * string, int) Hashtbl.t;
+  record_oob : bool;  (* record out-of-bounds accesses instead of trapping *)
+  mutable oobs : oob list;  (* newest first *)
 }
 
 let zero_value = function
@@ -223,12 +234,17 @@ let rec eval state frame (w : Wn.t) : value =
     in
     if addr.Wn.operator <> Wn.OPR_ARRAY then
       error w.Wn.linenum "ILOAD of a non-ARRAY address";
-    let storage, flat, coords = locate state frame addr in
-    emit_event state storage ~write:false flat coords;
-    record_section state
-      (if storage.sg_scope = "@" then "@" else storage.sg_scope)
-      storage.sg_name Mode.USE coords;
-    storage.sg_data.(flat)
+    (match locate state frame ~write:false addr with
+    | storage, Some flat, coords ->
+      emit_event state storage ~write:false flat coords;
+      record_section state
+        (if storage.sg_scope = "@" then "@" else storage.sg_scope)
+        storage.sg_name Mode.USE coords;
+      storage.sg_data.(flat)
+    | storage, None, _ ->
+      (* recorded out-of-bounds read: a well-defined dummy value keeps the
+         run going so one fault does not mask later ones *)
+      zero_value storage.sg_elem)
   | Wn.OPR_ADD | Wn.OPR_SUB | Wn.OPR_MPY | Wn.OPR_DIV | Wn.OPR_MOD ->
     numeric_binop w.Wn.linenum w.Wn.operator
       (eval state frame (Wn.kid w 0))
@@ -330,8 +346,9 @@ and eval_intrinsic state frame (w : Wn.t) : value =
   | "ceil", 1 -> Vint (int_of_float (Float.ceil (as_float loc (arg 0))))
   | name, n -> error loc "unsupported intrinsic %s/%d" name n
 
-(* resolve an ARRAY node to (storage, flat index, coords) *)
-and locate state frame (w : Wn.t) =
+(* resolve an ARRAY node to (storage, flat index, coords); [None] flat when
+   the access is out of bounds and the run records instead of trapping *)
+and locate state frame ~write (w : Wn.t) =
   let base = Wn.array_base w in
   let storage = array_storage state frame w.Wn.linenum base.Wn.st_idx in
   let n = Wn.num_dim w in
@@ -340,16 +357,40 @@ and locate state frame (w : Wn.t) =
   let coords =
     List.init n (fun k -> as_int w.Wn.linenum (eval state frame (Wn.array_index w k)))
   in
-  let flat = ref 0 in
-  List.iteri
-    (fun k y ->
-      let h = storage.sg_dims.(k) in
-      if y < 0 || y >= h then
-        error w.Wn.linenum "index %d out of bounds [0,%d) in dimension %d of %s"
-          y h k storage.sg_name;
-      flat := (!flat * h) + y)
-    coords;
-  (storage, !flat, coords)
+  let oob = List.exists2 (fun y h -> y < 0 || y >= h) coords
+      (Array.to_list storage.sg_dims)
+  in
+  if oob then begin
+    if not state.record_oob then
+      List.iteri
+        (fun k y ->
+          let h = storage.sg_dims.(k) in
+          if y < 0 || y >= h then
+            error w.Wn.linenum
+              "index %d out of bounds [0,%d) in dimension %d of %s" y h k
+              storage.sg_name)
+        coords;
+    state.oobs <-
+      {
+        oob_pu = frame.fr_pu.Ir.pu_name;
+        (* the symbol name as the executing PU spells it (the formal for a
+           by-reference argument), so the event joins against that PU's
+           static access table rather than the caller's actual *)
+        oob_array = Ir.st_name state.m frame.fr_pu base.Wn.st_idx;
+        oob_coords = coords;
+        oob_write = write;
+        oob_line = Lang.Loc.line w.Wn.linenum;
+      }
+      :: state.oobs;
+    (storage, None, coords)
+  end
+  else begin
+    let flat = ref 0 in
+    List.iteri
+      (fun k y -> flat := (!flat * storage.sg_dims.(k)) + y)
+      coords;
+    (storage, Some !flat, coords)
+  end
 
 and emit_event state storage ~write flat coords =
   let bytes = Lang.Ast.dtype_size storage.sg_elem in
@@ -427,12 +468,14 @@ and exec state frame (w : Wn.t) : unit =
     in
     if addr.Wn.operator <> Wn.OPR_ARRAY then
       error w.Wn.linenum "ISTORE to a non-ARRAY address";
-    let storage, flat, coords = locate state frame addr in
-    emit_event state storage ~write:true flat coords;
-    record_section state
-      (if storage.sg_scope = "@" then "@" else storage.sg_scope)
-      storage.sg_name Mode.DEF coords;
-    storage.sg_data.(flat) <- v
+    (match locate state frame ~write:true addr with
+    | storage, Some flat, coords ->
+      emit_event state storage ~write:true flat coords;
+      record_section state
+        (if storage.sg_scope = "@" then "@" else storage.sg_scope)
+        storage.sg_name Mode.DEF coords;
+      storage.sg_data.(flat) <- v
+    | _, None, _ -> (* recorded out-of-bounds write: dropped *) ())
   | Wn.OPR_DO_LOOP ->
     tick state w.Wn.linenum;
     let ivar = (Wn.kid w 0).Wn.st_idx in
@@ -564,7 +607,8 @@ let find_entry m entry =
       | pu :: _ -> pu
       | [] -> error Lang.Loc.dummy "empty module"))
 
-let run ?(fuel = 50_000_000) ?(observer = fun _ -> ()) ?entry m =
+let run ?(fuel = 50_000_000) ?(observer = fun _ -> ()) ?(record_oob = false)
+    ?entry m =
   Layout.assign m;
   let state =
     {
@@ -576,6 +620,8 @@ let run ?(fuel = 50_000_000) ?(observer = fun _ -> ()) ?entry m =
       fuel;
       sections = Hashtbl.create 64;
       calls = Hashtbl.create 32;
+      record_oob;
+      oobs = [];
     }
   in
   allocate_globals state;
@@ -602,4 +648,5 @@ let run ?(fuel = 50_000_000) ?(observer = fun _ -> ()) ?entry m =
     out_calls =
       Hashtbl.fold (fun k v acc -> (k, v) :: acc) state.calls []
       |> List.sort compare;
+    out_oob = List.rev state.oobs;
   }

@@ -34,6 +34,18 @@ type dynamic_region = {
   dr_count : int;  (** dynamic access count *)
 }
 
+type oob = {
+  oob_pu : string;       (** the procedure that executed the access *)
+  oob_array : string;
+      (** the symbol name as [oob_pu] spells it — a by-reference argument
+          reports the formal's name, not the caller's actual, so events
+          join against the executing PU's static access table *)
+  oob_coords : int list; (** zero-based row-major, some coordinate invalid *)
+  oob_write : bool;
+  oob_line : int;        (** source line of the reference *)
+}
+(** One observed out-of-bounds access ([~record_oob:true] runs only). *)
+
 type outcome = {
   out_text : string;   (** everything PRINT produced *)
   out_steps : int;
@@ -42,16 +54,28 @@ type outcome = {
       (** dynamic call-graph feedback: (caller, callee) -> invocation count
           (Dragon's "static/dynamic call graphs with feedback information",
           Fig 5) *)
+  out_oob : oob list;
+      (** observed out-of-bounds accesses in execution order; always empty
+          without [~record_oob:true] (the run traps instead) *)
 }
 
 val run :
   ?fuel:int ->
   ?observer:(event -> unit) ->
+  ?record_oob:bool ->
   ?entry:string ->
   Whirl.Ir.module_ ->
   outcome
 (** Runs the main program (or [entry]).  [fuel] bounds the number of
     statements executed (default 50 million).
-    @raise Runtime_error on out-of-bounds accesses, bad argument counts,
-    unallocatable (variable-length) local arrays, and type confusion.
+
+    With [~record_oob:true] an out-of-bounds array access does not raise:
+    the event is appended to [out_oob], a read yields the element type's
+    zero and a write is dropped, and execution continues — the mode the
+    differential harness uses to collect {e every} fault of a run, not just
+    the first.  Such accesses are excluded from [out_regions] and from the
+    observer stream.
+    @raise Runtime_error on out-of-bounds accesses (unless recording), bad
+    argument counts, unallocatable (variable-length) local arrays, and type
+    confusion.
     @raise Out_of_fuel when the budget is exhausted. *)

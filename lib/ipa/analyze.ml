@@ -97,6 +97,7 @@ let summarize_pu (m : Ir.module_) ~lookup (info : Collect.pu_info) =
                 ac_region = tr.Summary.t_region;
                 ac_loc = site.Collect.s_loc;
                 ac_via = Some site.Collect.s_callee;
+                ac_sparse = None;
               }
               :: !extra;
             let key =
@@ -207,6 +208,9 @@ let assemble (m : Ir.module_) cg ~infos ~summaries ~propagated ~cfgs : result =
                 mem_loc = Printf.sprintf "%x" entry.Symtab.st_mem_loc;
                 acc_density = Rgnfile.Row.density ~references ~size_bytes:bytes;
                 line = Lang.Loc.line a.Collect.ac_loc;
+                props =
+                  Lang.Iprop.flags_token
+                    (Region.assumed_flags a.Collect.ac_region);
               }
             in
             rows := row :: !rows

@@ -7,6 +7,7 @@ type access = {
   ac_region : Region.t;
   ac_loc : Lang.Loc.t;
   ac_via : string option;
+  ac_sparse : string option;
 }
 
 type callsite_arg =
@@ -127,14 +128,31 @@ let affine_env s =
           let name = Ir.st_name s.m s.pu st in
           Some (sym_var ~m:s.m ~pu:s.pu.Ir.pu_name ~st ~name));
     const_of_st = (fun _ -> None);
+    iprop_of_st = (fun st -> (Ir.st_entry s.m s.pu st).Symtab.st_iprop);
   }
 
 let loop_ctxs s = List.map snd s.loops
 
-let record s st mode region loc =
+let record ?sparse s st mode region loc =
   s.accesses <-
-    { ac_st = st; ac_mode = mode; ac_region = region; ac_loc = loc; ac_via = None }
+    {
+      ac_st = st;
+      ac_mode = mode;
+      ac_region = region;
+      ac_loc = loc;
+      ac_via = None;
+      ac_sparse = sparse;
+    }
     :: s.accesses
+
+(* name of the first index array appearing in a subscript list — the
+   inspector label for accesses that stay undecidable *)
+let sparse_marker s subs =
+  List.find_map
+    (function
+      | Affine.Sparse sp -> Some (Ir.st_name s.m s.pu sp.Affine.sp_st)
+      | Affine.Affine _ | Affine.Messy -> None)
+    subs
 
 let region_of_array_node s (w : Wn.t) =
   let n = Wn.num_dim w in
@@ -142,7 +160,7 @@ let region_of_array_node s (w : Wn.t) =
   let subs = List.init n (fun k -> Affine.of_wn env (Wn.array_index w k)) in
   let st = (Wn.array_base w).Wn.st_idx in
   let extents = extents_of s.m s.pu st in
-  (st, Region.of_subscripts ~extents ~loops:(loop_ctxs s) subs)
+  (st, Region.of_subscripts ~extents ~loops:(loop_ctxs s) subs, sparse_marker s subs)
 
 let whole_region s st = Region.whole ~extents:(extents_of s.m s.pu st)
 
@@ -153,8 +171,8 @@ let rec walk_expr s (w : Wn.t) =
   | Wn.OPR_ILOAD ->
     let addr = Wn.kid w 0 in
     if addr.Wn.operator = Wn.OPR_ARRAY then begin
-      let st, region = region_of_array_node s addr in
-      record s st Mode.USE region w.Wn.linenum;
+      let st, region, sparse = region_of_array_node s addr in
+      record ?sparse s st Mode.USE region w.Wn.linenum;
       let n = Wn.num_dim addr in
       for k = 0 to n - 1 do
         walk_expr s (Wn.array_index addr k)
@@ -163,8 +181,8 @@ let rec walk_expr s (w : Wn.t) =
     else if addr.Wn.operator = Wn.OPR_COIDX then begin
       (* remote coarray read: x(i)[p] *)
       let arr = Wn.kid addr 0 in
-      let st, region = region_of_array_node s arr in
-      record s st Mode.RUSE region w.Wn.linenum;
+      let st, region, sparse = region_of_array_node s arr in
+      record ?sparse s st Mode.RUSE region w.Wn.linenum;
       let n = Wn.num_dim arr in
       for k = 0 to n - 1 do
         walk_expr s (Wn.array_index arr k)
@@ -210,7 +228,8 @@ and walk_call s (w : Wn.t) =
              let region =
                Region.of_subscripts ~extents ~loops:(loop_ctxs s) coords
              in
-             record s st Mode.PASSED region w.Wn.linenum;
+             record ?sparse:(sparse_marker s coords) s st Mode.PASSED region
+               w.Wn.linenum;
              Arg_array_elem (st, coords)
            | _ ->
              walk_expr s a;
@@ -228,8 +247,8 @@ let rec walk_stmt s (w : Wn.t) =
     walk_expr s (Wn.kid w 0);
     let addr = Wn.kid w 1 in
     if addr.Wn.operator = Wn.OPR_ARRAY then begin
-      let st, region = region_of_array_node s addr in
-      record s st Mode.DEF region w.Wn.linenum;
+      let st, region, sparse = region_of_array_node s addr in
+      record ?sparse s st Mode.DEF region w.Wn.linenum;
       let n = Wn.num_dim addr in
       for k = 0 to n - 1 do
         walk_expr s (Wn.array_index addr k)
@@ -238,8 +257,8 @@ let rec walk_stmt s (w : Wn.t) =
     else if addr.Wn.operator = Wn.OPR_COIDX then begin
       (* remote coarray write: x(i)[p] = ... *)
       let arr = Wn.kid addr 0 in
-      let st, region = region_of_array_node s arr in
-      record s st Mode.RDEF region w.Wn.linenum;
+      let st, region, sparse = region_of_array_node s arr in
+      record ?sparse s st Mode.RDEF region w.Wn.linenum;
       let n = Wn.num_dim arr in
       for k = 0 to n - 1 do
         walk_expr s (Wn.array_index arr k)
@@ -328,6 +347,7 @@ let loop_bounds_for m pu (loop : Wn.t) var =
         (fun st ->
           Some (sym_var ~m ~pu:pu.Ir.pu_name ~st ~name:(Ir.st_name m pu st)));
       const_of_st = (fun _ -> None);
+      iprop_of_st = (fun st -> (Ir.st_entry m pu st).Symtab.st_iprop);
     }
   in
   let lo = Affine.of_wn env (Wn.kid loop 1) in

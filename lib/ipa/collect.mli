@@ -19,6 +19,9 @@ type access = {
   ac_loc : Lang.Loc.t;
   ac_via : string option;
       (** [Some callee] when the record was propagated from a call *)
+  ac_sparse : string option;
+      (** [Some idx] when some subscript reads through index array [idx]
+          (the runtime-inspector label for accesses that stay undecidable) *)
 }
 
 type callsite_arg =

@@ -149,12 +149,13 @@ let decode_key m s =
 let write_entry m buf (e : Summary.entry) =
   let r = e.Summary.e_region in
   Buffer.add_string buf
-    (Printf.sprintf "entry %s ; %s ; %d ; %d ; %d ; %d\n"
+    (Printf.sprintf "entry %s ; %s ; %d ; %d ; %d ; %d ; %s\n"
        (encode_key m e.Summary.e_key)
        (Mode.to_string e.Summary.e_mode)
        e.Summary.e_count (r : Region.t).Region.ndims
        (if Region.is_exact r then 1 else 0)
-       (if Region.is_clamped r then 1 else 0));
+       (if Region.is_clamped r then 1 else 0)
+       (Lang.Iprop.flags_token (Region.assumed_flags r)));
   Buffer.add_string buf
     (Printf.sprintf "strides %s\n"
        (String.concat " "
@@ -187,7 +188,7 @@ let parse_unit m text =
       * Mode.t
       * int
       * int
-      * (bool * bool) (* exact, clamped *)
+      * (bool * bool * Lang.Iprop.flags) (* exact, clamped, assumed *)
       * Region.stride list
       * Constr.t list)
       option
@@ -199,7 +200,8 @@ let parse_unit m text =
   let finish_entry () =
     match !pending with
     | None -> ()
-    | Some (key, mode, count, ndims, (exact, clamped), strides, constrs) ->
+    | Some (key, mode, count, ndims, (exact, clamped, assumed), strides, constrs)
+      ->
       if List.length strides <> ndims then
         fail (Printf.sprintf "entry has %d strides for %d dims"
                 (List.length strides) ndims)
@@ -209,6 +211,7 @@ let parse_unit m text =
             ~exact
         in
         let region = if clamped then Region.mark_clamped region else region in
+        let region = Region.set_assumed assumed region in
         current_entries :=
           {
             Summary.e_key = key;
@@ -239,7 +242,15 @@ let parse_unit m text =
           if !current_proc = None then fail "entry outside proc";
           if !pending <> None then fail "entry while another entry is open (missing endentry)";
           let body = String.sub line 6 (String.length line - 6) in
-          let parse_fields key mode count ndims exact clamped =
+          let parse_fields key mode count ndims exact clamped props =
+            (* an unparseable props token degrades the row to conservative
+               MESSY (clamped, no flags) — the legacy clamped-bit rule: an
+               assertion we cannot read must never strengthen an answer *)
+            let clamped, assumed =
+              match Lang.Iprop.flags_of_token props with
+              | Some f -> (clamped, f)
+              | None -> ("1", Lang.Iprop.no_flags)
+            in
             match
               ( decode_key m key,
                 Mode.of_string mode,
@@ -252,17 +263,26 @@ let parse_unit m text =
               ->
               pending :=
                 Some
-                  (key, mode, count, ndims, (exact = "1", clamped = "1"), [], [])
+                  ( key,
+                    mode,
+                    count,
+                    ndims,
+                    (exact = "1", clamped = "1", assumed),
+                    [],
+                    [] )
             | Error e, _, _, _, _, _ -> fail e
             | _ -> fail (Printf.sprintf "bad entry line %S" line)
           in
           match String.split_on_char ';' body |> List.map String.trim with
+          | [ key; mode; count; ndims; exact; clamped; props ] ->
+            parse_fields key mode count ndims exact clamped props
           | [ key; mode; count; ndims; exact; clamped ] ->
-            parse_fields key mode count ndims exact clamped
+            (* legacy 6-field entry predating index-array properties *)
+            parse_fields key mode count ndims exact clamped "-"
           | [ key; mode; count; ndims; exact ] ->
             (* legacy 5-field entry predating clamp tracking: read it
                conservatively, as a region that cannot prove in-bounds *)
-            parse_fields key mode count ndims exact "1"
+            parse_fields key mode count ndims exact "1" "-"
           | _ -> fail (Printf.sprintf "bad entry line %S" line)
         end
         else if String.length line > 8 && String.sub line 0 8 = "strides " then begin

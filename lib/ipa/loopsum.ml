@@ -46,6 +46,7 @@ let summarize_loop m summaries pu (loop : Wn.t) =
             (Collect.sym_var ~m ~pu:pu.Ir.pu_name ~st
                ~name:(Ir.st_name m pu st)));
       const_of_st = (fun _ -> None);
+      iprop_of_st = (fun st -> (Ir.st_entry m pu st).Symtab.st_iprop);
     }
   in
   let lc =

@@ -93,6 +93,7 @@ type unit_ = {
   unit_globals : decl list;
   unit_consts : (string * expr) list;
   unit_procs : proc list;
+  unit_iprops : (string * Iprop.t) list;
 }
 
 let rec loc_of_expr = function

@@ -104,6 +104,8 @@ type unit_ = {
   unit_globals : decl list;  (** C file-scope declarations *)
   unit_consts : (string * expr) list;  (** [#define] constants *)
   unit_procs : proc list;
+  unit_iprops : (string * Iprop.t) list;
+      (** index-array property directives scanned from comments *)
 }
 
 val loc_of_expr : expr -> Loc.t

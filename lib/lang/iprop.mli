@@ -1,0 +1,83 @@
+(** Declared index-array properties (the PLDI'19 sparse-dependence
+    simplification vocabulary): assertions a user attaches to an integer
+    array that is used to subscript other arrays, [A(idx(i))].
+
+    Directives ride in comments the lexers already skip:
+
+    - Fortran: [!$uhc index idx monotonic injective bounded(1,100)]
+    - C:       [#pragma uhc index idx monotonic injective bounded(0,99)]
+
+    Properties:
+    - [bounded(lo,hi)]: every element value is in [lo..hi] (inclusive,
+      source index terms);
+    - [monotonic]: element values are non-decreasing in the subscript;
+    - [injective]: no two elements hold the same value (a permutation
+      fragment).
+
+    An unknown property word makes the whole directive ignored — a
+    conservative reading mirroring the clamped-bit handling for legacy
+    summary rows: never let an unparsed assertion strengthen an answer. *)
+
+type t = {
+  ip_lo : int option;  (** declared minimum element value *)
+  ip_hi : int option;  (** declared maximum element value *)
+  ip_monotonic : bool;
+  ip_injective : bool;
+}
+
+val none : t
+(** No assertions: the MESSY status quo. *)
+
+val is_none : t -> bool
+val equal : t -> t -> bool
+
+val meet : t -> t -> t
+(** Conjunction of two assertion sets for the same array (e.g. COMMON
+    redeclarations): property flags union, bounds intersect
+    ([lo] max, [hi] min). *)
+
+val to_token : t -> string
+(** Single-token serialization for symbol-table lines: ["-"] for {!none},
+    else comma-joined items among [m], [i], [l<int>], [h<int>]
+    (e.g. ["m,i,l1,h100"]). Never contains spaces. *)
+
+val of_token : string -> t option
+(** Inverse of {!to_token}; [None] on any unknown item (callers must
+    degrade to {!none} — conservative). *)
+
+val pp : Format.formatter -> t -> unit
+
+(** {2 Provenance flags}
+
+    A region refined by declared properties records {e which} assertions it
+    leaned on.  The flags ride through joins, summary files and the .rgn
+    Props column, so a report reader can tell a proven-safe verdict that
+    rests on declarations from one derived by the solver alone. *)
+
+type flags = {
+  f_bounded : bool;
+  f_monotonic : bool;
+  f_injective : bool;
+}
+
+val no_flags : flags
+val flags_union : flags -> flags -> flags
+val any_flag : flags -> bool
+
+val flags_token : flags -> string
+(** ["-"] for {!no_flags}, else the set letters in fixed [b m i] order
+    (e.g. ["bi"]). *)
+
+val flags_of_token : string -> flags option
+(** [None] on any unknown letter — callers must degrade conservatively
+    (drop to MESSY / clamped), mirroring the legacy clamped-bit rule. *)
+
+val scan : fortran:bool -> string -> (string * t) list
+(** Extract all index directives from raw source text. With [~fortran:true]
+    the comment shape is [!$uhc ...] and names are lowercased to match the
+    lexer's canonicalization; otherwise [#pragma uhc ...]. Directives
+    naming the same array meet. Malformed or unknown directives are
+    dropped. *)
+
+val lookup : (string * t) list -> string -> t
+(** Property set declared for [name], {!none} when absent. *)

@@ -528,4 +528,5 @@ let parse ~file src =
     unit_globals = !globals;
     unit_consts = List.rev !consts;
     unit_procs = List.rev !procs;
+    unit_iprops = Iprop.scan ~fortran:false src;
   }

@@ -653,4 +653,5 @@ let parse ~file src =
     unit_globals = [];
     unit_consts = [];
     unit_procs = procs;
+    unit_iprops = Iprop.scan ~fortran:true src;
   }

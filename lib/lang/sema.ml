@@ -10,6 +10,7 @@ type array_sig = {
   a_dims : (int option * int option) list;
   a_coarray : bool;
   a_contiguous : bool;
+  a_iprop : Iprop.t;
   a_decl_loc : Loc.t;
 }
 
@@ -96,13 +97,14 @@ let fold_dims env loc dims =
       (lo, hi))
     dims
 
-let sig_of_decl env (d : Ast.decl) =
+let sig_of_decl ?(iprop = Iprop.none) env (d : Ast.decl) =
   {
     a_type = d.Ast.decl_type;
     a_dims = fold_dims env d.Ast.decl_loc d.Ast.decl_dims;
     a_coarray = d.Ast.decl_coarray;
     a_contiguous =
       not (List.exists (fun dm -> dm.Ast.dim_assumed_shape) d.Ast.decl_dims);
+    a_iprop = iprop;
     a_decl_loc = d.Ast.decl_loc;
   }
 
@@ -243,17 +245,24 @@ let analyze units =
   (* pass 1: global symbols (COMMON members, C file-scope) *)
   let globals = ref String_map.empty in
   let global_scalars = ref String_map.empty in
-  let register_global env block (d : Ast.decl) =
+  let register_global ~iprop env block (d : Ast.decl) =
     if d.Ast.decl_dims = [] then
       global_scalars :=
         String_map.add d.Ast.decl_name (d.Ast.decl_type, block) !global_scalars
     else begin
-      let s = sig_of_decl env d in
+      let s = sig_of_decl ~iprop env d in
       match String_map.find_opt d.Ast.decl_name !globals with
       | Some (existing, _) when not (sig_equal existing s) ->
         Diag.error d.Ast.decl_loc
           "inconsistent COMMON declarations for %s" d.Ast.decl_name
-      | _ -> globals := String_map.add d.Ast.decl_name (s, block) !globals
+      | Some (existing, eblock) ->
+        (* assertions from every declaring unit conjoin *)
+        globals :=
+          String_map.add d.Ast.decl_name
+            ( { s with a_iprop = Iprop.meet existing.a_iprop s.a_iprop },
+              eblock )
+            !globals
+      | None -> globals := String_map.add d.Ast.decl_name (s, block) !globals
     end
   in
   List.iter
@@ -266,11 +275,13 @@ let analyze units =
             | None -> env)
           String_map.empty u.Ast.unit_consts
       in
+      let iprop_of n = Iprop.lookup u.Ast.unit_iprops n in
       List.iter
         (fun (d : Ast.decl) ->
+          let iprop = iprop_of d.Ast.decl_name in
           match d.Ast.decl_common with
-          | Some block -> register_global unit_consts block d
-          | None -> register_global unit_consts "global" d)
+          | Some block -> register_global ~iprop unit_consts block d
+          | None -> register_global ~iprop unit_consts "global" d)
         u.Ast.unit_globals;
       (* Fortran COMMON declarations live inside procedures *)
       List.iter
@@ -286,7 +297,8 @@ let analyze units =
           List.iter
             (fun (d : Ast.decl) ->
               match d.Ast.decl_common with
-              | Some block -> register_global consts block d
+              | Some block ->
+                register_global ~iprop:(iprop_of d.Ast.decl_name) consts block d
               | None -> ())
             p.Ast.proc_decls)
         u.Ast.unit_procs)
@@ -347,7 +359,13 @@ let analyze units =
                   | Some (Sym_const _) -> ()
                   | _ -> add d.Ast.decl_name (Sym_scalar (d.Ast.decl_type, cls))
                 end
-                else add d.Ast.decl_name (Sym_array (sig_of_decl !env d, cls)))
+                else
+                  add d.Ast.decl_name
+                    (Sym_array
+                       ( sig_of_decl
+                           ~iprop:(Iprop.lookup u.Ast.unit_iprops d.Ast.decl_name)
+                           !env d,
+                         cls )))
             p.Ast.proc_decls;
           (* undeclared formals: implicit typing *)
           List.iter

@@ -24,6 +24,9 @@ type array_sig = {
   a_contiguous : bool;
       (** false for assumed-shape [a(:)] arrays, which may be slices: WHIRL
           marks these with a negative element size *)
+  a_iprop : Iprop.t;
+      (** declared index-array properties ({!Iprop.none} when undeclared);
+          COMMON redeclarations conjoin via {!Iprop.meet} *)
   a_decl_loc : Loc.t;
 }
 

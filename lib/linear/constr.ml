@@ -49,6 +49,9 @@ let le a b = make (Expr.sub a b) Le
 let ge a b = le b a
 let eq a b = make (Expr.sub a b) Eq
 
+let between e ~lo ~hi =
+  [ ge e (Expr.of_int lo); le e (Expr.of_int hi) ]
+
 let expr t = t.expr
 let op t = t.op
 let id t = t.id

@@ -18,6 +18,10 @@ val le : Expr.t -> Expr.t -> t
 val ge : Expr.t -> Expr.t -> t
 val eq : Expr.t -> Expr.t -> t
 
+val between : Expr.t -> lo:int -> hi:int -> t list
+(** The closed-interval box [lo <= e <= hi] as its two inequalities (the
+    shape declared index-array bounds refine MESSY subscripts into). *)
+
 val expr : t -> Expr.t
 val op : t -> op
 

@@ -1,12 +1,44 @@
 open Numeric
 open Whirl
 
+type sparse = {
+  sp_st : int;
+  sp_lo : int option;
+  sp_hi : int option;
+  sp_monotonic : bool;
+  sp_injective : bool;
+  sp_inner : Linear.Expr.t option;
+}
+
 type env = {
   var_of_st : int -> Linear.Var.t option;
   const_of_st : int -> int option;
+  iprop_of_st : int -> Lang.Iprop.t;
 }
 
-type result = Affine of Linear.Expr.t | Messy
+type result = Affine of Linear.Expr.t | Sparse of sparse | Messy
+
+let int_const_of = function
+  | Affine e when Linear.Expr.is_const e ->
+    let c = Linear.Expr.constant e in
+    if Rat.is_integer c then Some (Rat.to_int c) else None
+  | _ -> None
+
+let shift_sparse s c =
+  {
+    s with
+    sp_lo = Option.map (fun l -> l + c) s.sp_lo;
+    sp_hi = Option.map (fun h -> h + c) s.sp_hi;
+  }
+
+(* c - s / -s: value bounds flip; monotone direction flips but the flag
+   only records "monotone in the loop index", which negation preserves *)
+let negate_sparse s =
+  {
+    s with
+    sp_lo = Option.map (fun h -> -h) s.sp_hi;
+    sp_hi = Option.map (fun l -> -l) s.sp_lo;
+  }
 
 let rec of_wn env (w : Wn.t) : result =
   match w.Wn.operator with
@@ -21,9 +53,28 @@ let rec of_wn env (w : Wn.t) : result =
   | Wn.OPR_NEG -> (
     match of_wn env (Wn.kid w 0) with
     | Affine e -> Affine (Linear.Expr.neg e)
+    | Sparse s -> Sparse (negate_sparse s)
     | Messy -> Messy)
-  | Wn.OPR_ADD -> combine env w Linear.Expr.add
-  | Wn.OPR_SUB -> combine env w Linear.Expr.sub
+  | Wn.OPR_ADD -> (
+    match of_wn env (Wn.kid w 0), of_wn env (Wn.kid w 1) with
+    | Affine a, Affine b -> Affine (Linear.Expr.add a b)
+    | (Sparse s, (Affine _ as other)) | ((Affine _ as other), Sparse s) -> (
+      match int_const_of other with
+      | Some c -> Sparse (shift_sparse s c)
+      | None -> Messy)
+    | _, _ -> Messy)
+  | Wn.OPR_SUB -> (
+    match of_wn env (Wn.kid w 0), of_wn env (Wn.kid w 1) with
+    | Affine a, Affine b -> Affine (Linear.Expr.sub a b)
+    | Sparse s, (Affine _ as other) -> (
+      match int_const_of other with
+      | Some c -> Sparse (shift_sparse s (-c))
+      | None -> Messy)
+    | (Affine _ as other), Sparse s -> (
+      match int_const_of other with
+      | Some c -> Sparse (shift_sparse (negate_sparse s) c)
+      | None -> Messy)
+    | _, _ -> Messy)
   | Wn.OPR_MPY -> (
     match of_wn env (Wn.kid w 0), of_wn env (Wn.kid w 1) with
     | Affine a, Affine b ->
@@ -42,13 +93,41 @@ let rec of_wn env (w : Wn.t) : result =
       if Rat.equal d Rat.zero then Messy
       else Affine (Linear.Expr.const (Rat.div (Linear.Expr.constant a) d))
     | _, _ -> Messy)
+  | Wn.OPR_ILOAD -> (
+    (* a subscript loaded through an index array: usable when the array is
+       1-D, carries declared properties, and is itself indexed linearly *)
+    let addr = Wn.kid w 0 in
+    if addr.Wn.operator <> Wn.OPR_ARRAY || Wn.num_dim addr <> 1 then Messy
+    else
+      let base = Wn.array_base addr in
+      if base.Wn.operator <> Wn.OPR_LDA then Messy
+      else
+        (* even a property-less index array yields Sparse rather than
+           Messy: the region still degrades to the clamp path, but the
+           access keeps the array's name for runtime-inspector entries *)
+        let ip = env.iprop_of_st base.Wn.st_idx in
+        let inner =
+          match of_wn env (Wn.array_index addr 0) with
+          | Affine e -> Some e
+          | Sparse _ | Messy -> None
+        in
+        Sparse
+          {
+            sp_st = base.Wn.st_idx;
+            sp_lo = ip.Lang.Iprop.ip_lo;
+            sp_hi = ip.Lang.Iprop.ip_hi;
+            sp_monotonic = ip.Lang.Iprop.ip_monotonic;
+            sp_injective = ip.Lang.Iprop.ip_injective;
+            sp_inner = inner;
+          })
   | _ -> Messy
-
-and combine env w f =
-  match of_wn env (Wn.kid w 0), of_wn env (Wn.kid w 1) with
-  | Affine a, Affine b -> Affine (f a b)
-  | _, _ -> Messy
 
 let pp_result ppf = function
   | Affine e -> Linear.Expr.pp ppf e
+  | Sparse s ->
+    Format.fprintf ppf "SPARSE[st%d%s%s%s%s]" s.sp_st
+      (match s.sp_lo with Some l -> Printf.sprintf " lo=%d" l | None -> "")
+      (match s.sp_hi with Some h -> Printf.sprintf " hi=%d" h | None -> "")
+      (if s.sp_monotonic then " mono" else "")
+      (if s.sp_injective then " inj" else "")
   | Messy -> Format.pp_print_string ppf "MESSY"

@@ -16,6 +16,7 @@ type t = {
   dims : dim list;
   exact : bool;
   clamped : bool;
+  assumed : Lang.Iprop.flags;
 }
 
 type loop_ctx = {
@@ -101,16 +102,33 @@ let make ~ndims ~sys ~strides ~exact =
   if List.length strides <> ndims then
     invalid_arg "Region.make: strides length mismatch";
   let dims = triplets_of_sys ~ndims ~strides sys in
-  { ndims; sys; dims; exact; clamped = false }
+  { ndims; sys; dims; exact; clamped = false; assumed = Lang.Iprop.no_flags }
 
 let mark_clamped t = if t.clamped then t else { t with clamped = true }
-let with_clamp_of src t = if src.clamped then mark_clamped t else t
+
+let set_assumed flags t =
+  if Lang.Iprop.any_flag flags then
+    { t with assumed = Lang.Iprop.flags_union t.assumed flags }
+  else t
+
+(* carry both provenance bits (clamp and assumed-property flags) from a
+   source region onto a rebuilt one *)
+let with_clamp_of src t =
+  let t = if src.clamped then mark_clamped t else t in
+  set_assumed src.assumed t
 
 (* ------------------------------------------------------------------ *)
 (* Construction from a reference *)
 
 let stride_of_subscript loops = function
   | Affine.Messy -> Sunknown
+  | Affine.Sparse s ->
+    (* a bounded index array confines the dimension to a box; stride 1 is
+       the box's (weakest, always sound) over-approximation — the same
+       claim [whole] makes.  Without both bounds the dimension falls back
+       to the clamp path, whose stride stays unknown like MESSY. *)
+    if s.Affine.sp_lo <> None && s.Affine.sp_hi <> None then Sconst 1
+    else Sunknown
   | Affine.Affine e ->
     let contributions =
       List.filter_map
@@ -135,33 +153,93 @@ let stride_of_subscript loops = function
       if g = 0 then Sconst 1 (* loop-invariant subscript: single element *)
       else Sconst g
 
+(* Pigeonhole witness for an exactly-covered sparse dimension: an injective
+   index array applied to [trip] distinct arguments lands on [trip] distinct
+   values inside the declared box; when [trip] equals the box size, the
+   accessed set IS the box.  The distinct-argument count is only recognized
+   in the common shape: inner subscript [±i + c] over a single unit-step
+   loop with constant bounds. *)
+let sparse_distinct_args ~loops e =
+  let contribs =
+    List.filter_map
+      (fun lc ->
+        let c = Expr.coeff lc.lc_var e in
+        if Rat.sign c = 0 then None else Some (lc, c))
+      loops
+  in
+  match contribs with
+  | [ (lc, c) ] when Rat.equal (Rat.abs c) Rat.one -> (
+    match lc.lc_step, lc.lc_lo, lc.lc_hi with
+    | Some 1, Affine.Affine lo, Affine.Affine hi
+      when Expr.is_const lo && Expr.is_const hi ->
+      let l = Expr.constant lo and h = Expr.constant hi in
+      if Rat.is_integer l && Rat.is_integer h then
+        let trip = Rat.to_int h - Rat.to_int l + 1 in
+        if trip > 0 then Some trip else None
+      else None
+    | _ -> None)
+  | _ -> None
+
 let of_subscripts ~extents ~loops subscripts =
   let ndims = List.length subscripts in
   if List.length extents <> ndims then
     invalid_arg "Region.of_subscripts: extents length mismatch";
   let exact = ref true in
   let clamped = ref false in
+  let assumed = ref Lang.Iprop.no_flags in
   let constraints = ref [] in
   let addc c = constraints := c :: !constraints in
   let extents_a = Array.of_list extents in
+  let clamp_into k =
+    match extents_a.(k) with
+    | Some ext ->
+      (* the clamp keeps the region inside the declared extent even
+         though the runtime subscript might not be: an
+         under-approximation in the bounds-checking direction, recorded
+         in [clamped] so clients never prove safety from it *)
+      clamped := true;
+      let d = Expr.var (Var.subscript k) in
+      addc (Constr.ge d Expr.zero);
+      addc (Constr.le d (Expr.of_int (ext - 1)))
+    | None -> ()
+  in
   (* subscript equations *)
   List.iteri
     (fun k sub ->
       let d = Expr.var (Var.subscript k) in
       match sub with
       | Affine.Affine e -> addc (Constr.eq d e)
-      | Affine.Messy -> (
+      | Affine.Sparse s -> (
+        match s.Affine.sp_lo, s.Affine.sp_hi with
+        | Some lo, Some hi ->
+          (* declared value bounds box the dimension WITHOUT clamping: the
+             assertion speaks about runtime values, so an In_bounds proof
+             stays honest — conditional on the declaration, which the
+             assumed flags record for reports and summaries *)
+          List.iter addc (Constr.between d ~lo ~hi);
+          assumed :=
+            Lang.Iprop.flags_union !assumed
+              {
+                Lang.Iprop.f_bounded = true;
+                f_monotonic = s.Affine.sp_monotonic;
+                f_injective = s.Affine.sp_injective;
+              };
+          let covered =
+            s.Affine.sp_injective
+            &&
+            match s.Affine.sp_inner with
+            | Some inner ->
+              sparse_distinct_args ~loops inner = Some (hi - lo + 1)
+            | None -> false
+          in
+          if not covered then exact := false
+        | _ ->
+          (* partial or no value bounds: same conservative path as MESSY *)
+          exact := false;
+          clamp_into k)
+      | Affine.Messy ->
         exact := false;
-        match extents_a.(k) with
-        | Some ext ->
-          (* the clamp keeps the region inside the declared extent even
-             though the runtime subscript might not be: an
-             under-approximation in the bounds-checking direction, recorded
-             in [clamped] so clients never prove safety from it *)
-          clamped := true;
-          addc (Constr.ge d Expr.zero);
-          addc (Constr.le d (Expr.of_int (ext - 1)))
-        | None -> ()))
+        clamp_into k)
     subscripts;
   (* loop constraints; strided loops get an auxiliary iteration counter *)
   List.iter
@@ -207,7 +285,8 @@ let of_subscripts ~extents ~loops subscripts =
   let sys = System.eliminate_all (Var.Set.elements ivars) sys in
   let strides = List.map (stride_of_subscript loops) subscripts in
   let r = make ~ndims ~sys ~strides ~exact:!exact in
-  if !clamped then mark_clamped r else r
+  let r = if !clamped then mark_clamped r else r in
+  set_assumed !assumed r
 
 let whole ~extents =
   let ndims = List.length extents in
@@ -293,7 +372,13 @@ let union_approx a b =
       a.dims b.dims
   in
   let r = make ~ndims:a.ndims ~sys ~strides ~exact:false in
-  let r = { r with clamped = a.clamped || b.clamped } in
+  let r =
+    {
+      r with
+      clamped = a.clamped || b.clamped;
+      assumed = Lang.Iprop.flags_union a.assumed b.assumed;
+    }
+  in
   (* the join of two identical regions is that region, exactly *)
   if System.equal_semantic a.sys b.sys && a.dims = b.dims then
     { r with exact = a.exact && b.exact }
@@ -450,6 +535,8 @@ let approximate t = { t with exact = false }
 let dim_list t = t.dims
 let is_exact t = t.exact
 let is_clamped t = t.clamped
+let assumed_flags t = t.assumed
+let is_assumed t = Lang.Iprop.any_flag t.assumed
 
 (* ------------------------------------------------------------------ *)
 (* Extent-vs-region queries (the bounds-checking client's core question) *)

@@ -34,6 +34,12 @@ type t = private {
           opaque-callee summaries).  Such a region still over-approximates
           every {e valid} access, but can no longer witness that all
           runtime accesses are in bounds. *)
+  assumed : Lang.Iprop.flags;
+      (** which declared index-array properties this region leaned on
+          (bounded / monotonic / injective); {!Lang.Iprop.no_flags} for a
+          purely derived region.  Sticky through joins and translation, so
+          bounds clients can report declaration-conditional proofs
+          separately. *)
 }
 
 (** Description of one enclosing loop for {!of_subscripts}. *)
@@ -51,7 +57,15 @@ val of_subscripts :
   t
 (** Region of a single reference.  [extents] are the (row-major) declared
     dimension extents used to clamp MESSY subscripts; the subscript list
-    gives one affine result per dimension. *)
+    gives one affine result per dimension.
+
+    A {!Affine.Sparse} subscript with both declared value bounds becomes an
+    unclamped box [lo..hi] (the declaration over-approximates the runtime
+    set, so safety proofs remain available — flagged in [assumed]); with an
+    injective declaration and an inner subscript covering exactly the box
+    ([trip count = hi-lo+1], the pigeonhole argument) the dimension is even
+    exact.  Sparse subscripts missing a bound fall back to the MESSY
+    clamp. *)
 
 val make :
   ndims:int -> sys:Linear.System.t -> strides:stride list -> exact:bool -> t
@@ -141,6 +155,14 @@ val is_exact : t -> bool
 val is_clamped : t -> bool
 (** Whether any construction or translation step clamped the region into
     the declared extents (see {!type:t}). *)
+
+val assumed_flags : t -> Lang.Iprop.flags
+val is_assumed : t -> bool
+(** Whether the region leans on declared index-array properties. *)
+
+val set_assumed : Lang.Iprop.flags -> t -> t
+(** Union the given provenance flags in (summary reload re-applies the
+    flags recorded in .ipl/.rgn rows). *)
 
 type extent_verdict =
   | In_bounds      (** every access the region admits is provably valid *)

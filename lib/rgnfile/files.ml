@@ -91,7 +91,10 @@ let parse_rgn s =
   match lines_of s with
   | [] -> Error "empty .rgn file"
   | header :: rows ->
-    if split_csv header <> Row.header then Error "bad .rgn header"
+    if
+      let h = split_csv header in
+      h <> Row.header && h <> Row.legacy_header
+    then Error "bad .rgn header"
     else
       let rec go acc = function
         | [] -> Ok (List.rev acc)

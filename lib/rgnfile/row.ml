@@ -16,6 +16,7 @@ type t = {
   mem_loc : string;
   acc_density : int;
   line : int;
+  props : string;
 }
 
 let density ~references ~size_bytes =
@@ -25,8 +26,13 @@ let header =
   [
     "Scope"; "Array"; "File"; "Mode"; "References"; "Dimensions"; "LB"; "UB";
     "Stride"; "Element_size"; "Data_type"; "Dim_size"; "Tot_size";
-    "Size_bytes"; "Mem_Loc"; "Acc_density"; "Line";
+    "Size_bytes"; "Mem_Loc"; "Acc_density"; "Line"; "Props";
   ]
+
+let legacy_header = List.filter (fun h -> h <> "Props") header
+
+let valid_props s =
+  s <> "" && String.for_all (fun c -> c = '-' || c = 'b' || c = 'm' || c = 'i') s
 
 let to_fields t =
   [
@@ -41,6 +47,7 @@ let to_fields t =
     t.mem_loc;
     string_of_int t.acc_density;
     string_of_int t.line;
+    t.props;
   ]
 
 let int_field name s =
@@ -50,12 +57,21 @@ let int_field name s =
 
 let ( let* ) = Result.bind
 
-let of_fields = function
+let of_fields fields =
+  match fields with
   | [
       scope; array; file; mode; references; dimensions; lb; ub; stride;
       element_size; data_type; dim_size; tot_size; size_bytes; mem_loc;
       acc_density; line;
+    ]
+  | [
+      scope; array; file; mode; references; dimensions; lb; ub; stride;
+      element_size; data_type; dim_size; tot_size; size_bytes; mem_loc;
+      acc_density; line; _;
     ] ->
+    let props =
+      match List.nth_opt fields 17 with Some p -> p | None -> "-"
+    in
     let* references = int_field "References" references in
     let* dimensions = int_field "Dimensions" dimensions in
     let* element_size = int_field "Element_size" element_size in
@@ -63,11 +79,18 @@ let of_fields = function
     let* size_bytes = int_field "Size_bytes" size_bytes in
     let* acc_density = int_field "Acc_density" acc_density in
     let* line = int_field "Line" line in
+    (* an unreadable Props token means the region columns leaned on
+       assertions this reader does not understand: degrade them to unknown
+       rather than repeat bounds we cannot justify *)
+    let lb, ub, stride, props =
+      if valid_props props then (lb, ub, stride, props)
+      else ("*", "*", "*", "-")
+    in
     Ok
       {
         scope; array; file; mode; references; dimensions; lb; ub; stride;
         element_size; data_type; dim_size; tot_size; size_bytes; mem_loc;
-        acc_density; line;
+        acc_density; line; props;
       }
   | fields ->
     Error

@@ -21,6 +21,9 @@ type t = {
   mem_loc : string;    (** hexadecimal *)
   acc_density : int;   (** floor(100 * references / size_bytes) *)
   line : int;          (** source line of the reference (locate feature) *)
+  props : string;
+      (** declared index-array properties the region leaned on: ["-"] or a
+          subset of [b m i] ({!Lang.Iprop.flags_token}) *)
 }
 
 val density : references:int -> size_bytes:int -> int
@@ -28,8 +31,16 @@ val density : references:int -> size_bytes:int -> int
     has no known size. *)
 
 val header : string list
+
+val legacy_header : string list
+(** The pre-Props 17-column header, still accepted by the reader. *)
+
 val to_fields : t -> string list
+
 val of_fields : string list -> (t, string) result
+(** Accepts both 17-field (legacy, [props = "-"]) and 18-field rows.  An
+    unknown Props token conservatively degrades LB/UB/Stride to ["*"],
+    mirroring the legacy clamped-bit rule for summary rows. *)
 
 val equal : t -> t -> bool
 val pp : Format.formatter -> t -> unit

@@ -213,15 +213,16 @@ let lower (prog : Sema.program) : Ir.module_ =
   SM.iter
     (fun name (s, block) ->
       ignore
-        (Symtab.enter_st global ~name ~ty:(ty_of_sig global s)
-           ~sclass:(Symtab.Sclass_common block) ~loc:s.Sema.a_decl_loc))
+        (Symtab.enter_st global ~iprop:s.Sema.a_iprop ~name
+           ~ty:(ty_of_sig global s) ~sclass:(Symtab.Sclass_common block)
+           ~loc:s.Sema.a_decl_loc ()))
     prog.Sema.prog_globals;
   SM.iter
     (fun name (d, block) ->
       ignore
         (Symtab.enter_st global ~name
            ~ty:(Symtab.intern_ty global (Symtab.Ty_scalar d))
-           ~sclass:(Symtab.Sclass_common block) ~loc:Loc.dummy))
+           ~sclass:(Symtab.Sclass_common block) ~loc:Loc.dummy ()))
     prog.Sema.prog_global_scalars;
   (* procedure entry symbols *)
   let proc_text = Hashtbl.create 16 in
@@ -236,7 +237,7 @@ let lower (prog : Sema.program) : Ir.module_ =
       let st =
         Symtab.enter_st global ~name
           ~ty:(Symtab.intern_ty global (Symtab.Ty_scalar ret))
-          ~sclass:Symtab.Sclass_text ~loc:pi.Sema.pi_proc.Ast.proc_loc
+          ~sclass:Symtab.Sclass_text ~loc:pi.Sema.pi_proc.Ast.proc_loc ()
       in
       Hashtbl.replace proc_text name (Ir.encode_global st))
     prog.Sema.prog_order;
@@ -253,11 +254,11 @@ let lower (prog : Sema.program) : Ir.module_ =
             ignore
               (Symtab.enter_st local ~name:n
                  ~ty:(Symtab.intern_ty local (Symtab.Ty_scalar d))
-                 ~sclass ~loc:p.Ast.proc_loc)
+                 ~sclass ~loc:p.Ast.proc_loc ())
           | Sema.Sym_array (s, _) ->
             ignore
-              (Symtab.enter_st local ~name:n ~ty:(ty_of_sig local s) ~sclass
-                 ~loc:s.Sema.a_decl_loc)
+              (Symtab.enter_st local ~iprop:s.Sema.a_iprop ~name:n
+                 ~ty:(ty_of_sig local s) ~sclass ~loc:s.Sema.a_decl_loc ())
           | Sema.Sym_const _ -> ()
         in
         (* formals first, in parameter order *)

@@ -20,6 +20,7 @@ type st_entry = {
   st_ty : ty_idx;
   st_sclass : storage;
   st_loc : Lang.Loc.t;
+  st_iprop : Lang.Iprop.t;
   mutable st_mem_loc : int;
 }
 
@@ -38,6 +39,7 @@ let dummy_st =
     st_ty = 0;
     st_sclass = Sclass_auto;
     st_loc = Lang.Loc.dummy;
+    st_iprop = Lang.Iprop.none;
     st_mem_loc = 0;
   }
 
@@ -74,11 +76,18 @@ let ty t idx =
   if idx < 0 || idx >= t.ty_count then invalid_arg "Symtab.ty: bad index";
   t.tys.(idx)
 
-let enter_st t ~name ~ty ~sclass ~loc =
+let enter_st t ?(iprop = Lang.Iprop.none) ~name ~ty ~sclass ~loc () =
   t.sts <- grow t.sts t.st_count dummy_st;
   let idx = t.st_count in
   t.sts.(idx) <-
-    { st_name = name; st_ty = ty; st_sclass = sclass; st_loc = loc; st_mem_loc = 0 };
+    {
+      st_name = name;
+      st_ty = ty;
+      st_sclass = sclass;
+      st_loc = loc;
+      st_iprop = iprop;
+      st_mem_loc = 0;
+    };
   t.st_count <- idx + 1;
   Hashtbl.replace t.st_index name idx;
   idx

@@ -31,6 +31,10 @@ type st_entry = {
   st_ty : ty_idx;
   st_sclass : storage;
   st_loc : Lang.Loc.t;
+  st_iprop : Lang.Iprop.t;
+      (** declared index-array properties; {!Lang.Iprop.none} for ordinary
+          symbols.  Serialized with the symtab (and folded into the engine's
+          content keys: editing a directive re-analyzes its users). *)
   mutable st_mem_loc : int;  (** virtual address assigned by {!Layout} *)
 }
 
@@ -43,7 +47,15 @@ val intern_ty : t -> ty_kind -> ty_idx
 
 val ty : t -> ty_idx -> ty_kind
 
-val enter_st : t -> name:string -> ty:ty_idx -> sclass:storage -> loc:Lang.Loc.t -> st_idx
+val enter_st :
+  t ->
+  ?iprop:Lang.Iprop.t ->
+  name:string ->
+  ty:ty_idx ->
+  sclass:storage ->
+  loc:Lang.Loc.t ->
+  unit ->
+  st_idx
 val st : t -> st_idx -> st_entry
 val find_st : t -> string -> st_idx option
 (** Lookup by name; with both scopes in one table per PU, names are unique

@@ -84,11 +84,12 @@ let write_symtab buf st =
   tys 0;
   Symtab.iter_st st (fun _ e ->
       Buffer.add_string buf
-        (Printf.sprintf "st %s %d %s %d %S %d %d\n" e.Symtab.st_name
+        (Printf.sprintf "st %s %d %s %d %S %d %d %s\n" e.Symtab.st_name
            e.Symtab.st_ty (sclass_str e.Symtab.st_sclass) e.Symtab.st_mem_loc
            (Lang.Loc.file e.Symtab.st_loc)
            (Lang.Loc.line e.Symtab.st_loc)
-           (Lang.Loc.col e.Symtab.st_loc)))
+           (Lang.Loc.col e.Symtab.st_loc)
+           (Lang.Iprop.to_token e.Symtab.st_iprop)))
 
 let rec write_wn buf depth (w : Wn.t) =
   Buffer.add_string buf
@@ -181,7 +182,10 @@ let add_symtab_content buf st =
       add_int buf e.Symtab.st_ty;
       add_str buf (sclass_str e.Symtab.st_sclass);
       add_int buf e.Symtab.st_mem_loc;
-      add_loc buf e.Symtab.st_loc)
+      add_loc buf e.Symtab.st_loc;
+      (* index-array directives are analysis inputs: editing one must miss
+         the content-addressed caches and re-analyze every user *)
+      add_str buf (Lang.Iprop.to_token e.Symtab.st_iprop))
 
 let add_i32 buf x = Buffer.add_int32_le buf (Int32.of_int x)
 
@@ -358,14 +362,24 @@ let parse_symtab c =
     | Some l when starts_with "st " l ->
       ignore (next_line c);
       (try
-         Scanf.sscanf l "st %s %d %s %d %S %d %d"
-           (fun name ty sclass mem file line col ->
+         Scanf.sscanf l "st %s %d %s %d %S %d %d %s"
+           (fun name ty sclass mem file line col iptok ->
              match sclass_of_str sclass with
              | Error e -> fail c "%s" e
              | Ok sclass ->
+               (* legacy lines have no property token; unknown tokens
+                  degrade to no assertions — never strengthen an answer
+                  from an unparsed field *)
+               let iprop =
+                 if iptok = "" then Lang.Iprop.none
+                 else
+                   Option.value
+                     (Lang.Iprop.of_token iptok)
+                     ~default:Lang.Iprop.none
+               in
                let idx =
-                 Symtab.enter_st st ~name ~ty ~sclass
-                   ~loc:(Lang.Loc.make ~file ~line ~col)
+                 Symtab.enter_st st ~iprop ~name ~ty ~sclass
+                   ~loc:(Lang.Loc.make ~file ~line ~col) ()
                in
                (Symtab.st st idx).Symtab.st_mem_loc <- mem)
        with Scanf.Scan_failure _ | Failure _ -> fail c "bad st line %S" l)

@@ -117,6 +117,28 @@ dune exec bin/uhc.exe -- --corpus lu --analyses bounds --no-ledger \
 cmp "$out/lrun1/project.rgn" "$out/lrun3/project.rgn"
 test "$(ls "$out/lcache/ledger" | wc -l)" = 2
 
+echo "== smoke: uhc gen -> analyze -> diffcheck -> dragon regress =="
+# the seeded generator round trip: emit a small corpus to disk, analyze the
+# files with the differential harness, and gate through the run ledger
+dune exec bin/uhc.exe -- gen --seed 42 --files 4 --pus-per-file 3 \
+  -o "$out/gencorpus" | grep -q "wrote 4 files"
+# twice into one cache: the rerun is the regress baseline
+dune exec bin/uhc.exe -- "$out/gencorpus"/*.f --analyses bounds,diffcheck \
+  --report "$out/genreport.json" --cache-dir "$out/gcache" \
+  -o "$out/genout" --jobs 2 >/dev/null
+dune exec bin/uhc.exe -- "$out/gencorpus"/*.f --analyses bounds,diffcheck \
+  --report "$out/genreport2.json" --cache-dir "$out/gcache" \
+  -o "$out/genout2" --jobs 2 >/dev/null
+cmp "$out/genreport.json" "$out/genreport2.json"
+dune exec bench/main.exe -- check-json "$out/genreport.json"
+grep -q '"analysis": "diffcheck"' "$out/genreport.json"
+dune exec bin/dragon.exe -- regress --cache-dir "$out/gcache"
+
+echo "== smoke: bench gen --json =="
+dune exec bench/main.exe -- gen --json --out "$out/BENCH_gen.json" >/dev/null
+test -s "$out/BENCH_gen.json"
+dune exec bench/main.exe -- check-json "$out/BENCH_gen.json"
+
 echo "== smoke: dragon profile --folded =="
 dune exec bin/dragon.exe -- profile --folded "$out/trace.json" \
   | grep -q "^pipeline;"

@@ -92,7 +92,7 @@ let test_permissions_fig1 () =
 
 let test_registry () =
   Alcotest.(check (list string))
-    "builtins" [ "bounds"; "permissions"; "regions" ]
+    "builtins" [ "bounds"; "permissions"; "regions"; "diffcheck" ]
     (Analyses.Registry.names ());
   (match Analyses.Registry.parse_selection "bounds, permissions" with
   | Ok names ->

@@ -1,0 +1,383 @@
+(* Index-array sparse subscripts: the property lattice drives the bounds
+   verdict (bounded boxes the region, injective+bounded over a covering
+   loop is exact, monotonic alone stays a clamped maybe with a named
+   inspector entry), the assumed-property bits survive the .ipl and .rgn
+   round trips (unknown tokens degrade to conservative MESSY), and the
+   refined regions are differentially checked against the interpreter —
+   including a deliberately false declaration the harness must catch. *)
+
+open QCheck2
+
+let ctx_of (result : Ipa.Analyze.result) =
+  {
+    Analyses.Analysis.ctx_module = result.Ipa.Analyze.r_module;
+    Analyses.Analysis.ctx_result = result;
+  }
+
+let summary_of (r : Analyses.Report.t) key =
+  match List.assoc_opt key r.Analyses.Report.r_summary with
+  | Some v -> v
+  | None -> Alcotest.failf "summary key %s missing" key
+
+let summary_int r key = int_of_string (summary_of r key)
+
+(* bounds columns: Proc Array Mode Line Via Verdict LB UB Stride Inspector *)
+let col_array row = List.nth row 1
+let col_verdict row = List.nth row 5
+let col_inspector row = List.nth row 9
+
+(* one sparse USE+DEF of [a] through [idx], with a configurable directive
+   and a configurable fill *)
+let sparse_src ?(fill = "i") props =
+  Printf.sprintf
+    "      program sp\n\
+    \      real a(1:10)\n\
+    \      integer idx(1:10)\n\
+    \      integer i\n\
+     %s\
+    \      do i = 1, 10\n\
+    \        a(i) = 0.0\n\
+    \      end do\n\
+    \      do i = 1, 10\n\
+    \        idx(i) = %s\n\
+    \      end do\n\
+    \      do i = 1, 10\n\
+    \        a(idx(i)) = a(idx(i)) + 1.0\n\
+    \      end do\n\
+    \      print *, a(1)\n\
+    \      end\n"
+    (match props with
+    | "" -> ""
+    | p -> Printf.sprintf "!$uhc index idx %s\n" p)
+    fill
+
+let bounds_of src =
+  let result = Engine.analyze_sources [ ("sp.f", src) ] in
+  (result, fst (Analyses.Bounds.run (ctx_of result)))
+
+(* the rows of the [a(idx(i))] statement, located by its source line *)
+let sparse_rows src report =
+  let line =
+    let rec go n = function
+      | [] -> Alcotest.fail "no sparse access in source"
+      | l :: tl ->
+        let has =
+          let rec contains i =
+            i + 9 <= String.length l
+            && (String.sub l i 9 = "a(idx(i))" || contains (i + 1))
+          in
+          contains 0
+        in
+        if has then n else go (n + 1) tl
+    in
+    go 1 (String.split_on_char '\n' src)
+  in
+  List.filter
+    (fun row -> col_array row = "a" && List.nth row 3 = string_of_int line)
+    report.Analyses.Report.r_rows
+
+(* every point of the property lattice: do the declared properties refine
+   the MESSY subscript into something the bounds client can prove? *)
+let test_lattice_verdicts () =
+  let expect props ~verdict ~proven =
+    let src = sparse_src props in
+    let _, r = bounds_of src in
+    let rows = sparse_rows src r in
+    Alcotest.(check int) (props ^ ": sparse USE+DEF rows") 2 (List.length rows);
+    List.iter
+      (fun row ->
+        Alcotest.(check string) (props ^ ": verdict") verdict (col_verdict row))
+      rows;
+    Alcotest.(check int) (props ^ ": sparse_proven") proven
+      (summary_int r "sparse_proven");
+    Alcotest.(check int) (props ^ ": unsafe") 0 (summary_int r "unsafe")
+  in
+  expect "" ~verdict:"maybe" ~proven:0;
+  expect "monotonic" ~verdict:"maybe" ~proven:0;
+  expect "injective" ~verdict:"maybe" ~proven:0;
+  expect "bounded(1,10)" ~verdict:"safe" ~proven:2;
+  expect "monotonic bounded(1,10)" ~verdict:"safe" ~proven:2;
+  expect "injective bounded(1,10)" ~verdict:"safe" ~proven:2;
+  expect "monotonic injective bounded(1,10)" ~verdict:"safe" ~proven:2
+
+(* undecidable sparse accesses keep the index array's name in the
+   inspector column — the runtime checker knows what to instrument *)
+let test_inspector_naming () =
+  let src = sparse_src "" in
+  let _, r = bounds_of src in
+  List.iter
+    (fun row ->
+      Alcotest.(check string) "undeclared names the index array" "idx"
+        (col_inspector row))
+    (sparse_rows src r);
+  let src = sparse_src "bounded(1,10)" in
+  let _, r = bounds_of src in
+  List.iter
+    (fun row ->
+      Alcotest.(check string) "proven access has no inspector entry" "-"
+        (col_inspector row))
+    (sparse_rows src r)
+
+(* injective + bounded over a loop covering the whole box: pigeonhole
+   exactness — the region is exact, not just a safe over-approximation *)
+let test_pigeonhole_exactness () =
+  let exactness props =
+    let result, _ = bounds_of (sparse_src props) in
+    let sparse_regions =
+      List.concat_map
+        (fun (t : Ipa.Analyze.proc_table) ->
+          List.filter_map
+            (fun (a : Ipa.Collect.access) ->
+              match a.Ipa.Collect.ac_mode with
+              | Regions.Mode.USE | Regions.Mode.DEF
+                when a.Ipa.Collect.ac_sparse <> None ->
+                Some a.Ipa.Collect.ac_region
+              | _ -> None)
+            t.Ipa.Analyze.t_accesses)
+        result.Ipa.Analyze.r_tables
+    in
+    Alcotest.(check bool) (props ^ ": found sparse regions") true
+      (sparse_regions <> []);
+    List.for_all Regions.Region.is_exact sparse_regions
+  in
+  Alcotest.(check bool) "injective+bounded covering loop is exact" true
+    (exactness "injective bounded(1,10)");
+  Alcotest.(check bool) "bounded alone is approximate" false
+    (exactness "bounded(1,10)")
+
+(* ------------------------------------------------------------------ *)
+(* Round trips: the assumed-property provenance survives .ipl and .rgn *)
+
+(* summaries only describe formals and globals, so the sparse access must
+   sit in a callee for the .ipl file to carry its region *)
+let callee_src =
+  "      program sp\n\
+  \      real a(1:10)\n\
+  \      integer i\n\
+  \      do i = 1, 10\n\
+  \        a(i) = 0.0\n\
+  \      end do\n\
+  \      call work(a)\n\
+  \      print *, a(1)\n\
+  \      end\n\
+  \      subroutine work(b)\n\
+  \      real b(1:10)\n\
+  \      integer idx(1:10)\n\
+  \      integer i\n\
+   !$uhc index idx bounded(1,10)\n\
+  \      do i = 1, 10\n\
+  \        idx(i) = i\n\
+  \      end do\n\
+  \      do i = 1, 10\n\
+  \        b(idx(i)) = b(idx(i)) + 1.0\n\
+  \      end do\n\
+  \      end\n"
+
+let test_ipl_roundtrip_props () =
+  let result = Engine.analyze_sources [ ("sp.f", callee_src) ] in
+  let m = result.Ipa.Analyze.r_module in
+  let text = Ipa.Iplfile.write_unit m result.Ipa.Analyze.r_summaries in
+  Alcotest.(check bool) "props serialized" true
+    (List.exists
+       (fun line -> String.length line > 2 && String.ends_with ~suffix:"; b" line)
+       (String.split_on_char '\n' text));
+  (match Ipa.Iplfile.parse_unit m text with
+  | Error e -> Alcotest.failf "parse failed: %s" e
+  | Ok summaries ->
+    let assumed =
+      List.exists
+        (fun (_, entries) ->
+          List.exists
+            (fun (e : Ipa.Summary.entry) ->
+              Regions.Region.is_assumed e.Ipa.Summary.e_region)
+            entries)
+        summaries
+    in
+    Alcotest.(check bool) "assumed flag survives reload" true assumed);
+  (* an unknown property token parses as conservative MESSY: clamped, no
+     assumed flags — mirroring the clamped-bit handling of PR 6 *)
+  let degraded =
+    String.concat "\n"
+      (List.map
+         (fun line ->
+           if String.ends_with ~suffix:"; b" line then
+             String.sub line 0 (String.length line - 1) ^ "q"
+           else line)
+         (String.split_on_char '\n' text))
+  in
+  match Ipa.Iplfile.parse_unit m degraded with
+  | Error e -> Alcotest.failf "degraded parse failed: %s" e
+  | Ok summaries ->
+    List.iter
+      (fun (_, entries) ->
+        List.iter
+          (fun (e : Ipa.Summary.entry) ->
+            Alcotest.(check bool) "unknown props: no assumed flags" false
+              (Regions.Region.is_assumed e.Ipa.Summary.e_region))
+          entries)
+      summaries
+
+let test_rgn_row_props () =
+  let row =
+    {
+      Rgnfile.Row.scope = "p";
+      array = "a";
+      file = "sp.o";
+      mode = "DEF";
+      references = 1;
+      dimensions = 1;
+      lb = "1";
+      ub = "10";
+      stride = "1";
+      element_size = 4;
+      data_type = "real";
+      dim_size = "10";
+      tot_size = 10;
+      size_bytes = 40;
+      mem_loc = "0x0";
+      acc_density = 2;
+      line = 3;
+      props = "b";
+    }
+  in
+  (* full round trip keeps the props column *)
+  (match Rgnfile.Row.of_fields (Rgnfile.Row.to_fields row) with
+  | Ok r -> Alcotest.(check string) "props round trip" "b" r.Rgnfile.Row.props
+  | Error e -> Alcotest.failf "of_fields: %s" e);
+  (* a legacy 17-field row (pre-props) still parses, conservatively *)
+  (match
+     Rgnfile.Row.of_fields
+       (List.filteri (fun i _ -> i < 17) (Rgnfile.Row.to_fields row))
+   with
+  | Ok r -> Alcotest.(check string) "legacy row: no props" "-" r.Rgnfile.Row.props
+  | Error e -> Alcotest.failf "legacy of_fields: %s" e);
+  (* an unknown props token degrades the row's bounds to unknown: nothing
+     downstream may treat the stale triplet as provable *)
+  match
+    Rgnfile.Row.of_fields
+      (List.mapi
+         (fun i f -> if i = 17 then "z" else f)
+         (Rgnfile.Row.to_fields row))
+  with
+  | Ok r ->
+    Alcotest.(check string) "unknown props: lb degraded" "*" r.Rgnfile.Row.lb;
+    Alcotest.(check string) "unknown props: ub degraded" "*" r.Rgnfile.Row.ub;
+    Alcotest.(check string) "unknown props: props cleared" "-"
+      r.Rgnfile.Row.props
+  | Error e -> Alcotest.failf "unknown props of_fields: %s" e
+
+(* ------------------------------------------------------------------ *)
+(* Differential: the harness accepts truthful declarations and catches a
+   false one *)
+
+let diffcheck_of src =
+  let result = Engine.analyze_sources [ ("sp.f", src) ] in
+  fst (Analyses.Diffcheck.run (ctx_of result))
+
+let test_false_declaration_caught () =
+  (* idx really reaches 15, but the directive swears bounded(1,10): the
+     analysis proves the access safe, the runtime faults, and diffcheck
+     must report the contradiction *)
+  let r = diffcheck_of (sparse_src ~fill:"i + 5" "bounded(1,10)") in
+  Alcotest.(check string) "ok is false" "false" (summary_of r "ok");
+  Alcotest.(check bool) "safe faults reported" true
+    (summary_int r "safe_faults" > 0);
+  (* the truthful variant passes clean *)
+  let r = diffcheck_of (sparse_src "bounded(1,10)") in
+  Alcotest.(check string) "truthful ok" "true" (summary_of r "ok");
+  Alcotest.(check int) "no faults" 0 (summary_int r "oob_events");
+  (* monotonic-only with a real OOB: not provable, so no safe fault, and
+     the inspector-flagged access covers the observed faults *)
+  let r = diffcheck_of (sparse_src ~fill:"i + 2" "monotonic") in
+  Alcotest.(check string) "inspector covers faults" "true" (summary_of r "ok");
+  Alcotest.(check bool) "faults observed" true (summary_int r "oob_events" > 0);
+  Alcotest.(check int) "all covered" 0 (summary_int r "uncovered")
+
+(* QCheck: random index-array contents, truthful declarations only when
+   the values honor them; analysis verdicts must never contradict the
+   interpreter, and declared bounds must pay off as proven accesses *)
+let gen_case =
+  Gen.(
+    let* ext = int_range 4 10 in
+    let* vals = list_size (return ext) (int_range (-1) (ext + 2)) in
+    return (ext, vals))
+
+let print_case (ext, vals) =
+  Printf.sprintf "ext=%d vals=[%s]" ext
+    (String.concat ";" (List.map string_of_int vals))
+
+let src_of_case (ext, vals) =
+  let in_bounds = List.for_all (fun v -> v >= 1 && v <= ext) vals in
+  let rec sorted = function
+    | a :: (b :: _ as tl) -> a <= b && sorted tl
+    | _ -> true
+  in
+  let distinct = List.length (List.sort_uniq compare vals) = List.length vals in
+  let props =
+    if not in_bounds then ""
+    else
+      String.concat " "
+        (List.concat
+           [
+             (if sorted vals then [ "monotonic" ] else []);
+             (if distinct then [ "injective" ] else []);
+             [ Printf.sprintf "bounded(1,%d)" ext ];
+           ])
+  in
+  let buf = Buffer.create 512 in
+  let bpf fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  bpf "      program fz\n";
+  bpf "      integer a(1:%d), idx(1:%d)\n" ext ext;
+  bpf "      integer i, s\n";
+  if props <> "" then bpf "!$uhc index idx %s\n" props;
+  bpf "      s = 0\n";
+  bpf "      do i = 1, %d\n" ext;
+  bpf "        a(i) = i\n";
+  bpf "      end do\n";
+  List.iteri (fun i v -> bpf "      idx(%d) = %d\n" (i + 1) v) vals;
+  bpf "      do i = 1, %d\n" ext;
+  bpf "        s = s + a(idx(i))\n";
+  bpf "      end do\n";
+  bpf "      print *, s\n";
+  bpf "      end\n";
+  (in_bounds, props, Buffer.contents buf)
+
+let prop_sparse_differential =
+  Test.make ~name:"sparse refinement vs interpreter (OOB-capable fuzz)"
+    ~count:80 gen_case ~print:print_case (fun case ->
+      let in_bounds, props, src = src_of_case case in
+      let result = Engine.analyze_sources [ ("fz.f", src) ] in
+      let ctx = ctx_of result in
+      let bounds = fst (Analyses.Bounds.run ctx) in
+      let diff = fst (Analyses.Diffcheck.run ctx) in
+      if summary_of diff "ok" <> "true" then
+        QCheck2.Test.fail_report "differential harness failed";
+      if int_of_string (summary_of diff "safe_faults") <> 0 then
+        QCheck2.Test.fail_report "proven-safe access faulted";
+      (* truthful bounds must promote the sparse access to proven *)
+      if props <> "" && int_of_string (summary_of bounds "sparse_proven") < 1
+      then QCheck2.Test.fail_report "declared bounds did not pay off";
+      (* out-of-range contents must actually fault, and stay covered *)
+      if not in_bounds then begin
+        if int_of_string (summary_of diff "oob_events") = 0 then
+          QCheck2.Test.fail_report "expected runtime faults";
+        if int_of_string (summary_of diff "uncovered") <> 0 then
+          QCheck2.Test.fail_report "fault not covered by an inspector row"
+      end;
+      true)
+
+let suite =
+  [
+    Alcotest.test_case "property lattice drives verdicts" `Quick
+      test_lattice_verdicts;
+    Alcotest.test_case "inspector names the index array" `Quick
+      test_inspector_naming;
+    Alcotest.test_case "pigeonhole exactness" `Quick test_pigeonhole_exactness;
+    Alcotest.test_case "ipl round trip keeps props" `Quick
+      test_ipl_roundtrip_props;
+    Alcotest.test_case "rgn rows keep props, degrade unknowns" `Quick
+      test_rgn_row_props;
+    Alcotest.test_case "false declaration caught, true ones pass" `Quick
+      test_false_declaration_caught;
+    QCheck_alcotest.to_alcotest prop_sparse_differential;
+  ]
