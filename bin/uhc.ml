@@ -7,7 +7,7 @@
 
 let run paths corpus out_dir project dump_whirl dump_src dump_callgraph
     dump_summaries execute wopt ipl_dir fuse autopar emit_whirl loop_summaries
-    jobs cache_dir stats stats_det trace metrics log_level keep_going
+    jobs workers cache_dir stats stats_det trace metrics log_level keep_going
     fault_specs diagnostics solver_budget join_path solver_core analyses report
     ledger no_ledger =
   let ledger =
@@ -17,7 +17,8 @@ let run paths corpus out_dir project dump_whirl dump_src dump_callgraph
     Pipeline.run
       (Pipeline.make ~paths ?corpus ?out_dir ~project ~dump_whirl ~dump_src
          ~dump_callgraph ~dump_summaries ~execute ~wopt ?ipl_dir ~fuse ~autopar
-         ?emit_whirl ~loop_summaries ~jobs ?cache_dir ~stats ~stats_det ?trace
+         ?emit_whirl ~loop_summaries ~jobs ~workers ?cache_dir ~stats
+         ~stats_det ?trace
          ?metrics ~log_level ~keep_going ~fault_specs ?diagnostics
          ?solver_budget ~join_path ~solver_core ~analyses ?report ?ledger ())
   in
@@ -115,6 +116,16 @@ let jobs =
     & info [ "j"; "jobs" ] ~docv:"N"
         ~doc:"Analysis domains: 1 = serial (default), 0 = one per core. \
               Output is byte-identical at any setting.")
+
+let workers =
+  Arg.(
+    value & opt int 0
+    & info [ "workers" ] ~docv:"N"
+        ~doc:"Shard the summarize phase across N worker processes (0 = \
+              in-process only, the default).  Workers exchange work and \
+              summaries over a pipe protocol and publish results into the \
+              shared --cache-dir tier; output is byte-identical at any \
+              setting.")
 
 let cache_dir =
   Arg.(
@@ -409,7 +420,8 @@ let cmd =
     Term.(
       const run $ paths $ corpus $ out_dir $ project $ dump_whirl $ dump_src
       $ dump_callgraph $ dump_summaries $ execute $ wopt $ ipl_dir $ fuse
-      $ autopar $ emit_whirl $ loop_summaries $ jobs $ cache_dir $ stats
+      $ autopar $ emit_whirl $ loop_summaries $ jobs $ workers $ cache_dir
+      $ stats
       $ stats_det $ trace $ metrics $ log_level $ keep_going $ fault_specs
       $ diagnostics $ solver_budget $ join_path $ solver_core $ analyses
       $ report $ ledger $ no_ledger)
@@ -418,6 +430,7 @@ let cmd =
    a default term would swallow positional source paths as (unknown)
    command names, and plain [uhc file.f] must keep working. *)
 let () =
+  Engine_shard.worker_check_argv ();
   if Array.length Sys.argv > 1 && Sys.argv.(1) = "gen" then begin
     let argv =
       Array.append [| "uhc gen" |] (Array.sub Sys.argv 2 (Array.length Sys.argv - 2))

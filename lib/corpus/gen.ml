@@ -53,35 +53,12 @@ let default =
 let standard () = { default with g_files = 201; g_pus_per_file = 10 }
 
 (* ------------------------------------------------------------------ *)
-(* splitmix64 *)
+(* splitmix64 — hoisted to [Numeric.Splitmix]; local aliases keep the
+   call sites below unchanged *)
 
-type rng = { mutable st : int64 }
-
-let mix64 z =
-  let z =
-    Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30))
-      0xbf58476d1ce4e5b9L
-  in
-  let z =
-    Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27))
-      0x94d049bb133111ebL
-  in
-  Int64.logxor z (Int64.shift_right_logical z 31)
-
-let rng_make seed = { st = Int64.of_int seed }
-
-let next r =
-  r.st <- Int64.add r.st 0x9e3779b97f4a7c15L;
-  mix64 r.st
-
-let rand_int r n =
-  if n <= 0 then invalid_arg "Gen.rand_int";
-  Int64.to_int (Int64.rem (Int64.shift_right_logical (next r) 1) (Int64.of_int n))
-
-let rand_float r =
-  Int64.to_float (Int64.shift_right_logical (next r) 11) /. 9007199254740992.0
-
-let chance r p = rand_float r < p
+let rng_make = Numeric.Splitmix.make
+let rand_int = Numeric.Splitmix.rand_int
+let chance = Numeric.Splitmix.chance
 
 (* ------------------------------------------------------------------ *)
 (* Program plan *)

@@ -133,16 +133,20 @@ type verdict = {
   v_breached : bool;
 }
 
-(* Only deterministic counters by default: verdict tallies and
-   diagnostics are byte-stable across reruns of the same inputs at any
-   --jobs setting, so a no-change rerun always passes.  Wall-clock and
-   scheduling-dependent counters regress only when asked to via
-   --threshold. *)
+(* Only deterministic counters by default: verdict tallies, diagnostics
+   and the cache miss count are byte-stable across reruns of the same
+   inputs at any --jobs or --workers setting, so a no-change rerun
+   always passes.  cache.summary_misses in particular enforces
+   worker-count invariance: a warm rerun of an unchanged corpus must
+   recompute nothing regardless of topology.  Wall-clock and
+   scheduling-dependent counters (topology.steals, busy_ns) regress only
+   when asked to via --threshold. *)
 let default_rules =
   [
     { r_path = "verdicts.bounds.unsafe"; r_pct = 0. };
     { r_path = "verdicts.bounds.maybe"; r_pct = 0. };
     { r_path = "diagnostics"; r_pct = 0. };
+    { r_path = "cache.summary_misses"; r_pct = 0. };
   ]
 
 let parse_rule s =

@@ -16,15 +16,28 @@
 
 type config = {
   jobs : int;
+  workers : int;
   store : Engine_store.t option;
   keep_going : bool;
 }
 
 val config :
-  ?jobs:int -> ?store:Engine_store.t -> ?keep_going:bool -> unit -> config
+  ?jobs:int ->
+  ?workers:int ->
+  ?store:Engine_store.t ->
+  ?keep_going:bool ->
+  unit ->
+  config
 (** [jobs] defaults to [1] (serial); [0] means
     [Domain.recommended_domain_count ()].  Without [store], nothing is
     cached.
+
+    [workers] (default [0] = in-process only) spawns that many worker
+    processes and shards the summarize phase's SCC levels across them via
+    {!Engine_shard}, publishing computed summaries into the store's
+    shared directory as they land.  Outputs are byte-identical at every
+    [workers] setting; every failure mode falls back to in-process
+    analysis.
 
     [keep_going] (default [false]) turns on per-PU error isolation: a PU
     whose collection or summarization raises — an injected {!Fault} or a
@@ -57,7 +70,11 @@ module Stats : sig
     s_total_wall : float;
     s_solver : Linear.Solver_stats.t;
         (** solver-layer counter deltas attributed to this run (queries,
-            memo hits, eliminations — see {!Linear.Solver_stats}) *)
+            memo hits, eliminations — see {!Linear.Solver_stats});
+            includes counters absorbed from shard workers *)
+    s_shard : Engine_shard.stats option;
+        (** [Some] iff [workers > 0]: spawn/task/steal/busy telemetry.
+            Scheduling-dependent, so excluded from {!pp_deterministic}. *)
   }
 
   val pp : Format.formatter -> t -> unit

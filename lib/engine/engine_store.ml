@@ -219,6 +219,8 @@ let c_write_errors = Obs.Metrics.counter "store.write_errors"
 let c_read_errors = Obs.Metrics.counter "store.read_errors"
 let c_retries = Obs.Metrics.counter "store.retries"
 let c_quarantined = Obs.Metrics.counter "store.quarantined"
+let c_publishes = Obs.Metrics.counter "store.publishes"
+let c_publish_skips = Obs.Metrics.counter "store.publish_skips"
 let h_find = Obs.Metrics.histogram "store.find.ns"
 let h_add = Obs.Metrics.histogram "store.add.ns"
 
@@ -249,7 +251,18 @@ let drain_diags t =
 let entry_magic = "UHCS1\n"
 let header_len = String.length entry_magic + 16
 let max_attempts = 3
-let backoff_s attempt = 0.0005 *. float_of_int (1 lsl attempt)
+
+let backoff_s ~key attempt =
+  (* exponential base with deterministic seeded jitter: splitmix64 over
+     (pid, entry, attempt) spreads the sleep across [0.5x, 1.5x) so N
+     workers hammering one shared tier don't retry in lockstep, while
+     staying reproducible for any given process/key/attempt triple *)
+  let base = 0.0005 *. float_of_int (1 lsl attempt) in
+  let h = Hashtbl.hash (Unix.getpid (), key, attempt) in
+  let bits =
+    Int64.shift_right_logical (Numeric.Splitmix.mix64 (Int64.of_int h)) 11
+  in
+  base *. (0.5 +. (Int64.to_float bits /. 9007199254740992.0))
 
 let seal payload = entry_magic ^ Digest.string payload ^ payload
 
@@ -294,7 +307,7 @@ let read_file t path =
     | exception (Sys_error _ | End_of_file | Fault.Injected _) ->
       if k + 1 < max_attempts then begin
         Obs.Metrics.Counter.incr c_retries;
-        Unix.sleepf (backoff_s k);
+        Unix.sleepf (backoff_s ~key:basename k);
         attempt (k + 1)
       end
       else begin
@@ -330,7 +343,7 @@ let write_file t path contents =
     | exception (Sys_error _ | Fault.Injected _) ->
       if k + 1 < max_attempts then begin
         Obs.Metrics.Counter.incr c_retries;
-        Unix.sleepf (backoff_s k);
+        Unix.sleepf (backoff_s ~key:basename k);
         attempt (k + 1)
       end
       else begin
@@ -396,9 +409,18 @@ let add_raw t ns key bytes =
   match path_of t ns key with
   | None -> ()
   | Some path ->
-    let blob = seal bytes in
-    if write_file t path blob then
-      Obs.Metrics.Counter.add c_disk_writes (String.length blob)
+    if Sys.file_exists path then
+      (* single-writer discipline on the shared tier: keys are content
+         addresses, so an existing file already holds these bytes —
+         whoever published first wins and everyone else skips the write *)
+      Obs.Metrics.Counter.incr c_publish_skips
+    else begin
+      let blob = seal bytes in
+      if write_file t path blob then begin
+        Obs.Metrics.Counter.incr c_publishes;
+        Obs.Metrics.Counter.add c_disk_writes (String.length blob)
+      end
+    end
 
 (* Decode a verified payload; a decode failure (an injected marshal fault,
    or corruption the checksum cannot see such as a stale schema) evicts the
@@ -424,9 +446,34 @@ let decode_entry (type a) t ns key (k : string) (bytes : string) :
     None
 
 (* ------------------------------------------------------------------ *)
-(* Typed views *)
+(* Typed views.
 
-let add_collect t ~key (p : collect_payload) =
+   The encode/decode pairs are standalone pure codecs over entry images —
+   the same bytes the store persists — so the shard wire protocol can ship
+   summaries between processes in exactly the cache format.  The decode
+   side of [find_*] additionally routes through [decode_entry] for fault
+   injection and quarantine; the standalone decoders assume an already
+   verified image (a wire payload, not an untrusted file). *)
+
+let collect_of_entry ~m (entry : collect_payload entry) : collect_payload =
+  Linear.Var.advance_past entry.en_counter;
+  let f = remap_fn m entry.en_syms in
+  let p = entry.en_value in
+  {
+    cp_accesses = List.map (map_access f) p.cp_accesses;
+    cp_sites = List.map (map_site f) p.cp_sites;
+  }
+
+let summary_of_entry ~m (entry : summary_payload entry) : summary_payload =
+  Linear.Var.advance_past entry.en_counter;
+  let f = remap_fn m entry.en_syms in
+  let p = entry.en_value in
+  {
+    sp_summary = map_summary f p.sp_summary;
+    sp_propagated = List.map (map_access f) p.sp_propagated;
+  }
+
+let encode_collect (p : collect_payload) =
   let vars =
     List.fold_left
       (fun a s -> add_site s a)
@@ -434,10 +481,29 @@ let add_collect t ~key (p : collect_payload) =
          p.cp_accesses)
       p.cp_sites
   in
-  let entry =
+  Marshal.to_string
     { en_counter = Linear.Var.current (); en_syms = syms_of vars; en_value = p }
+    []
+
+let decode_collect ~m bytes : collect_payload =
+  collect_of_entry ~m (Marshal.from_string bytes 0 : collect_payload entry)
+
+let encode_summary (p : summary_payload) =
+  let vars =
+    add_summary p.sp_summary
+      (List.fold_left
+         (fun a x -> add_access x a)
+         Linear.Var.Set.empty p.sp_propagated)
   in
-  add_raw t "c" key (Marshal.to_string entry [])
+  Marshal.to_string
+    { en_counter = Linear.Var.current (); en_syms = syms_of vars; en_value = p }
+    []
+
+let decode_summary ~m bytes : summary_payload =
+  summary_of_entry ~m (Marshal.from_string bytes 0 : summary_payload entry)
+
+let add_collect t ~key (p : collect_payload) =
+  add_raw t "c" key (encode_collect p)
 
 let find_collect t ~m ~key : collect_payload option =
   match find_raw t "c" key with
@@ -445,27 +511,10 @@ let find_collect t ~m ~key : collect_payload option =
   | Some (k, bytes) -> (
     match (decode_entry t "c" key k bytes : collect_payload entry option) with
     | None -> None
-    | Some entry ->
-      Linear.Var.advance_past entry.en_counter;
-      let f = remap_fn m entry.en_syms in
-      let p = entry.en_value in
-      Some
-        {
-          cp_accesses = List.map (map_access f) p.cp_accesses;
-          cp_sites = List.map (map_site f) p.cp_sites;
-        })
+    | Some entry -> Some (collect_of_entry ~m entry))
 
 let add_summary t ~key (p : summary_payload) =
-  let vars =
-    add_summary p.sp_summary
-      (List.fold_left
-         (fun a x -> add_access x a)
-         Linear.Var.Set.empty p.sp_propagated)
-  in
-  let entry =
-    { en_counter = Linear.Var.current (); en_syms = syms_of vars; en_value = p }
-  in
-  add_raw t "s" key (Marshal.to_string entry [])
+  add_raw t "s" key (encode_summary p)
 
 let find_summary t ~m ~key : summary_payload option =
   match find_raw t "s" key with
@@ -473,15 +522,11 @@ let find_summary t ~m ~key : summary_payload option =
   | Some (k, bytes) -> (
     match (decode_entry t "s" key k bytes : summary_payload entry option) with
     | None -> None
-    | Some entry ->
-      Linear.Var.advance_past entry.en_counter;
-      let f = remap_fn m entry.en_syms in
-      let p = entry.en_value in
-      Some
-        {
-          sp_summary = map_summary f p.sp_summary;
-          sp_propagated = List.map (map_access f) p.sp_propagated;
-        })
+    | Some entry -> Some (summary_of_entry ~m entry))
+
+let publish_summary t ~key image = add_raw t "s" key image
+let dir t = t.dir
+let schema () = Lazy.force schema_token
 
 let entry_count t =
   Mutex.lock t.mutex;

@@ -265,6 +265,10 @@ let set_step_budget n =
   | Some n -> Atomic.set step_budget (max 0 n));
   refresh_memo_ok ()
 
+let get_step_budget () =
+  let b = Atomic.get step_budget in
+  if b < 0 then None else Some b
+
 let set_small_threshold n = Atomic.set small_threshold (max 0 n)
 
 let query_cost t = List.length t.cs * (1 + Var.Set.cardinal (vars t))

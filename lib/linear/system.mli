@@ -156,9 +156,13 @@ val set_step_budget : int option -> unit
     (entailment and disjointness degrade to "cannot prove", so regions
     only grow).  Degraded answers are counted in the [solver.degraded]
     metric and never memoized; [None] (the default) restores exact
-    answers.  Reference mode ignores the budget.  The fault-injection
+    answers.  Reference mode ignores the budget.  Read back with
+    {!get_step_budget} (shard workers mirror the coordinator's knob).
+    The fault-injection
     site ["solver"] ({!Fault.Solver}) forces the same degradation on the
     targeted queries. *)
+
+val get_step_budget : unit -> int option
 
 val set_cache_enabled : bool -> unit
 (** The memo cache for {!feasible} is per-domain (domain-local storage), so

@@ -1,0 +1,37 @@
+(* Splitmix64: the repo's one seeded PRNG.
+
+   Hoisted out of [Corpus.Gen] so every consumer that needs deterministic
+   pseudo-randomness (corpus generation, store retry jitter) draws from the
+   same stream definition.  Everything derives from the seed: the same seed
+   yields the same sequence on every host, which is what lets generated
+   corpora serve as pinned benchmark workloads and lets retry jitter stay
+   reproducible under fault drills.  No OCaml [Random], clock, or
+   hashtable-order dependence anywhere. *)
+
+type t = { mutable st : int64 }
+
+let mix64 z =
+  let z =
+    Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30))
+      0xbf58476d1ce4e5b9L
+  in
+  let z =
+    Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27))
+      0x94d049bb133111ebL
+  in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let make seed = { st = Int64.of_int seed }
+
+let next r =
+  r.st <- Int64.add r.st 0x9e3779b97f4a7c15L;
+  mix64 r.st
+
+let rand_int r n =
+  if n <= 0 then invalid_arg "Splitmix.rand_int";
+  Int64.to_int (Int64.rem (Int64.shift_right_logical (next r) 1) (Int64.of_int n))
+
+let rand_float r =
+  Int64.to_float (Int64.shift_right_logical (next r) 11) /. 9007199254740992.0
+
+let chance r p = rand_float r < p

@@ -1,0 +1,16 @@
+/* Monotonic clock for trace timestamps and phase timing.
+ *
+ * CLOCK_MONOTONIC never jumps backwards under NTP slews or manual clock
+ * adjustment, which is the invariant Trace.parse enforces on per-track
+ * timestamps and the ledger assumes for phase walls.  Returned as an OCaml
+ * immediate (nanoseconds fit 62 bits for ~146 years of uptime).
+ */
+#include <time.h>
+#include <caml/mlvalues.h>
+
+CAMLprim value uhc_obs_monotonic_ns(value unit)
+{
+  struct timespec ts;
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+  return Val_long((long)ts.tv_sec * 1000000000L + ts.tv_nsec);
+}

@@ -26,7 +26,9 @@ let buffers_mutex = Mutex.create ()
 
 let epoch_ns = Atomic.make 0
 
-let raw_now_ns () = int_of_float (Unix.gettimeofday () *. 1e9)
+external raw_now_ns : unit -> int = "uhc_obs_monotonic_ns" [@@noalloc]
+(* CLOCK_MONOTONIC, so per-track timestamps can't go backwards under
+   clock adjustment (wall time stays only in run-id timestamps). *)
 
 let () = Atomic.set epoch_ns (raw_now_ns ())
 

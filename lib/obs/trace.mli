@@ -13,7 +13,9 @@ val enabled : unit -> bool
 
 val now_ns : unit -> int
 (** Nanoseconds since an arbitrary process-wide origin (reset by {!clear});
-    the timestamp base of every recorded event. *)
+    the timestamp base of every recorded event.  Monotonic
+    ([CLOCK_MONOTONIC] via a C stub), so it never goes backwards under
+    NTP slews or manual clock adjustment. *)
 
 val clear : unit -> unit
 (** Drop all recorded events and restart the timestamp origin. *)

@@ -148,4 +148,30 @@ echo "== obs: duplicate metric registration is rejected =="
 # kind and fails unless Obs.Metrics raises Invalid_argument
 dune exec test/test_main.exe -- test obs 8
 
+echo "== smoke: uhc --workers 2 is byte-identical =="
+dune exec bin/uhc.exe -- --corpus lu --workers 2 -o "$out/w2" >/dev/null
+cmp "$out/plain/project.rgn" "$out/w2/project.rgn"
+cmp "$out/plain/project.dgn" "$out/w2/project.dgn"
+cmp "$out/plain/project.cfg" "$out/w2/project.cfg"
+
+echo "== smoke: sharded cold + warm share one cache tier =="
+# a cold sharded run publishes every summary; a warm run at a different
+# worker count recomputes nothing and the default regress gates (which
+# include cache.summary_misses) stay green across the topology change
+dune exec bin/uhc.exe -- --corpus gen-small --workers 2 \
+  --cache-dir "$out/scache" -o "$out/s1" >/dev/null
+dune exec bin/uhc.exe -- --corpus gen-small --workers 4 \
+  --cache-dir "$out/scache" -o "$out/s2" >/dev/null
+cmp "$out/s1/project.rgn" "$out/s2/project.rgn"
+cmp "$out/s1/project.dgn" "$out/s2/project.dgn"
+cmp "$out/s1/project.cfg" "$out/s2/project.cfg"
+dune exec bin/dragon.exe -- regress --cache-dir "$out/scache"
+dune exec bin/dragon.exe -- history --cache-dir "$out/scache" \
+  topology.steals | grep -q "^topology.steals"
+
+echo "== smoke: bench shard --json =="
+dune exec bench/main.exe -- shard --json --out "$out/BENCH_shard.json" >/dev/null
+test -s "$out/BENCH_shard.json"
+dune exec bench/main.exe -- check-json "$out/BENCH_shard.json"
+
 echo "verify: OK"
